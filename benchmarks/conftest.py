@@ -1,0 +1,35 @@
+"""Shared helpers for the per-figure benchmark targets.
+
+Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to stream the
+result tables; they are always written to ``benchmarks/results/`` too).
+Each target regenerates one table or figure of the paper and reports the
+measured rows next to the paper's values; simulations are memoised across
+targets within the session.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    sys.stdout.write("\n" + text + "\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Benchmark a driver exactly once (simulations dominate; no warmup)."""
+
+    def run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,38 @@
+"""Figure 14: GPU-wide energy relative to Base.
+
+Paper: RLPV saves 10.7% GPU energy on average (RPV alone 7.6%; load reuse
+adds 3.1%); the more-reusable top half of the suite saves far more than the
+bottom half (18.3% vs 4.3% in the paper's split).
+"""
+
+from benchmarks.conftest import emit
+from repro.harness import experiments, reporting
+
+
+def test_fig14_gpu_energy(once):
+    data = once(experiments.fig14_gpu_energy)
+    table = reporting.render_per_benchmark(
+        data, title="Figure 14 — GPU energy relative to Base")
+    avg = data["AVG"]
+    table += (
+        f"\n\nmeasured RLPV GPU energy: {avg['RLPV']:.3f}   (paper: 0.893)"
+        f"\nmeasured RPV GPU energy: {avg['RPV']:.3f}   (paper: 0.924)"
+        f"\nload-reuse contribution: {(avg['RPV'] - avg['RLPV']) * 100:.1f}%"
+        f"   (paper: 3.1%)"
+        f"\ntop-half / bottom-half RLPV: {data['TOP-HALF']['RLPV']:.3f} / "
+        f"{data['BOTTOM-HALF']['RLPV']:.3f}   (paper: more savings in the "
+        f"reuse-friendly half)"
+    )
+    emit("fig14_gpu_energy", table)
+    assert avg["RLPV"] < 1.0
+    assert avg["RLPV"] <= avg["RPV"]  # load reuse only helps
+    assert data["TOP-HALF"]["RLPV"] < data["BOTTOM-HALF"]["RLPV"]
+
+
+def test_fig14_breakdown_for_a_reuse_friendly_benchmark(once):
+    data = once(experiments.fig14_breakdown, "SF")
+    table = reporting.render_per_benchmark(
+        data, title="Figure 14 (inset) — SF energy breakdown / Base total")
+    emit("fig14_breakdown_sf", table)
+    assert abs(sum(data["Base"].values()) - 1.0) < 1e-9
+    assert sum(data["RLPV"].values()) < 1.0

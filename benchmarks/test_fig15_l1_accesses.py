@@ -1,0 +1,27 @@
+"""Figure 15: L1 data-cache accesses and misses, Base vs RLPV.
+
+Paper: load reuse cuts both accesses and misses substantially in SF, BT,
+HS, S2, and LK (LK misses -61.5%); KM can regress (cache contention under
+reordered execution); the suite-wide averages improve.
+"""
+
+from benchmarks.conftest import emit
+from repro.harness import experiments, reporting
+
+
+def test_fig15_l1_access_breakdown(once):
+    data = once(experiments.fig15_l1_accesses)
+    table = reporting.render_per_benchmark(
+        data, title="Figure 15 — L1D traffic, RLPV relative to Base")
+    lk = data["LK"]
+    table += (
+        f"\n\nLK miss reduction: {(1 - lk['relative_misses']) * 100:.1f}%"
+        f"   (paper: 61.5%)"
+        f"\nsuite-average access ratio: {data['AVG']['relative_accesses']:.3f}"
+    )
+    emit("fig15_l1_accesses", table)
+    # The load-reuse showcase benchmarks shed L1 traffic.
+    for abbr in ("SF", "BT", "HS", "S2", "LK"):
+        assert data[abbr]["relative_accesses"] < 1.0, abbr
+    assert lk["relative_misses"] < 0.7
+    assert data["AVG"]["relative_accesses"] < 1.0

@@ -1,0 +1,28 @@
+"""Figure 17: speedup of the incremental reuse designs over Base.
+
+Paper: most applications stay within +-10%; leukocyte exceeds 2x once load
+reuse is enabled; GA/BO/BF suffer under RLP's verify-read bank pressure and
+recover with the verify cache (RLPV).
+"""
+
+from benchmarks.conftest import emit
+from repro.harness import experiments, reporting
+
+
+def test_fig17_speedup(once):
+    data = once(experiments.fig17_speedup)
+    table = reporting.render_per_benchmark(
+        data, title="Figure 17 — speedup relative to Base")
+    gmean = data["GMEAN"]
+    table += (
+        f"\n\nGMEAN RLPV speedup: {gmean['RLPV']:.3f}   (paper: ~1.0)"
+        f"\nLK RLPV speedup: {data['LK']['RLPV']:.2f}   (paper: 2.03)"
+    )
+    emit("fig17_speedup", table)
+    # Shape: geometric mean close to 1, LK the load-reuse outlier.
+    assert 0.9 < gmean["RLPV"] < 1.2
+    assert data["LK"]["RL"] > data["LK"]["R"]      # load reuse is LK's win
+    assert data["LK"]["RLPV"] > 1.2
+    # Verify cache mitigates (never hurts) the verify-read pressure cases.
+    for abbr in ("GA", "BO", "BF"):
+        assert data[abbr]["RLPV"] >= data[abbr]["RLP"] - 0.02, abbr

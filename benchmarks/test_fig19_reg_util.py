@@ -1,0 +1,26 @@
+"""Figure 19: physical warp register utilisation (of 1,024 per SM).
+
+Paper: even Base leaves the file underused (occupancy limits elsewhere);
+RLPV's average sits BELOW Base because register reuse lets many logical
+registers share one physical register; RLPVc caps the total.
+"""
+
+from benchmarks.conftest import emit
+from repro.harness import experiments, reporting
+
+
+def test_fig19_register_utilization(once):
+    data = once(experiments.fig19_register_utilization)
+    table = reporting.render_per_benchmark(
+        data, title="Figure 19 — physical registers in use (avg / peak of 1024)")
+    table += (
+        f"\n\nRLPV average {data['RLPV']['average']:.0f} vs Base estimate "
+        f"{data['Base']['average']:.0f} — sharing reduces live registers"
+    )
+    emit("fig19_reg_util", table)
+    for model in ("Base", "RLPV", "RLPVc"):
+        assert data[model]["peak"] <= 1024
+        assert data[model]["average"] <= data[model]["peak"]
+    # Register sharing keeps the average below the one-to-one mapping.
+    assert data["RLPV"]["average"] < data["Base"]["average"]
+    assert data["RLPVc"]["peak"] <= data["RLPV"]["peak"] + 32

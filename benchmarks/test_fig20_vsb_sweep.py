@@ -1,0 +1,29 @@
+"""Figure 20: value-signature-buffer entries vs hit rate.
+
+Paper: already >50% hits at 128 entries; saturating beyond 256 (the chosen
+default).
+"""
+
+from benchmarks.conftest import emit
+from repro.harness import experiments, reporting
+
+
+def test_fig20_vsb_sweep(once):
+    data = once(experiments.fig20_vsb_sweep)
+    table = reporting.render_series(
+        data, "entries", "hit rate",
+        title="Figure 20 — VSB size vs hit rate (suite average)")
+    table += (
+        f"\n\nhit rate at 128 entries: {data[128] * 100:.1f}%"
+        f"   (paper: >50%; our synthetic kernels carry more unique"
+        f" accumulator values per reused load/op — see EXPERIMENTS.md)"
+        f"\nsaturation 256 -> 512: +{(data[512] - data[256]) * 100:.1f}pp"
+    )
+    emit("fig20_vsb_sweep", table)
+    sizes = sorted(data)
+    # Monotone (within noise) improvement with capacity.
+    for small, big in zip(sizes, sizes[1:]):
+        assert data[big] >= data[small] - 0.03
+    assert data[128] > 0.15
+    # Diminishing returns: the last doubling buys less than the first two.
+    assert data[512] - data[256] < data[128] - data[16] + 0.05

@@ -1,0 +1,41 @@
+"""Figure 21: reuse-buffer entries vs reused-instruction fraction.
+
+Paper: 18.7% of instructions reuse at the 256-entry default, >20% at 512;
+pending-retry hits are worth roughly a doubling of the buffer.
+"""
+
+from benchmarks.conftest import emit
+from repro.harness import experiments, reporting
+
+
+def test_fig21_reuse_buffer_sweep(once):
+    data = once(experiments.fig21_reuse_buffer_sweep)
+    table = reporting.render_series(
+        data, "entries", "reuse",
+        title="Figure 21 — reuse buffer size vs reused instructions")
+    at_256 = data[256]
+    table += (
+        f"\n\nreuse at 256 entries: {at_256['reuse_fraction'] * 100:.1f}%"
+        f"   (paper: 18.7%)"
+        f"\npending-retry contribution: "
+        f"{at_256['pending_retry_fraction'] * 100:.1f}% of instructions"
+    )
+    emit("fig21_rb_sweep", table)
+    sizes = sorted(data)
+    for small, big in zip(sizes, sizes[1:]):
+        assert (data[big]["reuse_fraction"]
+                >= data[small]["reuse_fraction"] - 0.02)
+    assert 0.10 < at_256["reuse_fraction"] < 0.35
+    assert at_256["pending_retry_fraction"] > 0.01
+    # Pending-retry at 128 entries performs at least like a plain 256-entry
+    # buffer would ("doubling" effect): compare against the no-retry run.
+    from repro.harness.runner import run_benchmark
+    from repro.workloads import all_abbrs
+    fractions = []
+    for abbr in all_abbrs():
+        run = run_benchmark(abbr, "RL", reuse_buffer_entries=256)
+        fractions.append(run.result.reused_instructions
+                         / max(1, run.result.issued_instructions))
+    no_retry_256 = sum(fractions) / len(fractions)
+    with_retry_128 = data[128]["reuse_fraction"]
+    assert with_retry_128 > no_retry_256 - 0.02

@@ -1,0 +1,58 @@
+"""Tables I, II, and III of the paper."""
+
+from benchmarks.conftest import emit
+from repro.harness import experiments, reporting
+
+
+def test_table1_benchmarks(once):
+    rows = once(experiments.table1_benchmarks)
+    table = reporting.format_table(
+        ["abbr", "name", "suite", "%FP"],
+        [[r["abbr"], r["name"], r["suite"],
+          "-" if r["fp_fraction"] is None else f"{r['fp_fraction'] * 100:.1f}%"]
+         for r in rows],
+        title="Table I — benchmark applications (Figure 2 order)")
+    emit("table1_benchmarks", table)
+    assert len(rows) == 34
+    suites = {r["suite"] for r in rows}
+    assert suites == {"Parboil", "Rodinia", "CUDA SDK"}
+
+
+def test_table2_parameters(once):
+    params = once(experiments.table2_parameters)
+    table = reporting.format_table(
+        ["parameter", "value"], list(params.items()),
+        title="Table II — simulation parameters")
+    emit("table2_parameters", table)
+    assert "700 MHz, 15 SMs" in params["SM parameters"]
+    assert "1024 warp registers" in params["Resource limits/SM"]
+    assert "128 KB" in params["Register file"]
+    assert "48 KB" in params["Scratchpad memory"]
+    assert "256 entries" in params["Reuse buffer"]
+
+
+def test_table3_hardware_costs(once):
+    data = once(experiments.table3_hardware_costs)
+    rows = []
+    for name, row in data.items():
+        if name == "storage_budget":
+            continue
+        rows.append([
+            name, row["model_energy_pj"], row["paper_energy_pj"],
+            row["model_latency_ns"], row["paper_latency_ns"],
+        ])
+    table = reporting.format_table(
+        ["component", "model pJ/op", "paper pJ/op", "model ns", "paper ns"],
+        rows, title="Table III — added component costs (model vs paper)")
+    budget = data["storage_budget"]
+    table += "\n\nper-SM storage budget (Section VII-E):\n"
+    table += reporting.format_table(
+        ["structure", "bytes", "KB"],
+        [[k, v, f"{v / 1024:.2f}"] for k, v in budget.items()])
+    table += "\n(paper total: ~9.9 KB per SM)"
+    emit("table3_hw_costs", table)
+    assert 9.0 * 1024 < budget["total"] < 10.5 * 1024
+    for name, row in data.items():
+        if name == "storage_budget" or row["model_energy_pj"] is None:
+            continue
+        assert row["model_energy_pj"] > 0

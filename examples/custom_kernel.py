@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Tutorial: write your own kernel and inspect the reuse machinery.
+
+Builds a per-block 8-bin histogram from scratch — global loads staged into
+scratchpad behind a barrier, a counting loop whose shared-memory reads are
+uniform (prime load-reuse traffic), a predicated (divergent) accumulate,
+and a divergent publish — then walks through what each WIR structure did:
+rename-table traffic, VSB sharing, reuse-buffer hits, dummy MOVs, and the
+hazard rules that keep the scratchpad loads correct.
+
+The ISA has no atomics, so the classic racy shared-memory increment is
+restructured as "each of the first 8 threads owns one bin and scans the
+staged items" — race-free and still exercising every mechanism.
+
+Run:  python examples/custom_kernel.py
+"""
+
+import numpy as np
+
+from repro import Dim3, MemoryImage, assemble, model_config, simulate
+
+OUT = 1 << 20
+
+HISTOGRAM = f"""
+    mov   r0, %tid.x
+    mov   r1, %ctaid.x
+    mov   r2, %ntid.x
+    mad   r3, r1, r2, r0            // gtid
+    // stage this thread's item into scratchpad
+    shl   r4, r0, 2
+    shl   r5, r3, 2
+    add   r5, r5, 4096
+    ld.global r6, [r5]              // item
+    st.shared -, [r4], r6
+    bar.sync
+    // thread t (t < 8) counts the staged items falling into bin t;
+    // the setp below is simply false for t >= 8, so the loop is uniform.
+    mov   r7, 0                     // count
+    mov   r8, 0                     // i
+count_loop:
+    shl   r9, r8, 2
+    ld.shared r10, [r9]             // staged item (uniform address: the
+    shr   r11, r10, 13              //  whole block reuses each load)
+    setp.eq p0, r11, r0             // my bin?
+@p0 add   r7, r7, 1                 // divergent accumulate (pin-bit path)
+    add   r8, r8, 1
+    setp.lt p1, r8, 64
+@p1 bra   count_loop
+    // the first 8 threads publish their bins
+    setp.lt p2, r0, 8
+    shl   r12, r1, 5                // block * 8 bins * 4 bytes
+    add   r12, r12, r4
+    add   r12, r12, {OUT}
+@p2 st.global -, [r12], r7
+    exit
+"""
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    n = 8 * 64
+    items = rng.integers(0, 1 << 16, size=n, dtype=np.uint32)
+    image = MemoryImage()
+    image.global_mem.write_block(4096, items)
+
+    program = assemble(HISTOGRAM, name="histogram")
+    config = model_config("RLPV")
+    config.num_sms = 2
+    result = simulate(program, grid=Dim3(8), block=Dim3(64),
+                      config=config, image=image)
+
+    stats = result.wir_stats
+    print("What the WIR machinery did on the histogram kernel")
+    print("-" * 55)
+    print(f"issued warp instructions      {result.issued_instructions}")
+    print(f"reused (backend bypassed)     {result.reused_instructions}"
+          f"  ({result.reuse_fraction * 100:.1f}%)")
+    print(f"  of which loads              {result.total('reused_loads')}")
+    print(f"rename table reads/writes     {stats['rename_reads']:.0f} / "
+          f"{stats['rename_writes']:.0f}")
+    print(f"VSB lookups -> hits           {stats['vsb_lookups']:.0f} -> "
+          f"{stats['vsb_hits']:.0f}")
+    print(f"register writes avoided       {stats['writes_avoided']:.0f} "
+          f"(verified VSB matches)")
+    print(f"verify-reads (bank)           {stats['verify_reads']:.0f}, "
+          f"filtered by verify cache: {stats['verify_cache_filtered']:.0f}")
+    print(f"dummy MOVs (divergent writes) {stats['dummy_movs']:.0f}")
+    print(f"reuse-buffer evictions        {stats['rb_evictions']:.0f}")
+    print()
+    print("Hazard notes: each block's scratchpad loads carry the block's")
+    print("TBID in the reuse-buffer tag, so block A never reuses block B's")
+    print("staged items; the barrier bumps the barrier count, preventing")
+    print("any reuse of pre-barrier scratchpad state (Section VI-A).")
+
+    out = image.global_mem.read_block(OUT, 8 * 8).reshape(8, 8)
+    for block in range(8):
+        chunk = items[block * 64:(block + 1) * 64]
+        expected = np.bincount(chunk >> 13, minlength=8)
+        assert (out[block] == expected).all(), (block, out[block], expected)
+    print()
+    print("histogram verified against numpy for all 8 blocks")
+
+
+if __name__ == "__main__":
+    main()

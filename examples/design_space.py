@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Design-space exploration on a benchmark subset (paper Section VII-G).
+
+Sweeps the three sizing knobs the paper studies — reuse-buffer entries
+(Figure 21), VSB entries (Figure 20), and the added pipeline latency
+(Figure 22) — on a fast subset of the suite, and prints the per-SM storage
+bill for each configuration so the energy/storage trade-off is visible.
+
+Run:  python examples/design_space.py
+"""
+
+from repro.core.models import model_config
+from repro.energy import wir_storage_budget
+from repro.harness import experiments
+from repro.harness.reporting import format_table
+
+SUBSET = ["SF", "BT", "GA", "KM", "SN", "BF", "MQ", "HW"]
+
+
+def main() -> None:
+    print("Benchmark subset:", ", ".join(SUBSET))
+    print()
+
+    rb = experiments.fig21_reuse_buffer_sweep(SUBSET,
+                                              entry_counts=(32, 64, 128, 256, 512))
+    rows = []
+    for entries, stats in rb.items():
+        budget = wir_storage_budget(model_config("RLPV",
+                                                 reuse_buffer_entries=entries))
+        rows.append([entries, f"{stats['reuse_fraction'] * 100:.1f}%",
+                     f"{stats['pending_retry_fraction'] * 100:.1f}%",
+                     f"{budget['reuse buffer'] / 1024:.2f} KB"])
+    print(format_table(
+        ["RB entries", "reused", "via pending-retry", "RB storage"], rows,
+        title="Reuse-buffer sizing (Figure 21)"))
+    print()
+
+    vsb = experiments.fig20_vsb_sweep(SUBSET, entry_counts=(32, 64, 128, 256))
+    rows = []
+    for entries, hit_rate in vsb.items():
+        budget = wir_storage_budget(model_config("RLPV", vsb_entries=entries))
+        rows.append([entries, f"{hit_rate * 100:.1f}%",
+                     f"{budget['value signature buffer'] / 1024:.2f} KB"])
+    print(format_table(["VSB entries", "hit rate", "VSB storage"], rows,
+                       title="Value-signature-buffer sizing (Figure 20)"))
+    print()
+
+    delays = experiments.fig22_delay_sweep(SUBSET, delays=(3, 4, 5, 6, 7))
+    print(format_table(
+        ["added delay", "gmean speedup"],
+        [[d, f"{s:.3f}"] for d, s in delays.items()],
+        title="Backend pipeline delay (Figure 22)"))
+    print()
+    print("The paper picks 256 RB entries, 256 VSB entries, 4-cycle delay;")
+    print("the sweeps above show each choice sitting at the knee.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Run one benchmark through every design point of the paper's model zoo.
+
+Shows the incremental designs (R -> RL -> RLP -> RLPV) and comparison
+models side by side on a single benchmark: reuse rate, backend work,
+L1 traffic, cycles, and SM energy relative to Base — a one-benchmark
+version of Figures 13, 16, and 17 combined.
+
+Run:  python examples/model_zoo.py [ABBR]     (default: BT)
+"""
+
+import sys
+
+from repro import MODEL_ORDER
+from repro.harness.reporting import format_table
+from repro.harness.runner import run_benchmark
+
+
+def main() -> None:
+    abbr = sys.argv[1] if len(sys.argv) > 1 else "BT"
+    base = run_benchmark(abbr, "Base")
+    rows = []
+    for model in MODEL_ORDER:
+        run = run_benchmark(abbr, model)
+        rows.append([
+            model,
+            f"{run.reuse_fraction * 100:.1f}%",
+            f"{run.result.backend_instructions / base.result.backend_instructions:.3f}",
+            f"{run.result.l1d_stats['accesses'] / max(1, base.result.l1d_stats['accesses']):.3f}",
+            f"{base.cycles / run.cycles:.3f}",
+            f"{run.energy.sm_total / base.energy.sm_total:.3f}",
+        ])
+    print(format_table(
+        ["model", "reused", "backend/Base", "L1D/Base", "speedup", "SM energy/Base"],
+        rows,
+        title=f"Design points on {abbr} "
+              f"({base.workload.program.name}, "
+              f"{base.result.issued_instructions} warp instructions)"))
+    print()
+    print("Reading guide (paper Section VII-A):")
+    print("  R      renaming + reuse buffer + VSB        (arithmetic reuse)")
+    print("  RL     + load reuse                         (Section VI-A)")
+    print("  RLP    + pending-retry                      (Section VI-B)")
+    print("  RLPV   + verify cache                       (Section VI-C)")
+    print("  RPV    RLPV without load reuse")
+    print("  RLPVc  RLPV with the capped-register policy (Section V-E)")
+    print("  NoVSB  renaming without value sharing: register IDs stop")
+    print("         proxying values and reuse collapses")
+    print("  Affine / Affine+RLPV: the spatial-redundancy baseline and the")
+    print("         synergy case")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""The paper's motivating workload: Sobel filtering (Figure 3).
+
+Sweeps the *flatness* of the input image and shows how the repeated-
+computation fraction (Figure 2's metric) and the reuse rate respond: flat
+regions make whole 3x3 neighbourhoods identical, so the |Gx|+|Gy|
+arithmetic repeats across pixels and across thread blocks — exactly the
+redundancy source Section III-B describes.
+
+Run:  python examples/sobel_filter.py
+"""
+
+import numpy as np
+
+from repro import GPU, Dim3, KernelLaunch, model_config
+from repro.profiling import RedundancyProfiler
+from repro.workloads.common import flat_patch_image, random_words, rng_for
+from repro.workloads.imaging import IMG_BASE, OUT_BASE, WIDTH, build_sf
+from repro.sim.memory.space import MemoryImage
+
+
+def run_with_image(img: np.ndarray, model: str = "RLPV"):
+    """Run the SF kernel on a custom image; returns (result, profile)."""
+    workload = build_sf()             # supplies the program + geometry
+    image = MemoryImage()
+    image.global_mem.write_block(IMG_BASE, img.ravel())
+    image.global_mem.write_block(768 * 1024,
+                                 np.array([1, 2, 3, 2], dtype=np.uint32))
+    config = model_config(model)
+    config.num_sms = 2
+
+    profilers = []
+
+    def factory():
+        p = RedundancyProfiler()
+        profilers.append(p)
+        return p
+
+    launch = KernelLaunch(workload.program, workload.grid, workload.block, image)
+    result = GPU(config, profiler_factory=factory).run(launch)
+    profile = profilers[0].profile
+    for p in profilers[1:]:
+        profile = profile.merge(p.profile)
+    return result, profile
+
+
+def main() -> None:
+    rng = rng_for(7, "SF-example")
+    rows = 18
+    images = {
+        "flat (patch=32)": flat_patch_image(WIDTH, rows, rng, patch=32, levels=2),
+        "patchy (patch=16)": flat_patch_image(WIDTH, rows, rng, patch=16, levels=3),
+        "busy (patch=4)": flat_patch_image(WIDTH, rows, rng, patch=4, levels=8),
+        "noise": random_words(WIDTH * rows, rng, bits=8).reshape(rows, WIDTH),
+    }
+
+    print(f"{'input image':<20s} {'repeated%':>10s} {'reused%':>9s} "
+          f"{'backend insts':>14s} {'cycles':>8s}")
+    print("-" * 66)
+    for label, img in images.items():
+        result, profile = run_with_image(img.astype(np.uint32))
+        print(f"{label:<20s} {profile.repeat_fraction * 100:9.1f}% "
+              f"{result.reuse_fraction * 100:8.1f}% "
+              f"{result.backend_instructions:>14d} {result.cycles:>8d}")
+
+    print()
+    print("Flat regions repeat whole warp computations (paper Section III-B);")
+    print("noise leaves only the threadIdx-derived address arithmetic to reuse.")
+
+
+if __name__ == "__main__":
+    main()

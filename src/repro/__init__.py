@@ -1,0 +1,79 @@
+"""repro — reproduction of *WIR: Warp Instruction Reuse to Minimize
+Repeated Computations in GPUs* (Kim & Ro, HPCA 2018).
+
+The package provides:
+
+* ``repro.isa`` — a compact PTX-like ISA with a text assembler.
+* ``repro.sim`` — a cycle-level SIMT GPU simulator (the substrate).
+* ``repro.core`` — the WIR mechanisms: warp register reuse (renaming +
+  value signature buffer) and warp instruction reuse (reuse buffer,
+  load reuse, pending-retry, verify cache), plus the evaluated model zoo.
+* ``repro.energy`` — the event-based energy model (GPUWattch-style SM and
+  GPU breakdowns with the paper's Table III component costs).
+* ``repro.workloads`` — 34 synthetic benchmarks mirroring the paper's
+  Table I suite.
+* ``repro.profiling`` — the repeated-computation profiler behind Figure 2.
+* ``repro.harness`` — runners and per-figure experiment drivers.
+
+Quickstart::
+
+    from repro import assemble, simulate, model_config, Dim3
+
+    program = assemble('''
+        mov   r0, %tid.x
+        add   r1, r0, 7
+        exit
+    ''', name="demo")
+    result = simulate(program, grid=Dim3(4), block=Dim3(64),
+                      config=model_config("RLPV"))
+    print(result.reuse_fraction)
+"""
+
+from repro.core.models import MODEL_ORDER, model_config, model_names, model_wir
+from repro.isa import KernelBuilder, assemble
+from repro.sim import GPU, Dim3, GPUConfig, KernelLaunch, RunResult, WIRConfig
+from repro.sim.memory.space import MemoryImage
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "assemble",
+    "KernelBuilder",
+    "simulate",
+    "model_config",
+    "model_names",
+    "model_wir",
+    "MODEL_ORDER",
+    "GPU",
+    "GPUConfig",
+    "WIRConfig",
+    "KernelLaunch",
+    "RunResult",
+    "Dim3",
+    "MemoryImage",
+]
+
+
+def simulate(program, grid, block, config=None, image=None, profiler_factory=None):
+    """Run *program* on a simulated GPU and return the :class:`RunResult`.
+
+    Args:
+        program: an assembled :class:`~repro.isa.Program`.
+        grid: grid dimensions (:class:`Dim3` or int).
+        block: block dimensions (:class:`Dim3` or int).
+        config: a :class:`GPUConfig`; defaults to the Base GPU of Table II.
+        image: a pre-initialised :class:`MemoryImage` (inputs in global /
+            const / param memory); a fresh empty image by default.
+        profiler_factory: optional callable creating one per-SM profiler.
+    """
+    if isinstance(grid, int):
+        grid = Dim3(grid)
+    if isinstance(block, int):
+        block = Dim3(block)
+    if config is None:
+        config = GPUConfig()
+    launch = KernelLaunch(
+        program=program, grid=grid, block=block,
+        image=image if image is not None else MemoryImage(),
+    )
+    return GPU(config, profiler_factory=profiler_factory).run(launch)

@@ -1,0 +1,189 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list``                      — benchmarks (Table I) and design points.
+* ``run ABBR [--model M] ...``  — simulate one benchmark, print statistics.
+* ``compare ABBR``              — one benchmark across the whole model zoo.
+* ``profile ABBR``              — Figure 2 repeated-computation profile.
+* ``experiment NAME``           — run one figure/table driver (fig2..fig22,
+  table1..table3) and print the rendered rows.
+* ``params``                    — Table II simulation parameters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.models import MODEL_ORDER, model_names
+from repro.harness import experiments, reporting
+from repro.harness.runner import run_benchmark
+from repro.workloads import WORKLOADS, all_abbrs
+
+EXPERIMENTS = {
+    "fig2": (experiments.fig2_repeated_computations, "per-benchmark", True),
+    "fig12": (experiments.fig12_backend_instructions, "per-benchmark", False),
+    "fig13": (experiments.fig13_backend_operations, "per-benchmark", False),
+    "fig14": (experiments.fig14_gpu_energy, "per-benchmark", False),
+    "fig15": (experiments.fig15_l1_accesses, "per-benchmark", False),
+    "fig16": (experiments.fig16_sm_energy, "series", False),
+    "fig17": (experiments.fig17_speedup, "per-benchmark", False),
+    "fig18": (experiments.fig18_verify_cache, "per-benchmark", False),
+    "fig19": (experiments.fig19_register_utilization, "per-benchmark", False),
+    "fig20": (experiments.fig20_vsb_sweep, "series", False),
+    "fig21": (experiments.fig21_reuse_buffer_sweep, "series", False),
+    "fig22": (experiments.fig22_delay_sweep, "series", False),
+}
+
+
+def _cmd_list(_args) -> int:
+    rows = [[info.abbr, info.name, info.suite,
+             "-" if info.fp_fraction is None else f"{info.fp_fraction:.0%}"]
+            for info in WORKLOADS.values()]
+    print(reporting.format_table(["abbr", "name", "suite", "%FP"], rows,
+                                 title="Benchmarks (Table I, Figure 2 order)"))
+    print()
+    print("Design points:", ", ".join(MODEL_ORDER))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    run = run_benchmark(args.benchmark, args.model, scale=args.scale,
+                        seed=args.seed, num_sms=args.sms)
+    result = run.result
+    print(f"{args.benchmark} on {args.model} "
+          f"({args.sms} SMs, scale {args.scale}, seed {args.seed})")
+    print(f"  cycles                 {result.cycles}")
+    print(f"  issued instructions    {result.issued_instructions}")
+    print(f"  backend instructions   {result.backend_instructions}")
+    print(f"  reused instructions    {result.reused_instructions} "
+          f"({result.reuse_fraction:.1%})")
+    print(f"  reused loads           {result.total('reused_loads')}")
+    print(f"  L1D accesses / misses  {result.l1d_stats['accesses']} / "
+          f"{result.l1d_stats['misses']}")
+    print(f"  DRAM accesses          {result.dram_accesses}")
+    print(f"  SM energy              {run.energy.sm_total / 1e6:.2f} uJ")
+    print(f"  GPU energy             {run.energy.gpu_total / 1e6:.2f} uJ")
+    if result.wir_stats:
+        stats = result.wir_stats
+        print(f"  VSB hit rate           "
+              f"{stats['vsb_hits'] / max(1, stats['vsb_lookups']):.1%}")
+        print(f"  dummy MOVs             {stats['dummy_movs']:.0f}")
+        print(f"  verify-reads (bank)    {stats['verify_reads']:.0f}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    base = run_benchmark(args.benchmark, "Base", num_sms=args.sms)
+    rows = []
+    for model in MODEL_ORDER:
+        run = run_benchmark(args.benchmark, model, num_sms=args.sms)
+        rows.append([
+            model,
+            f"{run.reuse_fraction:.1%}",
+            f"{base.cycles / run.cycles:.3f}",
+            f"{run.energy.sm_total / base.energy.sm_total:.3f}",
+            f"{run.energy.gpu_total / base.energy.gpu_total:.3f}",
+        ])
+    print(reporting.format_table(
+        ["model", "reused", "speedup", "SM energy/Base", "GPU energy/Base"],
+        rows, title=f"{args.benchmark} across the model zoo"))
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    run = run_benchmark(args.benchmark, "Base", num_sms=args.sms, profile=True)
+    profile = run.profile
+    print(f"{args.benchmark}: {profile.instructions} instructions profiled "
+          f"in {profile.windows} full 1K windows")
+    print(f"  repeated computations: {profile.repeat_fraction:.1%} "
+          f"(paper suite average: 31.4%)")
+    print(f"  repeated more than 10x: {profile.high_repeat_fraction:.1%}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    try:
+        driver, kind, percent = EXPERIMENTS[args.name]
+    except KeyError:
+        if args.name == "table1":
+            return _cmd_list(args)
+        if args.name == "table2":
+            return _cmd_params(args)
+        if args.name == "table3":
+            data = experiments.table3_hardware_costs()
+            for name, row in data.items():
+                print(name, row)
+            return 0
+        print(f"unknown experiment {args.name!r}; choose from "
+              f"{', '.join(EXPERIMENTS)} or table1/table2/table3",
+              file=sys.stderr)
+        return 2
+    data = driver()
+    if kind == "per-benchmark":
+        print(reporting.render_per_benchmark(data, title=args.name,
+                                             percent=percent))
+    else:
+        print(reporting.render_series(data, "x", "value", title=args.name))
+    return 0
+
+
+def _cmd_params(_args) -> int:
+    params = experiments.table2_parameters()
+    print(reporting.format_table(["parameter", "value"], list(params.items()),
+                                 title="Table II — simulation parameters"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="WIR (HPCA 2018) reproduction — simulator front door",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="benchmarks and design points").set_defaults(
+        func=_cmd_list)
+    sub.add_parser("params", help="Table II parameters").set_defaults(
+        func=_cmd_params)
+
+    def add_bench_args(p, with_model=True):
+        p.add_argument("benchmark", choices=all_abbrs(), metavar="ABBR",
+                       help="benchmark abbreviation (see 'repro list')")
+        if with_model:
+            p.add_argument("--model", default="RLPV", choices=model_names())
+        p.add_argument("--sms", type=int, default=2)
+        p.add_argument("--scale", type=int, default=1)
+        p.add_argument("--seed", type=int, default=7)
+
+    run_parser = sub.add_parser("run", help="simulate one benchmark")
+    add_bench_args(run_parser)
+    run_parser.set_defaults(func=_cmd_run)
+
+    compare_parser = sub.add_parser("compare",
+                                    help="one benchmark, all design points")
+    add_bench_args(compare_parser, with_model=False)
+    compare_parser.set_defaults(func=_cmd_compare)
+
+    profile_parser = sub.add_parser("profile",
+                                    help="repeated-computation profile")
+    add_bench_args(profile_parser, with_model=False)
+    profile_parser.set_defaults(func=_cmd_profile)
+
+    experiment_parser = sub.add_parser("experiment",
+                                       help="run one figure/table driver")
+    experiment_parser.add_argument("name", help="fig2..fig22 or table1..3")
+    experiment_parser.set_defaults(func=_cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,43 @@
+"""WIR: warp instruction reuse and warp register reuse (the paper's core).
+
+The mechanisms here implement Sections IV-VI of the paper:
+
+* :mod:`repro.core.hashing` — H3 hash generation (32-bit signatures of
+  1024-bit warp register values).
+* :mod:`repro.core.physreg` — dynamically allocated physical warp registers
+  with a free pool and utilisation tracking.
+* :mod:`repro.core.refcount` — the reference-counting release system.
+* :mod:`repro.core.rename` — per-warp rename tables with valid and pin bits.
+* :mod:`repro.core.vsb` — the value signature buffer and verify-read logic.
+* :mod:`repro.core.reuse_buffer` — the reuse buffer with pending-retry,
+  barrier counts, thread-block scoping, and store flags for load reuse.
+* :mod:`repro.core.verify_cache` — the small cache absorbing verify-reads.
+* :mod:`repro.core.affine` — the Affine comparison model (base+stride).
+* :mod:`repro.core.wir_unit` — the per-SM unit wiring the stages together.
+* :mod:`repro.core.models` — the evaluated design points (Base, R, RL, RLP,
+  RLPV, RPV, RLPVc, NoVSB, Affine, Affine+RLPV).
+"""
+
+from repro.core.hashing import H3Hash
+from repro.core.models import MODEL_ORDER, model_config, model_names
+from repro.core.physreg import PhysicalRegisterFile
+from repro.core.refcount import ReferenceCounter
+from repro.core.rename import RenameTables
+from repro.core.reuse_buffer import ReuseBuffer
+from repro.core.vsb import ValueSignatureBuffer
+from repro.core.verify_cache import VerifyCache
+from repro.core.wir_unit import WIRUnit
+
+__all__ = [
+    "H3Hash",
+    "MODEL_ORDER",
+    "model_config",
+    "model_names",
+    "PhysicalRegisterFile",
+    "ReferenceCounter",
+    "RenameTables",
+    "ReuseBuffer",
+    "ValueSignatureBuffer",
+    "VerifyCache",
+    "WIRUnit",
+]

@@ -1,0 +1,56 @@
+"""H3 hash generation for warp register values (paper Sections V-A, VII-E).
+
+The register allocation stage reduces each 1024-bit result value to a 32-bit
+signature with an H3-class universal hash: every output bit is the XOR of a
+fixed random subset of input bits.  We implement H3 as tabulation hashing —
+mathematically identical — with one 256-entry table of output words per
+input byte; hashing is then a XOR-reduction of 128 table lookups, which maps
+directly onto the paper's cascaded-XOR hardware estimate.
+
+H3 is linear over GF(2): ``h(x ^ y) == h(x) ^ h(y)`` and ``h(0) == 0``.
+The property-based tests exercise this invariant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Bytes in one warp register value (32 lanes x 4 bytes = 1024 bits).
+WARP_REGISTER_BYTES = 128
+
+
+class H3Hash:
+    """Deterministic H3 hash from 1024-bit values to ``bits``-wide signatures."""
+
+    def __init__(self, bits: int = 32, seed: int = 0x5EED_C0DE) -> None:
+        if not 1 <= bits <= 32:
+            raise ValueError("hash width must be between 1 and 32 bits")
+        self.bits = bits
+        self._mask = (1 << bits) - 1 if bits < 32 else 0xFFFFFFFF
+        rng = np.random.default_rng(seed)
+        # One table per input byte position; entry 0 must be 0 for GF(2)
+        # linearity, which tabulation hashing guarantees by construction:
+        # table[i][b] = XOR of the 8 per-bit masks selected by b's set bits.
+        bit_masks = rng.integers(
+            0, 1 << 32, size=(WARP_REGISTER_BYTES, 8), dtype=np.uint32
+        )
+        tables = np.zeros((WARP_REGISTER_BYTES, 256), dtype=np.uint32)
+        for bit in range(8):
+            selected = np.arange(256) & (1 << bit) != 0
+            tables[:, selected] ^= bit_masks[:, bit : bit + 1]
+        self._tables = tables & np.uint32(self._mask)
+        self._positions = np.arange(WARP_REGISTER_BYTES)
+
+    def hash_value(self, value: np.ndarray) -> int:
+        """Hash one warp register value (32 uint32 lanes) to a signature."""
+        data = np.ascontiguousarray(value, dtype=np.uint32).view(np.uint8)
+        if data.size != WARP_REGISTER_BYTES:
+            raise ValueError(
+                f"expected {WARP_REGISTER_BYTES} bytes, got {data.size}"
+            )
+        words = self._tables[self._positions, data]
+        return int(np.bitwise_xor.reduce(words))
+
+    def hash_bytes(self, data: bytes) -> int:
+        """Hash a raw 128-byte buffer (convenience for tests)."""
+        return self.hash_value(np.frombuffer(data, dtype=np.uint32))

@@ -1,0 +1,84 @@
+"""The evaluated design points (paper Section VII-A).
+
+Optimisations are applied incrementally:
+
+* ``Base`` — the baseline GPU of Section II.
+* ``R``    — minimum reuse design: renaming + reuse buffer + VSB.
+* ``RL``   — R plus load reuse (VI-A).
+* ``RLP``  — RL plus pending-retry (VI-B).
+* ``RLPV`` — RLP plus the verify cache (VI-C); the headline design.
+
+Comparison models:
+
+* ``RPV``    — RLPV without load reuse.
+* ``RLPVc``  — RLPV with the capped-register policy (V-E).
+* ``NoVSB``  — R without the value signature buffer.
+* ``Affine`` — the energy-optimised affine-execution GPU.
+* ``Affine+RLPV`` — RLPV layered on the Affine GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List
+
+from repro.sim.config import GPUConfig, RegisterPolicy, WIRConfig
+
+
+def _wir(**kwargs) -> WIRConfig:
+    return WIRConfig(enabled=True, **kwargs)
+
+
+_MODELS: Dict[str, WIRConfig] = {
+    "Base": WIRConfig(enabled=False),
+    "R": _wir(),
+    "RL": _wir(load_reuse=True),
+    "RLP": _wir(load_reuse=True, pending_retry=True),
+    "RLPV": _wir(load_reuse=True, pending_retry=True, verify_cache_entries=8),
+    "RPV": _wir(pending_retry=True, verify_cache_entries=8),
+    "RLPVc": _wir(
+        load_reuse=True,
+        pending_retry=True,
+        verify_cache_entries=8,
+        register_policy=RegisterPolicy.CAPPED_REGISTER,
+    ),
+    "NoVSB": _wir(use_vsb=False),
+    "Affine": WIRConfig(enabled=False, affine=True),
+    "Affine+RLPV": _wir(
+        load_reuse=True,
+        pending_retry=True,
+        verify_cache_entries=8,
+        affine=True,
+    ),
+}
+
+#: Canonical presentation order used across figures.
+MODEL_ORDER: List[str] = list(_MODELS)
+
+
+def model_names() -> List[str]:
+    """Names of all available design points."""
+    return list(_MODELS)
+
+
+def model_wir(name: str) -> WIRConfig:
+    """The :class:`WIRConfig` of a named design point (a fresh copy)."""
+    try:
+        return replace(_MODELS[name])
+    except KeyError:
+        raise ValueError(
+            f"unknown model {name!r}; available: {', '.join(_MODELS)}"
+        ) from None
+
+
+def model_config(name: str, base: GPUConfig | None = None, **overrides) -> GPUConfig:
+    """A full :class:`GPUConfig` for a named design point.
+
+    ``overrides`` are applied to the WIR config (e.g.
+    ``model_config("RLPV", reuse_buffer_entries=512)``).
+    """
+    wir = model_wir(name)
+    if overrides:
+        wir = replace(wir, **overrides)
+    config = base if base is not None else GPUConfig()
+    return config.with_wir(wir)

@@ -1,0 +1,76 @@
+"""Per-warp rename tables (Section V-B).
+
+Each of the SM's 48 warp slots has a 63-entry table mapping logical warp
+registers to physical warp registers.  An entry holds a 10-bit physical ID,
+a valid bit, and a pin bit (the divergence mechanism of Section V-D).  All
+entries are invalidated at warp initialisation; mappings are written when
+instructions retire.  An invalid entry reads as the shared zero register.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.physreg import ZERO_REG
+from repro.core.refcount import ReferenceCounter
+from repro.isa.instruction import NUM_LOGICAL_REGS
+
+
+class RenameTables:
+    """All rename tables of one SM."""
+
+    def __init__(self, num_warp_slots: int, refcount: ReferenceCounter) -> None:
+        self._refcount = refcount
+        self.num_warp_slots = num_warp_slots
+        self._mapping = np.full((num_warp_slots, NUM_LOGICAL_REGS), -1, dtype=np.int32)
+        self._pin = np.zeros((num_warp_slots, NUM_LOGICAL_REGS), dtype=bool)
+        self.reads = 0
+        self.writes = 0
+
+    def reset_slot(self, slot: int) -> None:
+        """Invalidate a slot's table at warp initialisation, dropping refs."""
+        for logical in range(NUM_LOGICAL_REGS):
+            phys = int(self._mapping[slot, logical])
+            if phys >= 0:
+                self._refcount.decref(phys)
+        self._mapping[slot, :] = -1
+        self._pin[slot, :] = False
+
+    def lookup(self, slot: int, logical: int) -> int:
+        """Physical register currently holding *logical*'s value.
+
+        Invalid entries resolve to the zero register (uninitialised logical
+        registers architecturally read zero).
+        """
+        self.reads += 1
+        phys = int(self._mapping[slot, logical])
+        return phys if phys >= 0 else ZERO_REG
+
+    def is_mapped(self, slot: int, logical: int) -> bool:
+        return bool(self._mapping[slot, logical] >= 0)
+
+    def remap(self, slot: int, logical: int, phys: int) -> None:
+        """Point *logical* at *phys*, transferring reference counts."""
+        self.writes += 1
+        self._refcount.incref(phys)
+        old = int(self._mapping[slot, logical])
+        self._mapping[slot, logical] = phys
+        if old >= 0:
+            self._refcount.decref(old)
+
+    # --- pin bits (Section V-D) ----------------------------------------------
+
+    def pin_bit(self, slot: int, logical: int) -> bool:
+        return bool(self._pin[slot, logical])
+
+    def set_pin(self, slot: int, logical: int) -> None:
+        self._pin[slot, logical] = True
+
+    def clear_pin(self, slot: int, logical: int) -> None:
+        self._pin[slot, logical] = False
+
+    def mapped_registers(self, slot: int) -> List[int]:
+        """Valid physical IDs mapped in one slot (diagnostics/tests)."""
+        return [int(p) for p in self._mapping[slot] if p >= 0]

@@ -1,0 +1,371 @@
+"""The reuse buffer (Sections V-C, VI-A, VI-B).
+
+A direct-indexed, cache-like table whose tag is
+``[opcode, source operand descriptors]`` where each source descriptor is
+either a physical warp register ID or an immediate value.  A hit returns the
+physical register holding the previously computed result; the hitting
+instruction bypasses the backend and simply remaps its logical destination.
+
+Load-reuse support adds three fields per entry (Figure 9):
+
+* ``pending`` — set by the pending-retry mechanism while the reserving
+  instruction is still executing; matching instructions wait in a small
+  retry queue instead of re-executing (Section VI-B).
+* ``barrier_count`` — loads may only reuse results produced after the
+  consumer block's latest barrier (Section VI-A).
+* ``tbid`` — scratchpad loads may only reuse loads from the same thread
+  block, whose scratchpad address space they share; ``NULL_TBID`` for
+  arithmetic and non-scratchpad loads.
+
+Entries hold reference-counted pointers to every physical register they
+name (sources and result), so a register can never be recycled while a tag
+still refers to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.refcount import ReferenceCounter
+
+#: Source descriptor: ("r", physical id) or ("i", immediate bits).
+SrcDesc = Tuple[str, int]
+#: Tag: (opcode index, source descriptors).
+Tag = Tuple[int, Tuple[SrcDesc, ...]]
+
+#: TBID null value for non-scratchpad entries (paper: 4-bit field, one
+#: encoding reserved for null).
+NULL_TBID = -1
+
+
+@dataclass
+class ReuseBufferStats:
+    lookups: int = 0
+    hits: int = 0             # result available immediately
+    pending_hits: int = 0     # matched a pending entry and queued
+    retry_drops: int = 0      # matched pending but the retry queue was full
+    misses: int = 0
+    reservations: int = 0
+    updates: int = 0
+    evictions: int = 0
+    load_hits: int = 0
+    pending_releases: int = 0  # waiters released by a producer retire
+
+    @property
+    def total_reuses(self) -> int:
+        return self.hits + self.pending_releases
+
+
+class Waiter:
+    """One queued instruction waiting on a pending entry."""
+
+    __slots__ = ("on_result",)
+
+    def __init__(self, on_result: Callable[[Optional[int]], None]) -> None:
+        #: Called with the result physical register, or ``None`` when the
+        #: pending entry was evicted and the waiter must execute after all.
+        self.on_result = on_result
+
+
+class _Entry:
+    __slots__ = ("valid", "tag", "result_reg", "pending", "barrier_count",
+                 "tbid", "waiters", "is_load", "token")
+
+    def __init__(self) -> None:
+        self.valid = False
+        self.tag: Optional[Tag] = None
+        self.result_reg = -1
+        self.pending = False
+        self.barrier_count = 0
+        self.tbid = NULL_TBID
+        self.waiters: List[Waiter] = []
+        self.is_load = False
+        #: Reservation token: two reservations of the *same tag* (e.g. by
+        #: different thread blocks, where only the TBID field differs) must
+        #: not satisfy each other's retire-time fill.
+        self.token = -1
+
+
+def _mix(tag: Tag) -> int:
+    """Deterministic FNV-style tag hash used for direct indexing."""
+    value = 0x811C9DC5
+    value = (value ^ tag[0]) * 0x01000193 & 0xFFFFFFFF
+    for kind, operand in tag[1]:
+        value = (value ^ (1 if kind == "r" else 2)) * 0x01000193 & 0xFFFFFFFF
+        value = (value ^ (operand & 0xFFFFFFFF)) * 0x01000193 & 0xFFFFFFFF
+        value = (value ^ (operand >> 16)) * 0x01000193 & 0xFFFFFFFF
+    return value
+
+
+class ReuseBuffer:
+    """Reuse buffer with pending-retry support.
+
+    ``associativity=1`` (the paper's default) is direct-indexed; higher
+    values organise the entries into LRU sets searched associatively — the
+    alternative the paper considered and found marginal (Section V-C).
+    """
+
+    def __init__(
+        self,
+        entries: int,
+        refcount: ReferenceCounter,
+        retry_queue_entries: int = 16,
+        associativity: int = 1,
+    ) -> None:
+        if entries and entries & (entries - 1):
+            raise ValueError("reuse buffer entry count must be a power of two")
+        if associativity < 1 or (entries and entries % associativity):
+            raise ValueError("associativity must divide the entry count")
+        self.num_entries = entries
+        self.associativity = associativity if entries else 1
+        self._num_sets = entries // self.associativity if entries else 0
+        self._refcount = refcount
+        self._entries = [_Entry() for _ in range(entries)]
+        #: Per-set slot order, least recently used first.
+        self._lru = [
+            list(range(s * self.associativity, (s + 1) * self.associativity))
+            for s in range(self._num_sets)
+        ]
+        self.retry_queue_entries = retry_queue_entries
+        self._retry_queue_used = 0
+        self._next_token = 0
+        self.stats = ReuseBufferStats()
+
+    # --- helpers -------------------------------------------------------------
+
+    def _set_of(self, tag: Tag) -> int:
+        return _mix(tag) & (self._num_sets - 1)
+
+    def index_of(self, tag: Tag) -> int:
+        """First slot of the set this tag maps to."""
+        return self._set_of(tag) * self.associativity
+
+    def _touch(self, set_index: int, slot: int) -> None:
+        order = self._lru[set_index]
+        order.remove(slot)
+        order.append(slot)
+
+    def _detach_entry(self, entry: _Entry) -> List[Waiter]:
+        """Release an entry's references; return its orphaned waiters.
+
+        The caller must finish mutating the table and only then notify the
+        orphans via :meth:`_notify_failed` — waiter callbacks can re-enter
+        the buffer (a failed waiter re-runs the reuse stage), so they must
+        never observe a half-updated entry.
+        """
+        if not entry.valid:
+            return []
+        self.stats.evictions += 1
+        for kind, operand in entry.tag[1]:
+            if kind == "r":
+                self._refcount.decref(operand)
+        if entry.result_reg >= 0:
+            self._refcount.decref(entry.result_reg)
+        waiters = entry.waiters
+        entry.waiters = []
+        self._retry_queue_used -= len(waiters)
+        entry.valid = False
+        entry.tag = None
+        entry.result_reg = -1
+        entry.pending = False
+        return waiters
+
+    @staticmethod
+    def _notify_failed(waiters: List[Waiter]) -> None:
+        for waiter in waiters:
+            waiter.on_result(None)
+
+    # --- pipeline operations ---------------------------------------------------
+
+    def lookup(
+        self,
+        tag: Tag,
+        is_load: bool,
+        consumer_barrier_count: int,
+        consumer_tbid: int,
+        pending_retry: bool,
+        make_waiter: Optional[Callable[[], Waiter]] = None,
+    ) -> Tuple[str, Optional[int], int]:
+        """Probe the buffer at the reuse stage.
+
+        Returns ``(outcome, result_reg, index)`` where outcome is:
+
+        * ``"hit"`` — result available; ``result_reg`` holds it.
+        * ``"queued"`` — matched a pending entry; the waiter was enqueued.
+        * ``"miss"`` — no reusable result; the instruction must execute.
+        """
+        self.stats.lookups += 1
+        if not self.num_entries:
+            self.stats.misses += 1
+            return "miss", None, 0
+        set_index = self._set_of(tag)
+        index = set_index * self.associativity
+        for slot in list(self._lru[set_index]):
+            entry = self._entries[slot]
+            match = entry.valid and entry.tag == tag
+            if match and is_load:
+                # Load scoping rules (Section VI-A).
+                if entry.barrier_count != consumer_barrier_count:
+                    match = False
+                elif entry.tbid != NULL_TBID and entry.tbid != consumer_tbid:
+                    match = False
+            if not match:
+                continue
+
+            if not entry.pending:
+                self.stats.hits += 1
+                if is_load:
+                    self.stats.load_hits += 1
+                self._touch(set_index, slot)
+                return "hit", entry.result_reg, slot
+
+            if pending_retry and make_waiter is not None:
+                if self._retry_queue_used < self.retry_queue_entries:
+                    self._retry_queue_used += 1
+                    entry.waiters.append(make_waiter())
+                    self.stats.pending_hits += 1
+                    self._touch(set_index, slot)
+                    return "queued", None, slot
+                self.stats.retry_drops += 1
+            break
+
+        self.stats.misses += 1
+        return "miss", None, index
+
+    def reserve(
+        self,
+        tag: Tag,
+        is_load: bool,
+        barrier_count: int,
+        tbid: int,
+        allow_insert: bool = True,
+    ) -> Optional[Tuple[int, int]]:
+        """Reserve the entry for a missed instruction (pending-retry eager
+        reservation, or plain placeholder for the retire-time update).
+
+        Returns ``(index, token)``, or ``None`` when insertion is disabled
+        (low-register mode evicts instead of inserting).  The token must be
+        presented at :meth:`fill`.
+        """
+        if not self.num_entries:
+            return None
+        set_index = self._set_of(tag)
+        # Victim selection: a way already holding this tag, else an invalid
+        # way, else the set's LRU entry (equivalent to the direct index when
+        # associativity is 1).
+        victim = None
+        for slot in self._lru[set_index]:
+            candidate = self._entries[slot]
+            if candidate.valid and candidate.tag == tag:
+                victim = slot
+                break
+        if victim is None:
+            for slot in self._lru[set_index]:
+                if not self._entries[slot].valid:
+                    victim = slot
+                    break
+        if victim is None:
+            victim = self._lru[set_index][0]
+        index = victim
+        entry = self._entries[index]
+        orphans = self._detach_entry(entry)
+        if not allow_insert:
+            self._notify_failed(orphans)
+            return None
+        for kind, operand in tag[1]:
+            if kind == "r":
+                self._refcount.incref(operand)
+        entry.valid = True
+        entry.tag = tag
+        entry.pending = True
+        entry.result_reg = -1
+        entry.barrier_count = barrier_count
+        entry.tbid = tbid
+        entry.is_load = is_load
+        self._next_token += 1
+        token = self._next_token
+        entry.token = token
+        self._touch(set_index, index)
+        self.stats.reservations += 1
+        # Orphans re-enter the reuse stage only after the entry is coherent;
+        # they may evict this very entry again — and allocate further tokens
+        # re-entrantly — which is safe because the retire-time fill checks
+        # the token *captured here*, not the (possibly advanced) counter.
+        self._notify_failed(orphans)
+        return index, token
+
+    def fill(self, index: int, token: int, result_reg: int) -> List[Waiter]:
+        """Producer retire: record the result and release the waiters.
+
+        Returns the waiters so the caller can schedule their completions.
+        If the entry no longer holds the producer's reservation (it was
+        evicted and possibly re-reserved — even with an identical tag),
+        nothing happens and no waiters are returned.
+        """
+        if not self.num_entries:
+            return []
+        entry = self._entries[index]
+        if not entry.valid or entry.token != token or not entry.pending:
+            return []
+        self._refcount.incref(result_reg)
+        entry.result_reg = result_reg
+        entry.pending = False
+        waiters = entry.waiters
+        entry.waiters = []
+        self._retry_queue_used -= len(waiters)
+        self.stats.updates += 1
+        self.stats.pending_releases += len(waiters)
+        if entry.is_load:
+            self.stats.load_hits += len(waiters)
+        return waiters
+
+    def evict_index(self, index: int) -> bool:
+        """Low-register-mode eviction; ``True`` if an entry was dropped."""
+        if not self.num_entries:
+            return False
+        entry = self._entries[index % self.num_entries]
+        if not entry.valid:
+            return False
+        self._notify_failed(self._detach_entry(entry))
+        return True
+
+    def evict_if_source(self, index: int, reg: int) -> bool:
+        """Evict the entry at *index* only if its tag names *reg* as a source.
+
+        Used to invalidate tags that alias a pinned register being
+        overwritten in place (divergence handling, Section V-D).
+        """
+        if not self.num_entries:
+            return False
+        entry = self._entries[index % self.num_entries]
+        if not entry.valid:
+            return False
+        if not any(kind == "r" and operand == reg for kind, operand in entry.tag[1]):
+            return False
+        self._notify_failed(self._detach_entry(entry))
+        return True
+
+    def evict_tbid(self, tbid: int) -> int:
+        """Drop all scratchpad entries of a completed thread block.
+
+        The 4-bit TBID field is recycled when a new block is dispatched; a
+        stale entry from the finished block would otherwise alias the new
+        block's (physically different) scratchpad.  Returns the number of
+        entries dropped.
+        """
+        dropped = 0
+        orphans = []
+        for entry in self._entries:
+            if entry.valid and entry.tbid == tbid:
+                orphans.extend(self._detach_entry(entry))
+                dropped += 1
+        self._notify_failed(orphans)
+        return dropped
+
+    def occupancy(self) -> int:
+        return sum(1 for entry in self._entries if entry.valid)
+
+    @property
+    def retry_queue_used(self) -> int:
+        return self._retry_queue_used

@@ -1,0 +1,63 @@
+"""Verify cache (Section VI-C).
+
+Verify-read operations — reads that check a VSB candidate register's value
+against a just-computed result — contend with true operand reads for the
+register banks.  The verify cache is a small fully-associative LRU cache
+tagged by physical register ID; verify-reads that hit skip the bank access
+entirely.  A register write evicts the associated line (the cached value
+would be stale).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass
+class VerifyCacheStats:
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class VerifyCache:
+    """Tiny LRU cache of recently verify-read physical registers."""
+
+    def __init__(self, entries: int) -> None:
+        self.num_entries = entries
+        self._lines: "OrderedDict[int, None]" = OrderedDict()
+        self.stats = VerifyCacheStats()
+
+    @property
+    def enabled(self) -> bool:
+        return self.num_entries > 0
+
+    def access(self, reg: int) -> bool:
+        """Verify-read probe: ``True`` on hit (bank access avoided).
+
+        A miss allocates the line (after the actual bank read fills it).
+        """
+        if not self.enabled:
+            return False
+        self.stats.accesses += 1
+        if reg in self._lines:
+            self.stats.hits += 1
+            self._lines.move_to_end(reg)
+            return True
+        self.stats.misses += 1
+        if len(self._lines) >= self.num_entries:
+            self._lines.popitem(last=False)
+        self._lines[reg] = None
+        return False
+
+    def invalidate(self, reg: int) -> None:
+        """A write to *reg* evicts its cached value."""
+        if self.enabled and reg in self._lines:
+            del self._lines[reg]
+            self.stats.invalidations += 1

@@ -1,0 +1,543 @@
+"""Per-SM WIR unit: the rename, reuse, and register-allocation stages.
+
+This class wires together the structures of Sections V and VI and exposes
+two pipeline entry points to the SM core:
+
+* :meth:`issue_stage` — runs at instruction issue: renames source operands
+  to physical IDs, probes the reuse buffer, and decides whether the
+  instruction executes, reuses a previous result, or queues on a pending
+  entry (pending-retry).
+* :meth:`allocation_stage` — runs when an executed instruction's result is
+  available: hashes the result, probes the value signature buffer,
+  performs the verify-read or register write (arbitrating real register
+  banks), applies the divergence pin-bit rules, and remaps the logical
+  destination.  Returns the cycle at which the writeback completes and the
+  commit descriptor for the retire event.
+* :meth:`commit_stage` — runs at retire: updates the rename table and the
+  reuse buffer, and wakes pending-retry waiters.
+
+All reference counting flows through :class:`ReferenceCounter`, so the
+conservation invariant (live counted registers == allocated registers) holds
+at every cycle boundary; tests assert it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.affine import AFFINE_PRESERVING_OPS, AffineTracker
+from repro.core.hashing import H3Hash
+from repro.core.physreg import ZERO_REG, OutOfRegistersError, PhysicalRegisterFile
+from repro.core.refcount import ReferenceCounter
+from repro.core.rename import RenameTables
+from repro.core.reuse_buffer import NULL_TBID, ReuseBuffer, Tag, Waiter
+from repro.core.verify_cache import VerifyCache
+from repro.core.vsb import ValueSignatureBuffer
+from repro.isa.instruction import Instruction, OperandKind
+from repro.isa.opcodes import MemSpace, Opcode, is_load, is_reuse_candidate
+from repro.sim.config import GPUConfig, RegisterPolicy
+from repro.sim.exec_engine import ExecResult
+from repro.sim.regfile import RegisterFileTiming
+from repro.sim.warp import Warp
+
+#: Opcode -> stable integer for reuse-buffer tags.
+_OPCODE_INDEX = {op: i for i, op in enumerate(Opcode)}
+
+
+@dataclass
+class WIRCounters:
+    """Event counts for the added structures (Table III energy accounting)."""
+
+    rename_reads: int = 0
+    rename_writes: int = 0
+    hash_generations: int = 0
+    allocator_ops: int = 0
+    dummy_movs: int = 0
+    verify_reads: int = 0          # performed against register banks
+    verify_cache_filtered: int = 0  # verify-reads absorbed by the verify cache
+    writes_avoided: int = 0         # register writes removed by VSB sharing
+    low_register_mode_entries: int = 0
+
+
+@dataclass
+class IssueDecision:
+    """Outcome of the rename + reuse stages for one instruction."""
+
+    #: "execute" | "reuse" | "queued" | "bypass"
+    action: str
+    #: Physical IDs of the renamed source registers (for bank scheduling).
+    src_phys: Tuple[int, ...] = ()
+    #: Reuse-buffer tag, when the instruction participates in reuse.
+    tag: Optional[Tag] = None
+    #: Result physical register for an immediate reuse hit.
+    result_reg: int = -1
+    #: Reserved reuse-buffer index for the retire-time update.
+    rb_index: Optional[int] = None
+    #: Reservation token presented at the retire-time fill.
+    rb_token: int = -1
+    #: Whether this instruction reserved a (pending) reuse-buffer entry.
+    reserved: bool = False
+    #: Divergence state captured at rename (pin bit of the destination).
+    divergent: bool = False
+
+
+class WIRUnit:
+    """Rename / reuse / register-allocation machinery for one SM."""
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        regfile: RegisterFileTiming,
+        affine: AffineTracker,
+    ) -> None:
+        self.config = config
+        self.wir = config.wir
+        self.regfile = regfile
+        self.affine = affine
+
+        self.physfile = PhysicalRegisterFile(config.num_physical_registers)
+        self.refcount = ReferenceCounter(self.physfile)
+        self.rename = RenameTables(config.max_warps_per_sm, self.refcount)
+        self.vsb = ValueSignatureBuffer(
+            self.wir.vsb_entries if self.wir.use_vsb else 0,
+            self.refcount,
+            associativity=self.wir.vsb_associativity,
+        )
+        self.reuse_buffer = ReuseBuffer(
+            self.wir.reuse_buffer_entries,
+            self.refcount,
+            retry_queue_entries=self.wir.retry_queue_entries,
+            associativity=self.wir.reuse_buffer_associativity,
+        )
+        self.verify_cache = VerifyCache(self.wir.verify_cache_entries)
+        self.hasher = H3Hash(bits=self.wir.hash_bits)
+        self.counters = WIRCounters()
+
+        # Capped-register policy state.
+        self._register_cap = config.num_physical_registers
+        self._evict_pointer = 0
+        #: Reverse map: physical register -> reuse-buffer indices whose tag
+        #: names it as a source.  Used to invalidate stale tags when a pinned
+        #: register is overwritten in place (see DESIGN.md erratum note).
+        self._rb_src_refs: Dict[int, Set[int]] = {}
+        #: Per-block barrier counts saturate at 2**barrier_count_bits - 1;
+        #: beyond that the block stops reusing loads (Section VI-A).
+        self._max_barrier_count = (1 << self.wir.barrier_count_bits) - 1
+
+    # ------------------------------------------------------------------ setup
+
+    def set_register_cap(self, logical_regs_per_warp: int, active_warps: int) -> None:
+        """Capped-register policy: budget = logical registers in flight."""
+        if self.wir.register_policy is RegisterPolicy.CAPPED_REGISTER:
+            cap = max(2, logical_regs_per_warp * active_warps + 1)
+            self._register_cap = min(cap, self.config.num_physical_registers)
+        else:
+            self._register_cap = self.config.num_physical_registers
+
+    def reset_slot(self, slot: int) -> None:
+        """Invalidate a warp slot's rename table (warp init / teardown)."""
+        self.rename.reset_slot(slot)
+
+    def on_block_complete(self, block_id: int) -> None:
+        """Flush scratchpad-scoped reuse entries when their block finishes.
+
+        The 4-bit TBID namespace is recycled across blocks; see
+        :meth:`ReuseBuffer.evict_tbid`.
+        """
+        self.reuse_buffer.evict_tbid(block_id & 0xF)
+
+    # --------------------------------------------------------------- renaming
+
+    def _rename_sources(self, warp: Warp, inst: Instruction) -> Tuple[Tuple[int, ...], Tuple]:
+        """Rename source registers; returns (phys ids, tag source descriptors)."""
+        phys: List[int] = []
+        descs: List[Tuple[str, int]] = []
+        for src in inst.srcs:
+            if src.kind in (OperandKind.REG, OperandKind.ADDR):
+                self.counters.rename_reads += 1
+                preg = self.rename.lookup(warp.warp_slot, src.value)
+                phys.append(preg)
+                descs.append(("r", preg))
+                if src.kind is OperandKind.ADDR and src.offset:
+                    descs.append(("i", src.offset & 0xFFFFFFFF))
+            elif src.kind is OperandKind.IMM:
+                descs.append(("i", src.value))
+            elif src.kind is OperandKind.SREG:
+                # Special registers are warp-constant; encode the value class
+                # into the tag so identical tid patterns match across warps.
+                descs.append(("i", 0xFFFF0000 | src.value))
+        return tuple(phys), tuple(descs)
+
+    def _make_tag(self, inst: Instruction, descs: Tuple) -> Tag:
+        return (_OPCODE_INDEX[inst.opcode], descs)
+
+    # ------------------------------------------------------------ issue stage
+
+    def issue_stage(
+        self,
+        warp: Warp,
+        inst: Instruction,
+        exec_result: ExecResult,
+        cycle: int,
+        make_waiter: Optional[Callable[[], Waiter]] = None,
+    ) -> IssueDecision:
+        """Rename sources and probe the reuse buffer."""
+        src_phys, descs = self._rename_sources(warp, inst)
+        divergent = self._is_divergent(warp, exec_result)
+
+        if not inst.writes_register:
+            return IssueDecision(action="bypass", src_phys=src_phys,
+                                 divergent=divergent)
+        if not is_reuse_candidate(inst.opcode):
+            # Writes a register but never participates in reuse (e.g. selp):
+            # it still goes through register allocation at writeback.
+            return IssueDecision(action="execute", src_phys=src_phys,
+                                 divergent=divergent)
+
+        # Divergent instructions bypass the reuse buffer entirely (V-D).
+        if divergent:
+            return IssueDecision(action="execute", src_phys=src_phys,
+                                 divergent=True)
+
+        load = is_load(inst.opcode)
+        if load and not self._load_may_reuse(warp, inst):
+            return IssueDecision(action="execute", src_phys=src_phys)
+
+        # Instructions reading special registers must not reuse: %tid et al.
+        # are per-warp value vectors that the register-ID tag cannot proxy
+        # (two warps share the tag but not the values).  Their *results* are
+        # still shared through the VSB, so downstream threadIdx-derived
+        # arithmetic — the paper's motivating pattern — reuses normally.
+        if self._tag_is_warp_dependent(inst):
+            return IssueDecision(action="execute", src_phys=src_phys)
+        tag = self._make_tag(inst, descs)
+
+        barrier_count = warp.barrier_count
+        tbid = self._entry_tbid(warp, inst)
+        outcome, result_reg, index = self.reuse_buffer.lookup(
+            tag,
+            is_load=load,
+            consumer_barrier_count=barrier_count,
+            consumer_tbid=warp.block.block_id & 0xF,
+            pending_retry=self.wir.pending_retry,
+            make_waiter=make_waiter,
+        )
+        if outcome == "hit":
+            # Transit reference: the result register must survive until this
+            # instruction's retire even if the entry is evicted meanwhile.
+            self.refcount.incref(result_reg)
+            return IssueDecision(action="reuse", src_phys=src_phys, tag=tag,
+                                 result_reg=result_reg, rb_index=index)
+        if outcome == "queued":
+            return IssueDecision(action="queued", src_phys=src_phys, tag=tag,
+                                 rb_index=index)
+
+        # Miss: optionally reserve the entry eagerly (pending-retry), else
+        # remember the index for the retire-time update.
+        reserved = False
+        token = -1
+        if self.wir.pending_retry:
+            allow = not self._in_low_register_mode()
+            reservation = self.reuse_buffer.reserve(
+                tag, is_load=load, barrier_count=barrier_count, tbid=tbid,
+                allow_insert=allow,
+            )
+            if reservation is not None:
+                index, token = reservation
+                self._track_tag_sources(tag, index)
+                reserved = True
+        if not reserved:
+            # The retire-time buffer update will register the source IDs;
+            # transit references keep them live until then (the hardware
+            # analogue: in-flight instructions count as references).
+            for reg in src_phys:
+                self.refcount.incref(reg)
+        return IssueDecision(action="execute", src_phys=src_phys, tag=tag,
+                             rb_index=index, rb_token=token, reserved=reserved)
+
+    def _is_divergent(self, warp: Warp, exec_result: ExecResult) -> bool:
+        """Divergent = any of the 32 lanes inactive for this instruction."""
+        return not bool(exec_result.mask.all())
+
+    def _tag_is_warp_dependent(self, inst: Instruction) -> bool:
+        return any(src.kind is OperandKind.SREG for src in inst.srcs)
+
+    def _load_may_reuse(self, warp: Warp, inst: Instruction) -> bool:
+        """Memory-hazard rules of Section VI-A."""
+        if not self.wir.load_reuse:
+            return False
+        space = inst.space
+        if space in (MemSpace.CONST, MemSpace.PARAM):
+            return True  # read-only spaces are always safe
+        if space is MemSpace.LOCAL:
+            return False  # per-thread space; reuse across warps is unsound
+        if warp.barrier_count >= self._max_barrier_count:
+            return False  # saturated barrier counter (Section VI-A)
+        if space is MemSpace.SHARED:
+            return not warp.shared_store_flag
+        if space is MemSpace.GLOBAL:
+            return not warp.global_store_flag
+        return False
+
+    def _entry_tbid(self, warp: Warp, inst: Instruction) -> int:
+        if inst.space is MemSpace.SHARED:
+            return warp.block.block_id & 0xF
+        return NULL_TBID
+
+    def _track_tag_sources(self, tag: Tag, index: int) -> None:
+        for kind, operand in tag[1]:
+            if kind == "r":
+                self._rb_src_refs.setdefault(operand, set()).add(index)
+
+    # ------------------------------------------------------- allocation stage
+
+    def allocation_stage(
+        self,
+        warp: Warp,
+        inst: Instruction,
+        exec_result: ExecResult,
+        decision: IssueDecision,
+        cycle: int,
+    ) -> Tuple[int, int]:
+        """Register allocation for an executed instruction's result.
+
+        Performs the hash + VSB probe + verify-read / register write and the
+        divergence pin-bit rules.  Returns ``(ready_cycle, dest_phys)``; the
+        caller schedules the commit at ``ready_cycle``.  A transit reference
+        is taken on the returned register (released by :meth:`commit_stage`)
+        so buffer evictions between writeback and retire cannot recycle it.
+        """
+        ready, dest = self._allocation_inner(warp, inst, exec_result, decision, cycle)
+        self.refcount.incref(dest)
+        return ready, dest
+
+    def _allocation_inner(
+        self,
+        warp: Warp,
+        inst: Instruction,
+        exec_result: ExecResult,
+        decision: IssueDecision,
+        cycle: int,
+    ) -> Tuple[int, int]:
+        assert inst.writes_register
+        logical = inst.dst.value
+        slot = warp.warp_slot
+        result = warp.read_reg(logical)  # value already committed functionally
+
+        if decision.divergent:
+            return self._allocate_divergent(warp, inst, exec_result, cycle,
+                                            logical, slot, result)
+
+        # Convergent redefinition clears the pin bit (Section V-D).
+        if self.rename.pin_bit(slot, logical):
+            self.rename.clear_pin(slot, logical)
+
+        if not self.wir.use_vsb:
+            # NoVSB: a fresh register for every convergent write.
+            dest = self._allocate_register()
+            self.physfile.write(dest, result)
+            ready = self.regfile.schedule_write(
+                dest, cycle, affine=self._write_affine(dest, result, inst))
+            return ready, dest
+
+        self.counters.hash_generations += 1
+        signature = self.hasher.hash_value(result)
+        candidate = self.vsb.lookup(signature)
+        hash_cycle = cycle + 2  # hash generation + VSB table access
+
+        if candidate is not None:
+            # Verify-read (possibly filtered by the verify cache).
+            if self.verify_cache.access(candidate):
+                self.counters.verify_cache_filtered += 1
+                ready = hash_cycle + 1
+            else:
+                self.counters.verify_reads += 1
+                ready = self.regfile.schedule_read(
+                    candidate, hash_cycle,
+                    affine=self.affine.is_affine(candidate), verify=True)
+            if np.array_equal(self.physfile.read(candidate), result):
+                self.counters.writes_avoided += 1
+                return ready, candidate
+            # False positive: allocate + write (Figure 7).
+            self.vsb.note_false_positive()
+            dest = self._allocate_register()
+            self.physfile.write(dest, result)
+            self.vsb.insert(signature, dest)
+            ready = self.regfile.schedule_write(
+                dest, ready, affine=self._write_affine(dest, result, inst))
+            return ready, dest
+
+        # VSB miss: new register, write, register the signature.
+        if self._in_low_register_mode():
+            self.vsb.evict_index(self.vsb.index_of(signature) if self.vsb.num_entries else 0)
+            dest = self._allocate_register()
+            self.physfile.write(dest, result)
+        else:
+            dest = self._allocate_register()
+            self.physfile.write(dest, result)
+            self.vsb.insert(signature, dest)
+        ready = self.regfile.schedule_write(
+            dest, hash_cycle, affine=self._write_affine(dest, result, inst))
+        return ready, dest
+
+    def _allocate_divergent(
+        self,
+        warp: Warp,
+        inst: Instruction,
+        exec_result: ExecResult,
+        cycle: int,
+        logical: int,
+        slot: int,
+        result: np.ndarray,
+    ) -> Tuple[int, int]:
+        """Pin-bit rules for divergent destinations (Section V-D)."""
+        mask = exec_result.mask
+        if self.rename.pin_bit(slot, logical) and self.rename.is_mapped(slot, logical):
+            # Dedicated register: overwrite active lanes in place.
+            dest = self.rename.lookup(slot, logical)
+            self._invalidate_stale_tags(dest)
+            self.verify_cache.invalidate(dest)
+            self.physfile.write(dest, result, mask=mask)
+            self.affine.record_partial_write(dest)
+            ready = self.regfile.schedule_write(dest, cycle)
+            return ready, dest
+
+        # First divergent write: dedicated register + dummy MOV for the
+        # inactive lanes (copied from the current physical register).
+        current = self.rename.lookup(slot, logical)
+        dest = self._allocate_register()
+        self.rename.set_pin(slot, logical)
+        self.physfile.copy_lanes(current, dest, ~mask)
+        self.physfile.write(dest, result, mask=mask)
+        self.affine.record_partial_write(dest)
+        self.counters.dummy_movs += 1
+        # Dummy MOV costs: one register read + one register write.
+        read_ready = self.regfile.schedule_read(
+            current, cycle, affine=self.affine.is_affine(current))
+        ready = self.regfile.schedule_write(dest, read_ready)
+        ready = self.regfile.schedule_write(dest, ready)  # the result write
+        return ready, dest
+
+    def _write_affine(self, dest: int, result: np.ndarray, inst: Instruction) -> bool:
+        return self.affine.record_write(dest, result, opcode=inst.opcode)
+
+    # ---------------------------------------------------------- commit stage
+
+    def commit_stage(
+        self,
+        warp: Warp,
+        inst: Instruction,
+        decision: IssueDecision,
+        dest_phys: int,
+    ) -> List[Waiter]:
+        """Retire: remap the logical destination and update the reuse buffer.
+
+        Returns pending-retry waiters released by this retire (the SM core
+        schedules their completions).
+        """
+        slot = warp.warp_slot
+        logical = inst.dst.value
+        self.counters.rename_writes += 1
+        self.rename.remap(slot, logical, dest_phys)
+        self.refcount.decref(dest_phys)  # release the allocation-stage transit ref
+
+        if decision.divergent or decision.tag is None:
+            return []
+
+        if decision.reserved and decision.rb_index is not None:
+            return self.reuse_buffer.fill(decision.rb_index, decision.rb_token,
+                                          dest_phys)
+
+        # Non-pending-retry designs update the buffer at retire; release the
+        # issue-stage transit references on the tag sources afterwards.
+        waiters: List[Waiter] = []
+        if not self._in_low_register_mode():
+            reservation = self.reuse_buffer.reserve(
+                decision.tag,
+                is_load=is_load(inst.opcode),
+                barrier_count=warp.barrier_count,
+                tbid=self._entry_tbid(warp, inst),
+            )
+            if reservation is not None:
+                index, token = reservation
+                self._track_tag_sources(decision.tag, index)
+                waiters = self.reuse_buffer.fill(index, token, dest_phys)
+        elif decision.rb_index is not None:
+            self.reuse_buffer.evict_index(decision.rb_index)
+        for reg in decision.src_phys:
+            self.refcount.decref(reg)
+        return waiters
+
+    def commit_reuse(self, warp: Warp, inst: Instruction, result_reg: int) -> None:
+        """Retire a reused instruction: only the rename table changes.
+
+        The caller must hold a transit reference on *result_reg* (taken at
+        the reuse hit or at the pending-retry wakeup); it is released here.
+        """
+        self.counters.rename_writes += 1
+        # A reuse is a convergent redefinition: it must clear the pin bit,
+        # or a later divergent write would overwrite the now-*shared*
+        # result register in place (Section V-D's dedicated-register
+        # invariant would be violated).
+        if self.rename.pin_bit(warp.warp_slot, inst.dst.value):
+            self.rename.clear_pin(warp.warp_slot, inst.dst.value)
+        self.rename.remap(warp.warp_slot, inst.dst.value, result_reg)
+        self.refcount.decref(result_reg)
+
+    # ---------------------------------------------------- register management
+
+    def _in_low_register_mode(self) -> bool:
+        if self.physfile.free_count == 0:
+            return True
+        return self.physfile.in_use >= self._register_cap
+
+    def _allocate_register(self) -> int:
+        """Allocate a physical register, evicting buffer entries if needed."""
+        self.counters.allocator_ops += 1
+        if self.physfile.in_use < self._register_cap:
+            reg = self.physfile.allocate()
+            if reg is not None:
+                return reg
+        # Low register mode: walk the buffers evicting entries until a
+        # register frees up (Section V-E deadlock avoidance).
+        self.counters.low_register_mode_entries += 1
+        total = max(1, self.vsb.num_entries) + max(1, self.reuse_buffer.num_entries)
+        for _ in range(2 * total):
+            self._evict_pointer += 1
+            if self.vsb.num_entries:
+                self.vsb.evict_index(self._evict_pointer % self.vsb.num_entries)
+            if self.reuse_buffer.num_entries:
+                self.reuse_buffer.evict_index(
+                    self._evict_pointer % self.reuse_buffer.num_entries)
+            if self.physfile.free_count and self.physfile.in_use < self._register_cap:
+                reg = self.physfile.allocate()
+                if reg is not None:
+                    return reg
+        if self.physfile.free_count:
+            reg = self.physfile.allocate()
+            if reg is not None:
+                return reg
+        raise OutOfRegistersError(
+            "physical register pool exhausted: rename tables alone hold more "
+            "registers than the file provides"
+        )
+
+    def _invalidate_stale_tags(self, reg: int) -> None:
+        """Drop reuse-buffer entries whose tag names *reg* as a source.
+
+        Needed when a pinned register is overwritten in place: a stale tag
+        would otherwise alias the old value (see DESIGN.md).
+        """
+        indices = self._rb_src_refs.pop(reg, None)
+        if not indices:
+            return
+        for index in indices:
+            self.reuse_buffer.evict_if_source(index, reg)
+
+    # ------------------------------------------------------------ diagnostics
+
+    def check_invariants(self) -> None:
+        self.refcount.check_conservation()

@@ -1,0 +1,22 @@
+"""Event-based energy model (GPUWattch-style, with Table III components).
+
+The simulator counts events (instructions, register-bank accesses,
+functional-unit lane activations, cache/scratchpad/DRAM accesses, WIR
+structure operations); this package turns those counts into SM-level and
+GPU-level energy breakdowns, mirroring the paper's Figures 14 and 16.
+"""
+
+from repro.energy.accounting import EnergyReport, compute_energy
+from repro.energy.components import TABLE_III, EnergyParams, TableIIIRow
+from repro.energy.sram import SRAMEstimate, estimate_sram, wir_storage_budget
+
+__all__ = [
+    "EnergyParams",
+    "EnergyReport",
+    "compute_energy",
+    "TABLE_III",
+    "TableIIIRow",
+    "SRAMEstimate",
+    "estimate_sram",
+    "wir_storage_budget",
+]

@@ -1,0 +1,110 @@
+"""Turn a :class:`~repro.sim.gpu.RunResult` into energy breakdowns.
+
+Two views are produced, mirroring the paper's figures:
+
+* **SM energy** (Figure 16): instruction supply, register file, functional
+  units, SM-local memories, WIR overhead, and SM leakage.
+* **GPU energy** (Figure 14): the SM total plus NoC, L2, DRAM, and chip
+  static energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.energy.components import EnergyParams
+from repro.sim.gpu import RunResult
+
+
+@dataclass
+class EnergyReport:
+    """Energy in picojoules, broken down by component."""
+
+    sm_breakdown: Dict[str, float]
+    gpu_breakdown: Dict[str, float]
+
+    @property
+    def sm_total(self) -> float:
+        return sum(self.sm_breakdown.values())
+
+    @property
+    def gpu_total(self) -> float:
+        return sum(self.gpu_breakdown.values())
+
+    def sm_fraction(self, component: str) -> float:
+        return self.sm_breakdown.get(component, 0.0) / self.sm_total
+
+    def normalised_gpu(self, baseline: "EnergyReport") -> Dict[str, float]:
+        """GPU breakdown normalised to another report's total (Figure 14)."""
+        scale = baseline.gpu_total
+        return {k: v / scale for k, v in self.gpu_breakdown.items()}
+
+
+def compute_energy(result: RunResult, params: Optional[EnergyParams] = None) -> EnergyReport:
+    """Compute the energy report for one run."""
+    p = params if params is not None else EnergyParams()
+
+    issued = result.total("issued")
+    backend = result.total("backend_insts")
+    fu_sp_lanes = result.total("fu_sp_lanes")
+    fu_sfu_lanes = result.total("fu_sfu_lanes")
+    fu_insts = result.total("fu_sp_insts") + result.total("fu_sfu_insts")
+    mem_insts = result.total("mem_insts")
+
+    bank_reads = result.regfile_total("bank_reads")
+    bank_writes = result.regfile_total("bank_writes")
+
+    l1_accesses = result.l1d_stats["accesses"] + result.l1c_stats["accesses"]
+    l1_misses = result.l1d_stats["misses"] + result.l1c_stats["misses"]
+    scratchpad = result.scratchpad_accesses
+
+    sm: Dict[str, float] = {
+        "instruction supply": issued * (p.frontend_per_inst + p.scoreboard_per_inst),
+        "register file": (bank_reads + bank_writes) * p.rf_bank_access
+        + backend * p.operand_collection,
+        "functional units": fu_sp_lanes * p.fu_sp_lane
+        + fu_sfu_lanes * p.fu_sfu_lane
+        + (fu_insts + mem_insts) * p.fu_control,
+        "scratchpad": scratchpad * p.scratchpad_access,
+        "L1 caches": l1_accesses * p.l1_access + l1_misses * p.l1_miss_overhead,
+        "SM static": _total_sm_cycles(result) * p.sm_static_per_cycle,
+        "reuse overhead": _wir_overhead(result, p),
+    }
+
+    gpu = dict(sm)
+    gpu["NoC"] = result.noc_flits * p.noc_flit
+    gpu["L2 cache"] = result.l2_stats.get("accesses", 0) * p.l2_access
+    gpu["DRAM"] = result.dram_accesses * p.dram_access
+    gpu["chip static"] = result.cycles * p.chip_static_per_cycle
+
+    return EnergyReport(sm_breakdown=sm, gpu_breakdown=gpu)
+
+
+def _total_sm_cycles(result: RunResult) -> int:
+    """Leakage accrues on every SM for the whole run duration."""
+    return result.cycles * len(result.sm_counters)
+
+
+def _wir_overhead(result: RunResult, p: EnergyParams) -> float:
+    """Energy of the added WIR structures (Table III costs x event counts)."""
+    stats = result.wir_stats
+    if not stats:
+        return 0.0
+    rename_ops = stats.get("rename_reads", 0) + stats.get("rename_writes", 0)
+    rb_ops = (
+        stats.get("rb_lookups", 0)
+        + stats.get("rb_reservations", 0)
+        + stats.get("rb_updates", 0)
+    )
+    vsb_ops = stats.get("vsb_lookups", 0) + stats.get("vsb_insertions", 0)
+    vc_ops = stats.get("vc_accesses", 0)
+    return (
+        rename_ops * p.rename_table_op
+        + rb_ops * p.reuse_buffer_op
+        + stats.get("hash_generations", 0) * p.hash_generation
+        + vsb_ops * p.vsb_op
+        + stats.get("allocator_ops", 0) * p.register_allocator_op
+        + stats.get("refcount_ops", 0) * p.refcount_op
+        + vc_ops * p.verify_cache_op
+    )

@@ -1,0 +1,13 @@
+"""Experiment harness: benchmark runners and per-figure drivers."""
+
+from repro.harness.runner import BenchmarkRun, clear_cache, run_benchmark, run_suite
+from repro.harness import experiments, reporting
+
+__all__ = [
+    "BenchmarkRun",
+    "run_benchmark",
+    "run_suite",
+    "clear_cache",
+    "experiments",
+    "reporting",
+]

@@ -1,0 +1,68 @@
+"""Plain-text rendering of experiment results (the figures as tables)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a fixed-width text table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def render_per_benchmark(
+    data: Mapping[str, Mapping[str, float]],
+    title: str,
+    percent: bool = False,
+) -> str:
+    """Render {benchmark: {column: value}} mappings."""
+    first = next(iter(data.values()))
+    columns = list(first)
+    rows = []
+    for abbr, values in data.items():
+        row: List[object] = [abbr]
+        for col in columns:
+            value = values.get(col)
+            if percent and isinstance(value, float):
+                row.append(f"{value * 100:.1f}%")
+            else:
+                row.append(value)
+        rows.append(row)
+    return format_table(["benchmark"] + columns, rows, title=title)
+
+
+def render_series(
+    data: Mapping[object, object], x_label: str, y_label: str, title: str,
+) -> str:
+    """Render a 1D sweep {x: y} (y may be a scalar or a dict)."""
+    first = next(iter(data.values()))
+    if isinstance(first, Mapping):
+        columns = list(first)
+        rows = [[x] + [row[c] for c in columns] for x, row in data.items()]
+        return format_table([x_label] + columns, rows, title=title)
+    rows = [[x, y] for x, y in data.items()]
+    return format_table([x_label, y_label], rows, title=title)

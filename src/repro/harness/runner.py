@@ -1,0 +1,118 @@
+"""Run benchmarks against design points, with in-process result caching.
+
+Experiments repeatedly need the same (benchmark, model) run — e.g. Base
+appears as the normalisation baseline in most figures — so completed runs
+are memoised on their full parameterisation.
+
+The experiment default of 2 SMs (instead of Table II's 15) keeps full-suite
+sweeps laptop-fast and raises per-SM occupancy at our small grid sizes
+(latency hiding depends on resident warps per SM, not on the SM count); per-SM statistics and all model-relative comparisons
+are unaffected by the SM count, and it can be overridden per run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.models import model_config
+from repro.energy import EnergyParams, EnergyReport, compute_energy
+from repro.profiling import RedundancyProfile, RedundancyProfiler
+from repro.sim.config import GPUConfig
+from repro.sim.gpu import GPU, KernelLaunch, RunResult
+from repro.workloads import BuiltWorkload, build_workload
+
+#: SM count used by the experiment drivers (see module docstring).
+EXPERIMENT_SMS = 2
+
+
+@dataclass
+class BenchmarkRun:
+    """One completed (benchmark, model) simulation."""
+
+    abbr: str
+    model: str
+    workload: BuiltWorkload
+    result: RunResult
+    energy: EnergyReport
+    profile: Optional[RedundancyProfile] = None
+
+    @property
+    def cycles(self) -> int:
+        return self.result.cycles
+
+    @property
+    def reuse_fraction(self) -> float:
+        return self.result.reuse_fraction
+
+
+_CACHE: Dict[Tuple, BenchmarkRun] = {}
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+def run_benchmark(
+    abbr: str,
+    model: str = "Base",
+    scale: int = 1,
+    seed: int = 7,
+    num_sms: int = EXPERIMENT_SMS,
+    profile: bool = False,
+    energy_params: Optional[EnergyParams] = None,
+    **wir_overrides,
+) -> BenchmarkRun:
+    """Simulate one benchmark under one design point (memoised).
+
+    ``wir_overrides`` tweak the model's WIR config, e.g.
+    ``run_benchmark("SF", "RLPV", reuse_buffer_entries=512)``.
+    """
+    key = (abbr, model, scale, seed, num_sms, profile,
+           tuple(sorted(wir_overrides.items())))
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    config = model_config(model, **wir_overrides)
+    config.num_sms = num_sms
+    workload = build_workload(abbr, scale=scale, seed=seed)
+
+    profilers: List[RedundancyProfiler] = []
+    factory = None
+    if profile:
+        def factory():  # noqa: E306 - small closure
+            p = RedundancyProfiler()
+            profilers.append(p)
+            return p
+
+    launch = KernelLaunch(workload.program, workload.grid, workload.block,
+                          workload.image)
+    result = GPU(config, profiler_factory=factory).run(launch)
+    workload.verify()
+
+    merged: Optional[RedundancyProfile] = None
+    if profilers:
+        merged = profilers[0].profile
+        for p in profilers[1:]:
+            merged = merged.merge(p.profile)
+
+    run = BenchmarkRun(
+        abbr=abbr,
+        model=model,
+        workload=workload,
+        result=result,
+        energy=compute_energy(result, energy_params),
+        profile=merged,
+    )
+    _CACHE[key] = run
+    return run
+
+
+def run_suite(
+    abbrs: List[str],
+    model: str = "Base",
+    **kwargs,
+) -> Dict[str, BenchmarkRun]:
+    """Run a list of benchmarks under one design point."""
+    return {abbr: run_benchmark(abbr, model, **kwargs) for abbr in abbrs}

@@ -1,0 +1,38 @@
+"""Compact PTX-like instruction set for the simulated GPU.
+
+The ISA is deliberately small but covers everything the WIR paper's
+mechanisms touch: integer and floating-point arithmetic on 32-wide warps,
+special-function operations, predication, divergent control flow, barriers,
+and loads/stores against the global / shared / constant / parameter address
+spaces.
+
+Public entry points:
+
+* :class:`repro.isa.opcodes.Opcode` — opcode enumeration.
+* :class:`repro.isa.instruction.Instruction` — a decoded warp instruction.
+* :class:`repro.isa.program.Program` — an assembled kernel with CFG and
+  reconvergence metadata.
+* :func:`repro.isa.assembler.assemble` — text assembly to :class:`Program`.
+"""
+
+from repro.isa.assembler import AssemblyError, assemble
+from repro.isa.builder import KernelBuilder, Reg
+from repro.isa.instruction import Instruction, Operand, OperandKind, PredicateGuard
+from repro.isa.opcodes import CmpOp, MemSpace, Opcode, OpClass
+from repro.isa.program import Program
+
+__all__ = [
+    "AssemblyError",
+    "assemble",
+    "KernelBuilder",
+    "Reg",
+    "CmpOp",
+    "Instruction",
+    "MemSpace",
+    "Opcode",
+    "OpClass",
+    "Operand",
+    "OperandKind",
+    "PredicateGuard",
+    "Program",
+]

@@ -1,0 +1,249 @@
+"""Two-pass text assembler for the simulator's PTX-like ISA.
+
+Syntax (one instruction per line, ``//`` or ``#`` comments)::
+
+    loop:
+        mov     r0, %tid.x
+        add     r1, r0, 4            // immediate source
+        fmul    r2, r1, 0f1.5        // float immediate
+        setp.lt p0, r1, r3
+        ld.global r4, [r2+16]
+        st.shared -, [r5], r4
+        selp    r6, r1, r2, p0
+    @p0 bra     loop
+        bar.sync
+        exit
+
+Register operands are ``r0..r62``; predicates ``p0..p7``; special registers
+``%tid.x`` etc.; integer immediates are decimal or ``0x`` hex; float
+immediates use the ``0fVALUE`` prefix; address operands are ``[rN]`` or
+``[rN+imm]`` / ``[rN-imm]``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instruction import (
+    Instruction,
+    Operand,
+    OperandKind,
+    PredicateGuard,
+    SPECIAL_REGISTERS,
+)
+from repro.isa.opcodes import CmpOp, MNEMONICS, Opcode, OpClass, op_class, source_arity
+from repro.isa.program import Program
+
+
+class AssemblyError(ValueError):
+    """Raised on malformed assembly input."""
+
+    def __init__(self, message: str, line_no: Optional[int] = None) -> None:
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_.$]*):$")
+_GUARD_RE = re.compile(r"^@(!?)p(\d+)$")
+_REG_RE = re.compile(r"^r(\d+)$")
+_PRED_RE = re.compile(r"^p(\d+)$")
+_ADDR_RE = re.compile(r"^\[r(\d+)(?:([+-])(0x[0-9a-fA-F]+|\d+))?\]$")
+_FIMM_RE = re.compile(r"^0f([-+0-9.eE]+)$")
+_IMM_RE = re.compile(r"^-?(0x[0-9a-fA-F]+|\d+)$")
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("//", "#"):
+        idx = line.find(marker)
+        if idx >= 0:
+            line = line[:idx]
+    return line.strip()
+
+
+def _parse_operand(token: str, line_no: int) -> Operand:
+    token = token.strip()
+    try:
+        return _parse_operand_inner(token, line_no)
+    except ValueError as exc:
+        if isinstance(exc, AssemblyError):
+            raise
+        raise AssemblyError(f"cannot parse operand {token!r}: {exc}", line_no)
+
+
+def _parse_operand_inner(token: str, line_no: int) -> Operand:
+    match = _REG_RE.match(token)
+    if match:
+        return Operand.reg(int(match.group(1)))
+    match = _PRED_RE.match(token)
+    if match:
+        return Operand.pred(int(match.group(1)))
+    match = _ADDR_RE.match(token)
+    if match:
+        offset = 0
+        if match.group(3) is not None:
+            offset = int(match.group(3), 0)
+            if match.group(2) == "-":
+                offset = -offset
+        return Operand.addr(int(match.group(1)), offset)
+    if token in SPECIAL_REGISTERS:
+        return Operand.sreg(token)
+    match = _FIMM_RE.match(token)
+    if match:
+        return Operand.fimm(float(match.group(1)))
+    match = _IMM_RE.match(token)
+    if match:
+        return Operand.imm(int(token, 0))
+    raise AssemblyError(f"cannot parse operand {token!r}", line_no)
+
+
+def _split_operands(text: str) -> List[str]:
+    return [t.strip() for t in text.split(",") if t.strip()] if text.strip() else []
+
+
+def _parse_mnemonic(token: str, line_no: int) -> Tuple[Opcode, Optional[CmpOp]]:
+    if token in MNEMONICS:
+        return MNEMONICS[token], None
+    # setp.lt / fsetp.ge style
+    if "." in token:
+        head, _, tail = token.rpartition(".")
+        if head in ("setp", "fsetp"):
+            try:
+                return MNEMONICS[head], CmpOp(tail)
+            except ValueError:
+                raise AssemblyError(f"unknown comparison {tail!r}", line_no)
+    raise AssemblyError(f"unknown mnemonic {token!r}", line_no)
+
+
+def assemble(source: str, name: str = "kernel") -> Program:
+    """Assemble *source* text into a :class:`Program`."""
+    # Pass 1: collect labels and raw instruction lines.
+    labels: Dict[str, int] = {}
+    raw: List[Tuple[int, str]] = []  # (line_no, text)
+    for line_no, line in enumerate(source.splitlines(), start=1):
+        text = _strip_comment(line)
+        if not text:
+            continue
+        match = _LABEL_RE.match(text)
+        if match:
+            label = match.group(1)
+            if label in labels:
+                raise AssemblyError(f"duplicate label {label!r}", line_no)
+            labels[label] = len(raw)
+            continue
+        raw.append((line_no, text))
+
+    # Pass 2: parse instructions.
+    instructions: List[Instruction] = []
+    for pc, (line_no, text) in enumerate(raw):
+        guard = None
+        tokens = text.split(None, 1)
+        match = _GUARD_RE.match(tokens[0])
+        if match:
+            guard = PredicateGuard(int(match.group(2)), negated=bool(match.group(1)))
+            if len(tokens) < 2:
+                raise AssemblyError("guard without instruction", line_no)
+            text = tokens[1]
+            tokens = text.split(None, 1)
+
+        opcode, cmp = _parse_mnemonic(tokens[0], line_no)
+        operand_text = tokens[1] if len(tokens) > 1 else ""
+        operands = _split_operands(operand_text)
+        inst = _build_instruction(
+            opcode, cmp, guard, operands, labels, pc, line_no
+        )
+        instructions.append(inst)
+
+    # Resolve branch targets (labels were recorded in pass 1 but forward
+    # references were stored symbolically via a placeholder in target slot).
+    return Program(name=name, instructions=instructions, labels=dict(labels))
+
+
+def _build_instruction(
+    opcode: Opcode,
+    cmp: Optional[CmpOp],
+    guard: Optional[PredicateGuard],
+    operands: List[str],
+    labels: Dict[str, int],
+    pc: int,
+    line_no: int,
+) -> Instruction:
+    cls = op_class(opcode)
+
+    if opcode is Opcode.BRA:
+        if len(operands) != 1:
+            raise AssemblyError("bra expects exactly one label operand", line_no)
+        label = operands[0]
+        if label not in labels:
+            raise AssemblyError(f"undefined label {label!r}", line_no)
+        return Instruction(opcode=opcode, guard=guard, target=labels[label], pc=pc)
+
+    if cls in (OpClass.CONTROL, OpClass.SYNC, OpClass.NOP):
+        if operands:
+            raise AssemblyError(f"{opcode.value} takes no operands", line_no)
+        return Instruction(opcode=opcode, guard=guard, pc=pc)
+
+    if cls is OpClass.STORE and operands and operands[0] == "-":
+        operands = operands[1:]  # "st.space -, [addr], src": drop the dash
+    parsed = [_parse_operand(tok, line_no) for tok in operands]
+
+    if cls is OpClass.STORE:
+        if len(parsed) != 2 or parsed[0].kind is not OperandKind.ADDR:
+            raise AssemblyError(
+                f"{opcode.value} expects '-, [addr], src' operands", line_no
+            )
+        return Instruction(opcode=opcode, srcs=tuple(parsed), guard=guard, pc=pc)
+
+    if cls is OpClass.LOAD:
+        if len(parsed) != 2 or parsed[1].kind is not OperandKind.ADDR:
+            raise AssemblyError(
+                f"{opcode.value} expects 'dst, [addr]' operands", line_no
+            )
+        dst, addr = parsed
+        if dst.kind is not OperandKind.REG:
+            raise AssemblyError("load destination must be a register", line_no)
+        return Instruction(opcode=opcode, dst=dst, srcs=(addr,), guard=guard, pc=pc)
+
+    if cls is OpClass.PRED:
+        if cmp is None:
+            raise AssemblyError(f"{opcode.value} requires a comparison suffix", line_no)
+        if len(parsed) != 3 or parsed[0].kind is not OperandKind.PRED:
+            raise AssemblyError(
+                f"{opcode.value} expects 'pN, a, b' operands", line_no
+            )
+        return Instruction(
+            opcode=opcode, dst=parsed[0], srcs=tuple(parsed[1:]),
+            guard=guard, cmp=cmp, pc=pc,
+        )
+
+    if opcode is Opcode.SELP:
+        if (
+            len(parsed) != 4
+            or parsed[0].kind is not OperandKind.REG
+            or parsed[3].kind is not OperandKind.PRED
+        ):
+            raise AssemblyError("selp expects 'dst, a, b, pN' operands", line_no)
+        return Instruction(
+            opcode=opcode, dst=parsed[0], srcs=tuple(parsed[1:3]),
+            guard=guard, pred_src=parsed[3].value, pc=pc,
+        )
+
+    # Plain arithmetic / SFU / mov.
+    arity = source_arity(opcode)
+    if len(parsed) != arity + 1:
+        raise AssemblyError(
+            f"{opcode.value} expects {arity + 1} operands, got {len(parsed)}",
+            line_no,
+        )
+    dst = parsed[0]
+    if dst.kind is not OperandKind.REG:
+        raise AssemblyError(f"{opcode.value} destination must be a register", line_no)
+    for src in parsed[1:]:
+        if src.kind is OperandKind.ADDR:
+            raise AssemblyError(
+                f"{opcode.value} cannot take address operands", line_no
+            )
+    return Instruction(
+        opcode=opcode, dst=dst, srcs=tuple(parsed[1:]), guard=guard, pc=pc
+    )

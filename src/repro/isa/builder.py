@@ -1,0 +1,191 @@
+"""Programmatic kernel construction: a thin builder over the assembler.
+
+Writing kernels as raw assembly strings is fine for fixed workloads, but
+generated kernels (parameter sweeps, fuzzers, loop unrollers) are easier to
+express programmatically.  :class:`KernelBuilder` provides register
+allocation by name, structured ``loop``/``if_then`` blocks that emit the
+labels and predicates for you, and produces a normal
+:class:`~repro.isa.program.Program` through the assembler, so everything the
+assembler validates is validated here too.
+
+Example::
+
+    k = KernelBuilder("vec_scale")
+    tid = k.gtid()
+    addr = k.reg("addr")
+    value = k.reg("value")
+    k.emit("shl", addr, tid, 2)
+    k.emit("add", addr, addr, 4096)
+    k.load("global", value, addr)
+    k.emit("mul", value, value, 3)
+    with k.loop(times=4) as i:
+        k.emit("add", value, value, i)
+    k.store("global", addr, value, offset=1 << 20)
+    program = k.build()
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, List, Optional, Union
+
+from repro.isa.assembler import assemble
+from repro.isa.instruction import NUM_LOGICAL_REGS, NUM_PRED_REGS
+from repro.isa.program import Program
+
+
+class Reg:
+    """A named logical register handle."""
+
+    __slots__ = ("index", "name")
+
+    def __init__(self, index: int, name: str) -> None:
+        self.index = index
+        self.name = name
+
+    def __str__(self) -> str:
+        return f"r{self.index}"
+
+    def __repr__(self) -> str:
+        return f"Reg({self.name}=r{self.index})"
+
+
+Operandish = Union[Reg, int, float, str]
+
+
+class KernelBuilder:
+    """Builds assembly text with named registers and structured blocks."""
+
+    def __init__(self, name: str = "kernel") -> None:
+        self.name = name
+        self._lines: List[str] = []
+        self._next_reg = 0
+        self._next_pred = 0
+        self._next_label = 0
+        self._built = False
+
+    # ------------------------------------------------------------ resources
+
+    def reg(self, name: Optional[str] = None) -> Reg:
+        """Allocate a fresh logical register."""
+        if self._next_reg >= NUM_LOGICAL_REGS:
+            raise ValueError("out of logical registers (63 per warp)")
+        reg = Reg(self._next_reg, name or f"r{self._next_reg}")
+        self._next_reg += 1
+        return reg
+
+    def _pred(self) -> int:
+        index = self._next_pred % NUM_PRED_REGS
+        self._next_pred += 1
+        return index
+
+    def _label(self, stem: str) -> str:
+        self._next_label += 1
+        return f"{stem}_{self._next_label}"
+
+    @staticmethod
+    def _operand(value: Operandish) -> str:
+        if isinstance(value, Reg):
+            return str(value)
+        if isinstance(value, bool):
+            raise TypeError("bool operands are ambiguous; use 0/1")
+        if isinstance(value, int):
+            return str(value)
+        if isinstance(value, float):
+            return f"0f{value!r}"
+        if isinstance(value, str):  # special registers like "%tid.x"
+            return value
+        raise TypeError(f"cannot use {value!r} as an operand")
+
+    # ----------------------------------------------------------- raw emits
+
+    def raw(self, line: str) -> None:
+        self._lines.append(f"    {line}")
+
+    def emit(self, op: str, dst: Reg, *srcs: Operandish,
+             guard: Optional[str] = None) -> Reg:
+        """Emit ``op dst, srcs...``; returns *dst* for chaining."""
+        operands = ", ".join([str(dst)] + [self._operand(s) for s in srcs])
+        prefix = f"{guard} " if guard else ""
+        self._lines.append(f"{prefix}    {op} {operands}")
+        return dst
+
+    def mov(self, dst: Reg, value: Operandish) -> Reg:
+        return self.emit("mov", dst, value)
+
+    # -------------------------------------------------------- common idioms
+
+    def tid(self) -> Reg:
+        reg = self.reg("tid")
+        return self.mov(reg, "%tid.x")
+
+    def gtid(self) -> Reg:
+        """threadIdx.x + blockIdx.x * blockDim.x."""
+        tid = self.tid()
+        ctaid = self.mov(self.reg("ctaid"), "%ctaid.x")
+        ntid = self.mov(self.reg("ntid"), "%ntid.x")
+        gtid = self.reg("gtid")
+        self.emit("mad", gtid, ctaid, ntid, tid)
+        return gtid
+
+    def load(self, space: str, dst: Reg, addr: Reg, offset: int = 0) -> Reg:
+        suffix = f"+{offset}" if offset > 0 else (str(offset) if offset else "")
+        self._lines.append(f"    ld.{space} {dst}, [{addr}{suffix}]")
+        return dst
+
+    def store(self, space: str, addr: Reg, value: Reg, offset: int = 0) -> None:
+        suffix = f"+{offset}" if offset > 0 else (str(offset) if offset else "")
+        self._lines.append(f"    st.{space} -, [{addr}{suffix}], {value}")
+
+    def barrier(self) -> None:
+        self._lines.append("    bar.sync")
+
+    def exit(self) -> None:
+        self._lines.append("    exit")
+
+    # ------------------------------------------------------------ structure
+
+    @contextlib.contextmanager
+    def loop(self, times: int, counter: Optional[Reg] = None) -> Iterator[Reg]:
+        """``for i in range(times)``: yields the counter register."""
+        if times < 1:
+            raise ValueError("loop body must run at least once")
+        i = counter if counter is not None else self.reg("i")
+        self.mov(i, 0)
+        top = self._label("loop")
+        self._lines.append(f"{top}:")
+        yield i
+        pred = self._pred()
+        self.emit("add", i, i, 1)
+        self._lines.append(f"    setp.lt p{pred}, {i}, {times}")
+        self._lines.append(f"@p{pred} bra {top}")
+
+    @contextlib.contextmanager
+    def if_then(self, cmp: str, a: Operandish, b: Operandish) -> Iterator[None]:
+        """Predicate the enclosed instructions on ``a <cmp> b``.
+
+        Emits a guard per enclosed instruction (predication, not a branch),
+        which is exactly the divergence pattern the pin-bit machinery
+        handles.
+        """
+        pred = self._pred()
+        self._lines.append(
+            f"    setp.{cmp} p{pred}, {self._operand(a)}, {self._operand(b)}")
+        start = len(self._lines)
+        yield
+        for idx in range(start, len(self._lines)):
+            line = self._lines[idx]
+            if line.strip() and not line.rstrip().endswith(":"):
+                self._lines[idx] = f"@p{pred}{line}"
+
+    # --------------------------------------------------------------- output
+
+    def source(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+    def build(self, auto_exit: bool = True) -> Program:
+        """Assemble into a :class:`Program` (appends ``exit`` if missing)."""
+        if auto_exit and (not self._lines
+                          or self._lines[-1].strip() != "exit"):
+            self.exit()
+        return assemble(self.source(), name=self.name)

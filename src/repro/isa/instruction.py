@@ -1,0 +1,206 @@
+"""Decoded warp instruction representation.
+
+An :class:`Instruction` is immutable after assembly.  Register operands refer
+to *logical* warp registers ``r0..r62``; predicate operands to ``p0..p7``;
+special registers (``%tid.x`` etc.) are read-only per-thread values resolved
+at execution time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.isa.opcodes import CmpOp, MemSpace, Opcode, OpClass, mem_space, op_class
+
+#: Logical warp registers per warp (rename tables have one entry each).
+NUM_LOGICAL_REGS = 63
+#: Predicate registers per warp.
+NUM_PRED_REGS = 8
+
+#: Recognised special registers and their component index.
+SPECIAL_REGISTERS = (
+    "%tid.x", "%tid.y", "%tid.z",
+    "%ntid.x", "%ntid.y", "%ntid.z",
+    "%ctaid.x", "%ctaid.y", "%ctaid.z",
+    "%nctaid.x", "%nctaid.y", "%nctaid.z",
+    "%laneid", "%warpid", "%smid",
+)
+
+
+class OperandKind(enum.Enum):
+    REG = "reg"        # logical warp register rN
+    PRED = "pred"      # predicate register pN
+    IMM = "imm"        # 32-bit immediate (stored as unsigned bit pattern)
+    SREG = "sreg"      # special register such as %tid.x
+    ADDR = "addr"      # memory address operand [rN+imm]
+
+
+@dataclass(frozen=True)
+class Operand:
+    """A single instruction operand."""
+
+    kind: OperandKind
+    #: Register index for REG/PRED/ADDR, unsigned 32-bit pattern for IMM,
+    #: index into :data:`SPECIAL_REGISTERS` for SREG.
+    value: int
+    #: Byte offset for ADDR operands; unused otherwise.
+    offset: int = 0
+
+    @staticmethod
+    def reg(index: int) -> "Operand":
+        if not 0 <= index < NUM_LOGICAL_REGS:
+            raise ValueError(f"register index out of range: r{index}")
+        return Operand(OperandKind.REG, index)
+
+    @staticmethod
+    def pred(index: int) -> "Operand":
+        if not 0 <= index < NUM_PRED_REGS:
+            raise ValueError(f"predicate index out of range: p{index}")
+        return Operand(OperandKind.PRED, index)
+
+    @staticmethod
+    def imm(value: int) -> "Operand":
+        return Operand(OperandKind.IMM, value & 0xFFFFFFFF)
+
+    @staticmethod
+    def fimm(value: float) -> "Operand":
+        import struct
+
+        bits = struct.unpack("<I", struct.pack("<f", value))[0]
+        return Operand(OperandKind.IMM, bits)
+
+    @staticmethod
+    def sreg(name: str) -> "Operand":
+        return Operand(OperandKind.SREG, SPECIAL_REGISTERS.index(name))
+
+    @staticmethod
+    def addr(base_reg: int, offset: int = 0) -> "Operand":
+        if not 0 <= base_reg < NUM_LOGICAL_REGS:
+            raise ValueError(f"register index out of range: r{base_reg}")
+        return Operand(OperandKind.ADDR, base_reg, offset)
+
+    @property
+    def sreg_name(self) -> str:
+        if self.kind is not OperandKind.SREG:
+            raise ValueError("not a special register operand")
+        return SPECIAL_REGISTERS[self.value]
+
+    def __str__(self) -> str:
+        if self.kind is OperandKind.REG:
+            return f"r{self.value}"
+        if self.kind is OperandKind.PRED:
+            return f"p{self.value}"
+        if self.kind is OperandKind.IMM:
+            return f"0x{self.value:08x}"
+        if self.kind is OperandKind.SREG:
+            return self.sreg_name
+        if self.offset:
+            return f"[r{self.value}+{self.offset}]"
+        return f"[r{self.value}]"
+
+
+@dataclass(frozen=True)
+class PredicateGuard:
+    """``@pN`` / ``@!pN`` guard in front of an instruction."""
+
+    index: int
+    negated: bool = False
+
+    def __str__(self) -> str:
+        return f"@{'!' if self.negated else ''}p{self.index}"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded warp instruction.
+
+    Attributes:
+        opcode: the operation.
+        dst: destination operand (REG for arithmetic/loads, PRED for setp,
+            ``None`` for stores/control/sync).
+        srcs: value source operands in order.
+        guard: optional predicate guard controlling the active mask.
+        cmp: comparison operator for setp/fsetp.
+        target: branch-target pc (filled by the assembler for ``bra``).
+        pc: position in the program's instruction list.
+    """
+
+    opcode: Opcode
+    dst: Optional[Operand] = None
+    srcs: Tuple[Operand, ...] = ()
+    guard: Optional[PredicateGuard] = None
+    cmp: Optional[CmpOp] = None
+    target: int = -1
+    pc: int = -1
+    #: selp reads an extra predicate source; setp writes this predicate.
+    pred_src: Optional[int] = None
+
+    @property
+    def op_class(self) -> OpClass:
+        return op_class(self.opcode)
+
+    @property
+    def space(self) -> Optional[MemSpace]:
+        return mem_space(self.opcode)
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opcode is Opcode.BRA
+
+    @property
+    def is_barrier(self) -> bool:
+        return self.opcode is Opcode.BAR
+
+    @property
+    def is_exit(self) -> bool:
+        return self.opcode is Opcode.EXIT
+
+    @property
+    def writes_register(self) -> bool:
+        return self.dst is not None and self.dst.kind is OperandKind.REG
+
+    @property
+    def writes_predicate(self) -> bool:
+        return self.dst is not None and self.dst.kind is OperandKind.PRED
+
+    def source_registers(self) -> Tuple[int, ...]:
+        """Logical register indices read by this instruction (incl. address bases)."""
+        regs = []
+        for src in self.srcs:
+            if src.kind in (OperandKind.REG, OperandKind.ADDR):
+                regs.append(src.value)
+        return tuple(regs)
+
+    def source_predicates(self) -> Tuple[int, ...]:
+        preds = []
+        if self.guard is not None:
+            preds.append(self.guard.index)
+        if self.pred_src is not None and self.opcode is Opcode.SELP:
+            preds.append(self.pred_src)
+        for src in self.srcs:
+            if src.kind is OperandKind.PRED:
+                preds.append(src.value)
+        return tuple(preds)
+
+    def __str__(self) -> str:
+        parts = []
+        if self.guard is not None:
+            parts.append(str(self.guard))
+        mnemonic = self.opcode.value
+        if self.cmp is not None:
+            mnemonic = f"{mnemonic}.{self.cmp.value}"
+        parts.append(mnemonic)
+        operands = []
+        if self.dst is not None:
+            operands.append(str(self.dst))
+        operands.extend(str(s) for s in self.srcs)
+        if self.opcode is Opcode.SELP and self.pred_src is not None:
+            operands.append(f"p{self.pred_src}")
+        if self.opcode is Opcode.BRA:
+            operands.append(f"@{self.target}")
+        text = parts[0] if len(parts) == 1 else " ".join(parts)
+        if operands:
+            text = f"{text} " + ", ".join(operands)
+        return text

@@ -1,0 +1,238 @@
+"""Opcode, operation-class, comparison, and memory-space enumerations.
+
+The opcode set mirrors the subset of PTXplus the WIR paper's evaluation
+exercises.  Every opcode carries a functional class that determines which
+execution pipeline processes it (two SP pipelines, one SFU pipeline, one
+memory pipeline) and whether the WIR reuse machinery may consider it.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpClass(enum.Enum):
+    """Functional classes used for pipeline selection and energy accounting."""
+
+    INT = "int"          # integer ALU, SP pipeline
+    FP = "fp"            # single-precision ALU, SP pipeline
+    SFU = "sfu"          # special function unit pipeline
+    LOAD = "load"        # memory pipeline, register destination
+    STORE = "store"      # memory pipeline, no register destination
+    CONTROL = "control"  # branches, exit
+    SYNC = "sync"        # barriers / fences
+    PRED = "pred"        # predicate-producing compares
+    NOP = "nop"
+
+
+class MemSpace(enum.Enum):
+    """Address spaces of the simulated memory system."""
+
+    GLOBAL = "global"
+    SHARED = "shared"
+    CONST = "const"
+    PARAM = "param"
+    LOCAL = "local"
+
+    @property
+    def writable(self) -> bool:
+        """Whether stores are architecturally allowed in this space."""
+        return self in (MemSpace.GLOBAL, MemSpace.SHARED, MemSpace.LOCAL)
+
+
+class CmpOp(enum.Enum):
+    """Comparison operators accepted by ``setp``."""
+
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+
+
+class Opcode(enum.Enum):
+    """All warp instruction opcodes understood by the simulator.
+
+    The enum value is the assembly mnemonic (memory opcodes are written with
+    a space suffix in assembly, e.g. ``ld.global``; the space is part of the
+    mnemonic string here).
+    """
+
+    # --- integer arithmetic (SP pipeline) ---
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    MULHI = "mulhi"
+    MAD = "mad"
+    DIV = "div"
+    REM = "rem"
+    MIN = "min"
+    MAX = "max"
+    ABS = "abs"
+    NEG = "neg"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    SHL = "shl"
+    SHR = "shr"
+    MOV = "mov"
+    SELP = "selp"
+    CVT_F2I = "cvt.f2i"
+    CVT_I2F = "cvt.i2f"
+
+    # --- floating point (SP pipeline) ---
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FMAD = "fmad"
+    FMIN = "fmin"
+    FMAX = "fmax"
+    FABS = "fabs"
+    FNEG = "fneg"
+
+    # --- special function unit ---
+    RCP = "rcp"
+    FDIV = "fdiv"
+    SQRT = "sqrt"
+    RSQRT = "rsqrt"
+    SIN = "sin"
+    COS = "cos"
+    EX2 = "ex2"
+    LG2 = "lg2"
+
+    # --- predicates ---
+    SETP = "setp"
+    FSETP = "fsetp"
+
+    # --- memory ---
+    LD_GLOBAL = "ld.global"
+    LD_SHARED = "ld.shared"
+    LD_CONST = "ld.const"
+    LD_PARAM = "ld.param"
+    LD_LOCAL = "ld.local"
+    ST_GLOBAL = "st.global"
+    ST_SHARED = "st.shared"
+    ST_LOCAL = "st.local"
+
+    # --- control ---
+    BRA = "bra"
+    EXIT = "exit"
+    BAR = "bar.sync"
+    MEMBAR = "membar"
+    NOP = "nop"
+
+
+_INT_OPS = frozenset({
+    Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.MULHI, Opcode.MAD, Opcode.DIV,
+    Opcode.REM, Opcode.MIN, Opcode.MAX, Opcode.ABS, Opcode.NEG, Opcode.AND,
+    Opcode.OR, Opcode.XOR, Opcode.NOT, Opcode.SHL, Opcode.SHR, Opcode.MOV,
+    Opcode.SELP, Opcode.CVT_F2I, Opcode.CVT_I2F,
+})
+_FP_OPS = frozenset({
+    Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FMAD, Opcode.FMIN,
+    Opcode.FMAX, Opcode.FABS, Opcode.FNEG,
+})
+_SFU_OPS = frozenset({
+    Opcode.RCP, Opcode.FDIV, Opcode.SQRT, Opcode.RSQRT, Opcode.SIN,
+    Opcode.COS, Opcode.EX2, Opcode.LG2,
+})
+_LOAD_OPS = frozenset({
+    Opcode.LD_GLOBAL, Opcode.LD_SHARED, Opcode.LD_CONST, Opcode.LD_PARAM,
+    Opcode.LD_LOCAL,
+})
+_STORE_OPS = frozenset({Opcode.ST_GLOBAL, Opcode.ST_SHARED, Opcode.ST_LOCAL})
+_PRED_OPS = frozenset({Opcode.SETP, Opcode.FSETP})
+_CONTROL_OPS = frozenset({Opcode.BRA, Opcode.EXIT})
+_SYNC_OPS = frozenset({Opcode.BAR, Opcode.MEMBAR})
+
+_MEM_SPACE = {
+    Opcode.LD_GLOBAL: MemSpace.GLOBAL,
+    Opcode.LD_SHARED: MemSpace.SHARED,
+    Opcode.LD_CONST: MemSpace.CONST,
+    Opcode.LD_PARAM: MemSpace.PARAM,
+    Opcode.LD_LOCAL: MemSpace.LOCAL,
+    Opcode.ST_GLOBAL: MemSpace.GLOBAL,
+    Opcode.ST_SHARED: MemSpace.SHARED,
+    Opcode.ST_LOCAL: MemSpace.LOCAL,
+}
+
+# Number of register source operands (excluding address operands which are
+# register+immediate pairs, and excluding the selp predicate source).
+_ARITY = {
+    Opcode.ADD: 2, Opcode.SUB: 2, Opcode.MUL: 2, Opcode.MULHI: 2,
+    Opcode.MAD: 3, Opcode.DIV: 2, Opcode.REM: 2, Opcode.MIN: 2,
+    Opcode.MAX: 2, Opcode.ABS: 1, Opcode.NEG: 1, Opcode.AND: 2,
+    Opcode.OR: 2, Opcode.XOR: 2, Opcode.NOT: 1, Opcode.SHL: 2,
+    Opcode.SHR: 2, Opcode.MOV: 1, Opcode.SELP: 2, Opcode.CVT_F2I: 1,
+    Opcode.CVT_I2F: 1,
+    Opcode.FADD: 2, Opcode.FSUB: 2, Opcode.FMUL: 2, Opcode.FMAD: 3,
+    Opcode.FMIN: 2, Opcode.FMAX: 2, Opcode.FABS: 1, Opcode.FNEG: 1,
+    Opcode.RCP: 1, Opcode.FDIV: 2, Opcode.SQRT: 1, Opcode.RSQRT: 1,
+    Opcode.SIN: 1, Opcode.COS: 1, Opcode.EX2: 1, Opcode.LG2: 1,
+    Opcode.SETP: 2, Opcode.FSETP: 2,
+    Opcode.LD_GLOBAL: 0, Opcode.LD_SHARED: 0, Opcode.LD_CONST: 0,
+    Opcode.LD_PARAM: 0, Opcode.LD_LOCAL: 0,
+    Opcode.ST_GLOBAL: 1, Opcode.ST_SHARED: 1, Opcode.ST_LOCAL: 1,
+    Opcode.BRA: 0, Opcode.EXIT: 0, Opcode.BAR: 0, Opcode.MEMBAR: 0,
+    Opcode.NOP: 0,
+}
+
+
+def op_class(opcode: Opcode) -> OpClass:
+    """Return the functional class of *opcode*."""
+    if opcode in _INT_OPS:
+        return OpClass.INT
+    if opcode in _FP_OPS:
+        return OpClass.FP
+    if opcode in _SFU_OPS:
+        return OpClass.SFU
+    if opcode in _LOAD_OPS:
+        return OpClass.LOAD
+    if opcode in _STORE_OPS:
+        return OpClass.STORE
+    if opcode in _PRED_OPS:
+        return OpClass.PRED
+    if opcode in _CONTROL_OPS:
+        return OpClass.CONTROL
+    if opcode in _SYNC_OPS:
+        return OpClass.SYNC
+    return OpClass.NOP
+
+
+def mem_space(opcode: Opcode) -> MemSpace | None:
+    """Return the address space a memory opcode targets, else ``None``."""
+    return _MEM_SPACE.get(opcode)
+
+
+def source_arity(opcode: Opcode) -> int:
+    """Number of value source operands the opcode expects."""
+    return _ARITY[opcode]
+
+
+def is_load(opcode: Opcode) -> bool:
+    return opcode in _LOAD_OPS
+
+
+def is_store(opcode: Opcode) -> bool:
+    return opcode in _STORE_OPS
+
+
+def is_reuse_candidate(opcode: Opcode) -> bool:
+    """Whether the WIR reuse machinery may consider this opcode.
+
+    Per the paper, control-flow instructions, barriers, stores, and
+    predicate-producing compares never reuse; arithmetic, SFU, and load
+    instructions with a warp-register destination may.  ``selp`` is excluded
+    because its result depends on a predicate register that the reuse-buffer
+    tag does not capture.
+    """
+    if opcode is Opcode.SELP:
+        return False
+    cls = op_class(opcode)
+    return cls in (OpClass.INT, OpClass.FP, OpClass.SFU, OpClass.LOAD)
+
+
+# Mnemonic -> Opcode lookup used by the assembler.
+MNEMONICS = {op.value: op for op in Opcode}

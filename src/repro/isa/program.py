@@ -1,0 +1,163 @@
+"""Assembled kernel programs: instruction list, CFG, reconvergence points.
+
+Reconvergence for divergent branches follows the classic immediate
+post-dominator (PDOM) scheme used by GPGPU-Sim: the assembler builds the
+control-flow graph over basic blocks and computes, for every branch, the pc
+of its immediate post-dominator.  The SIMT stack reconverges diverged warp
+fragments at that pc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+
+
+#: Sentinel pc used as the reconvergence point of the whole kernel.
+EXIT_PC = -1
+
+
+@dataclass
+class Program:
+    """A fully assembled kernel.
+
+    Attributes:
+        name: kernel name (used in reports).
+        instructions: the instruction list; ``instructions[i].pc == i``.
+        labels: label name -> pc mapping retained for debugging.
+        reconvergence: branch pc -> immediate post-dominator pc.
+    """
+
+    name: str
+    instructions: List[Instruction]
+    labels: Dict[str, int] = field(default_factory=dict)
+    reconvergence: Dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.reconvergence:
+            self.reconvergence = compute_reconvergence(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, pc: int) -> Instruction:
+        return self.instructions[pc]
+
+    @property
+    def num_logical_registers(self) -> int:
+        """Highest logical register index used, plus one."""
+        highest = -1
+        for inst in self.instructions:
+            if inst.writes_register:
+                highest = max(highest, inst.dst.value)
+            for reg in inst.source_registers():
+                highest = max(highest, reg)
+        return highest + 1
+
+    def reconvergence_pc(self, branch_pc: int) -> int:
+        """Reconvergence pc for the branch at *branch_pc*."""
+        return self.reconvergence[branch_pc]
+
+    def listing(self) -> str:
+        """Human-readable disassembly with pcs and reconvergence annotations."""
+        pc_to_label = {pc: name for name, pc in self.labels.items()}
+        lines = [f"// kernel {self.name}"]
+        for inst in self.instructions:
+            if inst.pc in pc_to_label:
+                lines.append(f"{pc_to_label[inst.pc]}:")
+            note = ""
+            if inst.is_branch:
+                rpc = self.reconvergence.get(inst.pc, EXIT_PC)
+                note = f"    // reconverge @{rpc}"
+            lines.append(f"  {inst.pc:4d}: {inst}{note}")
+        return "\n".join(lines)
+
+
+def basic_blocks(instructions: List[Instruction]) -> List[Tuple[int, int]]:
+    """Partition *instructions* into basic blocks.
+
+    Returns a list of ``(start_pc, end_pc_exclusive)`` tuples in program
+    order.  Block leaders are: pc 0, branch targets, and instructions
+    following a branch or exit.
+    """
+    n = len(instructions)
+    leaders = {0}
+    for inst in instructions:
+        if inst.is_branch:
+            leaders.add(inst.target)
+            if inst.pc + 1 < n:
+                leaders.add(inst.pc + 1)
+        elif inst.is_exit and inst.pc + 1 < n:
+            leaders.add(inst.pc + 1)
+    ordered = sorted(pc for pc in leaders if 0 <= pc < n)
+    blocks = []
+    for i, start in enumerate(ordered):
+        end = ordered[i + 1] if i + 1 < len(ordered) else n
+        blocks.append((start, end))
+    return blocks
+
+
+def compute_reconvergence(instructions: List[Instruction]) -> Dict[int, int]:
+    """Compute the immediate post-dominator pc for every branch.
+
+    Builds the CFG over basic blocks, adds a virtual exit node, and runs
+    :func:`networkx.immediate_dominators` on the reversed graph.  The
+    reconvergence point of a branch is the first pc of the immediate
+    post-dominator block of the block ending with that branch; branches whose
+    post-dominator is the virtual exit reconverge at :data:`EXIT_PC`.
+    """
+    if not instructions:
+        return {}
+    blocks = basic_blocks(instructions)
+    start_of_block = {}
+    block_of_pc = {}
+    for idx, (start, end) in enumerate(blocks):
+        start_of_block[idx] = start
+        for pc in range(start, end):
+            block_of_pc[pc] = idx
+
+    virtual_exit = len(blocks)
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(len(blocks) + 1))
+    for idx, (start, end) in enumerate(blocks):
+        last = instructions[end - 1]
+        if last.is_branch:
+            graph.add_edge(idx, block_of_pc[last.target])
+            if last.guard is not None and end < len(instructions):
+                # Predicated branch: fall-through successor exists.
+                graph.add_edge(idx, block_of_pc[end])
+            elif last.guard is None:
+                pass  # unconditional branch has only the target edge
+        elif last.is_exit:
+            graph.add_edge(idx, virtual_exit)
+        elif end < len(instructions):
+            graph.add_edge(idx, block_of_pc[end])
+        else:
+            graph.add_edge(idx, virtual_exit)
+        # A predicated exit also falls through.
+        if last.is_exit and last.guard is not None and end < len(instructions):
+            graph.add_edge(idx, block_of_pc[end])
+
+    # Any block with no path to exit (malformed program) gets an edge so the
+    # dominator computation stays well-defined.
+    for idx in range(len(blocks)):
+        if not nx.has_path(graph, idx, virtual_exit):
+            graph.add_edge(idx, virtual_exit)
+
+    ipdom = nx.immediate_dominators(graph.reverse(copy=False), virtual_exit)
+
+    reconv: Dict[int, int] = {}
+    for idx, (start, end) in enumerate(blocks):
+        last = instructions[end - 1]
+        if not last.is_branch:
+            continue
+        pd = ipdom.get(idx, virtual_exit)
+        if pd == idx:
+            pd = virtual_exit
+        reconv[last.pc] = EXIT_PC if pd == virtual_exit else start_of_block[pd]
+    return reconv

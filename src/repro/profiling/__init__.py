@@ -1,0 +1,5 @@
+"""Workload characterisation tools (the paper's Section III)."""
+
+from repro.profiling.redundancy import RedundancyProfile, RedundancyProfiler
+
+__all__ = ["RedundancyProfiler", "RedundancyProfile"]

@@ -1,0 +1,108 @@
+"""Repeated-warp-computation profiler (paper Section III-A, Figure 2).
+
+A *warp computation* is the combination of opcode, immediates, input values,
+and result values of one dynamic warp instruction.  The profiler samples the
+instruction stream in windows of 1K dynamic warp instructions and counts, in
+each window, how many instructions repeat a computation already performed
+earlier in that window.  Control-flow instructions, barriers, and stores are
+always counted as not repeated, matching the paper's method.
+
+The profiler attaches to an SM via the ``profiler`` hook and observes every
+issued instruction; results from the per-SM profilers are merged by
+:meth:`RedundancyProfile.merge`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.isa.instruction import Instruction, OperandKind
+from repro.isa.opcodes import OpClass
+from repro.sim.exec_engine import ExecResult
+
+#: Window length (dynamic warp instructions), as in the paper.
+WINDOW = 1024
+
+#: How many repeats qualify as "highly repeated" (the paper reports the
+#: fraction of computations appearing more than 10 times).
+HIGH_REPEAT_THRESHOLD = 10
+
+
+@dataclass
+class RedundancyProfile:
+    """Aggregated profiling outcome."""
+
+    windows: int = 0
+    instructions: int = 0
+    repeated: int = 0
+    highly_repeated: int = 0  # instructions whose computation occurs > 10x
+
+    @property
+    def repeat_fraction(self) -> float:
+        """Fraction of dynamic instructions repeating a recent computation."""
+        return self.repeated / self.instructions if self.instructions else 0.0
+
+    @property
+    def high_repeat_fraction(self) -> float:
+        return self.highly_repeated / self.instructions if self.instructions else 0.0
+
+    def merge(self, other: "RedundancyProfile") -> "RedundancyProfile":
+        return RedundancyProfile(
+            windows=self.windows + other.windows,
+            instructions=self.instructions + other.instructions,
+            repeated=self.repeated + other.repeated,
+            highly_repeated=self.highly_repeated + other.highly_repeated,
+        )
+
+
+class RedundancyProfiler:
+    """Per-SM observer computing windowed repeat statistics."""
+
+    def __init__(self, window: int = WINDOW) -> None:
+        self.window = window
+        self.profile = RedundancyProfile()
+        self._hashes: List[Optional[int]] = []
+        self._counts: Dict[int, int] = {}
+
+    def observe(self, inst: Instruction, exec_result: ExecResult) -> None:
+        """Record one dynamic warp instruction."""
+        key = self._computation_key(inst, exec_result)
+        self.profile.instructions += 1
+        if key is not None:
+            count = self._counts.get(key, 0)
+            if count:
+                self.profile.repeated += 1
+            if count >= HIGH_REPEAT_THRESHOLD:
+                self.profile.highly_repeated += 1
+            self._counts[key] = count + 1
+        self._hashes.append(key)
+        if len(self._hashes) >= self.window:
+            self._roll_window()
+
+    def _roll_window(self) -> None:
+        self.profile.windows += 1
+        self._hashes.clear()
+        self._counts.clear()
+
+    def _computation_key(
+        self, inst: Instruction, exec_result: ExecResult
+    ) -> Optional[int]:
+        """Hashable descriptor of the warp computation, or None if excluded."""
+        cls = inst.op_class
+        if cls in (OpClass.CONTROL, OpClass.SYNC, OpClass.STORE, OpClass.NOP):
+            return None
+        parts = [inst.opcode.value]
+        for src, values in zip(inst.srcs, exec_result.sources):
+            if src.kind is OperandKind.IMM:
+                parts.append(src.value)
+            else:
+                parts.append(values.tobytes())
+        if exec_result.result is not None:
+            parts.append(exec_result.result.tobytes())
+        elif exec_result.pred_result is not None:
+            parts.append(exec_result.pred_result.tobytes())
+        parts.append(exec_result.mask.tobytes())
+        return hash(tuple(parts))

@@ -1,0 +1,25 @@
+"""Cycle-level SIMT GPU simulator substrate.
+
+This package implements the baseline GPU of the paper's Section II: multiple
+streaming multiprocessors (SMs), each interleaving up to 48 warps in two
+scheduler groups, a banked 128 KB register file (8 bank groups of 8 banks),
+four execution pipelines (2x SP, SFU, memory), a scoreboard per warp, SIMT
+post-dominator reconvergence, shared-memory scratchpads, L1 caches with
+MSHRs, a shared L2, and a DRAM latency/bandwidth model.
+
+The WIR mechanisms (``repro.core``) plug into the SM via a narrow hook
+interface so the same pipeline runs both the baseline and all reuse designs.
+"""
+
+from repro.sim.config import GPUConfig, WIRConfig
+from repro.sim.gpu import GPU, KernelLaunch, RunResult
+from repro.sim.grid import Dim3
+
+__all__ = [
+    "GPU",
+    "GPUConfig",
+    "WIRConfig",
+    "KernelLaunch",
+    "RunResult",
+    "Dim3",
+]

@@ -1,0 +1,226 @@
+"""Top-level GPU: kernel launch, block dispatch, and the simulation loop.
+
+A :class:`GPU` owns the SM array and the shared memory subsystem for one
+kernel launch.  Thread blocks are dispatched greedily to SMs with free
+capacity (round-robin), and a completed block immediately frees its slots
+for the next pending block.  The simulation loop is cycle-driven with idle
+skipping: when no SM has issueable work the clock jumps to the earliest
+scheduled event.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.isa.program import Program
+from repro.sim.config import GPUConfig
+from repro.sim.grid import Dim3, enumerate_blocks
+from repro.sim.memory.space import MemoryImage
+from repro.sim.memory.subsystem import MemorySubsystem
+from repro.sim.smcore import SMCore, SMCounters
+
+
+class SimulationTimeout(RuntimeError):
+    """The launch did not complete within ``config.max_cycles``."""
+
+
+@dataclass
+class KernelLaunch:
+    """One kernel invocation."""
+
+    program: Program
+    grid: Dim3
+    block: Dim3
+    image: MemoryImage = field(default_factory=MemoryImage)
+
+    @property
+    def total_blocks(self) -> int:
+        return self.grid.count
+
+    @property
+    def total_threads(self) -> int:
+        return self.grid.count * self.block.count
+
+
+@dataclass
+class RunResult:
+    """Everything measured during one launch."""
+
+    cycles: int
+    config: GPUConfig
+    launch: KernelLaunch
+    sm_counters: List[SMCounters]
+    #: Aggregated register file stats (dict snapshot per SM).
+    regfile_stats: List[Dict[str, int]]
+    l1d_stats: Dict[str, int]
+    l1c_stats: Dict[str, int]
+    l2_stats: Dict[str, int]
+    dram_accesses: int
+    noc_flits: int
+    scratchpad_accesses: int
+    #: WIR structure stats, when the design was enabled.
+    wir_stats: Optional[Dict[str, float]] = None
+    #: Per-SM profiler results, when a profiler factory was supplied.
+    profiles: Optional[List] = None
+
+    # --- aggregate helpers ----------------------------------------------------
+
+    def total(self, field_name: str) -> int:
+        return sum(getattr(c, field_name) for c in self.sm_counters)
+
+    @property
+    def issued_instructions(self) -> int:
+        return self.total("issued")
+
+    @property
+    def reused_instructions(self) -> int:
+        return self.total("reused")
+
+    @property
+    def backend_instructions(self) -> int:
+        return self.total("backend_insts")
+
+    @property
+    def reuse_fraction(self) -> float:
+        issued = self.issued_instructions
+        return self.reused_instructions / issued if issued else 0.0
+
+    def regfile_total(self, key: str) -> int:
+        return sum(stats[key] for stats in self.regfile_stats)
+
+
+class GPU:
+    """The simulated GPU chip."""
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        profiler_factory: Optional[Callable[[], object]] = None,
+    ) -> None:
+        config.validate()
+        self.config = config
+        self._profiler_factory = profiler_factory
+
+    def run(self, launch: KernelLaunch) -> RunResult:
+        """Simulate one kernel launch to completion."""
+        config = self.config
+        subsystem = MemorySubsystem(config, launch.image)
+        profilers = []
+        sms: List[SMCore] = []
+        for sm_id in range(config.num_sms):
+            profiler = self._profiler_factory() if self._profiler_factory else None
+            if profiler is not None:
+                profilers.append(profiler)
+            sms.append(SMCore(sm_id, config, launch.program, subsystem, profiler))
+
+        pending = deque(enumerate_blocks(launch.grid, launch.block))
+
+        def fill(sm: SMCore) -> None:
+            while pending and sm.can_accept(pending[0]):
+                sm.dispatch_block(pending.popleft())
+
+        def on_complete(sm_id: int, _block_id: int) -> None:
+            fill(sms[sm_id])
+
+        for sm in sms:
+            sm.on_block_complete = on_complete
+        # Initial fill round-robins blocks across SMs (as the hardware block
+        # dispatcher does) instead of packing the first SM solid.
+        while pending:
+            dispatched = False
+            for sm in sms:
+                if pending and sm.can_accept(pending[0]):
+                    sm.dispatch_block(pending.popleft())
+                    dispatched = True
+            if not dispatched:
+                break
+
+        cycle = 0
+        while True:
+            active = False
+            for sm in sms:
+                active |= sm.tick(cycle)
+            if not pending and not any(sm.busy() for sm in sms):
+                break
+            if cycle >= config.max_cycles:
+                raise SimulationTimeout(
+                    f"kernel {launch.program.name!r} exceeded "
+                    f"{config.max_cycles} cycles"
+                )
+            if active:
+                cycle += 1
+            else:
+                wakes = [w for w in (sm.next_wake() for sm in sms) if w is not None]
+                if not wakes:
+                    # Pending blocks but no SM progress: should be unreachable.
+                    raise SimulationTimeout(
+                        f"kernel {launch.program.name!r} deadlocked at cycle {cycle}"
+                    )
+                cycle = max(cycle + 1, min(wakes))
+
+        return self._collect(cycle, launch, sms, subsystem, profilers)
+
+    def _collect(
+        self,
+        cycles: int,
+        launch: KernelLaunch,
+        sms: List[SMCore],
+        subsystem: MemorySubsystem,
+        profilers: List,
+    ) -> RunResult:
+        def sum_stats(stats_list: List[Dict[str, int]]) -> Dict[str, int]:
+            totals: Dict[str, int] = {}
+            for stats in stats_list:
+                for key, value in stats.items():
+                    totals[key] = totals.get(key, 0) + value
+            return totals
+
+        wir_stats = None
+        if self.config.wir.enabled:
+            wir_stats = self._collect_wir(sms)
+            for sm in sms:
+                sm.unit.check_invariants()
+
+        return RunResult(
+            cycles=cycles,
+            config=self.config,
+            launch=launch,
+            sm_counters=[sm.counters for sm in sms],
+            regfile_stats=[vars(sm.regfile.stats).copy() for sm in sms],
+            l1d_stats=sum_stats([sm.port.l1d.stats.snapshot() for sm in sms]),
+            l1c_stats=sum_stats([sm.port.l1c.stats.snapshot() for sm in sms]),
+            l2_stats=subsystem.l2_stats,
+            dram_accesses=subsystem.dram_accesses,
+            noc_flits=subsystem.noc.flits,
+            scratchpad_accesses=sum(sm.port.scratchpad_accesses for sm in sms),
+            wir_stats=wir_stats,
+            profiles=profilers or None,
+        )
+
+    def _collect_wir(self, sms: List[SMCore]) -> Dict[str, float]:
+        """Aggregate the WIR structure statistics across SMs."""
+        totals: Dict[str, float] = {}
+
+        def add(key: str, value: float) -> None:
+            totals[key] = totals.get(key, 0) + value
+
+        for sm in sms:
+            unit = sm.unit
+            for key, value in vars(unit.counters).items():
+                add(key, value)
+            for key, value in vars(unit.reuse_buffer.stats).items():
+                add(f"rb_{key}", value)
+            for key, value in vars(unit.vsb.stats).items():
+                add(f"vsb_{key}", value)
+            for key, value in vars(unit.verify_cache.stats).items():
+                add(f"vc_{key}", value)
+            add("refcount_ops", unit.refcount.operations)
+            add("phys_peak", unit.physfile.peak_in_use)
+            add("phys_avg", unit.physfile.average_in_use)
+            add("phys_allocations", unit.physfile.allocations)
+        num_sms = max(1, len(sms))
+        totals["phys_peak"] /= num_sms
+        totals["phys_avg"] /= num_sms
+        return totals

@@ -1,0 +1,74 @@
+"""Grid / thread-block geometry for kernel launches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+WARP_SIZE = 32
+
+
+@dataclass(frozen=True)
+class Dim3:
+    """CUDA-style 3-component dimension."""
+
+    x: int
+    y: int = 1
+    z: int = 1
+
+    @property
+    def count(self) -> int:
+        return self.x * self.y * self.z
+
+    def unflatten(self, flat: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Convert flat indices to (x, y, z) coordinates."""
+        x = flat % self.x
+        y = (flat // self.x) % self.y
+        z = flat // (self.x * self.y)
+        return x, y, z
+
+    def __iter__(self) -> Iterator[int]:
+        yield self.x
+        yield self.y
+        yield self.z
+
+
+@dataclass(frozen=True)
+class BlockDescriptor:
+    """One thread block of a launch."""
+
+    block_id: int                 # flat block index in the grid
+    ctaid: Tuple[int, int, int]   # block coordinates
+    ntid: Dim3                    # threads per block
+    nctaid: Dim3                  # grid dimensions
+
+    @property
+    def num_threads(self) -> int:
+        return self.ntid.count
+
+    @property
+    def num_warps(self) -> int:
+        return (self.num_threads + WARP_SIZE - 1) // WARP_SIZE
+
+    def warp_thread_indices(self, warp_in_block: int) -> np.ndarray:
+        """Flat in-block thread indices covered by one warp (32 lanes).
+
+        Lanes past the block's thread count are returned but must be masked
+        inactive by the caller.
+        """
+        start = warp_in_block * WARP_SIZE
+        return np.arange(start, start + WARP_SIZE, dtype=np.int64)
+
+
+def enumerate_blocks(grid: Dim3, block: Dim3) -> Iterator[BlockDescriptor]:
+    """Yield every block of a launch in flat order."""
+    flat = 0
+    for z in range(grid.z):
+        for y in range(grid.y):
+            for x in range(grid.x):
+                yield BlockDescriptor(
+                    block_id=flat, ctaid=(x, y, z), ntid=block, nctaid=grid
+                )
+                flat += 1

@@ -1,0 +1,14 @@
+"""Memory hierarchy: backing stores, caches, scratchpad, L2/DRAM, NoC."""
+
+from repro.sim.memory.cache import Cache, CacheStats
+from repro.sim.memory.space import MemoryImage, MemorySpaceStore
+from repro.sim.memory.subsystem import MemoryAccessResult, MemorySubsystem
+
+__all__ = [
+    "Cache",
+    "CacheStats",
+    "MemoryImage",
+    "MemorySpaceStore",
+    "MemorySubsystem",
+    "MemoryAccessResult",
+]

@@ -1,0 +1,131 @@
+"""Set-associative cache model with MSHR-limited outstanding misses.
+
+The cache is a timing filter: tag state updates immediately on access, and
+the caller receives the latency at which the data is available.  Misses
+allocate an MSHR that is held until the fill returns; accesses that find all
+MSHRs busy are delayed until the oldest outstanding fill completes (modelled
+by returning a later availability cycle).  Secondary misses to a line with a
+pending fill merge into the existing MSHR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sim.config import CacheConfig
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    mshr_merges: int = 0
+    mshr_stalls: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "mshr_merges": self.mshr_merges,
+            "mshr_stalls": self.mshr_stalls,
+            "evictions": self.evictions,
+            "writebacks": self.writebacks,
+        }
+
+
+class Cache:
+    """LRU set-associative cache with a simple MSHR model.
+
+    ``access`` returns ``(ready_cycle, hit)``: the cycle at which the data is
+    available to the requester and whether the access hit.  The next level's
+    latency is supplied by the ``miss_latency`` callback so the same class
+    serves L1 (miss -> L2/DRAM) and L2 partitions (miss -> DRAM).
+    """
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        miss_latency: Callable[[int, int], int],
+        name: str = "cache",
+    ) -> None:
+        self.config = config
+        self.name = name
+        self._miss_latency = miss_latency
+        self.stats = CacheStats()
+        self._num_sets = config.num_sets
+        self._line_shift = config.line_bytes.bit_length() - 1
+        # Per set: ordered list of line tags, most recently used last.
+        self._sets: List[List[int]] = [[] for _ in range(self._num_sets)]
+        # Pending fills: line address -> ready cycle.
+        self._pending: Dict[int, int] = {}
+
+    def _set_index(self, line_addr: int) -> int:
+        return line_addr % self._num_sets
+
+    def line_address(self, byte_addr: int) -> int:
+        return byte_addr >> self._line_shift
+
+    def contains(self, line_addr: int) -> bool:
+        """Tag probe without side effects (used by tests)."""
+        return line_addr in self._sets[self._set_index(line_addr)]
+
+    def _reap_pending(self, cycle: int) -> None:
+        if not self._pending:
+            return
+        done = [line for line, ready in self._pending.items() if ready <= cycle]
+        for line in done:
+            del self._pending[line]
+
+    def access(
+        self, line_addr: int, cycle: int, is_write: bool = False
+    ) -> Tuple[int, bool]:
+        """Access one cache line; returns (ready_cycle, hit)."""
+        self.stats.accesses += 1
+        self._reap_pending(cycle)
+        line_set = self._sets[self._set_index(line_addr)]
+
+        if line_addr in line_set:
+            # A line with a pending fill counts as a miss-merge, not a hit.
+            pending_ready = self._pending.get(line_addr)
+            if pending_ready is not None:
+                self.stats.mshr_merges += 1
+                return max(pending_ready, cycle + self.config.hit_latency), False
+            self.stats.hits += 1
+            line_set.remove(line_addr)
+            line_set.append(line_addr)
+            return cycle + self.config.hit_latency, True
+
+        # Miss.
+        self.stats.misses += 1
+        start = cycle
+        if len(self._pending) >= self.config.mshr_entries:
+            # All MSHRs busy: the request waits for the oldest fill.
+            self.stats.mshr_stalls += 1
+            start = min(self._pending.values())
+            self._reap_pending(start)
+        fill_latency = self._miss_latency(line_addr, start)
+        ready = start + self.config.hit_latency + fill_latency
+
+        # Allocate (write-allocate for simplicity; GPUs typically use
+        # write-evict L1s, but allocation policy does not affect the reuse
+        # mechanisms under study).
+        if len(line_set) >= self.config.ways:
+            victim = line_set.pop(0)
+            self.stats.evictions += 1
+            self._pending.pop(victim, None)
+        line_set.append(line_addr)
+        self._pending[line_addr] = ready
+        return ready, False
+
+    def invalidate_all(self) -> None:
+        self._sets = [[] for _ in range(self._num_sets)]
+        self._pending.clear()

@@ -1,0 +1,120 @@
+"""Functional backing stores for the simulated address spaces.
+
+All simulated accesses are 4-byte words.  :class:`MemorySpaceStore` keeps a
+flat ``uint32`` array that grows on demand; the functional execution engine
+loads/stores vectors of per-lane addresses with an active-lane mask.
+
+A :class:`MemoryImage` bundles the stores for every address space of one
+kernel launch: one global store shared by the whole GPU, one constant and
+one parameter store (read-only), and one scratchpad store per thread block
+(created lazily, since scratchpad address spaces are private per block).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.isa.opcodes import MemSpace
+
+
+class MemorySpaceStore:
+    """Auto-growing word-addressable backing store."""
+
+    def __init__(self, name: str, initial_words: int = 1024) -> None:
+        self.name = name
+        self._data = np.zeros(max(initial_words, 16), dtype=np.uint32)
+
+    def _ensure(self, max_word: int) -> None:
+        if max_word >= self._data.size:
+            new_size = self._data.size
+            while new_size <= max_word:
+                new_size *= 2
+            grown = np.zeros(new_size, dtype=np.uint32)
+            grown[: self._data.size] = self._data
+            self._data = grown
+
+    def load(self, byte_addrs: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Load 32-bit words at per-lane *byte_addrs* where *mask* is set.
+
+        Inactive lanes return zero.  Addresses are truncated to word
+        alignment (the simulator models 4-byte accesses only).
+        """
+        words = (byte_addrs >> 2).astype(np.int64)
+        out = np.zeros(byte_addrs.shape[0], dtype=np.uint32)
+        if mask.any():
+            active_words = words[mask]
+            if active_words.size:
+                self._ensure(int(active_words.max()))
+                out[mask] = self._data[active_words]
+        return out
+
+    def store(
+        self, byte_addrs: np.ndarray, values: np.ndarray, mask: np.ndarray
+    ) -> None:
+        """Store 32-bit *values* at per-lane *byte_addrs* where *mask* is set.
+
+        When multiple active lanes target the same word the highest lane
+        wins, matching the unordered intra-warp store semantics of real GPUs
+        (numpy fancy assignment applies later indices last).
+        """
+        if not mask.any():
+            return
+        words = (byte_addrs[mask] >> 2).astype(np.int64)
+        self._ensure(int(words.max()))
+        self._data[words] = values[mask]
+
+    def write_block(self, byte_addr: int, values: np.ndarray) -> None:
+        """Bulk initialisation helper used by workload input generators."""
+        values = np.asarray(values, dtype=np.uint32).ravel()
+        start = byte_addr >> 2
+        self._ensure(start + values.size)
+        self._data[start : start + values.size] = values
+
+    def read_block(self, byte_addr: int, count: int) -> np.ndarray:
+        """Read *count* words starting at *byte_addr* (for result checking)."""
+        start = byte_addr >> 2
+        self._ensure(start + count)
+        return self._data[start : start + count].copy()
+
+    @property
+    def size_words(self) -> int:
+        return self._data.size
+
+
+class MemoryImage:
+    """All backing stores for one kernel launch."""
+
+    def __init__(self) -> None:
+        self.global_mem = MemorySpaceStore("global")
+        self.const_mem = MemorySpaceStore("const")
+        self.param_mem = MemorySpaceStore("param")
+        self.local_mem = MemorySpaceStore("local")
+        self._scratchpads: Dict[int, MemorySpaceStore] = {}
+
+    def scratchpad(self, block_id: int) -> MemorySpaceStore:
+        """Per-thread-block scratchpad store (created on first touch)."""
+        store = self._scratchpads.get(block_id)
+        if store is None:
+            store = MemorySpaceStore(f"shared[{block_id}]")
+            self._scratchpads[block_id] = store
+        return store
+
+    def release_scratchpad(self, block_id: int) -> None:
+        """Free a completed block's scratchpad."""
+        self._scratchpads.pop(block_id, None)
+
+    def store_for(self, space: MemSpace, block_id: int) -> MemorySpaceStore:
+        """Resolve the backing store for *space* accessed by *block_id*."""
+        if space is MemSpace.GLOBAL:
+            return self.global_mem
+        if space is MemSpace.SHARED:
+            return self.scratchpad(block_id)
+        if space is MemSpace.CONST:
+            return self.const_mem
+        if space is MemSpace.PARAM:
+            return self.param_mem
+        if space is MemSpace.LOCAL:
+            return self.local_mem
+        raise ValueError(f"unknown space {space}")

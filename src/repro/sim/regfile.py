@@ -1,0 +1,77 @@
+"""Banked register file timing model.
+
+The 128 KB register file is organised as 8 bank groups of 8 x 128-bit banks
+(Section II): one 1024-bit warp register access is served by one bank group
+in lockstep, and each group sustains one read and one write per cycle.
+Requests to a busy group retry on following cycles; the retry count per
+request is the Figure 18b metric.
+
+Energy accounting counts *bank* accesses: a full-width warp register access
+activates all 8 banks of its group; an affine-encoded access (the Affine
+model of Section VII-A) activates a single bank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.config import GPUConfig
+
+
+@dataclass
+class RegisterFileStats:
+    read_requests: int = 0
+    write_requests: int = 0
+    read_retries: int = 0
+    write_retries: int = 0
+    bank_reads: int = 0
+    bank_writes: int = 0
+    verify_read_requests: int = 0
+
+
+class RegisterFileTiming:
+    """Per-SM register file port arbiter."""
+
+    #: Banks ganged per group (1024-bit register / 128-bit banks).
+    BANKS_PER_GROUP = 8
+
+    def __init__(self, config: GPUConfig) -> None:
+        self.config = config
+        self.num_groups = config.register_bank_groups
+        self._read_free = [0] * self.num_groups
+        self._write_free = [0] * self.num_groups
+        self.stats = RegisterFileStats()
+
+    def group_of(self, reg_id: int) -> int:
+        return reg_id % self.num_groups
+
+    def schedule_read(
+        self, reg_id: int, cycle: int, affine: bool = False, verify: bool = False
+    ) -> int:
+        """Arbitrate one register read; returns the cycle the data is ready."""
+        group = self.group_of(reg_id)
+        start = max(cycle, self._read_free[group])
+        self.stats.read_requests += 1
+        self.stats.read_retries += start - cycle
+        if verify:
+            self.stats.verify_read_requests += 1
+        self._read_free[group] = start + 1
+        self.stats.bank_reads += 1 if affine else self.BANKS_PER_GROUP
+        return start + 1
+
+    def schedule_write(self, reg_id: int, cycle: int, affine: bool = False) -> int:
+        """Arbitrate one register write; returns the completion cycle."""
+        group = self.group_of(reg_id)
+        start = max(cycle, self._write_free[group])
+        self.stats.write_requests += 1
+        self.stats.write_retries += start - cycle
+        self._write_free[group] = start + 1
+        self.stats.bank_writes += 1 if affine else self.BANKS_PER_GROUP
+        return start + 1
+
+    @property
+    def retries_per_request(self) -> float:
+        total = self.stats.read_requests + self.stats.write_requests
+        if not total:
+            return 0.0
+        return (self.stats.read_retries + self.stats.write_retries) / total

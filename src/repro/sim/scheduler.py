@@ -1,0 +1,65 @@
+"""Warp schedulers: greedy-then-oldest (GTO) and loose round-robin (LRR).
+
+Each SM has two schedulers (Table II); scheduler *i* owns the warp slots
+with ``slot % num_schedulers == i`` so the two groups of 24 warps issue
+independently, one warp instruction per scheduler per cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.sim.config import SchedulerPolicy
+
+
+class WarpScheduler:
+    """Selects one ready warp slot per cycle from its group."""
+
+    def __init__(
+        self, scheduler_id: int, slots: List[int], policy: SchedulerPolicy
+    ) -> None:
+        self.scheduler_id = scheduler_id
+        self.slots = list(slots)
+        self.policy = policy
+        self._last_issued: Optional[int] = None
+        self._rr_index = 0
+        #: Slot age: lower = older; refreshed when a block is dispatched.
+        self._age: dict = {slot: i for i, slot in enumerate(self.slots)}
+        self._age_counter = len(self.slots)
+
+    def note_dispatch(self, slot: int) -> None:
+        """Record that *slot* received a fresh warp (it becomes youngest)."""
+        self._age[slot] = self._age_counter
+        self._age_counter += 1
+
+    def pick(self, ready: Callable[[int], bool]) -> Optional[int]:
+        """Select the next slot to issue from, or ``None`` if none is ready."""
+        if self.policy is SchedulerPolicy.GTO:
+            return self._pick_gto(ready)
+        return self._pick_lrr(ready)
+
+    def _pick_gto(self, ready: Callable[[int], bool]) -> Optional[int]:
+        # Greedy: stick with the last-issued warp while it stays ready.
+        if self._last_issued is not None and ready(self._last_issued):
+            return self._last_issued
+        # Then oldest: lowest dispatch age wins.
+        best: Optional[int] = None
+        best_age = None
+        for slot in self.slots:
+            if not ready(slot):
+                continue
+            age = self._age[slot]
+            if best_age is None or age < best_age:
+                best, best_age = slot, age
+        if best is not None:
+            self._last_issued = best
+        return best
+
+    def _pick_lrr(self, ready: Callable[[int], bool]) -> Optional[int]:
+        n = len(self.slots)
+        for offset in range(n):
+            slot = self.slots[(self._rr_index + offset) % n]
+            if ready(slot):
+                self._rr_index = (self._rr_index + offset + 1) % n
+                return slot
+        return None

@@ -1,0 +1,62 @@
+"""Per-warp scoreboards tracking write-pending registers (Section II).
+
+The destination registers of an issued instruction are registered as
+write-pending; the next instruction of the warp may issue only when none of
+its source or destination registers (or predicates) is pending.  Retiring
+instructions clear their destinations.  As in the baseline GPU — and
+deliberately unchanged by the WIR design — the scoreboard operates on
+*logical* register IDs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.isa.instruction import Instruction
+
+
+class Scoreboard:
+    """Scoreboards for all warp slots of one SM."""
+
+    def __init__(self, num_warp_slots: int) -> None:
+        self._pending_regs: List[Set[int]] = [set() for _ in range(num_warp_slots)]
+        self._pending_preds: List[Set[int]] = [set() for _ in range(num_warp_slots)]
+
+    def reset_slot(self, slot: int) -> None:
+        self._pending_regs[slot].clear()
+        self._pending_preds[slot].clear()
+
+    def can_issue(self, slot: int, inst: Instruction) -> bool:
+        """RAW/WAW/WAR-safe issue check against pending writes."""
+        regs = self._pending_regs[slot]
+        preds = self._pending_preds[slot]
+        if regs:
+            for reg in inst.source_registers():
+                if reg in regs:
+                    return False
+            if inst.writes_register and inst.dst.value in regs:
+                return False
+        if preds:
+            for pred in inst.source_predicates():
+                if pred in preds:
+                    return False
+            if inst.writes_predicate and inst.dst.value in preds:
+                return False
+        return True
+
+    def register(self, slot: int, inst: Instruction) -> None:
+        """Mark the instruction's destinations write-pending."""
+        if inst.writes_register:
+            self._pending_regs[slot].add(inst.dst.value)
+        elif inst.writes_predicate:
+            self._pending_preds[slot].add(inst.dst.value)
+
+    def release(self, slot: int, inst: Instruction) -> None:
+        """Clear the instruction's destinations at retire."""
+        if inst.writes_register:
+            self._pending_regs[slot].discard(inst.dst.value)
+        elif inst.writes_predicate:
+            self._pending_preds[slot].discard(inst.dst.value)
+
+    def pending_count(self, slot: int) -> int:
+        return len(self._pending_regs[slot]) + len(self._pending_preds[slot])

@@ -1,0 +1,620 @@
+"""Streaming multiprocessor core: schedulers, pipelines, and event loop.
+
+The SM uses a hybrid cycle/event model: warp schedulers issue up to one
+instruction per scheduler per cycle, and each issued instruction's journey
+through the backend (operand read with bank arbitration, functional-unit or
+memory latency, the WIR allocation stages, writeback) is computed with
+monotonic resource counters and scheduled as retire events on a heap.
+Functional state (register values, memory) commits at issue in program
+order per warp — the scoreboard guarantees consumers never issue before
+their producers retire, so the early commit is architecturally invisible.
+
+The WIR unit plugs in via three hooks (issue / allocation / commit); with
+``config.wir.enabled == False`` the same pipeline runs the Base GPU.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.affine import AFFINE_PRESERVING_OPS, AffineTracker, is_affine_value
+from repro.core.reuse_buffer import Waiter
+from repro.core.wir_unit import IssueDecision, WIRUnit
+from repro.isa.instruction import Instruction, OperandKind
+from repro.isa.opcodes import MemSpace, Opcode, OpClass
+from repro.isa.program import Program
+from repro.sim.config import GPUConfig
+from repro.sim.exec_engine import ExecResult, execute
+from repro.sim.grid import BlockDescriptor
+from repro.sim.memory.subsystem import MemorySubsystem, SMMemoryPort
+from repro.sim.regfile import RegisterFileTiming
+from repro.sim.scheduler import WarpScheduler
+from repro.sim.scoreboard import Scoreboard
+from repro.sim.warp import Warp
+
+
+@dataclass
+class SMCounters:
+    """Per-SM dynamic event counts feeding the energy model and figures."""
+
+    cycles: int = 0
+    issued: int = 0
+    retired: int = 0
+    reused: int = 0                 # bypassed backend via reuse (incl. queued)
+    reused_loads: int = 0
+    backend_insts: int = 0          # entered register-read/execute path
+    control_insts: int = 0
+    barrier_insts: int = 0
+    store_insts: int = 0
+    fu_sp_insts: int = 0
+    fu_sfu_insts: int = 0
+    fu_sp_lanes: int = 0            # lane activations (affine may be 1)
+    fu_sfu_lanes: int = 0
+    mem_insts: int = 0
+    affine_fu_insts: int = 0        # executed on one lane (Affine model)
+    issued_by_class: Dict[str, int] = field(default_factory=dict)
+    blocks_completed: int = 0
+    warps_completed: int = 0
+
+    def note_class(self, cls: OpClass) -> None:
+        self.issued_by_class[cls.value] = self.issued_by_class.get(cls.value, 0) + 1
+
+
+class _BlockState:
+    """Lifecycle bookkeeping for one resident thread block."""
+
+    __slots__ = ("descriptor", "slots", "live_warps")
+
+    def __init__(self, descriptor: BlockDescriptor, slots: List[int]) -> None:
+        self.descriptor = descriptor
+        self.slots = slots
+        self.live_warps = len(slots)
+
+
+class SMCore:
+    """One streaming multiprocessor."""
+
+    def __init__(
+        self,
+        sm_id: int,
+        config: GPUConfig,
+        program: Program,
+        subsystem: MemorySubsystem,
+        profiler=None,
+    ) -> None:
+        self.sm_id = sm_id
+        self.config = config
+        self.program = program
+        self.profiler = profiler
+
+        self.warps: List[Optional[Warp]] = [None] * config.max_warps_per_sm
+        self.scoreboard = Scoreboard(config.max_warps_per_sm)
+        self.regfile = RegisterFileTiming(config)
+        self.port = SMMemoryPort(sm_id, config, subsystem)
+        self.affine = AffineTracker(enabled=config.wir.affine)
+        self.unit: Optional[WIRUnit] = (
+            WIRUnit(config, self.regfile, self.affine) if config.wir.enabled else None
+        )
+        self.counters = SMCounters()
+
+        num_sched = config.num_schedulers
+        self.schedulers = [
+            WarpScheduler(
+                i,
+                [s for s in range(config.max_warps_per_sm) if s % num_sched == i],
+                config.scheduler_policy,
+            )
+            for i in range(num_sched)
+        ]
+
+        # Backend pipelines: initiation-interval-limited (1 warp inst/cycle).
+        self._sp_free = [0] * config.num_sp_pipelines
+        self._sfu_free = 0
+        self._mem_free = 0
+
+        # Event heap: (cycle, seq, callback).
+        self._events: List[Tuple[int, int, Callable[[], None]]] = []
+        self._event_seq = 0
+        self.cycle = 0
+
+        # Resident blocks.
+        self._blocks: Dict[int, _BlockState] = {}
+        self._warp_blocked_until: List[int] = [0] * config.max_warps_per_sm
+        #: Warps waiting in the pending-retry queue do not issue.
+        self._warp_waiting: List[bool] = [False] * config.max_warps_per_sm
+
+        #: Extra front-of-backend latency from the rename + reuse stages.
+        extra = config.wir.extra_pipeline_latency
+        self._front_delay = max(1, extra - 2) if self.unit else 1
+        self._regalloc_delay = 2 if self.unit else 0
+
+        # Register-utilisation sampling (Figure 19) interval.
+        self._util_sample_interval = 64
+        self.on_block_complete: Optional[Callable[[int, int], None]] = None
+
+    # ------------------------------------------------------------ block admin
+
+    @property
+    def resident_blocks(self) -> int:
+        return len(self._blocks)
+
+    def free_warp_slots(self) -> int:
+        return sum(1 for warp in self.warps if warp is None)
+
+    def can_accept(self, block: BlockDescriptor) -> bool:
+        return (
+            self.resident_blocks < self.config.max_blocks_per_sm
+            and self.free_warp_slots() >= block.num_warps
+        )
+
+    def dispatch_block(self, block: BlockDescriptor) -> None:
+        """Install a thread block into free warp slots."""
+        slots: List[int] = []
+        for slot in range(len(self.warps)):
+            if self.warps[slot] is None:
+                slots.append(slot)
+                if len(slots) == block.num_warps:
+                    break
+        if len(slots) < block.num_warps:
+            raise RuntimeError("dispatch_block called without capacity")
+        for warp_in_block, slot in enumerate(slots):
+            warp = Warp(slot, block, warp_in_block, self.program)
+            self.warps[slot] = warp
+            self.scoreboard.reset_slot(slot)
+            self._warp_blocked_until[slot] = self.cycle
+            self._warp_waiting[slot] = False
+            if self.unit is not None:
+                self.unit.reset_slot(slot)
+            self.schedulers[slot % len(self.schedulers)].note_dispatch(slot)
+        self._blocks[block.block_id] = _BlockState(block, slots)
+        self._refresh_register_cap()
+
+    def _refresh_register_cap(self) -> None:
+        if self.unit is None:
+            return
+        active_warps = sum(1 for warp in self.warps if warp is not None)
+        self.unit.set_register_cap(self.program.num_logical_registers, active_warps)
+
+    def _warp_finished(self, warp: Warp) -> None:
+        """A warp has exited and drained its in-flight instructions."""
+        state = self._blocks.get(warp.block.block_id)
+        self.warps[warp.warp_slot] = None
+        self.counters.warps_completed += 1
+        if self.unit is not None:
+            self.unit.reset_slot(warp.warp_slot)
+        self._maybe_release_barrier(warp.block.block_id)
+        if state is None:
+            return
+        state.live_warps -= 1
+        if state.live_warps == 0:
+            del self._blocks[warp.block.block_id]
+            self.counters.blocks_completed += 1
+            if self.unit is not None:
+                self.unit.on_block_complete(warp.block.block_id)
+            self.port.subsystem.image.release_scratchpad(warp.block.block_id)
+            self._refresh_register_cap()
+            if self.on_block_complete is not None:
+                self.on_block_complete(self.sm_id, warp.block.block_id)
+
+    # -------------------------------------------------------------- event loop
+
+    def _schedule(self, cycle: int, callback: Callable[[], None]) -> None:
+        self._event_seq += 1
+        heapq.heappush(self._events, (max(cycle, self.cycle + 1), self._event_seq, callback))
+
+    def busy(self) -> bool:
+        return bool(self._events) or any(warp is not None for warp in self.warps)
+
+    def next_wake(self) -> Optional[int]:
+        """Earliest future cycle at which this SM has work (None if idle).
+
+        Only called after an idle tick: no warp was issueable, so warps wake
+        either on a retire event (scoreboard release, barrier, waiter) or
+        when their control-hazard block / a busy pipeline expires.
+        """
+        candidates = []
+        if self._events:
+            candidates.append(self._events[0][0])
+        for slot, warp in enumerate(self.warps):
+            if warp is None or warp.exited or warp.at_barrier or self._warp_waiting[slot]:
+                continue
+            blocked = self._warp_blocked_until[slot]
+            if blocked > self.cycle:
+                candidates.append(blocked)
+        for free in (*self._sp_free, self._sfu_free, self._mem_free):
+            if free > self.cycle:
+                candidates.append(free)
+        return min(candidates) if candidates else None
+
+    def tick(self, cycle: int) -> bool:
+        """Advance one cycle: drain due events, then issue. Returns activity."""
+        self.cycle = cycle
+        active = False
+        while self._events and self._events[0][0] <= cycle:
+            _, _, callback = heapq.heappop(self._events)
+            callback()
+            active = True
+        for scheduler in self.schedulers:
+            slot = scheduler.pick(self._ready)
+            if slot is not None:
+                self._issue(slot)
+                active = True
+        if active:
+            self.counters.cycles += 1
+        if self.unit is not None and cycle % self._util_sample_interval == 0:
+            self.unit.physfile.sample_utilization()
+        return active
+
+    # ------------------------------------------------------------------ issue
+
+    def _ready(self, slot: int) -> bool:
+        warp = self.warps[slot]
+        if warp is None or warp.exited or warp.at_barrier or self._warp_waiting[slot]:
+            return False
+        if self._warp_blocked_until[slot] > self.cycle:
+            return False
+        inst = warp.next_instruction()
+        if inst is None:
+            return False
+        if not self.scoreboard.can_issue(slot, inst):
+            return False
+        return self._pipeline_available(inst.op_class)
+
+    def _pipeline_available(self, cls: OpClass) -> bool:
+        if cls in (OpClass.INT, OpClass.FP, OpClass.PRED):
+            return min(self._sp_free) <= self.cycle
+        if cls is OpClass.SFU:
+            return self._sfu_free <= self.cycle
+        if cls in (OpClass.LOAD, OpClass.STORE):
+            return self._mem_free <= self.cycle
+        return True
+
+    def _issue(self, slot: int) -> None:
+        warp = self.warps[slot]
+        inst = warp.next_instruction()
+        cycle = self.cycle
+        exec_result = execute(inst, warp)
+        self.counters.issued += 1
+        self.counters.note_class(inst.op_class)
+        warp.last_issue_cycle = cycle
+
+        if self.profiler is not None:
+            self.profiler.observe(inst, exec_result)
+
+        cls = inst.op_class
+        if cls is OpClass.CONTROL:
+            self._issue_control(warp, inst, exec_result)
+            return
+        if cls is OpClass.SYNC:
+            self._issue_sync(warp, inst)
+            return
+        if cls is OpClass.NOP:
+            warp.advance()
+            self._finish_if_exited(warp)
+            return
+
+        decision: Optional[IssueDecision] = None
+        if self.unit is not None:
+            decision = self.unit.issue_stage(
+                warp, inst, exec_result, cycle,
+                make_waiter=lambda: self._make_waiter(warp, inst, exec_result),
+            )
+
+        # Track store flags for load reuse before advancing.
+        if cls is OpClass.STORE:
+            if inst.space is MemSpace.SHARED:
+                warp.shared_store_flag = True
+            elif inst.space is MemSpace.GLOBAL:
+                warp.global_store_flag = True
+
+        self.scoreboard.register(slot, inst)
+        warp.inflight += 1
+        warp.advance()
+
+        if decision is not None and decision.action == "reuse":
+            self._do_reuse(warp, inst, exec_result, decision)
+        elif decision is not None and decision.action == "queued":
+            self._do_queue(warp, inst)
+        else:
+            self._do_execute(warp, inst, exec_result, decision, cycle)
+        self._finish_if_exited(warp)
+
+    # --- control / sync -------------------------------------------------------
+
+    def _issue_control(self, warp: Warp, inst: Instruction, exec_result: ExecResult) -> None:
+        self.counters.control_insts += 1
+        slot = warp.warp_slot
+        if inst.opcode is Opcode.BRA:
+            warp.resolve_branch(inst.pc, exec_result.taken_mask, inst.target)
+        else:  # exit
+            warp.execute_exit(exec_result.mask)
+        # Control hazard: the warp waits for branch resolution latency.
+        self._warp_blocked_until[slot] = self.cycle + self.config.sp_latency // 2
+        self._finish_if_exited(warp)
+
+    def _issue_sync(self, warp: Warp, inst: Instruction) -> None:
+        self.counters.barrier_insts += 1
+        warp.advance()
+        if inst.opcode is Opcode.BAR:
+            warp.at_barrier = True
+            self._maybe_release_barrier(warp.block.block_id)
+        self._finish_if_exited(warp)
+
+    def _maybe_release_barrier(self, block_id: int) -> None:
+        state = self._blocks.get(block_id)
+        if state is None:
+            return
+        waiting = []
+        for slot in state.slots:
+            warp = self.warps[slot]
+            if warp is None or warp.exited:
+                continue
+            if not warp.at_barrier:
+                return
+            waiting.append(warp)
+        if not waiting:
+            return
+        for warp in waiting:
+            warp.at_barrier = False
+            warp.barrier_count += 1
+            warp.shared_store_flag = False
+            warp.global_store_flag = False
+
+    # --- reuse paths -----------------------------------------------------------
+
+    def _do_reuse(
+        self, warp: Warp, inst: Instruction, exec_result: ExecResult,
+        decision: IssueDecision,
+    ) -> None:
+        """Immediate reuse hit: bypass the whole backend."""
+        self.counters.reused += 1
+        if inst.op_class is OpClass.LOAD:
+            self.counters.reused_loads += 1
+            values = self.unit.physfile.read(decision.result_reg)
+            warp.write_reg(inst.dst.value, values, exec_result.mask)
+        else:
+            # Arithmetic reuse must be value-exact; assert against the
+            # functionally computed result (a genuine invariant of the design).
+            reused = self.unit.physfile.read(decision.result_reg)
+            if not np.array_equal(reused, exec_result.result):
+                raise AssertionError(
+                    f"arithmetic reuse returned a wrong value for {inst} "
+                    f"(pc={inst.pc}, warp slot {warp.warp_slot})"
+                )
+            warp.write_reg(inst.dst.value, reused, exec_result.mask)
+        retire_cycle = self.cycle + self._front_delay + 1
+        result_reg = decision.result_reg
+
+        def commit() -> None:
+            self.unit.commit_reuse(warp, inst, result_reg)
+            self._retire(warp, inst)
+
+        self._schedule(retire_cycle, commit)
+
+    def _make_waiter(self, warp: Warp, inst: Instruction, exec_result: ExecResult) -> Waiter:
+        """Waiter for the pending-retry queue (Section VI-B)."""
+        self._warp_waiting[warp.warp_slot] = True
+
+        def on_result(result_reg: Optional[int]) -> None:
+            self._warp_waiting[warp.warp_slot] = False
+            if result_reg is not None:
+                self._wake_queued(warp, inst, exec_result, result_reg)
+                return
+            # The pending entry was evicted before the producer retired:
+            # re-enter the reuse stage (it may hit a newer entry, queue
+            # again, or finally execute).
+            decision = self.unit.issue_stage(
+                warp, inst, exec_result, self.cycle,
+                make_waiter=lambda: self._make_waiter(warp, inst, exec_result),
+            )
+            if decision.action == "reuse":
+                self._do_reuse(warp, inst, exec_result, decision)
+            elif decision.action != "queued":
+                self._do_execute(warp, inst, exec_result, decision, self.cycle)
+
+        return Waiter(on_result)
+
+    def _do_queue(self, warp: Warp, inst: Instruction) -> None:
+        """The instruction waits on a pending reuse-buffer entry."""
+        # Functional commit and retire are deferred to the wakeup.
+
+    def _wake_queued(
+        self, warp: Warp, inst: Instruction, exec_result: ExecResult, result_reg: int
+    ) -> None:
+        self.counters.reused += 1
+        if inst.op_class is OpClass.LOAD:
+            self.counters.reused_loads += 1
+        # Transit reference until commit_reuse (the entry that woke us could
+        # be evicted before our retire fires).
+        self.unit.refcount.incref(result_reg)
+        values = self.unit.physfile.read(result_reg)
+        if inst.op_class is not OpClass.LOAD and not np.array_equal(
+            values, exec_result.result
+        ):
+            raise AssertionError(
+                f"pending-retry reuse returned a wrong value for {inst}"
+            )
+        warp.write_reg(inst.dst.value, values, exec_result.mask)
+
+        def commit() -> None:
+            self.unit.commit_reuse(warp, inst, result_reg)
+            self._retire(warp, inst)
+
+        # Queued instructions re-probe the buffer and retire a cycle after
+        # the producer's result lands.
+        self._schedule(self.cycle + 1, commit)
+
+    # --- execute path -----------------------------------------------------------
+
+    def _do_execute(
+        self,
+        warp: Warp,
+        inst: Instruction,
+        exec_result: ExecResult,
+        decision: Optional[IssueDecision],
+        cycle: int,
+        from_retry: bool = False,
+    ) -> None:
+        self.counters.backend_insts += 1
+        cls = inst.op_class
+
+        # Functional commit (loads commit below with the memory access).
+        if cls is not OpClass.LOAD:
+            if exec_result.result is not None:
+                warp.write_reg(inst.dst.value, exec_result.result, exec_result.mask)
+            if exec_result.pred_result is not None:
+                warp.write_pred(inst.dst.value, exec_result.pred_result, exec_result.mask)
+
+        start = cycle + self._front_delay
+
+        # Operand collection: one bank read per distinct register source.
+        read_ready = start
+        reg_keys = self._source_bank_keys(warp, inst, decision)
+        for key in reg_keys:
+            read_ready = max(
+                read_ready,
+                self.regfile.schedule_read(key, start, affine=self.affine.is_affine(key)),
+            )
+
+        if cls in (OpClass.LOAD, OpClass.STORE):
+            exec_ready = self._execute_memory(warp, inst, exec_result, read_ready)
+        else:
+            exec_ready = self._execute_alu(warp, inst, exec_result, read_ready, decision)
+
+        self._schedule(exec_ready, lambda: self._writeback(
+            warp, inst, exec_result, decision, exec_ready))
+
+    def _source_bank_keys(
+        self, warp: Warp, inst: Instruction, decision: Optional[IssueDecision]
+    ) -> List[int]:
+        """Register-bank keys of the distinct register sources."""
+        if decision is not None:
+            return sorted(set(decision.src_phys))
+        keys = {
+            (warp.warp_slot << 8) | reg for reg in inst.source_registers()
+        }
+        return sorted(keys)
+
+    def _execute_alu(
+        self,
+        warp: Warp,
+        inst: Instruction,
+        exec_result: ExecResult,
+        ready: int,
+        decision: Optional[IssueDecision],
+    ) -> int:
+        cls = inst.op_class
+        lanes = int(exec_result.mask.sum())
+        affine_exec = self._affine_execution(warp, inst, exec_result, decision)
+        lane_cost = 1 if affine_exec else max(lanes, 1)
+        if affine_exec:
+            self.counters.affine_fu_insts += 1
+
+        if cls is OpClass.SFU:
+            start = max(ready, self._sfu_free)
+            self._sfu_free = start + 1
+            self.counters.fu_sfu_insts += 1
+            self.counters.fu_sfu_lanes += lane_cost
+            return start + self.config.sfu_latency
+
+        pipe = min(range(len(self._sp_free)), key=lambda i: self._sp_free[i])
+        start = max(ready, self._sp_free[pipe])
+        self._sp_free[pipe] = start + 1
+        self.counters.fu_sp_insts += 1
+        self.counters.fu_sp_lanes += lane_cost
+        return start + self.config.sp_latency
+
+    def _affine_execution(
+        self,
+        warp: Warp,
+        inst: Instruction,
+        exec_result: ExecResult,
+        decision: Optional[IssueDecision],
+    ) -> bool:
+        """Affine model: 1-lane execution when inputs and output are affine."""
+        if not self.affine.enabled or inst.opcode not in AFFINE_PRESERVING_OPS:
+            return False
+        if exec_result.result is None or not exec_result.mask.all():
+            return False
+        # Register inputs must be tracked-affine; immediates are affine by
+        # construction; special registers are checked by value.
+        for src, values in zip(inst.srcs, exec_result.sources):
+            if src.kind is OperandKind.SREG and not is_affine_value(values):
+                return False
+        keys = self._source_bank_keys(warp, inst, decision)
+        if not self.affine.all_affine(keys):
+            return False
+        return is_affine_value(exec_result.result)
+
+    def _execute_memory(
+        self, warp: Warp, inst: Instruction, exec_result: ExecResult, ready: int
+    ) -> int:
+        start = max(ready, self._mem_free)
+        self._mem_free = start + 1
+        self.counters.mem_insts += 1
+        if inst.op_class is OpClass.STORE:
+            self.counters.store_insts += 1
+        result = self.port.access(
+            inst.space,
+            warp.block.block_id,
+            exec_result.addresses,
+            exec_result.mask,
+            start,
+            is_store=inst.op_class is OpClass.STORE,
+            store_values=exec_result.store_values,
+        )
+        if inst.op_class is OpClass.LOAD:
+            warp.write_reg(inst.dst.value, result.values, exec_result.mask)
+        return result.ready_cycle
+
+    # --- writeback / retire ------------------------------------------------------
+
+    def _writeback(
+        self,
+        warp: Warp,
+        inst: Instruction,
+        exec_result: ExecResult,
+        decision: Optional[IssueDecision],
+        cycle: int,
+    ) -> None:
+        if not inst.writes_register:
+            self._schedule(cycle, lambda: self._retire(warp, inst))
+            return
+
+        if self.unit is not None:
+            ready, dest = self.unit.allocation_stage(
+                warp, inst, exec_result, decision, cycle)
+
+            def commit() -> None:
+                waiters = self.unit.commit_stage(warp, inst, decision, dest)
+                self._retire(warp, inst)
+                for waiter in waiters:
+                    waiter.on_result(dest)
+
+            self._schedule(ready, commit)
+            return
+
+        # Base GPU: plain register write.
+        key = (warp.warp_slot << 8) | inst.dst.value
+        if exec_result.mask.all():
+            affine = self.affine.record_write(key, warp.read_reg(inst.dst.value),
+                                              opcode=inst.opcode)
+        else:
+            self.affine.record_partial_write(key)
+            affine = False
+        ready = self.regfile.schedule_write(key, cycle, affine=affine)
+        self._schedule(ready, lambda: self._retire(warp, inst))
+
+    def _retire(self, warp: Warp, inst: Instruction) -> None:
+        self.scoreboard.release(warp.warp_slot, inst)
+        warp.inflight -= 1
+        self.counters.retired += 1
+        self._finish_if_exited(warp)
+
+    def _finish_if_exited(self, warp: Warp) -> None:
+        if warp.exited and warp.inflight == 0 and self.warps[warp.warp_slot] is warp:
+            self._warp_finished(warp)

@@ -1,0 +1,161 @@
+"""Shared pieces for the benchmark builders.
+
+Register conventions used across kernels (not enforced, just a convention
+that keeps the assembly readable):
+
+* ``r0`` — threadIdx.x, ``r1`` — global thread id (after PROLOGUE)
+* ``r2``/``r3`` — scratch address registers
+* higher registers — kernel-specific
+
+Data generators produce the *sources of repetition* the paper identifies:
+flat image regions (identical pixel neighbourhoods), duplicated work items
+(identical queries/points), smooth fields (many equal deltas), and
+plain random data for the low-reuse benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.sim.grid import Dim3
+from repro.sim.memory.space import MemoryImage
+
+#: Prologue computing r0 = tid.x, r1 = global thread id.
+PROLOGUE = """
+    mov   r0, %tid.x
+    mov   r2, %ctaid.x
+    mov   r3, %ntid.x
+    mad   r1, r2, r3, r0
+"""
+
+
+@dataclass
+class BuiltWorkload:
+    """One ready-to-run benchmark instance."""
+
+    name: str
+    program: Program
+    grid: Dim3
+    block: Dim3
+    image: MemoryImage
+    #: (byte address, word count) in global memory holding the results, used
+    #: for cross-model output-equivalence checks.
+    output_region: Optional[Tuple[int, int]] = None
+    #: Optional reference checker: called with the output words after a run.
+    check: Optional[Callable[[np.ndarray], None]] = None
+
+    def output_words(self) -> Optional[np.ndarray]:
+        if self.output_region is None:
+            return None
+        addr, count = self.output_region
+        return self.image.global_mem.read_block(addr, count)
+
+    def verify(self) -> None:
+        """Run the reference check, if one is attached."""
+        if self.check is not None:
+            words = self.output_words()
+            assert words is not None, "workload has a check but no output region"
+            self.check(words)
+
+
+def rng_for(seed: int, salt: str) -> np.random.Generator:
+    """Deterministic per-benchmark RNG."""
+    return np.random.default_rng((seed, salt.encode()))
+
+
+# --------------------------------------------------------------------------
+# Input generators (the redundancy knobs)
+# --------------------------------------------------------------------------
+
+def flat_patch_image(
+    width: int, height: int, rng: np.random.Generator,
+    patch: int = 8, levels: int = 4, max_value: int = 250,
+) -> np.ndarray:
+    """Image of constant patches: large flat regions drive value reuse."""
+    ph = (height + patch - 1) // patch
+    pw = (width + patch - 1) // patch
+    values = rng.integers(0, levels, size=(ph, pw)) * (max_value // max(1, levels - 1))
+    img = np.repeat(np.repeat(values, patch, axis=0), patch, axis=1)
+    return img[:height, :width].astype(np.uint32)
+
+
+def smooth_field(
+    count: int, rng: np.random.Generator, step_every: int = 16, amplitude: int = 8
+) -> np.ndarray:
+    """Piecewise-constant 1D field with occasional small steps."""
+    steps = rng.integers(-amplitude, amplitude + 1, size=(count // step_every) + 1)
+    field_values = np.repeat(np.cumsum(steps) + 100, step_every)[:count]
+    return field_values.astype(np.uint32)
+
+
+def duplicated_values(
+    count: int, rng: np.random.Generator, unique: int
+) -> np.ndarray:
+    """Draw *count* items from a pool of only *unique* distinct values."""
+    pool = rng.integers(1, 1 << 16, size=unique, dtype=np.uint32)
+    return pool[rng.integers(0, unique, size=count)]
+
+
+def warp_pattern_values(
+    count: int, rng: np.random.Generator, unique_rows: int,
+    bits: int = 16, lanes: int = 32,
+) -> np.ndarray:
+    """Data whose aligned 32-lane rows repeat: warp-granular duplication.
+
+    Warp *computations* repeat only when the whole 32-lane operand vector
+    repeats; per-lane duplication is not enough.  This generator draws each
+    aligned warp row from a small pool of row patterns, the way duplicate
+    queries/points arrive in batched workloads.
+    """
+    rows = (count + lanes - 1) // lanes
+    pool = rng.integers(1, 1 << bits, size=(unique_rows, lanes), dtype=np.uint32)
+    picks = rng.integers(0, unique_rows, size=rows)
+    return pool[picks].reshape(-1)[:count]
+
+
+def random_words(count: int, rng: np.random.Generator, bits: int = 24) -> np.ndarray:
+    """Dense random data: the low-reuse end of the spectrum."""
+    return rng.integers(1, 1 << bits, size=count, dtype=np.uint32)
+
+
+def random_floats(
+    count: int, rng: np.random.Generator, low: float = 0.1, high: float = 4.0
+) -> np.ndarray:
+    """Random float32 payloads, returned as their uint32 bit patterns."""
+    values = rng.uniform(low, high, size=count).astype(np.float32)
+    return values.view(np.uint32)
+
+
+def quantised_floats(
+    count: int, rng: np.random.Generator, levels: int = 8,
+    low: float = 0.5, high: float = 2.0,
+) -> np.ndarray:
+    """Float32 data drawn from few distinct values (repetition-friendly)."""
+    pool = np.linspace(low, high, levels, dtype=np.float32)
+    return pool[rng.integers(0, levels, size=count)].view(np.uint32)
+
+
+def build(
+    name: str,
+    source: str,
+    grid: Dim3,
+    block: Dim3,
+    image: MemoryImage,
+    output_region: Optional[Tuple[int, int]] = None,
+    check: Optional[Callable[[np.ndarray], None]] = None,
+) -> BuiltWorkload:
+    """Assemble and bundle one workload."""
+    return BuiltWorkload(
+        name=name,
+        program=assemble(source, name=name),
+        grid=grid,
+        block=block,
+        image=image,
+        output_region=output_region,
+        check=check,
+    )

@@ -1,0 +1,204 @@
+"""Computational-finance benchmarks: BO, MC, SQ, BS.
+
+binomialOptions prices a small option tree per block with shared-memory
+relaxation behind barriers (few distinct strike/price pairs repeat across
+blocks); MonteCarlo runs per-thread LCG paths (mostly unique values);
+SobolQRNG XORs constant direction vectors; BlackScholes evaluates the
+closed-form price per option on fully unique inputs — the paper's
+least-reusable FP-heavy benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.grid import Dim3
+from repro.sim.memory.space import MemoryImage
+from repro.workloads.common import (
+    PROLOGUE,
+    BuiltWorkload,
+    build,
+    duplicated_values,
+    random_floats,
+    random_words,
+    rng_for,
+)
+
+BASE = 4096
+OUT_BASE = 1 << 20
+
+
+def build_bo(scale: int = 1, seed: int = 7) -> BuiltWorkload:
+    """binoOpts (CUDA SDK): binomial tree relaxation in scratchpad.
+
+    Option parameters are drawn from a handful of (S, K) pairs, so whole
+    blocks price identical trees — relaxation arithmetic repeats across
+    blocks and the staged tree values are shared through the scratchpad.
+    """
+    rng = rng_for(seed, "BO")
+    blocks = 8 * scale
+    params = duplicated_values(blocks * 2, rng, unique=3) & 0xFF
+    image = MemoryImage()
+    image.global_mem.write_block(BASE, params)
+    steps = 6
+    source = PROLOGUE + f"""
+    mov   r4, %ctaid.x
+    shl   r5, r4, 3
+    add   r5, r5, {BASE}
+    ld.global r6, [r5]                 // S (spot class)
+    ld.global r7, [r5+4]               // K (strike class)
+    // leaf payoff: max(S * u^tid - K, 0), integerised
+    mul   r8, r6, r0
+    add   r8, r8, r6
+    sub   r9, r8, r7
+    max   r9, r9, 0
+    shl   r10, r0, 2
+    st.shared -, [r10], r9
+    bar.sync
+    mov   r11, 0                       // step
+bo_loop:
+    shl   r12, r0, 2
+    ld.shared r13, [r12]               // V[i]
+    ld.shared r14, [r12+4]             // V[i+1]
+    add   r15, r13, r14
+    shr   r15, r15, 1                  // discounted expectation
+    bar.sync
+    st.shared -, [r12], r15
+    bar.sync
+    add   r11, r11, 1
+    setp.lt p0, r11, {steps}
+@p0 bra   bo_loop
+    shl   r16, r1, 2
+    add   r16, r16, {OUT_BASE}
+    st.global -, [r16], r15
+    exit
+"""
+    return build("BO", source, Dim3(blocks), Dim3(128), image,
+                 output_region=(OUT_BASE, blocks * 128))
+
+
+def build_mc(scale: int = 1, seed: int = 7) -> BuiltWorkload:
+    """MonteCarlo (CUDA SDK): LCG paths with per-thread seeds (49% FP)."""
+    rng = rng_for(seed, "MC")
+    threads = 768 * scale
+    seeds = random_words(threads, rng)
+    image = MemoryImage()
+    image.global_mem.write_block(BASE, seeds)
+    paths = 8
+    source = PROLOGUE + f"""
+    shl   r4, r1, 2
+    add   r4, r4, {BASE}
+    ld.global r5, [r4]                 // seed
+    mov   r6, 0                        // payoff accumulator (float bits)
+    mov   r7, 0                        // path
+mc_loop:
+    mul   r8, r5, 1103515245
+    add   r5, r8, 12345                // LCG step
+    shr   r9, r5, 16
+    and   r9, r9, 1023
+    cvt.i2f r10, r9
+    fmul  r11, r10, 0f0.0009765625     // uniform in [0,1)
+    fmul  r12, r11, r11
+    fadd  r13, r12, 0f0.08             // drift + vol^2 term
+    fadd  r6, r6, r13
+    add   r7, r7, 1
+    setp.lt p0, r7, {paths}
+@p0 bra   mc_loop
+    fmul  r14, r6, 0f0.125             // mean payoff
+    shl   r15, r1, 2
+    add   r15, r15, {OUT_BASE}
+    st.global -, [r15], r14
+    exit
+"""
+    return build("MC", source, Dim3(threads // 128), Dim3(128), image,
+                 output_region=(OUT_BASE, threads))
+
+
+def build_sq(scale: int = 1, seed: int = 7) -> BuiltWorkload:
+    """SobolQRNG (CUDA SDK): XOR of constant direction vectors.
+
+    The direction-vector loads repeat for every thread (read-only constant
+    memory reuse), while the per-index XOR results are mostly unique.
+    """
+    rng = rng_for(seed, "SQ")
+    threads = 1024 * scale
+    directions = random_words(32, rng)
+    seeds = random_words(threads, rng, bits=20)
+    image = MemoryImage()
+    image.global_mem.write_block(BASE, seeds)
+    # Direction vectors are per-dimension constants; the unrolled generator
+    # holds them as immediates (divergent XOR accumulation per bit).
+    steps = "".join(
+        """
+    and   r7, r5, {bit}
+    setp.ne p0, r7, 0
+@p0 xor   r4, r4, {v}""".format(bit=1 << b, v=int(directions[b]))
+        for b in range(8)
+    )
+    source = PROLOGUE + f"""
+    mov   r4, 0                        // result
+    shl   r5, r1, 2
+    add   r5, r5, {BASE}
+    ld.global r5, [r5]                 // scrambled start index
+    xor   r5, r5, r1                   // Gray-code walker
+{steps}
+    shl   r10, r1, 2
+    add   r10, r10, {OUT_BASE}
+    st.global -, [r10], r4
+    exit
+"""
+    return build("SQ", source, Dim3(threads // 128), Dim3(128), image,
+                 output_region=(OUT_BASE, threads))
+
+
+def build_bs(scale: int = 1, seed: int = 7) -> BuiltWorkload:
+    """BlackSchls (CUDA SDK): closed-form pricing on unique inputs (74% FP).
+
+    Every option has a unique (price, strike, time) triple, so the
+    SFU-heavy evaluation chain almost never repeats — the paper's lowest
+    reuse benchmark together with heartwall.
+    """
+    rng = rng_for(seed, "BS")
+    options = 768 * scale
+    prices = random_floats(options, rng, low=10.0, high=120.0)
+    strikes = random_floats(options, rng, low=20.0, high=100.0)
+    times = random_floats(options, rng, low=0.1, high=2.0)
+    image = MemoryImage()
+    image.global_mem.write_block(BASE, prices)
+    image.global_mem.write_block(BASE + 64 * 1024, strikes)
+    image.global_mem.write_block(BASE + 128 * 1024, times)
+    source = PROLOGUE + f"""
+    shl   r4, r1, 2
+    add   r5, r4, {BASE}
+    ld.global r6, [r5]                 // S
+    add   r7, r4, {BASE + 64 * 1024}
+    ld.global r8, [r7]                 // K
+    add   r9, r4, {BASE + 128 * 1024}
+    ld.global r10, [r9]                // T
+    fdiv  r11, r6, r8                  // S/K
+    lg2   r12, r11                     // log-moneyness
+    sqrt  r13, r10                     // sqrt(T)
+    fmul  r14, r13, 0f0.30             // vol * sqrt(T)
+    fdiv  r15, r12, r14                // d1 core
+    fmad  r16, r14, 0f0.5, r15         // d1
+    fsub  r17, r16, r14                // d2
+    // logistic CND approximation: 1 / (1 + 2^(-3 d))
+    fmul  r18, r16, 0f-3.0
+    ex2   r19, r18
+    fadd  r19, r19, 0f1.0
+    rcp   r20, r19                     // N(d1)
+    fmul  r21, r17, 0f-3.0
+    ex2   r22, r21
+    fadd  r22, r22, 0f1.0
+    rcp   r23, r22                     // N(d2)
+    fmul  r24, r6, r20                 // S N(d1)
+    fmul  r25, r8, r23
+    fmul  r25, r25, 0f0.95             // discounted K N(d2)
+    fsub  r26, r24, r25                // call price
+    shl   r27, r1, 2
+    add   r27, r27, {OUT_BASE}
+    st.global -, [r27], r26
+    exit
+"""
+    return build("BS", source, Dim3(options // 128), Dim3(128), image,
+                 output_region=(OUT_BASE, options))

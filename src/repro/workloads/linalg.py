@@ -1,0 +1,248 @@
+"""Dense linear-algebra benchmarks: SG, LU, GA, KM, SC.
+
+sgemm works on shared-memory tiles; gaussian scales pivot rows; lud runs a
+diagonal-block elimination step; kmeans and streamcluster compute distances
+from points to constant-memory centres.  The redundancy knobs: gaussian's
+matrix has many repeated coefficients, kmeans points are drawn from a small
+pool of distinct values (duplicated work items), streamcluster points are
+fully random.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.grid import Dim3
+from repro.sim.memory.space import MemoryImage
+from repro.workloads.common import (
+    PROLOGUE,
+    BuiltWorkload,
+    build,
+    duplicated_values,
+    quantised_floats,
+    random_floats,
+    random_words,
+    rng_for,
+    warp_pattern_values,
+)
+
+A_BASE = 4096
+B_BASE = 256 * 1024
+OUT_BASE = 1 << 20
+
+
+def build_sg(scale: int = 1, seed: int = 7) -> BuiltWorkload:
+    """sgemm (Parboil): tiled matrix multiply with shared-memory staging.
+
+    Each block computes one 32-wide strip of C = A x B for a K=16 reduction,
+    staging the B tile in scratchpad behind a barrier — the canonical GPU
+    kernel shape (random matrices: value reuse comes mostly from address
+    arithmetic and the staged tile loads).
+    """
+    rng = rng_for(seed, "SG")
+    n, k = 64, 16 * scale
+    a = random_floats(n * k * 8, rng)  # one row strip per block
+    b = random_floats(k * n, rng)
+    image = MemoryImage()
+    image.global_mem.write_block(A_BASE, a)
+    image.global_mem.write_block(B_BASE, b)
+    source = PROLOGUE + f"""
+    // stage one column strip of B into scratchpad
+    shl   r4, r0, 2
+    mov   r5, %ctaid.x
+    shl   r6, r5, 8                    // block column offset (64 floats)
+    add   r7, r4, r6
+    add   r7, r7, {B_BASE}             // B[row=tid][block column]
+    ld.global r8, [r7]
+    st.shared -, [r4], r8
+    bar.sync
+    mov   r9, 0                        // acc (float bits)
+    mul   r17, r5, {k * 64}            // this block's A row strip (bytes)
+    mov   r10, 0                       // i
+sg_loop:
+    shl   r11, r10, 2
+    mul   r12, r10, 256                // A row stride (64 floats)
+    add   r13, r12, r4
+    add   r13, r13, r17
+    add   r13, r13, {A_BASE}
+    ld.global r14, [r13]               // A[i][tid]
+    ld.shared r15, [r11]               // B tile element
+    fmad  r9, r14, r15, r9
+    add   r10, r10, 1
+    setp.lt p0, r10, {k}
+@p0 bra   sg_loop
+    shl   r16, r1, 2
+    add   r16, r16, {OUT_BASE}
+    st.global -, [r16], r9
+    exit
+"""
+    return build("SG", source, Dim3(8), Dim3(128), image,
+                 output_region=(OUT_BASE, 8 * 128))
+
+
+def build_ga(scale: int = 1, seed: int = 7) -> BuiltWorkload:
+    """gaussian (Rodinia): elimination step with a highly repetitive matrix.
+
+    Gaussian elimination repeatedly computes m = a[i][p] / a[p][p] and
+    a[i][j] -= m * a[p][j]; with the integer matrix drawn from few values
+    the multiplier arithmetic repeats across rows and blocks.
+    """
+    rng = rng_for(seed, "GA")
+    n = 64
+    rows = 16 * scale
+    # Elimination rows of a structured system repeat at warp granularity.
+    mat = warp_pattern_values(rows * n, rng, unique_rows=5, bits=12)
+    pivot = duplicated_values(n, rng, unique=2)
+    image = MemoryImage()
+    image.global_mem.write_block(A_BASE, mat)
+    image.const_mem.write_block(0, pivot)
+    threads = rows * n
+    source = PROLOGUE + f"""
+    shl   r4, r1, 2
+    add   r4, r4, {A_BASE}
+    ld.global r5, [r4]                 // a[i][j]
+    and   r6, r1, {n - 1}              // column j
+    shl   r7, r6, 2
+    ld.const r8, [r7]                  // pivot row element
+    shr   r9, r1, 6                    // row i
+    and   r10, r9, 1
+    add   r10, r10, 1                  // multiplier class of this row
+    mul   r11, r8, r10                 // m * pivot[j]
+    sub   r12, r5, r11                 // eliminated element
+    shl   r13, r1, 2
+    add   r13, r13, {OUT_BASE}
+    st.global -, [r13], r12
+    exit
+"""
+    return build("GA", source, Dim3(threads // 128), Dim3(128), image,
+                 output_region=(OUT_BASE, threads))
+
+
+def build_lu(scale: int = 1, seed: int = 7) -> BuiltWorkload:
+    """lud (Rodinia): diagonal-block LU elimination with scratchpad staging."""
+    rng = rng_for(seed, "LU")
+    n = 64
+    rows = 12 * scale
+    mat = duplicated_values(rows * n, rng, unique=16)
+    image = MemoryImage()
+    image.global_mem.write_block(A_BASE, mat)
+    threads = rows * n
+    source = PROLOGUE + f"""
+    shl   r4, r1, 2
+    add   r4, r4, {A_BASE}
+    ld.global r5, [r4]                 // element
+    shl   r6, r0, 2
+    st.shared -, [r6], r5              // stage the working row
+    bar.sync
+    mov   r7, 0                        // partial sum
+    mov   r8, 0                        // k
+lu_loop:
+    shl   r9, r8, 2
+    ld.shared r10, [r9]                // l[k]
+    ld.shared r11, [r9+64]             // u[k] (second tile half)
+    mad   r7, r10, r11, r7
+    add   r8, r8, 1
+    setp.lt p0, r8, 8
+@p0 bra   lu_loop
+    sub   r12, r5, r7
+    shl   r13, r1, 2
+    add   r13, r13, {OUT_BASE}
+    st.global -, [r13], r12
+    exit
+"""
+    return build("LU", source, Dim3(threads // 128), Dim3(128), image,
+                 output_region=(OUT_BASE, threads))
+
+
+def build_km(scale: int = 1, seed: int = 7) -> BuiltWorkload:
+    """kmeans (Rodinia): nearest-centre assignment over duplicated points.
+
+    Points come from a small pool of distinct values (many observations of
+    the same item), so distance computations repeat; the scattered feature
+    loads also make kmeans cache-sensitive, which the paper calls out.
+    """
+    rng = rng_for(seed, "KM")
+    points = 768 * scale
+    k = 8
+    # Duplicate observations arrive as repeated warp rows of features.
+    feats = warp_pattern_values(points * 2, rng, unique_rows=20, bits=8)
+    centres = (random_words(k * 2, rng, bits=8))
+    image = MemoryImage()
+    image.global_mem.write_block(A_BASE, feats)
+    # Centres live in global memory (updated between kmeans iterations, so
+    # the real kernel cannot place them in constant memory); every warp
+    # loads the same centre addresses -> prime load-reuse traffic.
+    centre_base = B_BASE + 256 * 1024
+    image.global_mem.write_block(centre_base, centres)
+    source = PROLOGUE + f"""
+    shl   r4, r1, 3                    // 2 features per point
+    add   r4, r4, {A_BASE}
+    ld.global r5, [r4]                 // f0
+    ld.global r6, [r4+4]               // f1
+    mov   r7, 0x7fffffff               // best distance
+    mov   r8, 0                        // best centre
+    mov   r9, 0                        // c
+km_loop:
+    shl   r10, r9, 3
+    add   r10, r10, {centre_base}
+    ld.global r11, [r10]               // centre f0
+    ld.global r12, [r10+4]             // centre f1
+    sub   r13, r5, r11
+    mul   r13, r13, r13
+    sub   r14, r6, r12
+    mad   r13, r14, r14, r13           // squared distance
+    setp.lt p0, r13, r7
+@p0 mov   r7, r13
+@p0 mov   r8, r9
+    add   r9, r9, 1
+    setp.lt p1, r9, {k}
+@p1 bra   km_loop
+    shl   r15, r1, 2
+    add   r15, r15, {OUT_BASE}
+    st.global -, [r15], r8
+    exit
+"""
+    return build("KM", source, Dim3(points // 128), Dim3(128), image,
+                 output_region=(OUT_BASE, points))
+
+
+def build_sc(scale: int = 1, seed: int = 7) -> BuiltWorkload:
+    """streamcluster (Rodinia): weighted distance to medians, random points."""
+    rng = rng_for(seed, "SC")
+    points = 768 * scale
+    k = 6
+    feats = random_words(points * 2, rng, bits=12)
+    medians = random_words(k * 2, rng, bits=12).reshape(k, 2)
+    weights = random_words(points, rng, bits=4)
+    image = MemoryImage()
+    image.global_mem.write_block(A_BASE, feats)
+    image.global_mem.write_block(B_BASE, weights)
+    # The current medians are loop-invariant scalars held in registers by
+    # the real kernel; fold them into immediates.
+    body = "".join(
+        """
+    sub   r14, r5, {m0}
+    mul   r14, r14, r14
+    sub   r15, r6, {m1}
+    mad   r14, r15, r15, r14
+    mul   r14, r14, r8
+    min   r9, r9, r14""".format(m0=int(m[0]), m1=int(m[1]))
+        for m in medians
+    )
+    source = PROLOGUE + f"""
+    shl   r4, r1, 3
+    add   r4, r4, {A_BASE}
+    ld.global r5, [r4]
+    ld.global r6, [r4+4]
+    shl   r7, r1, 2
+    add   r7, r7, {B_BASE}
+    ld.global r8, [r7]                 // weight
+    mov   r9, 0x7fffffff
+{body}
+    shl   r16, r1, 2
+    add   r16, r16, {OUT_BASE}
+    st.global -, [r16], r9
+    exit
+"""
+    return build("SC", source, Dim3(points // 128), Dim3(128), image,
+                 output_region=(OUT_BASE, points))

@@ -1,0 +1,143 @@
+"""Media / signal benchmarks: SD, DX, WT.
+
+sad computes block-matching sums of absolute differences between two video
+frames that share most macroblocks (static background = repetition); dxtc
+scores random colours against a palette (low reuse); fastWalshTransform
+runs add/sub butterflies over scratchpad.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.grid import Dim3
+from repro.sim.memory.space import MemoryImage
+from repro.workloads.common import (
+    PROLOGUE,
+    BuiltWorkload,
+    build,
+    flat_patch_image,
+    random_words,
+    rng_for,
+)
+
+BASE = 4096
+FRAME2 = BASE + 128 * 1024
+OUT_BASE = 1 << 20
+
+
+def build_sd(scale: int = 1, seed: int = 7) -> BuiltWorkload:
+    """sad (Parboil): 8-tap SAD between two mostly-identical frames."""
+    rng = rng_for(seed, "SD")
+    pixels = 1024 * scale
+    frame1 = flat_patch_image(64, pixels // 64 + 1, rng, patch=8, levels=6).ravel()
+    frame2 = frame1.copy()
+    # A moving object disturbs 20% of the pixels; the rest repeat exactly.
+    moved = rng.integers(0, frame2.size, size=frame2.size // 5)
+    frame2[moved] = random_words(moved.size, rng, bits=8)
+    image = MemoryImage()
+    image.global_mem.write_block(BASE, frame1[: pixels + 64])
+    image.global_mem.write_block(FRAME2, frame2[: pixels + 64])
+    source = PROLOGUE + f"""
+    shl   r4, r1, 2
+    add   r5, r4, {BASE}
+    add   r6, r4, {FRAME2}
+    mov   r7, 0                        // sad accumulator
+    mov   r8, 0                        // tap
+sd_loop:
+    shl   r9, r8, 2
+    add   r10, r5, r9
+    ld.global r11, [r10]
+    add   r12, r6, r9
+    ld.global r13, [r12]
+    sub   r14, r11, r13
+    abs   r14, r14
+    add   r7, r7, r14
+    add   r8, r8, 1
+    setp.lt p0, r8, 8
+@p0 bra   sd_loop
+    shl   r15, r1, 2
+    add   r15, r15, {OUT_BASE}
+    st.global -, [r15], r7
+    exit
+"""
+    return build("SD", source, Dim3(pixels // 128), Dim3(128), image,
+                 output_region=(OUT_BASE, pixels))
+
+
+def build_dx(scale: int = 1, seed: int = 7) -> BuiltWorkload:
+    """dxtc (CUDA SDK): nearest-palette colour scoring of random texels."""
+    rng = rng_for(seed, "DX")
+    texels = 768 * scale
+    colours = random_words(texels * 3, rng, bits=8)
+    palette = random_words(4 * 3, rng, bits=8).reshape(4, 3)
+    image = MemoryImage()
+    image.global_mem.write_block(BASE, colours)
+    # The 4-colour palette is compile-time constant in dxtc's inner loop;
+    # fold it into immediates as nvcc does.
+    entries = "".join(
+        """
+    sub   r14, r5, {r}
+    mul   r14, r14, r14
+    sub   r15, r6, {g}
+    mad   r14, r15, r15, r14
+    sub   r16, r7, {b}
+    mad   r14, r16, r16, r14
+    min   r8, r8, r14""".format(r=int(c[0]), g=int(c[1]), b=int(c[2]))
+        for c in palette
+    )
+    source = PROLOGUE + f"""
+    mul   r4, r1, 12                   // rgb per texel
+    add   r4, r4, {BASE}
+    ld.global r5, [r4]
+    ld.global r6, [r4+4]
+    ld.global r7, [r4+8]
+    mov   r8, 0x7fffffff               // best error (unrolled palette scan)
+{entries}
+    shl   r17, r1, 2
+    add   r17, r17, {OUT_BASE}
+    st.global -, [r17], r8
+    exit
+"""
+    return build("DX", source, Dim3(texels // 128), Dim3(128), image,
+                 output_region=(OUT_BASE, texels))
+
+
+def build_wt(scale: int = 1, seed: int = 7) -> BuiltWorkload:
+    """fastWlshTf (CUDA SDK): Walsh-Hadamard butterflies in scratchpad."""
+    rng = rng_for(seed, "WT")
+    blocks = 8 * scale
+    data = random_words(blocks * 128, rng, bits=12)
+    image = MemoryImage()
+    image.global_mem.write_block(BASE, data)
+    source = PROLOGUE + f"""
+    shl   r4, r1, 2
+    add   r4, r4, {BASE}
+    ld.global r5, [r4]
+    shl   r6, r0, 2
+    st.shared -, [r6], r5
+    bar.sync
+    mov   r7, 1                        // stride
+wt_loop:
+    xor   r8, r0, r7                   // butterfly partner
+    shl   r9, r8, 2
+    ld.shared r10, [r9]                // partner value
+    ld.shared r11, [r6]                // own value
+    and   r12, r0, r7
+    setp.eq p0, r12, 0
+    add   r13, r11, r10                // sum path
+    sub   r14, r11, r10                // difference path
+    selp  r15, r13, r14, p0
+    bar.sync
+    st.shared -, [r6], r15
+    bar.sync
+    shl   r7, r7, 1
+    setp.lt p1, r7, 32
+@p1 bra   wt_loop
+    shl   r16, r1, 2
+    add   r16, r16, {OUT_BASE}
+    st.global -, [r16], r15
+    exit
+"""
+    return build("WT", source, Dim3(blocks), Dim3(128), image,
+                 output_region=(OUT_BASE, blocks * 128))

@@ -1,0 +1,92 @@
+"""Benchmark registry: the paper's Table I, in Figure 2 order.
+
+Table I lists 34 applications from Parboil, Rodinia, and the CUDA SDK with
+their floating-point instruction fractions; the paper arranges benchmarks
+by their repeated-computation percentage (Figure 2), SobelFilter highest
+and heartwall lowest.  ``WORKLOADS`` preserves that order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.workloads import finance, graph, imaging, linalg, media, scanreduce, stencil
+from repro.workloads.common import BuiltWorkload
+
+
+@dataclass(frozen=True)
+class WorkloadInfo:
+    """Static metadata of one benchmark (one Table I row)."""
+
+    abbr: str
+    name: str
+    suite: str            # "Parboil", "Rodinia", or "CUDA SDK"
+    fp_fraction: Optional[float]  # Table I %FP (None where the paper shows '-')
+    builder: Callable[..., BuiltWorkload]
+
+    def build(self, scale: int = 1, seed: int = 7) -> BuiltWorkload:
+        return self.builder(scale=scale, seed=seed)
+
+
+_ROWS = [
+    # Figure 2 order (most repeated computations first).
+    ("SF", "SobelFilter", "CUDA SDK", 0.067, imaging.build_sf),
+    ("BT", "b+tree", "Rodinia", None, graph.build_bt),
+    ("GA", "gaussian", "Rodinia", 0.022, linalg.build_ga),
+    ("BP", "backprop", "Rodinia", 0.150, scanreduce.build_bp),
+    ("PF", "pathfinder", "Rodinia", None, stencil.build_pf),
+    ("BO", "binoOpts", "CUDA SDK", 0.306, finance.build_bo),
+    ("ST", "stencil", "Parboil", 0.093, stencil.build_st),
+    ("S2", "srad-v2", "Rodinia", 0.252, imaging.build_s2),
+    ("LU", "lud", "Rodinia", 0.190, linalg.build_lu),
+    ("KM", "kmeans", "Rodinia", 0.184, linalg.build_km),
+    ("DW", "dwt2d", "Rodinia", None, imaging.build_dw),
+    ("NW", "nw", "Rodinia", None, graph.build_nw),
+    ("SV", "spmv", "Parboil", 0.063, scanreduce.build_sv),
+    ("CU", "cutcp", "Parboil", 0.735, scanreduce.build_cu),
+    ("MQ", "mri-q", "Parboil", 0.639, scanreduce.build_mq),
+    ("SG", "sgemm", "Parboil", 0.688, linalg.build_sg),
+    ("FD", "FDTD3d", "CUDA SDK", 0.330, stencil.build_fd),
+    ("MC", "MonteCarlo", "CUDA SDK", 0.493, finance.build_mc),
+    ("SD", "sad", "Parboil", None, media.build_sd),
+    ("S1", "srad-v1", "Rodinia", 0.156, imaging.build_s1),
+    ("SQ", "SobolQR", "CUDA SDK", 0.045, finance.build_sq),
+    ("LB", "lbm", "Parboil", 0.542, stencil.build_lb),
+    ("HS", "hotspot", "Rodinia", 0.176, imaging.build_hs),
+    ("HT", "hybridsort", "Rodinia", 0.172, scanreduce.build_ht),
+    ("SN", "scan", "CUDA SDK", None, scanreduce.build_sn),
+    ("DC", "dct8x8", "CUDA SDK", 0.340, imaging.build_dc),
+    ("WT", "fastWlshTf", "CUDA SDK", 0.161, media.build_wt),
+    ("BF", "bfs", "Rodinia", None, graph.build_bf),
+    ("CF", "cfd", "Rodinia", 0.629, scanreduce.build_cf),
+    ("DX", "dxtc", "CUDA SDK", 0.430, media.build_dx),
+    ("SC", "strmclster", "Rodinia", 0.219, linalg.build_sc),
+    ("LK", "leukocyte", "Rodinia", 0.334, imaging.build_lk),
+    ("BS", "BlackSchls", "CUDA SDK", 0.744, finance.build_bs),
+    ("HW", "heartwall", "Rodinia", 0.092, imaging.build_hw),
+]
+
+WORKLOADS: Dict[str, WorkloadInfo] = {
+    abbr: WorkloadInfo(abbr, name, suite, fp, builder)
+    for abbr, name, suite, fp, builder in _ROWS
+}
+
+
+def all_abbrs() -> List[str]:
+    """All benchmark abbreviations in Figure 2 order."""
+    return list(WORKLOADS)
+
+
+def get_workload(abbr: str) -> WorkloadInfo:
+    try:
+        return WORKLOADS[abbr]
+    except KeyError:
+        raise ValueError(
+            f"unknown benchmark {abbr!r}; available: {', '.join(WORKLOADS)}"
+        ) from None
+
+
+def build_workload(abbr: str, scale: int = 1, seed: int = 7) -> BuiltWorkload:
+    """Build one benchmark instance by abbreviation."""
+    return get_workload(abbr).build(scale=scale, seed=seed)

@@ -1,0 +1,305 @@
+"""Scan / reduce / compute benchmarks: BP, SN, HT, SV, CU, MQ, CF.
+
+backprop propagates activations through a small weight layer (quantised
+weights repeat); scan is the classic Hillis-Steele prefix sum in scratchpad;
+hybridsort is the bucket-histogram phase over random keys; spmv is a sparse
+matrix-vector product with indirect vector loads (load-reuse friendly);
+cutcp evaluates Coulomb potentials against constant atoms; mri-q computes
+the Q matrix with sin/cos of quantised phases; cfd computes Euler fluxes on
+random state vectors (low reuse, FP heavy).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.grid import Dim3
+from repro.sim.memory.space import MemoryImage
+from repro.workloads.common import (
+    PROLOGUE,
+    BuiltWorkload,
+    build,
+    duplicated_values,
+    quantised_floats,
+    random_floats,
+    random_words,
+    rng_for,
+    warp_pattern_values,
+)
+
+BASE = 4096
+OUT_BASE = 1 << 20
+
+
+def build_bp(scale: int = 1, seed: int = 7) -> BuiltWorkload:
+    """backprop (Rodinia): forward layer with heavily quantised weights."""
+    rng = rng_for(seed, "BP")
+    neurons = 1024 * scale
+    fan_in = 8
+    weights = warp_pattern_values(neurons * fan_in, rng, unique_rows=4, bits=5)
+    acts = duplicated_values(fan_in * 64, rng, unique=3) & 0x3F
+    image = MemoryImage()
+    image.global_mem.write_block(BASE, weights)
+    image.const_mem.write_block(0, acts)
+    source = PROLOGUE + f"""
+    mul   r4, r1, {fan_in * 4}
+    add   r4, r4, {BASE}
+    mov   r5, 0                        // weighted sum
+    mov   r6, 0                        // j
+bp_loop:
+    shl   r7, r6, 2
+    add   r8, r4, r7
+    ld.global r9, [r8]                 // weight
+    ld.const  r10, [r7]                // activation
+    mad   r5, r9, r10, r5
+    add   r6, r6, 1
+    setp.lt p0, r6, {fan_in}
+@p0 bra   bp_loop
+    // squash: s / (s + 64), integerised logistic
+    add   r11, r5, 64
+    cvt.i2f r12, r5
+    cvt.i2f r13, r11
+    fdiv  r14, r12, r13
+    fmul  r14, r14, 0f256.0
+    cvt.f2i r15, r14
+    shl   r16, r1, 2
+    add   r16, r16, {OUT_BASE}
+    st.global -, [r16], r15
+    exit
+"""
+    return build("BP", source, Dim3(neurons // 128), Dim3(128), image,
+                 output_region=(OUT_BASE, neurons))
+
+
+def build_sn(scale: int = 1, seed: int = 7) -> BuiltWorkload:
+    """scan (CUDA SDK): Hillis-Steele inclusive prefix sum in scratchpad."""
+    rng = rng_for(seed, "SN")
+    blocks = 8 * scale
+    data = random_words(blocks * 128, rng, bits=8)
+    image = MemoryImage()
+    image.global_mem.write_block(BASE, data)
+    source = PROLOGUE + f"""
+    shl   r4, r1, 2
+    add   r4, r4, {BASE}
+    ld.global r5, [r4]
+    shl   r6, r0, 2
+    st.shared -, [r6], r5
+    bar.sync
+    mov   r7, 1                        // offset
+sn_loop:
+    sub   r8, r0, r7
+    shl   r9, r8, 2
+    setp.ge p0, r0, r7                 // has a left partner?
+    ld.shared r10, [r6]
+@p0 ld.shared r11, [r9]
+@p0 add   r10, r10, r11
+    bar.sync
+    st.shared -, [r6], r10
+    bar.sync
+    shl   r7, r7, 1
+    setp.lt p1, r7, 128
+@p1 bra   sn_loop
+    ld.shared r12, [r6]
+    shl   r13, r1, 2
+    add   r13, r13, {OUT_BASE}
+    st.global -, [r13], r12
+    exit
+"""
+    def check(words: np.ndarray) -> None:
+        expected = np.concatenate([
+            np.cumsum(data[b * 128:(b + 1) * 128], dtype=np.uint32)
+            for b in range(blocks)
+        ])
+        assert np.array_equal(words, expected), "scan prefix sums differ"
+
+    return build("SN", source, Dim3(blocks), Dim3(128), image,
+                 output_region=(OUT_BASE, blocks * 128), check=check)
+
+
+def build_ht(scale: int = 1, seed: int = 7) -> BuiltWorkload:
+    """hybridsort (Rodinia): bucket-index histogram phase on random keys."""
+    rng = rng_for(seed, "HT")
+    keys = 1024 * scale
+    data = random_words(keys, rng, bits=16)
+    image = MemoryImage()
+    image.global_mem.write_block(BASE, data)
+    source = PROLOGUE + f"""
+    shl   r4, r1, 2
+    add   r4, r4, {BASE}
+    ld.global r5, [r4]                 // key
+    shr   r6, r5, 10                   // bucket = key / 1024
+    and   r7, r5, 1023                 // offset within bucket
+    shl   r8, r6, 10
+    or    r9, r8, r7                   // packed (bucket, offset)
+    min   r10, r9, r5
+    shl   r11, r1, 2
+    add   r11, r11, {OUT_BASE}
+    st.global -, [r11], r10
+    exit
+"""
+    return build("HT", source, Dim3(keys // 128), Dim3(128), image,
+                 output_region=(OUT_BASE, keys))
+
+
+def build_sv(scale: int = 1, seed: int = 7) -> BuiltWorkload:
+    """spmv (Parboil): CSR-style row products with indirect x loads.
+
+    Column indices cluster on a few hot columns, so loads of x[col] repeat
+    across rows — read-mostly indirect access that load reuse serves well.
+    """
+    rng = rng_for(seed, "SV")
+    rows = 768 * scale
+    nnz_per_row = 6
+    cols = duplicated_values(rows * nnz_per_row, rng, unique=40) % 256
+    vals = quantised_floats(rows * nnz_per_row, rng, levels=10)
+    x = random_floats(256, rng, low=0.5, high=1.5)
+    image = MemoryImage()
+    image.global_mem.write_block(BASE, cols.astype(np.uint32))
+    image.global_mem.write_block(BASE + 64 * 1024, vals)
+    image.global_mem.write_block(BASE + 128 * 1024, x)
+    source = PROLOGUE + f"""
+    mul   r4, r1, {nnz_per_row * 4}
+    mov   r5, 0                        // dot accumulator (float bits)
+    mov   r6, 0                        // j
+sv_loop:
+    shl   r7, r6, 2
+    add   r8, r4, r7
+    add   r9, r8, {BASE}
+    ld.global r10, [r9]                // column index
+    add   r11, r8, {BASE + 64 * 1024}
+    ld.global r12, [r11]               // matrix value
+    shl   r13, r10, 2
+    add   r13, r13, {BASE + 128 * 1024}
+    ld.global r14, [r13]               // x[col]
+    fmad  r5, r12, r14, r5
+    add   r6, r6, 1
+    setp.lt p0, r6, {nnz_per_row}
+@p0 bra   sv_loop
+    shl   r15, r1, 2
+    add   r15, r15, {OUT_BASE}
+    st.global -, [r15], r5
+    exit
+"""
+    return build("SV", source, Dim3(rows // 128), Dim3(128), image,
+                 output_region=(OUT_BASE, rows))
+
+
+def build_cu(scale: int = 1, seed: int = 7) -> BuiltWorkload:
+    """cutcp (Parboil): cutoff Coulomb potential against constant atoms."""
+    rng = rng_for(seed, "CU")
+    points = 640 * scale
+    atoms = 6
+    atom_data = quantised_floats(atoms * 3, rng, levels=5, low=1.0, high=9.0)
+    image = MemoryImage()
+    image.const_mem.write_block(0, atom_data)
+    source = PROLOGUE + f"""
+    and   r4, r1, 255                  // grid x (quantised coordinates:
+    shr   r5, r1, 8                    //   some grid points share distances)
+    cvt.i2f r6, r4
+    cvt.i2f r7, r5
+    mov   r8, 0                        // potential (float bits)
+    mov   r9, 0                        // atom
+cu_loop:
+    mul   r10, r9, 12
+    ld.const r11, [r10]                // ax
+    ld.const r12, [r10+4]              // ay
+    ld.const r13, [r10+8]              // charge
+    fsub  r14, r6, r11
+    fmul  r14, r14, r14
+    fsub  r15, r7, r12
+    fmad  r14, r15, r15, r14           // r^2
+    fadd  r14, r14, 0f0.5              // softening
+    rsqrt r16, r14                     // 1/r
+    fmul  r17, r16, r13                // q/r
+    fadd  r8, r8, r17
+    add   r9, r9, 1
+    setp.lt p0, r9, {atoms}
+@p0 bra   cu_loop
+    shl   r18, r1, 2
+    add   r18, r18, {OUT_BASE}
+    st.global -, [r18], r8
+    exit
+"""
+    return build("CU", source, Dim3(points // 128), Dim3(128), image,
+                 output_region=(OUT_BASE, points))
+
+
+def build_mq(scale: int = 1, seed: int = 7) -> BuiltWorkload:
+    """mri-q (Parboil): Q-matrix accumulation with quantised phases (64% FP)."""
+    rng = rng_for(seed, "MQ")
+    samples = 640 * scale
+    k = 6
+    # Phase vectors repeat at warp granularity (symmetric k-space
+    # trajectories revisit the same phase patterns).
+    table = warp_pattern_values(k * samples, rng, unique_rows=24, bits=10)
+    pool = quantised_floats(1024, rng, levels=64, low=0.0, high=6.28)
+    phases = pool[table % 1024]
+    image = MemoryImage()
+    image.global_mem.write_block(BASE, phases)
+    row_bytes = samples * 4
+    source = PROLOGUE + f"""
+    shl   r4, r1, 2                    // per-thread phase column
+    add   r4, r4, {BASE}
+    mov   r5, 0                        // Qr
+    mov   r6, 0                        // Qi
+    mov   r7, 0                        // sample
+mq_loop:
+    mul   r8, r7, {row_bytes}          // k-space row
+    add   r10, r4, r8
+    ld.global r11, [r10]               // phase
+    sin   r12, r11
+    cos   r13, r11
+    fadd  r5, r5, r13                  // Qr += cos(phi)
+    fadd  r6, r6, r12                  // Qi += sin(phi)
+    add   r7, r7, 1
+    setp.lt p0, r7, {k}
+@p0 bra   mq_loop
+    fmul  r14, r5, r5
+    fmad  r14, r6, r6, r14             // |Q|^2
+    shl   r15, r1, 2
+    add   r15, r15, {OUT_BASE}
+    st.global -, [r15], r14
+    exit
+"""
+    return build("MQ", source, Dim3(samples // 128), Dim3(128), image,
+                 output_region=(OUT_BASE, samples))
+
+
+def build_cf(scale: int = 1, seed: int = 7) -> BuiltWorkload:
+    """cfd (Rodinia): Euler flux contributions on random states (63% FP)."""
+    rng = rng_for(seed, "CF")
+    cells = 640 * scale
+    density = random_floats(cells, rng, low=0.8, high=1.4)
+    momentum = random_floats(cells * 2, rng, low=-1.0, high=1.0)
+    energy = random_floats(cells, rng, low=1.5, high=3.0)
+    image = MemoryImage()
+    image.global_mem.write_block(BASE, density)
+    image.global_mem.write_block(BASE + 64 * 1024, momentum)
+    image.global_mem.write_block(BASE + 192 * 1024, energy)
+    source = PROLOGUE + f"""
+    shl   r4, r1, 2
+    add   r5, r4, {BASE}
+    ld.global r6, [r5]                 // rho
+    shl   r7, r1, 3
+    add   r7, r7, {BASE + 64 * 1024}
+    ld.global r8, [r7]                 // mx
+    ld.global r9, [r7+4]               // my
+    add   r10, r4, {BASE + 192 * 1024}
+    ld.global r11, [r10]               // E
+    rcp   r12, r6                      // 1/rho
+    fmul  r13, r8, r12                 // vx
+    fmul  r14, r9, r12                 // vy
+    fmul  r15, r13, r13
+    fmad  r15, r14, r14, r15           // |v|^2
+    fmul  r16, r15, r6
+    fmul  r16, r16, 0f0.5              // kinetic energy density
+    fsub  r17, r11, r16
+    fmul  r18, r17, 0f0.4              // pressure (gamma - 1)
+    fmad  r19, r13, r8, r18            // x-flux of x-momentum
+    shl   r20, r1, 2
+    add   r20, r20, {OUT_BASE}
+    st.global -, [r20], r19
+    exit
+"""
+    return build("CF", source, Dim3(cells // 128), Dim3(128), image,
+                 output_region=(OUT_BASE, cells))

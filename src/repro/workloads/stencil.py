@@ -1,0 +1,173 @@
+"""Stencil / grid benchmarks: ST, FD, PF, LB.
+
+stencil and FDTD3d are classic nearest-neighbour sweeps over smooth fields;
+pathfinder is the Rodinia dynamic-programming min-reduction over a cost
+grid with plateaus; lbm is a collision step over mostly-unique distribution
+values (the low-reuse end of this family).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.grid import Dim3
+from repro.sim.memory.space import MemoryImage
+from repro.workloads.common import (
+    PROLOGUE,
+    BuiltWorkload,
+    build,
+    flat_patch_image,
+    random_floats,
+    rng_for,
+    smooth_field,
+)
+
+BASE = 4096
+OUT_BASE = 1 << 20
+
+
+def build_st(scale: int = 1, seed: int = 7) -> BuiltWorkload:
+    """stencil (Parboil): 7-point stencil over a smooth 3D field (flattened)."""
+    rng = rng_for(seed, "ST")
+    n = 1280 * scale
+    field = smooth_field(n + 512, rng, step_every=32, amplitude=4)
+    image = MemoryImage()
+    image.global_mem.write_block(BASE, field)
+    source = PROLOGUE + f"""
+    shl   r4, r1, 2
+    add   r4, r4, {BASE + 256}
+    ld.global r5, [r4]
+    ld.global r6, [r4-4]
+    ld.global r7, [r4+4]
+    ld.global r8, [r4-256]             // +- one plane (64 words)
+    ld.global r9, [r4+256]
+    ld.global r10, [r4-128]            // +- one row (32 words)
+    ld.global r11, [r4+128]
+    add   r12, r6, r7
+    add   r12, r12, r8
+    add   r12, r12, r9
+    add   r12, r12, r10
+    add   r12, r12, r11
+    mul   r13, r5, 6
+    sub   r12, r12, r13
+    shr   r12, r12, 1
+    add   r12, r12, r5
+    shl   r14, r1, 2
+    add   r14, r14, {OUT_BASE}
+    st.global -, [r14], r12
+    exit
+"""
+    return build("ST", source, Dim3(n // 128), Dim3(128), image,
+                 output_region=(OUT_BASE, n))
+
+
+def build_fd(scale: int = 1, seed: int = 7) -> BuiltWorkload:
+    """FDTD3d (CUDA SDK): radius-3 finite difference with constant taps."""
+    rng = rng_for(seed, "FD")
+    n = 1024 * scale
+    field = smooth_field(n + 512, rng, step_every=20, amplitude=6)
+    taps = np.array([40, 24, 12, 6], dtype=np.uint32)
+    image = MemoryImage()
+    image.global_mem.write_block(BASE, field)
+    image.const_mem.write_block(0, taps)
+    source = PROLOGUE + f"""
+    shl   r4, r1, 2
+    add   r4, r4, {BASE + 768}
+    mov   r5, 0
+    ld.const r5, [r5]                  // centre tap
+    ld.global r6, [r4]
+    mul   r7, r6, r5                   // acc = c0 * f[i]
+    mov   r8, 1                        // radius r
+fd_loop:
+    shl   r9, r8, 2
+    ld.const r10, [r9]                 // tap c[r]
+    add   r11, r4, r9
+    ld.global r12, [r11]               // f[i+r]
+    sub   r13, r4, r9
+    ld.global r14, [r13]               // f[i-r]
+    add   r15, r12, r14
+    mad   r7, r15, r10, r7
+    add   r8, r8, 1
+    setp.lt p0, r8, 4
+@p0 bra   fd_loop
+    shr   r7, r7, 5
+    shl   r16, r1, 2
+    add   r16, r16, {OUT_BASE}
+    st.global -, [r16], r7
+    exit
+"""
+    return build("FD", source, Dim3(n // 128), Dim3(128), image,
+                 output_region=(OUT_BASE, n))
+
+
+def build_pf(scale: int = 1, seed: int = 7) -> BuiltWorkload:
+    """pathfinder (Rodinia): DP row relaxation over a plateaued cost grid.
+
+    Each thread relaxes one column for several rows, taking
+    min(left, centre, right) + cost — with flat cost plateaus the min/add
+    chains repeat across columns and blocks.
+    """
+    rng = rng_for(seed, "PF")
+    cols = 768 * scale
+    rows = 6
+    cost = flat_patch_image(cols, rows, rng, patch=64, levels=2, max_value=40)
+    image = MemoryImage()
+    image.global_mem.write_block(BASE, cost.ravel())
+    stride = cols * 4
+    source = PROLOGUE + f"""
+    shl   r4, r1, 2
+    add   r4, r4, {BASE + 8}           // column c (2-column guard band)
+    mov   r5, 0                        // accumulated path cost
+    mov   r6, 0                        // row
+pf_loop:
+    ld.global r7, [r4]                 // cost[row][c]
+    ld.global r8, [r4-4]               // left
+    ld.global r9, [r4+4]               // right
+    min   r10, r7, r8
+    min   r10, r10, r9
+    add   r5, r5, r10
+    add   r4, r4, {stride}
+    add   r6, r6, 1
+    setp.lt p0, r6, {rows - 1}
+@p0 bra   pf_loop
+    shl   r11, r1, 2
+    add   r11, r11, {OUT_BASE}
+    st.global -, [r11], r5
+    exit
+"""
+    return build("PF", source, Dim3(cols // 128), Dim3(128), image,
+                 output_region=(OUT_BASE, cols))
+
+
+def build_lb(scale: int = 1, seed: int = 7) -> BuiltWorkload:
+    """lbm (Parboil): BGK collision over unique float distributions (54% FP)."""
+    rng = rng_for(seed, "LB")
+    cells = 640 * scale
+    dists = random_floats(cells * 5, rng, low=0.2, high=1.8)
+    image = MemoryImage()
+    image.global_mem.write_block(BASE, dists)
+    source = PROLOGUE + f"""
+    mul   r4, r1, 20                   // 5 distributions per cell
+    add   r4, r4, {BASE}
+    ld.global r5, [r4]
+    ld.global r6, [r4+4]
+    ld.global r7, [r4+8]
+    ld.global r8, [r4+12]
+    ld.global r9, [r4+16]
+    fadd  r10, r5, r6
+    fadd  r10, r10, r7
+    fadd  r10, r10, r8
+    fadd  r10, r10, r9                 // rho
+    fmul  r11, r10, 0f0.2              // equilibrium share
+    fsub  r12, r11, r5                 // relaxation toward equilibrium
+    fmad  r13, r12, 0f0.6, r5          // f' = f + omega (feq - f)
+    fsub  r14, r11, r6
+    fmad  r15, r14, 0f0.6, r6
+    fadd  r16, r13, r15
+    shl   r17, r1, 2
+    add   r17, r17, {OUT_BASE}
+    st.global -, [r17], r16
+    exit
+"""
+    return build("LB", source, Dim3(cells // 128), Dim3(128), image,
+                 output_region=(OUT_BASE, cells))

@@ -1,0 +1,67 @@
+"""Shared fixtures: small configurations and kernel-building helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Dim3, GPUConfig, KernelLaunch, MemoryImage, assemble, model_config
+from repro.sim.gpu import GPU
+
+
+@pytest.fixture
+def small_config():
+    """A 1-SM Base configuration for focused pipeline tests."""
+    config = GPUConfig()
+    config.num_sms = 1
+    config.max_cycles = 300_000
+    return config
+
+
+def make_config(model: str = "Base", num_sms: int = 1, **wir_overrides) -> GPUConfig:
+    config = model_config(model, **wir_overrides)
+    config.num_sms = num_sms
+    config.max_cycles = 300_000
+    return config
+
+
+def run_kernel(
+    source: str,
+    grid=4,
+    block=64,
+    model: str = "Base",
+    image: MemoryImage | None = None,
+    num_sms: int = 1,
+    **wir_overrides,
+):
+    """Assemble and run a kernel; returns (RunResult, MemoryImage)."""
+    config = make_config(model, num_sms=num_sms, **wir_overrides)
+    program = assemble(source, name="test-kernel")
+    if image is None:
+        image = MemoryImage()
+    if isinstance(grid, int):
+        grid = Dim3(grid)
+    if isinstance(block, int):
+        block = Dim3(block)
+    launch = KernelLaunch(program, grid, block, image)
+    result = GPU(config).run(launch)
+    return result, image
+
+
+#: Output base shared by the mini-kernels in the tests.
+OUT = 1 << 20
+
+#: Kernel computing out[gtid] = (tid + 7) * 3 + (tid + 7).
+SIMPLE_ARITH = f"""
+    mov   r0, %tid.x
+    mov   r2, %ctaid.x
+    mov   r3, %ntid.x
+    mad   r1, r2, r3, r0
+    add   r4, r0, 7
+    mul   r5, r4, 3
+    add   r6, r5, r4
+    shl   r7, r1, 2
+    add   r7, r7, {OUT}
+    st.global -, [r7], r6
+    exit
+"""

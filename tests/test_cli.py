@@ -1,0 +1,85 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def test_list(capsys):
+    code, out = run_cli(capsys, "list")
+    assert code == 0
+    assert "SobelFilter" in out
+    assert "Affine+RLPV" in out
+    assert out.count("\n") > 34
+
+
+def test_params(capsys):
+    code, out = run_cli(capsys, "params")
+    assert code == 0
+    assert "700 MHz" in out
+    assert "Reuse buffer" in out
+
+
+def test_run(capsys):
+    code, out = run_cli(capsys, "run", "HT", "--model", "RLPV", "--sms", "1")
+    assert code == 0
+    assert "reused instructions" in out
+    assert "VSB hit rate" in out
+
+
+def test_run_base_has_no_wir_section(capsys):
+    code, out = run_cli(capsys, "run", "HT", "--model", "Base", "--sms", "1")
+    assert code == 0
+    assert "VSB hit rate" not in out
+
+
+def test_compare(capsys):
+    code, out = run_cli(capsys, "compare", "DW", "--sms", "1")
+    assert code == 0
+    for model in ("Base", "RLPV", "NoVSB", "Affine+RLPV"):
+        assert model in out
+
+
+def test_profile(capsys):
+    code, out = run_cli(capsys, "profile", "DW", "--sms", "1")
+    assert code == 0
+    assert "repeated computations" in out
+
+
+def test_experiment_series(capsys, monkeypatch):
+    # Full-suite drivers are heavy; stub one in to exercise the rendering
+    # paths end to end.
+    import repro.cli as cli
+
+    monkeypatch.setitem(cli.EXPERIMENTS, "fig20",
+                        (lambda: {16: 0.1, 32: 0.2}, "series", False))
+    monkeypatch.setitem(cli.EXPERIMENTS, "fig17",
+                        (lambda: {"SF": {"RLPV": 1.1}}, "per-benchmark", False))
+    code, out = run_cli(capsys, "experiment", "fig20")
+    assert code == 0 and "0.200" in out
+    code, out = run_cli(capsys, "experiment", "fig17")
+    assert code == 0 and "SF" in out
+
+
+def test_experiment_unknown(capsys):
+    code = main(["experiment", "fig99"])
+    assert code == 2
+
+
+def test_bad_benchmark_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "ZZ"])
+
+
+def test_parser_structure():
+    parser = build_parser()
+    args = parser.parse_args(["run", "SF", "--model", "R", "--scale", "2"])
+    assert args.benchmark == "SF"
+    assert args.model == "R"
+    assert args.scale == 2

@@ -1,0 +1,227 @@
+"""Functional semantics of the execution engine, opcode by opcode."""
+
+import numpy as np
+import pytest
+
+from repro.isa import assemble
+from repro.isa.program import Program
+from repro.sim.exec_engine import execute, resolve_operand
+from repro.sim.grid import Dim3, BlockDescriptor
+from repro.sim.warp import Warp
+
+
+def make_warp(block_threads: int = 32) -> Warp:
+    program = assemble("exit")
+    block = BlockDescriptor(0, (0, 0, 0), Dim3(block_threads), Dim3(1))
+    return Warp(0, block, 0, program)
+
+
+def run_op(source: str, regs=None, preds=None):
+    """Execute the first instruction of *source* on a fresh warp."""
+    program = assemble(source)
+    warp = make_warp()
+    if regs:
+        for idx, values in regs.items():
+            warp.registers[idx] = np.asarray(values, dtype=np.uint32)
+    if preds:
+        for idx, values in preds.items():
+            warp.predicates[idx] = np.asarray(values, dtype=bool)
+    return execute(program[0], warp), warp
+
+
+def u32(*values):
+    return np.array(values, dtype=np.uint32)
+
+
+def f32_bits(values):
+    return np.asarray(values, dtype=np.float32).view(np.uint32)
+
+
+def lanes(value):
+    return np.full(32, value, dtype=np.uint32)
+
+
+class TestIntegerOps:
+    def test_add_wraps(self):
+        result, _ = run_op("add r2, r0, r1",
+                           regs={0: lanes(0xFFFFFFFF), 1: lanes(2)})
+        assert (result.result == 1).all()
+
+    def test_sub_negative(self):
+        result, _ = run_op("sub r2, r0, r1", regs={0: lanes(3), 1: lanes(5)})
+        assert (result.result.view(np.int32) == -2).all()
+
+    def test_mul_and_mulhi(self):
+        result, _ = run_op("mul r2, r0, r1",
+                           regs={0: lanes(100000), 1: lanes(100000)})
+        assert (result.result == (100000 * 100000) % 2**32).all()
+        result, _ = run_op("mulhi r2, r0, r1",
+                           regs={0: lanes(0x80000000), 1: lanes(4)})
+        assert (result.result == 2).all()
+
+    def test_mad(self):
+        result, _ = run_op("mad r3, r0, r1, r2",
+                           regs={0: lanes(3), 1: lanes(5), 2: lanes(7)})
+        assert (result.result == 22).all()
+
+    def test_div_rem_and_zero_divisor(self):
+        result, _ = run_op("div r2, r0, r1", regs={0: lanes(17), 1: lanes(5)})
+        assert (result.result == 3).all()
+        result, _ = run_op("rem r2, r0, r1", regs={0: lanes(17), 1: lanes(5)})
+        assert (result.result == 2).all()
+        result, _ = run_op("div r2, r0, r1", regs={0: lanes(17), 1: lanes(0)})
+        assert (result.result.view(np.int32) == -1).all()
+
+    def test_min_max_signed(self):
+        neg_two = np.uint32(0xFFFFFFFE)
+        result, _ = run_op("min r2, r0, r1", regs={0: lanes(neg_two), 1: lanes(3)})
+        assert (result.result == neg_two).all()
+        result, _ = run_op("max r2, r0, r1", regs={0: lanes(neg_two), 1: lanes(3)})
+        assert (result.result == 3).all()
+
+    def test_bitwise(self):
+        regs = {0: lanes(0b1100), 1: lanes(0b1010)}
+        assert (run_op("and r2, r0, r1", regs=regs)[0].result == 0b1000).all()
+        assert (run_op("or  r2, r0, r1", regs=regs)[0].result == 0b1110).all()
+        assert (run_op("xor r2, r0, r1", regs=regs)[0].result == 0b0110).all()
+        assert (run_op("not r2, r0", regs=regs)[0].result == ~u32(0b1100)).all()
+
+    def test_shifts_mask_amount(self):
+        result, _ = run_op("shl r2, r0, r1", regs={0: lanes(1), 1: lanes(33)})
+        assert (result.result == 2).all()  # shift amount is mod 32
+        result, _ = run_op("shr r2, r0, r1",
+                           regs={0: lanes(0x80000000), 1: lanes(31)})
+        assert (result.result == 1).all()
+
+    def test_abs_neg(self):
+        minus_five = np.uint32(-5 & 0xFFFFFFFF)
+        assert (run_op("abs r1, r0", regs={0: lanes(minus_five)})[0].result == 5).all()
+        assert (run_op("neg r1, r0", regs={0: lanes(5)})[0].result == minus_five).all()
+
+    def test_mov_imm_and_reg(self):
+        result, _ = run_op("mov r1, 42")
+        assert (result.result == 42).all()
+        result, _ = run_op("mov r1, r0", regs={0: lanes(9)})
+        assert (result.result == 9).all()
+
+
+class TestFloatOps:
+    def test_fadd_fmul(self):
+        regs = {0: np.tile(f32_bits([1.5]), 32), 1: np.tile(f32_bits([2.0]), 32)}
+        result, _ = run_op("fadd r2, r0, r1", regs=regs)
+        assert (result.result.view(np.float32) == 3.5).all()
+        result, _ = run_op("fmul r2, r0, r1", regs=regs)
+        assert (result.result.view(np.float32) == 3.0).all()
+
+    def test_fmad(self):
+        regs = {0: np.tile(f32_bits([2.0]), 32), 1: np.tile(f32_bits([3.0]), 32),
+                2: np.tile(f32_bits([1.0]), 32)}
+        result, _ = run_op("fmad r3, r0, r1, r2", regs=regs)
+        assert (result.result.view(np.float32) == 7.0).all()
+
+    def test_fabs_fneg_bit_ops(self):
+        regs = {0: np.tile(f32_bits([-2.5]), 32)}
+        result, _ = run_op("fabs r1, r0", regs=regs)
+        assert (result.result.view(np.float32) == 2.5).all()
+        result, _ = run_op("fneg r1, r0", regs=regs)
+        assert (result.result.view(np.float32) == 2.5).all()
+
+    def test_fdiv(self):
+        regs = {0: np.tile(f32_bits([7.0]), 32), 1: np.tile(f32_bits([2.0]), 32)}
+        result, _ = run_op("fdiv r2, r0, r1", regs=regs)
+        assert (result.result.view(np.float32) == 3.5).all()
+
+    def test_cvt_roundtrip(self):
+        result, _ = run_op("cvt.i2f r1, r0", regs={0: lanes(7)})
+        assert (result.result.view(np.float32) == 7.0).all()
+        regs = {0: np.tile(f32_bits([7.9]), 32)}
+        result, _ = run_op("cvt.f2i r1, r0", regs=regs)
+        assert (result.result == 7).all()
+
+    def test_cvt_f2i_saturates_nan_and_inf(self):
+        regs = {0: np.tile(f32_bits([np.inf]), 32)}
+        result, _ = run_op("cvt.f2i r1, r0", regs=regs)
+        assert (result.result.view(np.int32) == 2**31 - 1).all()
+        regs = {0: np.tile(f32_bits([np.nan]), 32)}
+        result, _ = run_op("cvt.f2i r1, r0", regs=regs)
+        assert (result.result == 0).all()
+
+
+class TestSfuOps:
+    @pytest.mark.parametrize("op,inp,expected", [
+        ("rcp", 4.0, 0.25),
+        ("sqrt", 9.0, 3.0),
+        ("rsqrt", 4.0, 0.5),
+        ("ex2", 3.0, 8.0),
+        ("lg2", 8.0, 3.0),
+        ("sin", 0.0, 0.0),
+        ("cos", 0.0, 1.0),
+    ])
+    def test_sfu_values(self, op, inp, expected):
+        regs = {0: np.tile(f32_bits([inp]), 32)}
+        result, _ = run_op(f"{op} r1, r0", regs=regs)
+        np.testing.assert_allclose(
+            result.result.view(np.float32), expected, rtol=1e-5, atol=1e-6)
+
+
+class TestPredicatesAndControl:
+    def test_setp_int_comparisons(self):
+        regs = {0: u32(*range(32)), 1: lanes(16)}
+        result, _ = run_op("setp.lt p0, r0, r1", regs=regs)
+        assert result.pred_result[:16].all()
+        assert not result.pred_result[16:].any()
+
+    def test_fsetp(self):
+        regs = {0: f32_bits(np.arange(32, dtype=np.float32)),
+                1: np.tile(f32_bits([3.0]), 32)}
+        result, _ = run_op("fsetp.le p1, r0, r1", regs=regs)
+        assert result.pred_result[:4].all() and not result.pred_result[4:].any()
+
+    def test_selp(self):
+        result, _ = run_op(
+            "selp r2, r0, r1, p0",
+            regs={0: lanes(10), 1: lanes(20)},
+            preds={0: [i % 2 == 0 for i in range(32)]},
+        )
+        assert (result.result[::2] == 10).all()
+        assert (result.result[1::2] == 20).all()
+
+    def test_guard_masks_lanes(self):
+        result, _ = run_op(
+            "@p1 add r2, r0, r1",
+            regs={0: lanes(1), 1: lanes(2)},
+            preds={1: [i < 8 for i in range(32)]},
+        )
+        assert result.mask[:8].all() and not result.mask[8:].any()
+
+    def test_branch_produces_taken_mask(self):
+        result, _ = run_op("top:\n@p0 bra top\nnop",
+                           preds={0: [i < 4 for i in range(32)]})
+        assert result.taken_mask[:4].all() and not result.taken_mask[4:].any()
+
+
+class TestOperandsAndSpecials:
+    def test_address_operand_with_negative_offset(self):
+        program = assemble("ld.global r1, [r0-4]")
+        warp = make_warp()
+        warp.registers[0] = lanes(100)
+        addr = resolve_operand(warp, program[0].srcs[0])
+        assert (addr == 96).all()
+
+    def test_special_register_values(self):
+        block = BlockDescriptor(3, (3, 1, 0), Dim3(64, 2), Dim3(5, 2))
+        program = assemble("exit")
+        warp = Warp(0, block, 1, program)  # second warp of the block
+        assert (warp.special_value("%tid.x") == np.arange(32, 64) % 64).all()
+        assert (warp.special_value("%ctaid.x") == 3).all()
+        assert (warp.special_value("%ntid.x") == 64).all()
+        assert (warp.special_value("%nctaid.y") == 2).all()
+        assert (warp.special_value("%laneid") == np.arange(32)).all()
+        assert (warp.special_value("%warpid") == 1).all()
+
+    def test_partial_tail_warp_mask(self):
+        block = BlockDescriptor(0, (0, 0, 0), Dim3(40), Dim3(1))
+        program = assemble("exit")
+        tail = Warp(1, block, 1, program)
+        assert tail.active_mask[:8].all()
+        assert not tail.active_mask[8:].any()

@@ -1,0 +1,84 @@
+"""H3 hash generation: determinism, width, and GF(2) linearity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hashing import WARP_REGISTER_BYTES, H3Hash
+
+
+def warp_value(seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 1 << 32, size=32, dtype=np.uint32)
+
+
+def test_deterministic_across_instances():
+    a, b = H3Hash(), H3Hash()
+    value = warp_value(1)
+    assert a.hash_value(value) == b.hash_value(value)
+
+
+def test_seed_changes_function():
+    a, b = H3Hash(seed=1), H3Hash(seed=2)
+    value = warp_value(1)
+    assert a.hash_value(value) != b.hash_value(value)
+
+
+def test_zero_hashes_to_zero():
+    assert H3Hash().hash_value(np.zeros(32, dtype=np.uint32)) == 0
+
+
+@pytest.mark.parametrize("bits", [1, 8, 16, 31, 32])
+def test_width_mask(bits):
+    hasher = H3Hash(bits=bits)
+    for seed in range(8):
+        assert hasher.hash_value(warp_value(seed)) < (1 << bits)
+
+
+def test_invalid_width_rejected():
+    with pytest.raises(ValueError):
+        H3Hash(bits=0)
+    with pytest.raises(ValueError):
+        H3Hash(bits=33)
+
+
+def test_wrong_size_rejected():
+    with pytest.raises(ValueError):
+        H3Hash().hash_value(np.zeros(16, dtype=np.uint32))
+
+
+@given(st.integers(0, 2**30), st.integers(0, 2**30))
+@settings(max_examples=30, deadline=None)
+def test_h3_is_linear_over_gf2(seed_a, seed_b):
+    """h(a ^ b) == h(a) ^ h(b): the defining property of H3 hashing."""
+    hasher = H3Hash()
+    a, b = warp_value(seed_a), warp_value(seed_b)
+    assert hasher.hash_value(a ^ b) == hasher.hash_value(a) ^ hasher.hash_value(b)
+
+
+@given(st.integers(0, 2**30))
+@settings(max_examples=20, deadline=None)
+def test_single_lane_change_changes_hash_with_high_probability(seed):
+    hasher = H3Hash()
+    value = warp_value(seed)
+    changed = value.copy()
+    changed[seed % 32] ^= np.uint32(1 << (seed % 32))
+    # A single-bit flip XORs in that bit's column, which is nonzero with
+    # probability 1 - 2^-32 per the random construction; our fixed seed's
+    # columns are all nonzero, so the hash must change.
+    assert hasher.hash_value(value) != hasher.hash_value(changed)
+
+
+def test_hash_bytes_convenience():
+    hasher = H3Hash()
+    value = warp_value(3)
+    assert hasher.hash_bytes(value.tobytes()) == hasher.hash_value(value)
+
+
+def test_distribution_spreads_over_indices():
+    """Low bits index the VSB directly, so they must spread values."""
+    hasher = H3Hash()
+    indices = {hasher.hash_value(warp_value(seed)) & 0xFF for seed in range(256)}
+    # 256 uniform balls into 256 bins occupy ~256(1 - 1/e) ~ 162 bins.
+    assert len(indices) > 140

@@ -1,0 +1,155 @@
+"""Assembler: operand parsing, guards, labels, stores, and error reporting."""
+
+import struct
+
+import pytest
+
+from repro.isa import AssemblyError, assemble
+from repro.isa.instruction import Operand, OperandKind
+from repro.isa.opcodes import CmpOp, MemSpace, Opcode, OpClass
+
+
+def test_basic_arithmetic_parses():
+    program = assemble("""
+        add   r1, r0, r2
+        sub   r3, r1, 5
+        fmul  r4, r3, 0f2.5
+    """)
+    assert len(program) == 3
+    assert program[0].opcode is Opcode.ADD
+    assert program[0].dst.value == 1
+    assert program[0].srcs[0].value == 0
+    assert program[1].srcs[1].kind is OperandKind.IMM
+    assert program[1].srcs[1].value == 5
+    float_bits = struct.unpack("<I", struct.pack("<f", 2.5))[0]
+    assert program[2].srcs[1].value == float_bits
+
+
+def test_negative_and_hex_immediates():
+    program = assemble("""
+        mov r0, -1
+        mov r1, 0xdeadbeef
+    """)
+    assert program[0].srcs[0].value == 0xFFFFFFFF
+    assert program[1].srcs[0].value == 0xDEADBEEF
+
+
+def test_special_registers():
+    program = assemble("mov r0, %tid.x\nmov r1, %ctaid.y\nexit")
+    assert program[0].srcs[0].kind is OperandKind.SREG
+    assert program[0].srcs[0].sreg_name == "%tid.x"
+    assert program[1].srcs[0].sreg_name == "%ctaid.y"
+
+
+def test_address_operands_with_offsets():
+    program = assemble("""
+        ld.global r1, [r0]
+        ld.shared r2, [r3+16]
+        ld.const  r4, [r5-8]
+        st.global -, [r6+4], r7
+    """)
+    assert program[0].srcs[0].kind is OperandKind.ADDR
+    assert program[0].srcs[0].offset == 0
+    assert program[1].srcs[0].offset == 16
+    assert program[2].srcs[0].offset == -8
+    assert program[3].opcode is Opcode.ST_GLOBAL
+    assert program[3].srcs[0].offset == 4
+    assert program[3].srcs[1].value == 7
+    assert program[1].space is MemSpace.SHARED
+
+
+def test_store_without_dash_also_accepted():
+    program = assemble("st.shared -, [r0], r1")
+    assert program[0].op_class is OpClass.STORE
+
+
+def test_predicates_and_guards():
+    program = assemble("""
+        setp.lt p0, r1, r2
+        fsetp.ge p1, r3, 0f1.0
+    @p0 add r4, r4, 1
+    @!p1 bra done
+        mov r5, 1
+    done:
+        exit
+    """)
+    assert program[0].cmp is CmpOp.LT
+    assert program[0].dst.kind is OperandKind.PRED
+    assert program[2].guard.index == 0 and not program[2].guard.negated
+    assert program[3].guard.negated
+    assert program[3].target == 5  # 'done' label resolves past 'mov'
+
+
+def test_selp():
+    program = assemble("setp.eq p2, r0, r1\nselp r2, r3, r4, p2")
+    inst = program[1]
+    assert inst.opcode is Opcode.SELP
+    assert inst.pred_src == 2
+    assert [s.value for s in inst.srcs] == [3, 4]
+
+
+def test_labels_forward_and_backward():
+    program = assemble("""
+    top:
+        add r0, r0, 1
+        setp.lt p0, r0, 10
+    @p0 bra top
+        bra end
+        nop
+    end:
+        exit
+    """)
+    assert program[2].target == 0
+    assert program[3].target == 5
+
+
+def test_comments_and_blank_lines():
+    program = assemble("""
+        // full-line comment
+        add r0, r0, 1   // trailing comment
+        # hash comment
+        exit
+    """)
+    assert len(program) == 2
+
+
+def test_listing_roundtrip_mentions_labels():
+    program = assemble("loop:\nadd r0, r0, 1\n@p0 bra loop\nexit", name="k")
+    text = program.listing()
+    assert "loop:" in text
+    assert "// kernel k" in text
+    assert "reconverge" in text
+
+
+@pytest.mark.parametrize("source,fragment", [
+    ("bogus r0, r1", "unknown mnemonic"),
+    ("add r0", "expects"),
+    ("bra nowhere", "undefined label"),
+    ("ld.global r0, r1", "expects"),
+    ("setp p0, r0, r1", "requires a comparison suffix"),
+    ("setp.zz p0, r0, r1", "unknown comparison"),
+    ("add r99, r0, r1", "cannot parse operand"),
+    ("mov p0, r1", "destination must be a register"),
+    ("a:\na:\nexit", "duplicate label"),
+    ("@p0", "guard without instruction"),
+    ("exit r0", "takes no operands"),
+    ("add r0, [r1], r2", "cannot take address operands"),
+])
+def test_assembly_errors(source, fragment):
+    with pytest.raises(AssemblyError, match=fragment):
+        assemble(source)
+
+
+def test_error_reports_line_number():
+    with pytest.raises(AssemblyError, match="line 3"):
+        assemble("add r0, r0, 1\nadd r1, r1, 1\nbad r2")
+
+
+def test_operand_constructors_validate():
+    with pytest.raises(ValueError):
+        Operand.reg(63)
+    with pytest.raises(ValueError):
+        Operand.pred(8)
+    with pytest.raises(ValueError):
+        Operand.addr(63)
+    assert Operand.imm(-1).value == 0xFFFFFFFF

@@ -1,0 +1,120 @@
+"""CFG construction and post-dominator reconvergence points."""
+
+from repro.isa import assemble
+from repro.isa.program import EXIT_PC, basic_blocks, compute_reconvergence
+
+
+def test_basic_blocks_split_at_branches_and_targets():
+    program = assemble("""
+        add r0, r0, 1
+        setp.lt p0, r0, 4
+    @p0 bra skip
+        add r1, r1, 1
+    skip:
+        exit
+    """)
+    blocks = basic_blocks(program.instructions)
+    assert blocks == [(0, 3), (3, 4), (4, 5)]
+
+
+def test_if_then_reconverges_at_join():
+    program = assemble("""
+        setp.lt p0, r0, 16
+    @p0 bra then
+        add r1, r1, 1
+        bra join
+    then:
+        add r1, r1, 2
+    join:
+        exit
+    """)
+    # The divergent branch at pc 1 must reconverge at 'join' (pc 5).
+    assert program.reconvergence_pc(1) == 5
+
+
+def test_if_else_diamond():
+    program = assemble("""
+        setp.lt p0, r0, 16
+    @!p0 bra else_side
+        add r1, r1, 1
+        bra join
+    else_side:
+        add r1, r1, 2
+    join:
+        add r2, r1, 0
+        exit
+    """)
+    assert program.reconvergence_pc(1) == 5
+
+
+def test_loop_backedge_reconverges_after_loop():
+    program = assemble("""
+        mov r0, 0
+    loop:
+        add r0, r0, 1
+        setp.lt p0, r0, 8
+    @p0 bra loop
+        exit
+    """)
+    # The backedge at pc 3 reconverges at the loop exit (pc 4).
+    assert program.reconvergence_pc(3) == 4
+
+
+def test_nested_divergence():
+    program = assemble("""
+        setp.lt p0, r0, 16
+    @p0 bra outer_then
+        bra outer_join
+    outer_then:
+        setp.lt p1, r0, 8
+    @p1 bra inner_then
+        add r1, r1, 1
+        bra inner_join
+    inner_then:
+        add r1, r1, 2
+    inner_join:
+        add r2, r1, 1
+    outer_join:
+        exit
+    """)
+    inner_branch = 4
+    outer_branch = 1
+    inner_reconv = program.reconvergence_pc(inner_branch)
+    outer_reconv = program.reconvergence_pc(outer_branch)
+    assert inner_reconv < outer_reconv
+    assert program[outer_reconv].is_exit
+
+
+def test_branch_to_exit_reconverges_at_exit_sentinel():
+    program = assemble("""
+        setp.lt p0, r0, 16
+    @p0 bra out
+        add r1, r1, 1
+    out:
+        exit
+    """)
+    # Reconvergence at the exit block's first pc, not the sentinel, because
+    # the exit instruction is a real block here.
+    assert program.reconvergence_pc(1) == 2 or program.reconvergence_pc(1) == 3
+
+
+def test_unconditional_branch_has_reconvergence_entry():
+    program = assemble("""
+        bra skip
+        nop
+    skip:
+        exit
+    """)
+    assert 0 in program.reconvergence
+
+
+def test_num_logical_registers():
+    program = assemble("add r10, r3, r62\nexit")
+    assert program.num_logical_registers == 63
+    program = assemble("mov r0, 1\nexit")
+    assert program.num_logical_registers == 1
+
+
+def test_empty_reconvergence_for_straight_line():
+    program = assemble("add r0, r0, 1\nexit")
+    assert compute_reconvergence(program.instructions) == {}

@@ -1,0 +1,160 @@
+"""KernelBuilder DSL: structured emission and end-to-end execution."""
+
+import numpy as np
+import pytest
+
+from repro import Dim3, GPU, KernelLaunch, MemoryImage, model_config
+from repro.isa.builder import KernelBuilder, Reg
+from repro.isa.opcodes import Opcode
+
+OUT = 1 << 20
+
+
+def run_program(program, grid=2, block=64, model="Base", image=None):
+    config = model_config(model)
+    config.num_sms = 1
+    config.max_cycles = 200_000
+    image = image if image is not None else MemoryImage()
+    result = GPU(config).run(
+        KernelLaunch(program, Dim3(grid), Dim3(block), image))
+    return result, image
+
+
+def test_register_allocation_names():
+    builder = KernelBuilder()
+    a = builder.reg("a")
+    b = builder.reg()
+    assert a.index == 0 and b.index == 1
+    assert "a" in repr(a)
+    assert str(b) == "r1"
+
+
+def test_out_of_registers():
+    builder = KernelBuilder()
+    for _ in range(63):
+        builder.reg()
+    with pytest.raises(ValueError, match="out of logical registers"):
+        builder.reg()
+
+
+def test_simple_kernel_executes():
+    builder = KernelBuilder("triple")
+    gtid = builder.gtid()
+    value = builder.reg("value")
+    builder.emit("mul", value, gtid, 3)
+    addr = builder.reg("addr")
+    builder.emit("shl", addr, gtid, 2)
+    builder.emit("add", addr, addr, OUT)
+    builder.store("global", addr, value)
+    program = builder.build()
+    assert program[-1].opcode is Opcode.EXIT
+
+    _, image = run_program(program)
+    out = image.global_mem.read_block(OUT, 2 * 64)
+    assert (out == np.arange(128) * 3).all()
+
+
+def test_loop_block():
+    builder = KernelBuilder("summer")
+    gtid = builder.gtid()
+    acc = builder.mov(builder.reg("acc"), 0)
+    with builder.loop(times=5) as i:
+        builder.emit("add", acc, acc, i)
+        builder.emit("add", acc, acc, 1)
+    addr = builder.emit("shl", builder.reg("addr"), gtid, 2)
+    builder.emit("add", addr, addr, OUT)
+    builder.store("global", addr, acc)
+    _, image = run_program(builder.build())
+    # sum(range(5)) + 5 = 15
+    assert (image.global_mem.read_block(OUT, 128) == 15).all()
+
+
+def test_if_then_predication_diverges():
+    builder = KernelBuilder("halver")
+    tid = builder.tid()
+    value = builder.mov(builder.reg("value"), 10)
+    with builder.if_then("lt", tid, 16):
+        builder.emit("add", value, value, 90)
+    addr = builder.emit("shl", builder.reg("addr"), tid, 2)
+    builder.emit("add", addr, addr, OUT)
+    builder.store("global", addr, value)
+    _, image = run_program(builder.build(), grid=1, block=32)
+    out = image.global_mem.read_block(OUT, 32)
+    assert (out[:16] == 100).all()
+    assert (out[16:] == 10).all()
+
+
+def test_float_immediates():
+    builder = KernelBuilder("fp")
+    gtid = builder.gtid()
+    as_float = builder.emit("cvt.i2f", builder.reg(), gtid)
+    scaled = builder.emit("fmul", builder.reg(), as_float, 0.5)
+    back = builder.emit("cvt.f2i", builder.reg(), scaled)
+    addr = builder.emit("shl", builder.reg(), gtid, 2)
+    builder.emit("add", addr, addr, OUT)
+    builder.store("global", addr, back)
+    _, image = run_program(builder.build(), grid=1, block=32)
+    assert (image.global_mem.read_block(OUT, 32)
+            == (np.arange(32) // 2)).all()
+
+
+def test_loads_and_barrier():
+    builder = KernelBuilder("stage")
+    tid = builder.tid()
+    byte = builder.emit("shl", builder.reg("byte"), tid, 2)
+    src = builder.emit("add", builder.reg("src"), byte, 4096)
+    value = builder.load("global", builder.reg("value"), src)
+    builder.store("shared", byte, value)
+    builder.barrier()
+    echoed = builder.load("shared", builder.reg("echo"), byte)
+    dst = builder.emit("add", builder.reg("dst"), byte, OUT)
+    builder.store("global", dst, echoed)
+
+    image = MemoryImage()
+    image.global_mem.write_block(4096, np.arange(32, dtype=np.uint32) + 5)
+    _, image = run_program(builder.build(), grid=1, block=32, image=image)
+    assert (image.global_mem.read_block(OUT, 32) == np.arange(32) + 5).all()
+
+
+def test_builder_kernels_reuse_correctly():
+    """Builder output runs identically on Base and RLPV."""
+    def make():
+        builder = KernelBuilder("mixed")
+        gtid = builder.gtid()
+        acc = builder.mov(builder.reg(), 7)
+        with builder.loop(times=3):
+            builder.emit("mul", acc, acc, 3)
+            builder.emit("and", acc, acc, 0xFFFF)
+        addr = builder.emit("shl", builder.reg(), gtid, 2)
+        builder.emit("add", addr, addr, OUT)
+        builder.store("global", addr, acc)
+        return builder.build()
+
+    _, base = run_program(make(), model="Base")
+    result, reuse = run_program(make(), model="RLPV")
+    assert np.array_equal(base.global_mem.read_block(OUT, 128),
+                          reuse.global_mem.read_block(OUT, 128))
+    assert result.reused_instructions > 0
+
+
+def test_operand_type_errors():
+    builder = KernelBuilder()
+    reg = builder.reg()
+    with pytest.raises(TypeError):
+        builder.emit("add", reg, reg, True)
+    with pytest.raises(TypeError):
+        builder.emit("add", reg, reg, [1, 2])
+
+
+def test_negative_offsets_in_memory_ops():
+    builder = KernelBuilder("offsets")
+    tid = builder.tid()
+    addr = builder.emit("shl", builder.reg(), tid, 2)
+    builder.emit("add", addr, addr, 4100)
+    value = builder.load("global", builder.reg(), addr, offset=-4)
+    dst = builder.emit("add", builder.reg(), addr, OUT)
+    builder.store("global", dst, value)
+    image = MemoryImage()
+    image.global_mem.write_block(4096, np.arange(40, dtype=np.uint32))
+    _, image = run_program(builder.build(), grid=1, block=32, image=image)
+    assert (image.global_mem.read_block(OUT + 4100, 32) == np.arange(32)).all()

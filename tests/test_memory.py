@@ -1,0 +1,221 @@
+"""Memory substrate: backing stores, caches with MSHRs, coalescing, DRAM."""
+
+import numpy as np
+import pytest
+
+from repro.isa.opcodes import MemSpace
+from repro.sim.config import CacheConfig, GPUConfig
+from repro.sim.memory.cache import Cache
+from repro.sim.memory.space import MemoryImage, MemorySpaceStore
+from repro.sim.memory.subsystem import DRAMChannel, MemorySubsystem, NoCModel, SMMemoryPort
+
+
+def full_mask():
+    return np.ones(32, dtype=bool)
+
+
+class TestMemorySpaceStore:
+    def test_store_load_roundtrip(self):
+        store = MemorySpaceStore("t")
+        addrs = np.arange(32, dtype=np.uint32) * 4
+        values = np.arange(32, dtype=np.uint32) + 100
+        store.store(addrs, values, full_mask())
+        out = store.load(addrs, full_mask())
+        assert (out == values).all()
+
+    def test_masked_lanes_do_not_store_and_load_zero(self):
+        store = MemorySpaceStore("t")
+        addrs = np.arange(32, dtype=np.uint32) * 4
+        values = np.full(32, 7, dtype=np.uint32)
+        mask = np.zeros(32, dtype=bool)
+        mask[:4] = True
+        store.store(addrs, values, mask)
+        out = store.load(addrs, full_mask())
+        assert (out[:4] == 7).all()
+        assert (out[4:] == 0).all()
+        # Inactive lanes read zero regardless of contents.
+        out = store.load(addrs, ~mask)
+        assert (out[:4] == 0).all()
+
+    def test_growth_beyond_initial_capacity(self):
+        store = MemorySpaceStore("t", initial_words=16)
+        addr = np.array([1 << 20] * 32, dtype=np.uint32)
+        store.store(addr, np.full(32, 5, dtype=np.uint32), full_mask())
+        assert store.load(addr, full_mask())[0] == 5
+        assert store.size_words > 16
+
+    def test_write_read_block(self):
+        store = MemorySpaceStore("t")
+        data = np.arange(100, dtype=np.uint32)
+        store.write_block(400, data)
+        assert (store.read_block(400, 100) == data).all()
+
+    def test_conflicting_lanes_highest_wins(self):
+        store = MemorySpaceStore("t")
+        addrs = np.zeros(32, dtype=np.uint32)
+        values = np.arange(32, dtype=np.uint32)
+        store.store(addrs, values, full_mask())
+        assert store.read_block(0, 1)[0] == 31
+
+
+class TestMemoryImage:
+    def test_per_block_scratchpads_are_isolated(self):
+        image = MemoryImage()
+        a = image.scratchpad(0)
+        b = image.scratchpad(1)
+        a.write_block(0, np.array([1], dtype=np.uint32))
+        assert b.read_block(0, 1)[0] == 0
+
+    def test_release_scratchpad_forgets_contents(self):
+        image = MemoryImage()
+        image.scratchpad(0).write_block(0, np.array([9], dtype=np.uint32))
+        image.release_scratchpad(0)
+        assert image.scratchpad(0).read_block(0, 1)[0] == 0
+
+    def test_store_for_spaces(self):
+        image = MemoryImage()
+        assert image.store_for(MemSpace.GLOBAL, 3) is image.global_mem
+        assert image.store_for(MemSpace.CONST, 3) is image.const_mem
+        assert image.store_for(MemSpace.SHARED, 3) is image.scratchpad(3)
+
+
+class TestCache:
+    def make(self, **kw):
+        config = CacheConfig(size_bytes=kw.pop("size", 4096), ways=kw.pop("ways", 2),
+                             mshr_entries=kw.pop("mshr", 4),
+                             hit_latency=kw.pop("hit_latency", 10))
+        latency = kw.pop("miss_latency", 100)
+        return Cache(config, miss_latency=lambda line, cycle: latency)
+
+    def test_miss_then_hit(self):
+        cache = self.make()
+        ready, hit = cache.access(5, cycle=0)
+        assert not hit and ready == 110
+        ready, hit = cache.access(5, cycle=200)
+        assert hit and ready == 210
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_pending_fill_merges(self):
+        cache = self.make()
+        first, _ = cache.access(5, cycle=0)
+        merged, hit = cache.access(5, cycle=1)
+        assert not hit
+        assert merged >= first - 10
+        assert cache.stats.mshr_merges == 1
+
+    def test_lru_eviction(self):
+        cache = self.make(size=512, ways=2)  # 2 sets
+        sets = cache.config.num_sets
+        lines = [0, sets, 2 * sets]  # three lines in set 0
+        for i, line in enumerate(lines):
+            cache.access(line, cycle=i * 1000)
+        assert cache.stats.evictions == 1
+        _, hit = cache.access(lines[0], cycle=10_000)
+        assert not hit  # line 0 was the LRU victim
+
+    def test_mshr_stall_delays_request(self):
+        cache = self.make(mshr=2, miss_latency=500)
+        cache.access(1, cycle=0)
+        cache.access(2, cycle=0)
+        ready, hit = cache.access(3, cycle=0)
+        assert not hit
+        assert cache.stats.mshr_stalls == 1
+        assert ready > 500  # waited for an earlier fill before starting
+
+    def test_invalidate_all(self):
+        cache = self.make()
+        cache.access(7, cycle=0)
+        cache.invalidate_all()
+        assert not cache.contains(7)
+
+
+class TestDRAMAndNoC:
+    def test_dram_queueing_serialises(self):
+        channel = DRAMChannel(extra_latency=100, service_cycles=4, queue_entries=8)
+        first = channel.access(0)
+        second = channel.access(0)
+        assert first == 100
+        assert second == 104
+        assert channel.accesses == 2
+
+    def test_dram_queue_caps_backlog(self):
+        channel = DRAMChannel(extra_latency=0, service_cycles=10, queue_entries=2)
+        for _ in range(10):
+            wait = channel.access(0)
+        assert wait <= 2 * 10
+
+    def test_noc_per_sm_injection(self):
+        noc = NoCModel(bytes_per_cycle=32, line_bytes=128, num_sms=2)
+        a = noc.traverse(0, cycle=0)
+        b = noc.traverse(0, cycle=0)
+        c = noc.traverse(1, cycle=0)
+        assert a == 4 and b == 8 and c == 4
+        assert noc.flits == 3
+
+
+class TestSMMemoryPort:
+    def make_port(self):
+        config = GPUConfig()
+        config.num_sms = 1
+        image = MemoryImage()
+        subsystem = MemorySubsystem(config, image)
+        return SMMemoryPort(0, config, subsystem), image
+
+    def test_coalesced_single_line(self):
+        port, image = self.make_port()
+        image.global_mem.write_block(0, np.arange(32, dtype=np.uint32))
+        addrs = np.arange(32, dtype=np.uint32) * 4
+        result = port.access(MemSpace.GLOBAL, 0, addrs, full_mask(), cycle=0)
+        assert result.lines == 1
+        assert result.l1_misses == 1
+        assert (result.values == np.arange(32)).all()
+
+    def test_scattered_lanes_touch_many_lines(self):
+        port, _ = self.make_port()
+        addrs = np.arange(32, dtype=np.uint32) * 128  # one line per lane
+        result = port.access(MemSpace.GLOBAL, 0, addrs, full_mask(), cycle=0)
+        assert result.lines == 32
+
+    def test_shared_memory_fixed_latency(self):
+        port, _ = self.make_port()
+        addrs = np.arange(32, dtype=np.uint32) * 4
+        store_values = np.full(32, 3, dtype=np.uint32)
+        result = port.access(MemSpace.SHARED, 7, addrs, full_mask(), cycle=5,
+                             is_store=True, store_values=store_values)
+        assert result.ready_cycle == 5 + port.config.shared_mem_latency
+        back = port.access(MemSpace.SHARED, 7, addrs, full_mask(), cycle=50)
+        assert (back.values == 3).all()
+        assert port.scratchpad_accesses == 2
+
+    def test_const_goes_through_l1c(self):
+        port, image = self.make_port()
+        image.const_mem.write_block(0, np.array([11], dtype=np.uint32))
+        addrs = np.zeros(32, dtype=np.uint32)
+        port.access(MemSpace.CONST, 0, addrs, full_mask(), cycle=0)
+        assert port.l1c.stats.accesses == 1
+        assert port.l1d.stats.accesses == 0
+
+    def test_second_access_hits_l1(self):
+        port, _ = self.make_port()
+        addrs = np.arange(32, dtype=np.uint32) * 4
+        first = port.access(MemSpace.GLOBAL, 0, addrs, full_mask(), cycle=0)
+        second = port.access(MemSpace.GLOBAL, 0, addrs, full_mask(), cycle=2000)
+        assert second.l1_hits == 1
+        assert second.ready_cycle - 2000 < first.ready_cycle
+
+    def test_l2_miss_reaches_dram(self):
+        port, _ = self.make_port()
+        addrs = np.zeros(32, dtype=np.uint32)
+        port.access(MemSpace.GLOBAL, 0, addrs, full_mask(), cycle=0)
+        assert port.subsystem.dram_accesses == 1
+        # Same line later: L1 hit, no extra DRAM traffic.
+        port.access(MemSpace.GLOBAL, 0, addrs, full_mask(), cycle=5000)
+        assert port.subsystem.dram_accesses == 1
+
+    def test_inactive_warp_access_is_cheap(self):
+        port, _ = self.make_port()
+        addrs = np.zeros(32, dtype=np.uint32)
+        result = port.access(MemSpace.GLOBAL, 0, addrs,
+                             np.zeros(32, dtype=bool), cycle=10)
+        assert result.lines == 0
+        assert result.ready_cycle == 11

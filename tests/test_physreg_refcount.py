@@ -1,0 +1,122 @@
+"""Physical register file and reference-counting invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.physreg import ZERO_REG, PhysicalRegisterFile
+from repro.core.refcount import ReferenceCounter
+
+
+def test_allocate_release_cycle():
+    physfile = PhysicalRegisterFile(8)
+    regs = [physfile.allocate() for _ in range(7)]
+    assert None not in regs
+    assert physfile.allocate() is None  # pool exhausted
+    assert physfile.in_use == 8
+    physfile.release(regs[0])
+    assert physfile.free_count == 1
+    assert physfile.allocate() == regs[0]
+
+
+def test_zero_register_is_protected():
+    physfile = PhysicalRegisterFile(8)
+    with pytest.raises(ValueError):
+        physfile.release(ZERO_REG)
+    with pytest.raises(ValueError):
+        physfile.write(ZERO_REG, np.ones(32, dtype=np.uint32))
+    assert (physfile.read(ZERO_REG) == 0).all()
+
+
+def test_masked_write_and_copy_lanes():
+    physfile = PhysicalRegisterFile(8)
+    reg = physfile.allocate()
+    mask = np.zeros(32, dtype=bool)
+    mask[:8] = True
+    physfile.write(reg, np.full(32, 5, dtype=np.uint32), mask=mask)
+    assert (physfile.read(reg)[:8] == 5).all()
+    assert (physfile.read(reg)[8:] == 0).all()
+    other = physfile.allocate()
+    physfile.copy_lanes(reg, other, mask)
+    assert (physfile.read(other)[:8] == 5).all()
+
+
+def test_peak_tracking():
+    physfile = PhysicalRegisterFile(16)
+    regs = [physfile.allocate() for _ in range(10)]
+    for reg in regs:
+        physfile.release(reg)
+    assert physfile.peak_in_use == 11  # 10 + the zero register
+    assert physfile.in_use == 1
+
+
+def test_utilization_sampling():
+    physfile = PhysicalRegisterFile(16)
+    physfile.allocate()
+    physfile.sample_utilization()
+    physfile.allocate()
+    physfile.sample_utilization()
+    assert physfile.average_in_use == pytest.approx(2.5)
+
+
+class TestReferenceCounter:
+    def test_release_on_zero(self):
+        physfile = PhysicalRegisterFile(8)
+        counter = ReferenceCounter(physfile)
+        reg = physfile.allocate()
+        counter.incref(reg)
+        counter.incref(reg)
+        counter.decref(reg)
+        assert physfile.in_use == 2
+        counter.decref(reg)
+        assert physfile.in_use == 1  # returned to the pool
+
+    def test_decref_unreferenced_raises(self):
+        physfile = PhysicalRegisterFile(8)
+        counter = ReferenceCounter(physfile)
+        reg = physfile.allocate()
+        with pytest.raises(RuntimeError):
+            counter.decref(reg)
+
+    def test_zero_register_never_released(self):
+        physfile = PhysicalRegisterFile(8)
+        counter = ReferenceCounter(physfile)
+        for _ in range(5):
+            counter.decref(ZERO_REG)  # allowed, counted, but never frees
+        assert physfile.in_use == 1
+        assert counter.operations == 5
+
+    def test_conservation_check(self):
+        physfile = PhysicalRegisterFile(8)
+        counter = ReferenceCounter(physfile)
+        reg = physfile.allocate()
+        counter.incref(reg)
+        counter.check_conservation()
+        physfile.allocate()  # allocated but never referenced
+        with pytest.raises(AssertionError):
+            counter.check_conservation()
+
+
+@given(st.lists(st.sampled_from(["alloc", "inc", "dec"]), min_size=1, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_refcount_conservation_under_random_workload(ops):
+    """Whatever the interleaving, counted-live == allocated at quiescence."""
+    physfile = PhysicalRegisterFile(32)
+    counter = ReferenceCounter(physfile)
+    live = []  # (reg, count) with count > 0
+    for op in ops:
+        if op == "alloc":
+            reg = physfile.allocate()
+            if reg is not None:
+                counter.incref(reg)
+                live.append(reg)
+        elif op == "inc" and live:
+            reg = live[len(live) // 2]
+            counter.incref(reg)
+            live.append(reg)
+        elif op == "dec" and live:
+            reg = live.pop()
+            counter.decref(reg)
+    counter.check_conservation()
+    assert physfile.in_use == len(set(live)) + 1

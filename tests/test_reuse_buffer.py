@@ -1,0 +1,295 @@
+"""Reuse buffer: tags, tokens, pending-retry, load scoping, eviction."""
+
+import numpy as np
+import pytest
+
+from repro.core.physreg import PhysicalRegisterFile
+from repro.core.refcount import ReferenceCounter
+from repro.core.reuse_buffer import NULL_TBID, ReuseBuffer, Waiter
+
+
+@pytest.fixture
+def setup():
+    physfile = PhysicalRegisterFile(128)
+    counter = ReferenceCounter(physfile)
+    buffer = ReuseBuffer(64, counter, retry_queue_entries=4)
+    return physfile, counter, buffer
+
+
+def tag(op=3, *srcs):
+    return (op, tuple(("r", s) for s in srcs))
+
+
+def alloc(physfile, counter):
+    reg = physfile.allocate()
+    counter.incref(reg)  # simulate a rename-table reference
+    return reg
+
+
+def lookup(buffer, t, **kw):
+    defaults = dict(is_load=False, consumer_barrier_count=0,
+                    consumer_tbid=0, pending_retry=False, make_waiter=None)
+    defaults.update(kw)
+    return buffer.lookup(t, **defaults)
+
+
+class TestBasicReuse:
+    def test_miss_reserve_fill_hit(self, setup):
+        physfile, counter, buffer = setup
+        src = alloc(physfile, counter)
+        result = alloc(physfile, counter)
+        t = tag(3, src)
+        outcome, reg, _ = lookup(buffer, t)
+        assert outcome == "miss"
+        index, token = buffer.reserve(t, False, 0, NULL_TBID)
+        buffer.fill(index, token, result)
+        outcome, reg, _ = lookup(buffer, t)
+        assert outcome == "hit" and reg == result
+
+    def test_different_opcode_does_not_match(self, setup):
+        physfile, counter, buffer = setup
+        src = alloc(physfile, counter)
+        result = alloc(physfile, counter)
+        index, token = buffer.reserve(tag(3, src), False, 0, NULL_TBID)
+        buffer.fill(index, token, result)
+        outcome, _, _ = lookup(buffer, tag(4, src))
+        assert outcome == "miss"
+
+    def test_entries_hold_references(self, setup):
+        physfile, counter, buffer = setup
+        src = alloc(physfile, counter)
+        result = alloc(physfile, counter)
+        t = tag(3, src)
+        index, token = buffer.reserve(t, False, 0, NULL_TBID)
+        buffer.fill(index, token, result)
+        counter.decref(src)
+        counter.decref(result)
+        # Both registers stay allocated: the entry references them.
+        assert physfile.in_use == 3
+        buffer.evict_index(index)
+        assert physfile.in_use == 1
+        counter.check_conservation()
+
+    def test_pending_entry_is_not_a_hit_without_retry(self, setup):
+        physfile, counter, buffer = setup
+        src = alloc(physfile, counter)
+        t = tag(3, src)
+        buffer.reserve(t, False, 0, NULL_TBID)
+        outcome, _, _ = lookup(buffer, t)
+        assert outcome == "miss"
+
+
+class TestTokens:
+    def test_stale_fill_is_rejected(self, setup):
+        physfile, counter, buffer = setup
+        src = alloc(physfile, counter)
+        result = alloc(physfile, counter)
+        t = tag(3, src)
+        index, old_token = buffer.reserve(t, False, 0, NULL_TBID)
+        _, new_token = buffer.reserve(t, False, 0, NULL_TBID)  # re-reserve
+        assert buffer.fill(index, old_token, result) == []
+        outcome, _, _ = lookup(buffer, t)
+        assert outcome == "miss"  # still pending for the new reservation
+        buffer.fill(index, new_token, result)
+        outcome, reg, _ = lookup(buffer, t)
+        assert outcome == "hit" and reg == result
+
+    def test_same_tag_different_tbid_reservations_do_not_cross_fill(self, setup):
+        """The bug class of Figure 10: two blocks sharing a tag must not
+        satisfy each other's shared-memory reservations."""
+        physfile, counter, buffer = setup
+        src = alloc(physfile, counter)
+        block2_result = alloc(physfile, counter)
+        t = tag(9, src)
+        index, token2 = buffer.reserve(t, True, 0, tbid=2)
+        index, token3 = buffer.reserve(t, True, 0, tbid=3)
+        # Block 2's late fill must be a no-op now.
+        assert buffer.fill(index, token2, block2_result) == []
+        outcome, _, _ = lookup(buffer, t, is_load=True, consumer_tbid=3)
+        assert outcome == "miss"
+
+
+class TestPendingRetry:
+    def test_waiters_released_by_fill(self, setup):
+        physfile, counter, buffer = setup
+        src = alloc(physfile, counter)
+        result = alloc(physfile, counter)
+        t = tag(3, src)
+        index, token = buffer.reserve(t, False, 0, NULL_TBID)
+        woken = []
+        outcome, _, _ = lookup(buffer, t, pending_retry=True,
+                               make_waiter=lambda: Waiter(woken.append))
+        assert outcome == "queued"
+        assert buffer.retry_queue_used == 1
+        waiters = buffer.fill(index, token, result)
+        assert len(waiters) == 1
+        waiters[0].on_result(result)
+        assert woken == [result]
+        assert buffer.retry_queue_used == 0
+        assert buffer.stats.pending_releases == 1
+
+    def test_retry_queue_capacity(self, setup):
+        physfile, counter, buffer = setup
+        src = alloc(physfile, counter)
+        t = tag(3, src)
+        buffer.reserve(t, False, 0, NULL_TBID)
+        for i in range(4):
+            outcome, _, _ = lookup(buffer, t, pending_retry=True,
+                                   make_waiter=lambda: Waiter(lambda r: None))
+            assert outcome == "queued"
+        outcome, _, _ = lookup(buffer, t, pending_retry=True,
+                               make_waiter=lambda: Waiter(lambda r: None))
+        assert outcome == "miss"  # queue full
+        assert buffer.stats.retry_drops == 1
+
+    def test_eviction_orphans_waiters_with_none(self, setup):
+        physfile, counter, buffer = setup
+        src = alloc(physfile, counter)
+        t = tag(3, src)
+        index, _ = buffer.reserve(t, False, 0, NULL_TBID)
+        results = []
+        lookup(buffer, t, pending_retry=True,
+               make_waiter=lambda: Waiter(results.append))
+        buffer.evict_index(index)
+        assert results == [None]
+        assert buffer.retry_queue_used == 0
+
+    def test_reentrant_requeue_during_eviction(self, setup):
+        """A failed waiter that immediately re-queues must see a coherent
+        buffer (regression test for the notify-during-mutation livelock)."""
+        physfile, counter, buffer = setup
+        src = alloc(physfile, counter)
+        t_old = tag(3, src)
+        t_new = tag(4, src)
+        index, _ = buffer.reserve(t_old, False, 0, NULL_TBID)
+        assert buffer.index_of(t_old) == index
+
+        events = []
+
+        def requeue(result):
+            events.append(result)
+            # Re-enter: reserve a different tag (arbitrary index).
+            buffer.reserve(t_new, False, 0, NULL_TBID)
+
+        lookup(buffer, t_old, pending_retry=True,
+               make_waiter=lambda: Waiter(requeue))
+        # Evicting the entry triggers the waiter, which re-enters reserve.
+        buffer.evict_index(index)
+        assert events == [None]
+        counter.check_conservation()
+
+    def test_reentrant_token_capture(self, setup):
+        """The outer reserve must return ITS token even when the orphan's
+        callback reserves re-entrantly (regression for the token-counter
+        race that cross-woke waiters with wrong results)."""
+        physfile, counter, buffer = setup
+        src = alloc(physfile, counter)
+        result = alloc(physfile, counter)
+        t_a, t_b = tag(3, src), tag(5, src)
+
+        def requeue(result_reg):
+            if result_reg is None:
+                buffer.reserve(t_b, False, 0, NULL_TBID)
+
+        index_a, _ = buffer.reserve(t_a, False, 0, NULL_TBID)
+        lookup(buffer, t_a, pending_retry=True,
+               make_waiter=lambda: Waiter(requeue))
+        # This reserve evicts t_a's entry; the orphan re-reserves t_b
+        # re-entrantly, advancing the token counter.
+        index2, token2 = buffer.reserve(t_a, False, 0, NULL_TBID)
+        waiters = buffer.fill(index2, token2, result)
+        outcome, reg, _ = lookup(buffer, t_a)
+        assert outcome == "hit" and reg == result
+
+
+class TestLoadScoping:
+    def test_barrier_count_must_match(self, setup):
+        physfile, counter, buffer = setup
+        src = alloc(physfile, counter)
+        result = alloc(physfile, counter)
+        t = tag(9, src)
+        index, token = buffer.reserve(t, True, barrier_count=1, tbid=NULL_TBID)
+        buffer.fill(index, token, result)
+        outcome, _, _ = lookup(buffer, t, is_load=True, consumer_barrier_count=2)
+        assert outcome == "miss"
+        outcome, _, _ = lookup(buffer, t, is_load=True, consumer_barrier_count=1)
+        assert outcome == "hit"
+
+    def test_tbid_scopes_scratchpad_loads(self, setup):
+        physfile, counter, buffer = setup
+        src = alloc(physfile, counter)
+        result = alloc(physfile, counter)
+        t = tag(9, src)
+        index, token = buffer.reserve(t, True, 0, tbid=5)
+        buffer.fill(index, token, result)
+        outcome, _, _ = lookup(buffer, t, is_load=True, consumer_tbid=6)
+        assert outcome == "miss"
+        outcome, _, _ = lookup(buffer, t, is_load=True, consumer_tbid=5)
+        assert outcome == "hit"
+
+    def test_null_tbid_matches_any_consumer(self, setup):
+        physfile, counter, buffer = setup
+        src = alloc(physfile, counter)
+        result = alloc(physfile, counter)
+        t = tag(9, src)
+        index, token = buffer.reserve(t, True, 0, tbid=NULL_TBID)
+        buffer.fill(index, token, result)
+        outcome, _, _ = lookup(buffer, t, is_load=True, consumer_tbid=11)
+        assert outcome == "hit"
+
+    def test_evict_tbid_flushes_block_entries(self, setup):
+        physfile, counter, buffer = setup
+        # Pick tags with pairwise-distinct direct indices so reservations
+        # do not evict each other before the tbid flush.
+        used_indices = set()
+        for tbid in (2, 2, 7, NULL_TBID):
+            while True:
+                src = alloc(physfile, counter)
+                src2 = alloc(physfile, counter)
+                t = tag(9, src, src2)
+                if buffer.index_of(t) not in used_indices:
+                    used_indices.add(buffer.index_of(t))
+                    break
+                counter.decref(src)
+                counter.decref(src2)
+            result = alloc(physfile, counter)
+            index, token = buffer.reserve(t, True, 0, tbid=tbid)
+            buffer.fill(index, token, result)
+        assert buffer.evict_tbid(2) == 2
+        assert buffer.occupancy() == 2
+        counter.check_conservation()
+
+
+class TestEviction:
+    def test_evict_if_source_only_matches_named_register(self, setup):
+        physfile, counter, buffer = setup
+        a = alloc(physfile, counter)
+        b = alloc(physfile, counter)
+        result = alloc(physfile, counter)
+        t = tag(3, a)
+        index, token = buffer.reserve(t, False, 0, NULL_TBID)
+        buffer.fill(index, token, result)
+        assert not buffer.evict_if_source(index, b)
+        assert buffer.occupancy() == 1
+        assert buffer.evict_if_source(index, a)
+        assert buffer.occupancy() == 0
+
+    def test_low_register_mode_reserve_without_insert(self, setup):
+        physfile, counter, buffer = setup
+        src = alloc(physfile, counter)
+        assert buffer.reserve(tag(3, src), False, 0, NULL_TBID,
+                              allow_insert=False) is None
+        assert buffer.occupancy() == 0
+
+    def test_power_of_two_entries_required(self, setup):
+        physfile, counter, _ = setup
+        with pytest.raises(ValueError):
+            ReuseBuffer(100, counter)
+
+    def test_zero_entry_buffer_is_inert(self, setup):
+        physfile, counter, _ = setup
+        buffer = ReuseBuffer(0, counter)
+        outcome, _, _ = lookup(buffer, tag(3, 5))
+        assert outcome == "miss"
+        assert buffer.reserve(tag(3, 5), False, 0, NULL_TBID) is None
+        assert buffer.fill(0, 1, 2) == []

@@ -1,0 +1,218 @@
+"""Warp schedulers, scoreboard, grid geometry, config, and model zoo."""
+
+import pytest
+
+from repro.core.models import MODEL_ORDER, model_config, model_names, model_wir
+from repro.isa import assemble
+from repro.sim.config import GPUConfig, RegisterPolicy, SchedulerPolicy, WIRConfig
+from repro.sim.grid import Dim3, enumerate_blocks
+from repro.sim.regfile import RegisterFileTiming
+from repro.sim.scheduler import WarpScheduler
+from repro.sim.scoreboard import Scoreboard
+
+
+class TestGTOScheduler:
+    def make(self, slots=(0, 2, 4)):
+        return WarpScheduler(0, list(slots), SchedulerPolicy.GTO)
+
+    def test_greedy_sticks_with_last_warp(self):
+        scheduler = self.make()
+        assert scheduler.pick(lambda s: True) == 0
+        assert scheduler.pick(lambda s: True) == 0  # greedy
+        assert scheduler.pick(lambda s: s != 0) == 2  # falls to oldest ready
+
+    def test_oldest_preference_follows_dispatch_age(self):
+        scheduler = self.make()
+        scheduler.note_dispatch(0)  # slot 0 becomes the youngest
+        assert scheduler.pick(lambda s: True) == 2
+
+    def test_none_when_nothing_ready(self):
+        scheduler = self.make()
+        assert scheduler.pick(lambda s: False) is None
+
+
+class TestLRRScheduler:
+    def test_round_robin_rotation(self):
+        scheduler = WarpScheduler(0, [0, 2, 4], SchedulerPolicy.LRR)
+        picks = [scheduler.pick(lambda s: True) for _ in range(6)]
+        assert picks == [0, 2, 4, 0, 2, 4]
+
+    def test_skips_unready(self):
+        scheduler = WarpScheduler(0, [0, 2, 4], SchedulerPolicy.LRR)
+        assert scheduler.pick(lambda s: s == 4) == 4
+        assert scheduler.pick(lambda s: True) == 0  # continues after 4
+
+
+class TestScoreboard:
+    def make_inst(self, source):
+        return assemble(source)[0]
+
+    def test_raw_hazard(self):
+        board = Scoreboard(2)
+        producer = self.make_inst("add r1, r0, r0")
+        consumer = self.make_inst("add r2, r1, r0")
+        board.register(0, producer)
+        assert not board.can_issue(0, consumer)
+        board.release(0, producer)
+        assert board.can_issue(0, consumer)
+
+    def test_waw_hazard(self):
+        board = Scoreboard(1)
+        first = self.make_inst("add r1, r0, r0")
+        second = self.make_inst("mul r1, r2, r3")
+        board.register(0, first)
+        assert not board.can_issue(0, second)
+
+    def test_predicate_hazard(self):
+        board = Scoreboard(1)
+        setp = self.make_inst("setp.lt p0, r0, r1")
+        guarded = self.make_inst("@p0 add r2, r3, r4")
+        board.register(0, setp)
+        assert not board.can_issue(0, guarded)
+        board.release(0, setp)
+        assert board.can_issue(0, guarded)
+
+    def test_slots_are_independent(self):
+        board = Scoreboard(2)
+        producer = self.make_inst("add r1, r0, r0")
+        consumer = self.make_inst("add r2, r1, r0")
+        board.register(0, producer)
+        assert board.can_issue(1, consumer)
+
+    def test_address_base_counts_as_source(self):
+        board = Scoreboard(1)
+        producer = self.make_inst("add r4, r0, r0")
+        load = self.make_inst("ld.global r5, [r4+8]")
+        board.register(0, producer)
+        assert not board.can_issue(0, load)
+
+    def test_reset_slot(self):
+        board = Scoreboard(1)
+        board.register(0, self.make_inst("add r1, r0, r0"))
+        board.reset_slot(0)
+        assert board.pending_count(0) == 0
+
+
+class TestRegisterFileTiming:
+    def test_same_group_reads_serialise(self):
+        timing = RegisterFileTiming(GPUConfig())
+        first = timing.schedule_read(8, cycle=10)   # group 0
+        second = timing.schedule_read(16, cycle=10)  # group 0 again
+        assert second == first + 1
+        assert timing.stats.read_retries == 1
+
+    def test_different_groups_parallel(self):
+        timing = RegisterFileTiming(GPUConfig())
+        a = timing.schedule_read(0, cycle=10)
+        b = timing.schedule_read(1, cycle=10)
+        assert a == b == 11
+        assert timing.stats.read_retries == 0
+
+    def test_reads_and_writes_use_separate_ports(self):
+        timing = RegisterFileTiming(GPUConfig())
+        read = timing.schedule_read(0, cycle=5)
+        write = timing.schedule_write(0, cycle=5)
+        assert read == write == 6
+
+    def test_affine_access_counts_one_bank(self):
+        timing = RegisterFileTiming(GPUConfig())
+        timing.schedule_read(0, cycle=0, affine=True)
+        timing.schedule_read(1, cycle=0, affine=False)
+        assert timing.stats.bank_reads == 1 + 8
+
+    def test_retries_per_request_metric(self):
+        timing = RegisterFileTiming(GPUConfig())
+        for _ in range(4):
+            timing.schedule_read(0, cycle=0)
+        assert timing.retries_per_request == pytest.approx((0 + 1 + 2 + 3) / 4)
+
+
+class TestGrid:
+    def test_dim3_count_and_unflatten(self):
+        import numpy as np
+        dim = Dim3(4, 2, 3)
+        assert dim.count == 24
+        x, y, z = dim.unflatten(np.array([0, 5, 23]))
+        assert list(x) == [0, 1, 3]
+        assert list(y) == [0, 1, 1]
+        assert list(z) == [0, 0, 2]
+
+    def test_enumerate_blocks_order_and_coords(self):
+        blocks = list(enumerate_blocks(Dim3(2, 2), Dim3(64)))
+        assert len(blocks) == 4
+        assert blocks[0].ctaid == (0, 0, 0)
+        assert blocks[1].ctaid == (1, 0, 0)
+        assert blocks[2].ctaid == (0, 1, 0)
+        assert blocks[3].block_id == 3
+
+    def test_warp_count_rounds_up(self):
+        block = next(iter(enumerate_blocks(Dim3(1), Dim3(40))))
+        assert block.num_warps == 2
+
+
+class TestConfig:
+    def test_defaults_match_table_ii(self):
+        config = GPUConfig()
+        assert config.num_sms == 15
+        assert config.max_warps_per_sm == 48
+        assert config.max_blocks_per_sm == 8
+        assert config.num_physical_registers == 1024
+        assert config.register_file_bytes == 128 * 1024
+        assert config.scratchpad_bytes == 48 * 1024
+        assert config.l1d.size_bytes == 32 * 1024
+        assert config.l2_partitions == 6
+        assert config.warps_per_scheduler == 24
+
+    @pytest.mark.parametrize("mutate,fragment", [
+        (lambda c: setattr(c, "max_warps_per_sm", 47), "divide evenly"),
+        (lambda c: setattr(c, "warp_size", 16), "32-thread"),
+        (lambda c: setattr(c, "num_physical_registers", 8), "too few"),
+        (lambda c: setattr(c.wir, "extra_pipeline_latency", -1), "non-negative"),
+        (lambda c: setattr(c.wir, "reuse_buffer_entries", -4), "non-negative"),
+    ])
+    def test_validation(self, mutate, fragment):
+        config = GPUConfig()
+        mutate(config)
+        with pytest.raises(ValueError, match=fragment):
+            config.validate()
+
+    def test_with_wir_copies(self):
+        config = GPUConfig()
+        other = config.with_wir(WIRConfig(enabled=True))
+        assert other.wir.enabled and not config.wir.enabled
+        assert other.num_sms == config.num_sms
+
+
+class TestModelZoo:
+    def test_all_ten_design_points(self):
+        assert len(model_names()) == 10
+        assert model_names() == MODEL_ORDER
+
+    def test_incremental_flags(self):
+        assert not model_wir("Base").enabled
+        assert model_wir("R").enabled and not model_wir("R").load_reuse
+        assert model_wir("RL").load_reuse and not model_wir("RL").pending_retry
+        assert model_wir("RLP").pending_retry
+        assert model_wir("RLP").verify_cache_entries == 0
+        assert model_wir("RLPV").verify_cache_entries == 8
+        assert not model_wir("RPV").load_reuse
+        assert (model_wir("RLPVc").register_policy
+                is RegisterPolicy.CAPPED_REGISTER)
+        assert not model_wir("NoVSB").use_vsb
+        assert model_wir("Affine").affine and not model_wir("Affine").enabled
+        assert model_wir("Affine+RLPV").affine and model_wir("Affine+RLPV").enabled
+
+    def test_model_config_overrides(self):
+        config = model_config("RLPV", reuse_buffer_entries=64)
+        assert config.wir.reuse_buffer_entries == 64
+        # the registry itself is untouched
+        assert model_wir("RLPV").reuse_buffer_entries == 256
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            model_config("XYZZY")
+
+    def test_model_wir_returns_fresh_copies(self):
+        a = model_wir("RLPV")
+        a.reuse_buffer_entries = 1
+        assert model_wir("RLPV").reuse_buffer_entries == 256

@@ -1,0 +1,204 @@
+"""SM-core edge cases: partial warps, block lifecycle, barriers under
+divergence-adjacent conditions, and cross-launch isolation."""
+
+import numpy as np
+import pytest
+
+from repro import Dim3, GPU, KernelLaunch, MemoryImage, assemble, model_config
+from tests.conftest import OUT, SIMPLE_ARITH, make_config, run_kernel
+
+
+def test_partial_tail_warp_executes_correctly():
+    # 40 threads: warp 1 has only 8 valid lanes and is permanently
+    # "divergent" for the reuse machinery.
+    source = f"""
+        mov r0, %tid.x
+        add r1, r0, 100
+        shl r2, r0, 2
+        add r2, r2, {OUT}
+        st.global -, [r2], r1
+        exit
+    """
+    for model in ("Base", "RLPV"):
+        result, image = run_kernel(source, grid=1, block=40, model=model)
+        out = image.global_mem.read_block(OUT, 40)
+        assert (out == np.arange(40) + 100).all(), model
+        # Lanes 40..63 were never active: nothing written past the block.
+        assert (image.global_mem.read_block(OUT + 160, 24) == 0).all()
+
+
+def test_single_thread_block():
+    result, image = run_kernel(SIMPLE_ARITH, grid=1, block=32)
+    assert result.total("blocks_completed") == 1
+    assert (image.global_mem.read_block(OUT, 1) == 7 * 3 + 7).all()
+
+
+def test_block_with_many_warps_fills_scheduler_groups():
+    # 12 warps per block -> both schedulers issue from the same block.
+    result, _ = run_kernel(SIMPLE_ARITH, grid=2, block=384)
+    assert result.total("warps_completed") == 24
+
+
+def test_blocks_beyond_warp_capacity_wait_for_slots():
+    # 48-warp SM, 16-warp blocks: at most 3 resident; 6 blocks round-trip.
+    result, _ = run_kernel(SIMPLE_ARITH, grid=6, block=512)
+    assert result.total("blocks_completed") == 6
+
+
+def test_barrier_with_exited_warp_does_not_deadlock():
+    # Warp 1 exits before the barrier; warp 0 must still pass it.
+    source = f"""
+        mov r0, %tid.x
+        mov r1, %warpid
+        setp.ge p0, r1, 1
+    @p0 exit
+        bar.sync
+        shl r2, r0, 2
+        add r2, r2, {OUT}
+        mov r3, 42
+        st.global -, [r2], r3
+        exit
+    """
+    result, image = run_kernel(source, grid=1, block=64, model="RLPV")
+    assert (image.global_mem.read_block(OUT, 32) == 42).all()
+
+
+def test_back_to_back_barriers():
+    source = f"""
+        mov r0, %tid.x
+        bar.sync
+        bar.sync
+        bar.sync
+        shl r1, r0, 2
+        add r1, r1, {OUT}
+        mov r2, 9
+        st.global -, [r1], r2
+        exit
+    """
+    result, image = run_kernel(source, grid=2, block=128, model="RLPV")
+    assert (image.global_mem.read_block(OUT, 128) == 9).all()
+    assert result.total("barrier_insts") == 2 * 4 * 3
+
+
+def test_barrier_counts_scope_load_reuse_across_blocks():
+    """Blocks at different barrier counts must not share load results when
+    the producing block has passed more barriers than the consumer."""
+    source = f"""
+        mov r0, %tid.x
+        mov r1, 4096
+        mov r4, %ctaid.x
+        and r5, r4, 1
+        setp.eq p0, r5, 1
+    @p0 bar.sync
+        ld.global r2, [r1]
+        shl r3, r0, 2
+        mov r6, %ntid.x
+        mad r7, r4, r6, r0
+        shl r7, r7, 2
+        add r7, r7, {OUT}
+        st.global -, [r7], r2
+        exit
+    """
+    # Odd blocks execute a barrier first (barrier_count 1), even blocks do
+    # not (count 0): the loads must still all return the stored value.
+    image = MemoryImage()
+    image.global_mem.write_block(4096, np.array([77], dtype=np.uint32))
+    result, image = run_kernel(source, grid=4, block=32, model="RLPV",
+                               image=image)
+    assert (image.global_mem.read_block(OUT, 4 * 32) == 77).all()
+
+
+def test_gpu_object_reusable_across_launches():
+    config = make_config("RLPV")
+    gpu = GPU(config)
+    program = assemble(SIMPLE_ARITH)
+    for launch_index in range(3):
+        image = MemoryImage()
+        result = gpu.run(KernelLaunch(program, Dim3(2), Dim3(64), image))
+        assert result.total("blocks_completed") == 2
+        out = image.global_mem.read_block(OUT, 64)
+        assert (out == (np.arange(64) + 7) * 3 + (np.arange(64) + 7)).all()
+
+
+def test_runs_are_deterministic_across_gpu_instances():
+    program = assemble(SIMPLE_ARITH)
+    cycles = set()
+    for _ in range(2):
+        config = make_config("RLPV")
+        result = GPU(config).run(
+            KernelLaunch(program, Dim3(4), Dim3(64), MemoryImage()))
+        cycles.add((result.cycles, result.reused_instructions))
+    assert len(cycles) == 1
+
+
+def test_store_only_kernel():
+    source = f"""
+        mov r0, %tid.x
+        shl r1, r0, 2
+        add r1, r1, {OUT}
+        st.global -, [r1], r0
+        exit
+    """
+    result, image = run_kernel(source, grid=1, block=32, model="RLPV")
+    assert (image.global_mem.read_block(OUT, 32) == np.arange(32)).all()
+    assert result.total("store_insts") == 1
+
+
+def test_empty_like_kernel_terminates():
+    result, _ = run_kernel("exit", grid=4, block=128, model="RLPV")
+    assert result.issued_instructions == 4 * 4  # one exit per warp
+    assert result.cycles < 100
+
+
+def test_uninitialised_register_reads_zero():
+    source = f"""
+        mov r0, %tid.x
+        add r1, r62, 5          // r62 never written: architectural zero
+        shl r2, r0, 2
+        add r2, r2, {OUT}
+        st.global -, [r2], r1
+        exit
+    """
+    for model in ("Base", "RLPV"):
+        _, image = run_kernel(source, grid=1, block=32, model=model)
+        assert (image.global_mem.read_block(OUT, 32) == 5).all(), model
+
+
+def test_max_blocks_per_sm_respected():
+    config = make_config("Base")
+    config.max_blocks_per_sm = 2
+    program = assemble(SIMPLE_ARITH)
+    result = GPU(config).run(
+        KernelLaunch(program, Dim3(10), Dim3(32), MemoryImage()))
+    assert result.total("blocks_completed") == 10
+
+
+def test_three_dimensional_ids():
+    source = f"""
+        mov r0, %tid.x
+        mov r1, %tid.y
+        mov r2, %ctaid.y
+        mul r3, r1, 100
+        add r3, r3, r0
+        mul r4, r2, 10000
+        add r3, r3, r4
+        mov r5, %ntid.x
+        mov r6, %ntid.y
+        mul r7, r5, r6
+        mov r8, %ctaid.x
+        mov r9, %nctaid.x
+        mad r10, r2, r9, r8      // flat block id
+        mul r11, r10, r7
+        mov r12, %tid.y
+        mad r13, r12, r5, r0     // flat thread in block
+        add r14, r11, r13
+        shl r15, r14, 2
+        add r15, r15, {OUT}
+        st.global -, [r15], r3
+        exit
+    """
+    _, image = run_kernel(source, grid=Dim3(2, 2), block=Dim3(16, 4))
+    out = image.global_mem.read_block(OUT, 2 * 2 * 64)
+    # Thread (x=3, y=2) of block (0, 1): value 1*10000 + 2*100 + 3.
+    flat = (1 * 2 + 0) * 64 + 2 * 16 + 3
+    assert out[flat] == 10203

@@ -1,0 +1,163 @@
+"""SIMT stack: divergence, nested reconvergence, loops, predicated exit."""
+
+import numpy as np
+
+from repro.isa import assemble
+from repro.sim.grid import BlockDescriptor, Dim3
+from repro.sim.warp import Warp
+
+
+def make_warp(source: str) -> Warp:
+    program = assemble(source)
+    block = BlockDescriptor(0, (0, 0, 0), Dim3(32), Dim3(1))
+    return Warp(0, block, 0, program)
+
+
+def mask(predicate):
+    return np.array([predicate(i) for i in range(32)], dtype=bool)
+
+
+IF_ELSE = """
+    setp.lt p0, r0, r1
+@p0 bra then_side
+    add r2, r2, 1
+    bra join
+then_side:
+    add r2, r2, 2
+join:
+    exit
+"""
+
+
+def test_uniform_branch_taken():
+    warp = make_warp(IF_ELSE)
+    warp.stack[-1].pc = 1
+    diverged = warp.resolve_branch(1, warp.active_mask.copy(), target=4)
+    assert not diverged
+    assert warp.pc == 4
+    assert len(warp.stack) == 1
+
+
+def test_uniform_branch_not_taken():
+    warp = make_warp(IF_ELSE)
+    warp.stack[-1].pc = 1
+    diverged = warp.resolve_branch(1, np.zeros(32, dtype=bool), target=4)
+    assert not diverged
+    assert warp.pc == 2
+
+
+def test_divergent_branch_executes_both_sides_then_reconverges():
+    warp = make_warp(IF_ELSE)
+    warp.stack[-1].pc = 1
+    taken = mask(lambda i: i < 10)
+    diverged = warp.resolve_branch(1, taken, target=4)
+    assert diverged
+    # Taken side first.
+    assert warp.pc == 4
+    assert (warp.active_mask == taken).all()
+    warp.advance()  # executes pc 4 -> reconvergence pc 5, pops to fall-through
+    assert warp.pc == 2
+    assert (warp.active_mask == ~taken).all()
+    warp.advance()  # pc 3 (bra join)
+    warp.resolve_branch(3, warp.active_mask.copy(), target=5)
+    # Both sides done: reconverged with the full mask.
+    assert warp.pc == 5
+    assert warp.active_mask.all()
+    assert len(warp.stack) == 1
+
+
+def test_divergent_loop_lanes_exit_at_different_trips():
+    # Each lane loops lane_id+1 times (r0 = laneid counts down).
+    source = """
+        mov r0, %laneid
+    loop:
+        sub r0, r0, 1
+        setp.ge p0, r0, 0
+    @p0 bra loop
+        exit
+    """
+    warp = make_warp(source)
+    warp.registers[0] = np.arange(32, dtype=np.uint32)
+    warp.stack[-1].pc = 3
+    trips = 0
+    while True:
+        counts = warp.registers[0].view(np.int32)
+        taken = (counts - 1 >= 0) & warp.active_mask
+        np.copyto(warp.registers[0], (counts - 1).view(np.uint32),
+                  where=warp.active_mask)
+        diverged = warp.resolve_branch(3, taken, target=1)
+        trips += 1
+        if warp.pc == 4:
+            break
+        # Warp stays in the loop while any lane still iterates.
+        assert warp.pc == 1
+        warp.stack[-1].pc = 3  # skip the body for this test
+        if trips > 40:
+            raise AssertionError("loop failed to converge")
+    assert trips == 32  # lane 31 iterates longest
+    assert warp.active_mask.all()
+
+
+def test_exit_partial_then_full():
+    warp = make_warp("exit\nexit")
+    first = mask(lambda i: i < 16)
+    warp.execute_exit(first)
+    assert not warp.exited
+    assert (warp.active_mask == ~first).all()
+    assert warp.pc == 1
+    warp.execute_exit(warp.active_mask.copy())
+    assert warp.exited
+
+
+def test_exit_inside_divergent_region():
+    warp = make_warp(IF_ELSE)
+    warp.stack[-1].pc = 1
+    taken = mask(lambda i: i % 2 == 0)
+    warp.resolve_branch(1, taken, target=4)
+    # Taken half exits entirely.
+    warp.execute_exit(warp.active_mask.copy())
+    assert not warp.exited
+    # Execution resumed on the fall-through side with the other half.
+    assert (warp.active_mask == ~taken).all()
+    assert warp.pc == 2
+
+
+def test_guard_mask_honours_negation():
+    warp = make_warp("@!p0 add r1, r1, 1\nexit")
+    warp.predicates[0] = mask(lambda i: i < 4)
+    guard = warp.program[0].guard
+    assert (warp.guard_mask(guard) == ~mask(lambda i: i < 4)).all()
+
+
+def test_reconvergence_pops_nested_levels():
+    source = """
+        setp.lt p0, r0, 16
+    @p0 bra a
+        bra join
+    a:
+        setp.lt p1, r0, 8
+    @p1 bra b
+        bra inner_join
+    b:
+        nop
+    inner_join:
+        nop
+    join:
+        exit
+    """
+    warp = make_warp(source)
+    warp.stack[-1].pc = 1
+    outer = mask(lambda i: i < 16)
+    warp.resolve_branch(1, outer, target=3)
+    assert warp.pc == 3
+    warp.advance()  # setp at pc 3 -> pc 4
+    inner = mask(lambda i: i < 8)
+    warp.resolve_branch(4, inner, target=6)
+    assert warp.pc == 6
+    assert (warp.active_mask == inner).all()
+    assert len(warp.stack) >= 3
+    warp.advance()  # nop at 6 -> inner join (7): pops to inner else
+    assert warp.pc == 5
+    warp.resolve_branch(5, warp.active_mask.copy(), target=7)
+    # inner sides joined: mask is the outer-taken half
+    assert (warp.active_mask == outer).all()

@@ -1,0 +1,326 @@
+"""WIR end-to-end: reuse behaviour, divergence, load-reuse hazard rules.
+
+These tests run directed kernels through the full pipeline and inspect both
+functional outputs and the reuse statistics — the paper's Figures 4, 10,
+and 11 as executable scenarios.
+"""
+
+import numpy as np
+import pytest
+
+from repro import model_names
+from tests.conftest import OUT, SIMPLE_ARITH, run_kernel
+
+
+def wir(result, key):
+    return result.wir_stats[key]
+
+
+class TestArithmeticReuse:
+    def test_identical_warps_reuse(self):
+        """Figure 4: same computation in different warps reuses."""
+        result, _ = run_kernel(SIMPLE_ARITH, grid=8, block=64, model="R")
+        # tid patterns repeat across all 16 warps; after the first warp
+        # computes, others reuse the add/mul/add chain.
+        assert result.reused_instructions > 0
+        assert result.reuse_fraction > 0.15
+
+    def test_base_never_reuses(self):
+        result, _ = run_kernel(SIMPLE_ARITH, grid=8, block=64, model="Base")
+        assert result.reused_instructions == 0
+        assert result.wir_stats is None
+
+    def test_reuse_preserves_output(self):
+        outputs = {}
+        for model in ("Base", "R", "RLPV"):
+            _, image = run_kernel(SIMPLE_ARITH, grid=8, block=64, model=model)
+            outputs[model] = image.global_mem.read_block(OUT, 8 * 64)
+        assert (outputs["Base"] == outputs["R"]).all()
+        assert (outputs["Base"] == outputs["RLPV"]).all()
+
+    def test_vsb_shares_equal_values(self):
+        result, _ = run_kernel(SIMPLE_ARITH, grid=8, block=64, model="R")
+        assert wir(result, "vsb_hits") > 0
+        assert wir(result, "writes_avoided") > 0
+
+    def test_novsb_reuses_much_less(self):
+        reuse = run_kernel(SIMPLE_ARITH, grid=8, block=64, model="R")[0]
+        novsb = run_kernel(SIMPLE_ARITH, grid=8, block=64, model="NoVSB")[0]
+        assert novsb.reused_instructions < reuse.reused_instructions
+
+    def test_pending_retry_adds_hits(self):
+        base_kwargs = dict(grid=8, block=64)
+        no_retry = run_kernel(SIMPLE_ARITH, model="RL", **base_kwargs)[0]
+        retry = run_kernel(SIMPLE_ARITH, model="RLP", **base_kwargs)[0]
+        assert wir(retry, "rb_pending_releases") > 0
+        assert retry.reused_instructions >= no_retry.reused_instructions
+
+    def test_sreg_reads_never_reuse_directly(self):
+        """mov from %tid must execute (its tag cannot proxy warp identity),
+        but its result is shared through the VSB."""
+        source = f"""
+            mov r0, %tid.x
+            shl r1, r0, 2
+            add r1, r1, {OUT}
+            st.global -, [r1], r0
+            exit
+        """
+        result, image = run_kernel(source, grid=4, block=32, model="RLPV")
+        out = image.global_mem.read_block(OUT, 32)
+        assert (out == np.arange(32)).all()
+
+
+class TestDivergenceHandling:
+    DIVERGENT = f"""
+        mov r0, %tid.x
+        mov r1, 5
+        setp.lt p0, r0, 16
+    @p0 add r1, r1, 100
+        shl r2, r0, 2
+        add r2, r2, {OUT}
+        st.global -, [r2], r1
+        exit
+    """
+
+    def test_divergent_writes_are_correct(self):
+        for model in ("Base", "RLPV"):
+            _, image = run_kernel(self.DIVERGENT, grid=2, block=32, model=model)
+            out = image.global_mem.read_block(OUT, 32)
+            assert (out[:16] == 105).all()
+            assert (out[16:] == 5).all()
+
+    def test_dummy_movs_injected_once_per_divergent_first_write(self):
+        result, _ = run_kernel(self.DIVERGENT, grid=2, block=32, model="RLPV")
+        # One divergent redefinition of r1 per warp: one dummy MOV each.
+        assert wir(result, "dummy_movs") == 2
+
+    def test_repeated_divergent_writes_reuse_dedicated_register(self):
+        source = f"""
+            mov r0, %tid.x
+            mov r1, 0
+            mov r3, 0
+        loop:
+            setp.lt p0, r0, 16
+        @p0 add r1, r1, 1
+            add r3, r3, 1
+            setp.lt p1, r3, 6
+        @p1 bra loop
+            shl r2, r0, 2
+            add r2, r2, {OUT}
+            st.global -, [r2], r1
+            exit
+        """
+        result, image = run_kernel(source, grid=1, block=32, model="RLPV")
+        out = image.global_mem.read_block(OUT, 32)
+        assert (out[:16] == 6).all()
+        assert (out[16:] == 0).all()
+        # The pin bit caps dummy MOVs at one per divergent logical register,
+        # not one per write.
+        assert wir(result, "dummy_movs") == 1
+
+    def test_divergent_instructions_do_not_reuse(self):
+        # Two warps execute identical divergent adds; neither may hit.
+        source = f"""
+            mov r0, %tid.x
+            and r0, r0, 31
+            mov r1, 7
+            setp.lt p0, r0, 8
+        @p0 add r1, r1, 1
+            shl r2, r0, 2
+            add r2, r2, {OUT}
+            st.global -, [r2], r1
+            exit
+        """
+        result, _ = run_kernel(source, grid=1, block=64, model="R")
+        # The @p0 add is divergent for both warps: zero divergent reuses
+        # means outputs are right and the masked add executed twice.
+        _, image = run_kernel(source, grid=1, block=64, model="Base")
+
+
+class TestLoadReuse:
+    UNIFORM_LOAD = f"""
+        mov r0, %tid.x
+        mov r1, 4096
+        ld.global r2, [r1]          // same address for every warp
+        mov r3, %ctaid.x
+        mov r4, %ntid.x
+        mad r5, r3, r4, r0
+        shl r5, r5, 2
+        add r5, r5, {OUT}
+        st.global -, [r5], r2
+        exit
+    """
+
+    def make_image(self):
+        from repro import MemoryImage
+        image = MemoryImage()
+        image.global_mem.write_block(4096, np.array([777], dtype=np.uint32))
+        return image
+
+    def test_loads_reuse_across_late_blocks(self):
+        # Only 8 blocks are resident at once; blocks 9..24 issue their load
+        # after the early entries retired and therefore reuse (the resident
+        # blocks miss back-to-back, the Figure 11 scenario).
+        result, image = run_kernel(self.UNIFORM_LOAD, grid=24, block=64,
+                                   model="RL", image=self.make_image())
+        assert (image.global_mem.read_block(OUT, 24 * 64) == 777).all()
+        assert result.total("reused_loads") > 0
+
+    def test_pending_retry_captures_back_to_back_loads(self):
+        # With pending-retry even the simultaneously-resident warps queue on
+        # the first load instead of re-fetching (Section VI-B).
+        no_retry = run_kernel(self.UNIFORM_LOAD, grid=8, block=64, model="RL",
+                              image=self.make_image())[0]
+        retry = run_kernel(self.UNIFORM_LOAD, grid=8, block=64, model="RLP",
+                           image=self.make_image())[0]
+        assert retry.total("reused_loads") > no_retry.total("reused_loads")
+
+    def test_load_reuse_reduces_l1_accesses(self):
+        base = run_kernel(self.UNIFORM_LOAD, grid=24, block=64, model="Base",
+                          image=self.make_image())[0]
+        reuse = run_kernel(self.UNIFORM_LOAD, grid=24, block=64, model="RLP",
+                           image=self.make_image())[0]
+        assert reuse.l1d_stats["accesses"] < base.l1d_stats["accesses"]
+
+    def test_r_model_does_not_reuse_loads(self):
+        result, _ = run_kernel(self.UNIFORM_LOAD, grid=24, block=64, model="R",
+                               image=self.make_image())
+        assert result.total("reused_loads") == 0
+
+
+class TestLoadReuseHazards:
+    """The paper's Figure 10 rules as executable scenarios."""
+
+    def test_store_blocks_reuse_in_same_warp(self):
+        """i8/i9: after a warp stores, its later loads must re-fetch."""
+        source = f"""
+            mov r0, %tid.x
+            mov r1, 4096
+            ld.global r2, [r1]          // leading load: sees 10
+            st.global -, [r1], r0       // store 0..31 (lane 31 wins: 31)
+            ld.global r3, [r1]          // must NOT reuse: sees 31
+            shl r4, r0, 2
+            add r4, r4, {OUT}
+            st.global -, [r4], r3
+            add r5, r4, 1024
+            st.global -, [r5], r2
+            exit
+        """
+        from repro import MemoryImage
+        image = MemoryImage()
+        image.global_mem.write_block(4096, np.array([10], dtype=np.uint32))
+        result, image = run_kernel(source, grid=1, block=32, model="RLPV",
+                                   image=image)
+        after = image.global_mem.read_block(OUT, 32)
+        before = image.global_mem.read_block(OUT + 1024, 32)
+        assert (before == 10).all()
+        assert (after == 31).all()
+
+    def test_barrier_blocks_pre_barrier_reuse(self):
+        """Loads after a barrier must not reuse results from before it."""
+        source = f"""
+            mov r0, %tid.x
+            mov r1, 4096
+            ld.global r2, [r1]          // pre-barrier: sees 10
+            mov r3, %warpid
+            setp.eq p0, r3, 0
+        @p0 st.global -, [r1], 99       // warp 0 stores 99... via r5
+            bar.sync
+            ld.global r4, [r1]          // post-barrier: must see 99
+            shl r5, r0, 2
+            add r5, r5, {OUT}
+            st.global -, [r5], r4
+            exit
+        """
+        # 'st.global -, [r1], 99' uses an immediate source which the store
+        # path rejects; rewrite with a register.
+        source = source.replace("@p0 st.global -, [r1], 99",
+                                "    mov r6, 99\n@p0 st.global -, [r1], r6")
+        from repro import MemoryImage
+        image = MemoryImage()
+        image.global_mem.write_block(4096, np.array([10], dtype=np.uint32))
+        _, image = run_kernel(source, grid=1, block=64, model="RLPV",
+                              image=image)
+        out = image.global_mem.read_block(OUT, 64)
+        assert (out == 99).all()
+
+    def test_shared_loads_scoped_to_block(self):
+        """i3/i4: scratchpad loads must not reuse across thread blocks."""
+        source = f"""
+            mov r0, %tid.x
+            mov r1, %ctaid.x
+            shl r2, r0, 2
+            add r3, r1, 100            // block-dependent value
+            st.shared -, [r2], r3
+            bar.sync
+            mov r4, 0
+            ld.shared r5, [r4]          // identical address in every block
+            mov r6, %ntid.x
+            mad r7, r1, r6, r0
+            shl r7, r7, 2
+            add r7, r7, {OUT}
+            st.global -, [r7], r5
+            exit
+        """
+        _, image = run_kernel(source, grid=4, block=32, model="RLPV")
+        out = image.global_mem.read_block(OUT, 4 * 32).reshape(4, 32)
+        for block in range(4):
+            assert (out[block] == block + 100).all(), out[:, 0]
+
+    def test_const_loads_always_reuse(self):
+        source = f"""
+            mov r0, %tid.x
+            mov r1, 0
+            ld.const r2, [r1]
+            shl r3, r0, 2
+            add r3, r3, {OUT}
+            st.global -, [r3], r2
+            exit
+        """
+        from repro import MemoryImage
+        image = MemoryImage()
+        image.const_mem.write_block(0, np.array([55], dtype=np.uint32))
+        result, image = run_kernel(source, grid=24, block=64, model="RL",
+                                   image=image)
+        # Every block writes the same 64 output words (tid-indexed).
+        assert (image.global_mem.read_block(OUT, 64) == 55).all()
+        assert result.total("reused_loads") > 0
+
+
+class TestRegisterPolicies:
+    def test_capped_policy_limits_utilisation(self):
+        unlimited = run_kernel(SIMPLE_ARITH, grid=8, block=64, model="RLPV")[0]
+        capped = run_kernel(SIMPLE_ARITH, grid=8, block=64, model="RLPVc")[0]
+        # The cap is logical regs x resident warps; both must finish with
+        # correct reuse and the capped run may not exceed the cap by more
+        # than the in-flight transit allocation slack.
+        assert capped.reused_instructions > 0
+        assert wir(capped, "phys_peak") <= wir(unlimited, "phys_peak") + 16
+
+    def test_low_register_mode_under_tiny_file(self):
+        # Squeeze the physical file so low-register mode must trigger.
+        result, image = run_kernel(SIMPLE_ARITH, grid=8, block=64,
+                                   model="RLPV")
+        from tests.conftest import make_config
+        from repro import GPU, KernelLaunch, Dim3, MemoryImage, assemble
+
+        config = make_config("RLPV")
+        config.num_physical_registers = 72
+        program = assemble(SIMPLE_ARITH)
+        image = MemoryImage()
+        run = GPU(config).run(KernelLaunch(program, Dim3(8), Dim3(64), image))
+        out = image.global_mem.read_block(OUT, 8 * 64)
+        tid = np.arange(64)
+        expected = (tid + 7) * 3 + (tid + 7)
+        assert (out.reshape(8, 64) == expected).all()
+        assert run.wir_stats["low_register_mode_entries"] > 0
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("model", [m for m in model_names() if m != "Base"
+                                       and m != "Affine"])
+    def test_refcount_conservation_all_models(self, model):
+        # check_invariants runs inside GPU._collect; reaching here means the
+        # conservation assertion held at end of run.
+        result, _ = run_kernel(SIMPLE_ARITH, grid=4, block=64, model=model)
+        assert result.issued_instructions > 0

@@ -1,0 +1,101 @@
+"""Workload suite: all 34 benchmarks build, run, and agree across models."""
+
+import numpy as np
+import pytest
+
+from repro import GPU, KernelLaunch, model_config
+from repro.workloads import WORKLOADS, all_abbrs, build_workload, get_workload
+
+
+def run_built(wl, model="Base", num_sms=1):
+    config = model_config(model)
+    config.num_sms = num_sms
+    config.max_cycles = 400_000
+    launch = KernelLaunch(wl.program, wl.grid, wl.block, wl.image)
+    return GPU(config).run(launch)
+
+
+def test_registry_has_34_benchmarks():
+    assert len(WORKLOADS) == 34
+    assert all_abbrs()[0] == "SF"      # Figure 2 order: SobelFilter first
+    assert all_abbrs()[-1] == "HW"     # heartwall last
+
+
+def test_registry_metadata():
+    info = get_workload("BS")
+    assert info.name == "BlackSchls"
+    assert info.suite == "CUDA SDK"
+    assert info.fp_fraction == pytest.approx(0.744)
+    assert get_workload("BT").fp_fraction is None  # Table I shows '-'
+
+
+def test_unknown_abbreviation_rejected():
+    with pytest.raises(ValueError, match="unknown benchmark"):
+        get_workload("XX")
+
+
+@pytest.mark.parametrize("abbr", all_abbrs())
+def test_every_benchmark_builds_and_runs_on_base(abbr):
+    wl = build_workload(abbr)
+    result = run_built(wl)
+    assert result.issued_instructions > 100
+    assert wl.output_words() is not None
+    wl.verify()
+
+
+def test_builders_are_deterministic():
+    a = build_workload("KM", seed=3)
+    b = build_workload("KM", seed=3)
+    run_built(a)
+    run_built(b)
+    assert np.array_equal(a.output_words(), b.output_words())
+
+
+def test_seed_changes_data():
+    a = build_workload("HW", seed=3)
+    b = build_workload("HW", seed=4)
+    run_built(a)
+    run_built(b)
+    assert not np.array_equal(a.output_words(), b.output_words())
+
+
+#: Benchmarks covering every family and every mechanism (divergence: BF,
+#: barriers+scratchpad: SG/BO/SN/WT, load reuse: BT/KM/LK, SFU: BS/MQ).
+EQUIVALENCE_SUBSET = ["SF", "BT", "SG", "BO", "SN", "BF", "KM", "MQ", "LK", "BS"]
+
+
+@pytest.mark.parametrize("abbr", EQUIVALENCE_SUBSET)
+def test_outputs_identical_across_all_reuse_models(abbr):
+    """Reuse is an energy optimisation: architectural state must be
+    bit-identical on every design point."""
+    reference = None
+    for model in ("Base", "R", "RL", "RLP", "RLPV", "RLPVc", "NoVSB",
+                  "Affine", "Affine+RLPV"):
+        wl = build_workload(abbr)
+        run_built(wl, model=model)
+        out = wl.output_words()
+        if reference is None:
+            reference = out
+        else:
+            assert np.array_equal(out, reference), f"{abbr} differs on {model}"
+
+
+def test_scan_reference_check_runs():
+    wl = build_workload("SN")
+    run_built(wl, model="RLPV")
+    wl.verify()  # asserts exact prefix sums
+
+
+def test_lk_is_load_reuse_showcase():
+    base = build_workload("LK")
+    base_result = run_built(base, model="Base", num_sms=2)
+    reuse = build_workload("LK")
+    reuse_result = run_built(reuse, model="RLPV", num_sms=2)
+    assert reuse_result.l1d_stats["accesses"] < 0.6 * base_result.l1d_stats["accesses"]
+    assert reuse_result.cycles < base_result.cycles
+
+
+def test_scale_parameter_grows_work():
+    small = build_workload("ST", scale=1)
+    large = build_workload("ST", scale=2)
+    assert large.grid.count > small.grid.count
