@@ -3,23 +3,30 @@
 Commands:
 
 * ``list``                      — benchmarks (Table I) and design points.
-* ``run ABBR [--model M] ...``  — simulate one benchmark, print statistics.
+* ``run ABBR [--model M] ...``  — simulate one benchmark, print statistics
+  (``--json OUT`` additionally dumps the full result registry as JSON).
 * ``compare ABBR``              — one benchmark across the whole model zoo.
 * ``profile ABBR``              — Figure 2 repeated-computation profile.
 * ``experiment NAME``           — run one figure/table driver (fig2..fig22,
-  table1..table3) and print the rendered rows.
+  table1..table3) and print the rendered rows; ``--jobs N`` simulates in
+  parallel, ``--json OUT`` dumps the raw data.
 * ``params``                    — Table II simulation parameters.
+
+Set ``REPRO_CACHE_DIR`` to persist simulation results on disk between
+invocations (see :mod:`repro.harness.runner`).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.core.models import MODEL_ORDER, model_names
 from repro.harness import experiments, reporting
-from repro.harness.runner import run_benchmark
+from repro.harness.runner import RunSpec, prefetch, run_benchmark
 from repro.workloads import WORKLOADS, all_abbrs
 
 EXPERIMENTS = {
@@ -36,6 +43,14 @@ EXPERIMENTS = {
     "fig21": (experiments.fig21_reuse_buffer_sweep, "series", False),
     "fig22": (experiments.fig22_delay_sweep, "series", False),
 }
+
+
+def _write_json(text: str, dest: str) -> None:
+    """Write a JSON payload to a file, or stdout when *dest* is ``-``."""
+    if dest == "-":
+        print(text)
+    else:
+        Path(dest).write_text(text + "\n")
 
 
 def _cmd_list(_args) -> int:
@@ -60,22 +75,27 @@ def _cmd_run(args) -> int:
     print(f"  backend instructions   {result.backend_instructions}")
     print(f"  reused instructions    {result.reused_instructions} "
           f"({result.reuse_fraction:.1%})")
-    print(f"  reused loads           {result.total('reused_loads')}")
-    print(f"  L1D accesses / misses  {result.l1d_stats['accesses']} / "
-          f"{result.l1d_stats['misses']}")
-    print(f"  DRAM accesses          {result.dram_accesses}")
+    print(f"  reused loads           {result.sm_stat('core.reused_loads')}")
+    print(f"  L1D accesses / misses  {result.sm_stat('l1d.accesses')} / "
+          f"{result.sm_stat('l1d.misses')}")
+    print(f"  DRAM accesses          {result.stat('memory.dram.accesses')}")
     print(f"  SM energy              {run.energy.sm_total / 1e6:.2f} uJ")
     print(f"  GPU energy             {run.energy.gpu_total / 1e6:.2f} uJ")
-    if result.wir_stats:
-        stats = result.wir_stats
-        print(f"  VSB hit rate           "
-              f"{stats['vsb_hits'] / max(1, stats['vsb_lookups']):.1%}")
-        print(f"  dummy MOVs             {stats['dummy_movs']:.0f}")
-        print(f"  verify-reads (bank)    {stats['verify_reads']:.0f}")
+    if "wir" in result.sm_groups[0].children:
+        vsb_hits = result.sm_stat("wir.vsb.hits")
+        vsb_lookups = result.sm_stat("wir.vsb.lookups")
+        print(f"  VSB hit rate           {vsb_hits / max(1, vsb_lookups):.1%}")
+        print(f"  dummy MOVs             {result.sm_stat('wir.dummy_movs')}")
+        print(f"  verify-reads (bank)    {result.sm_stat('wir.verify_reads')}")
+    if args.json:
+        _write_json(result.to_json(indent=2), args.json)
     return 0
 
 
 def _cmd_compare(args) -> int:
+    if args.jobs > 1:
+        prefetch((RunSpec.make(args.benchmark, model, num_sms=args.sms)
+                  for model in ["Base"] + list(MODEL_ORDER)), jobs=args.jobs)
     base = run_benchmark(args.benchmark, "Base", num_sms=args.sms)
     rows = []
     for model in MODEL_ORDER:
@@ -114,6 +134,8 @@ def _cmd_experiment(args) -> int:
             return _cmd_params(args)
         if args.name == "table3":
             data = experiments.table3_hardware_costs()
+            if args.json:
+                _write_json(json.dumps(data, indent=2, default=str), args.json)
             for name, row in data.items():
                 print(name, row)
             return 0
@@ -121,12 +143,16 @@ def _cmd_experiment(args) -> int:
               f"{', '.join(EXPERIMENTS)} or table1/table2/table3",
               file=sys.stderr)
         return 2
-    data = driver()
+    # Only pass jobs through when parallelism was requested, so drivers (and
+    # test stand-ins) without a jobs parameter keep working.
+    data = driver(jobs=args.jobs) if args.jobs > 1 else driver()
     if kind == "per-benchmark":
         print(reporting.render_per_benchmark(data, title=args.name,
                                              percent=percent))
     else:
         print(reporting.render_series(data, "x", "value", title=args.name))
+    if args.json:
+        _write_json(json.dumps(data, indent=2, default=str), args.json)
     return 0
 
 
@@ -160,11 +186,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = sub.add_parser("run", help="simulate one benchmark")
     add_bench_args(run_parser)
+    run_parser.add_argument("--json", metavar="OUT", default=None,
+                            help="dump the result registry as JSON "
+                                 "('-' for stdout)")
     run_parser.set_defaults(func=_cmd_run)
 
     compare_parser = sub.add_parser("compare",
                                     help="one benchmark, all design points")
     add_bench_args(compare_parser, with_model=False)
+    compare_parser.add_argument("--jobs", type=int, default=1,
+                                help="simulate design points in parallel")
     compare_parser.set_defaults(func=_cmd_compare)
 
     profile_parser = sub.add_parser("profile",
@@ -175,6 +206,11 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_parser = sub.add_parser("experiment",
                                        help="run one figure/table driver")
     experiment_parser.add_argument("name", help="fig2..fig22 or table1..3")
+    experiment_parser.add_argument("--jobs", type=int, default=1,
+                                   help="simulate missing runs in parallel")
+    experiment_parser.add_argument("--json", metavar="OUT", default=None,
+                                   help="dump the raw experiment data as JSON "
+                                        "('-' for stdout)")
     experiment_parser.set_defaults(func=_cmd_experiment)
     return parser
 

@@ -24,10 +24,10 @@ still refers to it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 from repro.core.refcount import ReferenceCounter
+from repro.stats import StatGroup
 
 #: Source descriptor: ("r", physical id) or ("i", immediate bits).
 SrcDesc = Tuple[str, int]
@@ -39,18 +39,18 @@ Tag = Tuple[int, Tuple[SrcDesc, ...]]
 NULL_TBID = -1
 
 
-@dataclass
-class ReuseBufferStats:
-    lookups: int = 0
-    hits: int = 0             # result available immediately
-    pending_hits: int = 0     # matched a pending entry and queued
-    retry_drops: int = 0      # matched pending but the retry queue was full
-    misses: int = 0
-    reservations: int = 0
-    updates: int = 0
-    evictions: int = 0
-    load_hits: int = 0
-    pending_releases: int = 0  # waiters released by a producer retire
+class ReuseBufferStats(StatGroup):
+    """Reuse-buffer event counts.
+
+    ``hits`` are immediately-available results; ``pending_hits`` matched a
+    pending entry and queued; ``retry_drops`` matched pending but found the
+    retry queue full; ``pending_releases`` counts waiters released by a
+    producer retire.
+    """
+
+    COUNTERS = ("lookups", "hits", "pending_hits", "retry_drops", "misses",
+                "reservations", "updates", "evictions", "load_hits",
+                "pending_releases")
 
     @property
     def total_reuses(self) -> int:
@@ -130,7 +130,7 @@ class ReuseBuffer:
         self.retry_queue_entries = retry_queue_entries
         self._retry_queue_used = 0
         self._next_token = 0
-        self.stats = ReuseBufferStats()
+        self.stats = ReuseBufferStats("rb")
 
     # --- helpers -------------------------------------------------------------
 

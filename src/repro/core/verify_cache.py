@@ -11,15 +11,14 @@ would be stale).
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+
+from repro.stats import StatGroup
 
 
-@dataclass
-class VerifyCacheStats:
-    accesses: int = 0
-    hits: int = 0
-    misses: int = 0
-    invalidations: int = 0
+class VerifyCacheStats(StatGroup):
+    """Verify-cache event counts."""
+
+    COUNTERS = ("accesses", "hits", "misses", "invalidations")
 
     @property
     def hit_rate(self) -> float:
@@ -32,7 +31,7 @@ class VerifyCache:
     def __init__(self, entries: int) -> None:
         self.num_entries = entries
         self._lines: "OrderedDict[int, None]" = OrderedDict()
-        self.stats = VerifyCacheStats()
+        self.stats = VerifyCacheStats("vc")
 
     @property
     def enabled(self) -> bool:

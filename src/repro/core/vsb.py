@@ -18,20 +18,19 @@ recycled underneath it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.core.refcount import ReferenceCounter
+from repro.stats import StatGroup
 
 
-@dataclass
-class VSBStats:
-    lookups: int = 0
-    hits: int = 0           # index + full-hash matches (pre-verification)
-    misses: int = 0
-    insertions: int = 0
-    evictions: int = 0
-    false_positives: int = 0  # verified mismatches, recorded by the caller
+class VSBStats(StatGroup):
+    """VSB event counts.  ``hits`` are index + full-hash matches before
+    verification; ``false_positives`` are verified mismatches, recorded by
+    the caller."""
+
+    COUNTERS = ("lookups", "hits", "misses", "insertions", "evictions",
+                "false_positives")
 
 
 class _Entry:
@@ -63,7 +62,7 @@ class ValueSignatureBuffer:
             list(range(s * self.associativity, (s + 1) * self.associativity))
             for s in range(self._num_sets)
         ]
-        self.stats = VSBStats()
+        self.stats = VSBStats("vsb")
 
     def _set_of(self, hash_value: int) -> int:
         return hash_value & (self._num_sets - 1)

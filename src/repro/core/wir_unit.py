@@ -42,24 +42,26 @@ from repro.sim.config import GPUConfig, RegisterPolicy
 from repro.sim.exec_engine import ExecResult
 from repro.sim.regfile import RegisterFileTiming
 from repro.sim.warp import Warp
+from repro.stats import StatGroup
 
 #: Opcode -> stable integer for reuse-buffer tags.
 _OPCODE_INDEX = {op: i for i, op in enumerate(Opcode)}
 
 
-@dataclass
-class WIRCounters:
-    """Event counts for the added structures (Table III energy accounting)."""
+class WIRCounters(StatGroup):
+    """Event counts for the added structures (Table III energy accounting).
 
-    rename_reads: int = 0
-    rename_writes: int = 0
-    hash_generations: int = 0
-    allocator_ops: int = 0
-    dummy_movs: int = 0
-    verify_reads: int = 0          # performed against register banks
-    verify_cache_filtered: int = 0  # verify-reads absorbed by the verify cache
-    writes_avoided: int = 0         # register writes removed by VSB sharing
-    low_register_mode_entries: int = 0
+    ``verify_reads`` are performed against real register banks while
+    ``verify_cache_filtered`` were absorbed by the verify cache;
+    ``writes_avoided`` are register writes removed by VSB sharing.  The
+    per-structure groups (``rb``, ``vsb``, ``vc``, ``phys``) are adopted as
+    children, so one ``wir`` subtree per SM carries every reuse statistic.
+    """
+
+    COUNTERS = ("rename_reads", "rename_writes", "hash_generations",
+                "allocator_ops", "dummy_movs", "verify_reads",
+                "verify_cache_filtered", "writes_avoided",
+                "low_register_mode_entries")
 
 
 @dataclass
@@ -114,7 +116,12 @@ class WIRUnit:
         )
         self.verify_cache = VerifyCache(self.wir.verify_cache_entries)
         self.hasher = H3Hash(bits=self.wir.hash_bits)
-        self.counters = WIRCounters()
+        #: This unit's subtree of the run's stats registry; the structure
+        #: groups are adopted (shared, not copied) so they stay live.
+        self.counters = WIRCounters("wir")
+        self.counters.adopt(self.reuse_buffer.stats)
+        self.counters.adopt(self.vsb.stats)
+        self.counters.adopt(self.verify_cache.stats)
 
         # Capped-register policy state.
         self._register_cap = config.num_physical_registers
@@ -538,6 +545,20 @@ class WIRUnit:
             self.reuse_buffer.evict_if_source(index, reg)
 
     # ------------------------------------------------------------ diagnostics
+
+    def finalize_stats(self) -> WIRCounters:
+        """Snapshot end-of-run physical-register metrics into the registry.
+
+        The register file's peak/average utilisation (Figure 19) and the
+        reference-counter operation total only have final values when the
+        run ends, so they are materialised here rather than counted live.
+        """
+        phys = self.counters.group("phys")
+        phys.add_counter("peak").set(self.physfile.peak_in_use)
+        phys.add_counter("avg").set(self.physfile.average_in_use)
+        phys.add_counter("allocations").set(self.physfile.allocations)
+        phys.add_counter("refcount_ops").set(self.refcount.operations)
+        return self.counters
 
     def check_invariants(self) -> None:
         self.refcount.check_conservation()

@@ -6,6 +6,13 @@ Two views are produced, mirroring the paper's figures:
   units, SM-local memories, WIR overhead, and SM leakage.
 * **GPU energy** (Figure 14): the SM total plus NoC, L2, DRAM, and chip
   static energy.
+
+All event counts are pulled from the run's hierarchical stats registry by
+dotted path — ``sm{N}.core.*`` / ``sm{N}.regfile.*`` / ``sm{N}.l1d.*`` /
+``sm{N}.wir.*`` summed across SMs via :meth:`RunResult.sm_stat`, plus the
+chip-level ``memory.*`` subtree — so the accounting works identically on
+live results and on results rehydrated from JSON (the parallel runner and
+the on-disk cache).
 """
 
 from __future__ import annotations
@@ -42,22 +49,23 @@ class EnergyReport:
 
 
 def compute_energy(result: RunResult, params: Optional[EnergyParams] = None) -> EnergyReport:
-    """Compute the energy report for one run."""
+    """Compute the energy report for one run (registry events x unit costs)."""
     p = params if params is not None else EnergyParams()
+    s = result.sm_stat  # per-SM dotted path, summed across SMs
 
-    issued = result.total("issued")
-    backend = result.total("backend_insts")
-    fu_sp_lanes = result.total("fu_sp_lanes")
-    fu_sfu_lanes = result.total("fu_sfu_lanes")
-    fu_insts = result.total("fu_sp_insts") + result.total("fu_sfu_insts")
-    mem_insts = result.total("mem_insts")
+    issued = s("core.issued")
+    backend = s("core.backend_insts")
+    fu_sp_lanes = s("core.fu_sp_lanes")
+    fu_sfu_lanes = s("core.fu_sfu_lanes")
+    fu_insts = s("core.fu_sp_insts") + s("core.fu_sfu_insts")
+    mem_insts = s("core.mem_insts")
 
-    bank_reads = result.regfile_total("bank_reads")
-    bank_writes = result.regfile_total("bank_writes")
+    bank_reads = s("regfile.bank_reads")
+    bank_writes = s("regfile.bank_writes")
 
-    l1_accesses = result.l1d_stats["accesses"] + result.l1c_stats["accesses"]
-    l1_misses = result.l1d_stats["misses"] + result.l1c_stats["misses"]
-    scratchpad = result.scratchpad_accesses
+    l1_accesses = s("l1d.accesses") + s("l1c.accesses")
+    l1_misses = s("l1d.misses") + s("l1c.misses")
+    scratchpad = s("port.scratchpad_accesses")
 
     sm: Dict[str, float] = {
         "instruction supply": issued * (p.frontend_per_inst + p.scoreboard_per_inst),
@@ -73,9 +81,9 @@ def compute_energy(result: RunResult, params: Optional[EnergyParams] = None) -> 
     }
 
     gpu = dict(sm)
-    gpu["NoC"] = result.noc_flits * p.noc_flit
-    gpu["L2 cache"] = result.l2_stats.get("accesses", 0) * p.l2_access
-    gpu["DRAM"] = result.dram_accesses * p.dram_access
+    gpu["NoC"] = result.stat("memory.noc.flits") * p.noc_flit
+    gpu["L2 cache"] = result.stat("memory.l2.accesses") * p.l2_access
+    gpu["DRAM"] = result.stat("memory.dram.accesses") * p.dram_access
     gpu["chip static"] = result.cycles * p.chip_static_per_cycle
 
     return EnergyReport(sm_breakdown=sm, gpu_breakdown=gpu)
@@ -83,28 +91,24 @@ def compute_energy(result: RunResult, params: Optional[EnergyParams] = None) -> 
 
 def _total_sm_cycles(result: RunResult) -> int:
     """Leakage accrues on every SM for the whole run duration."""
-    return result.cycles * len(result.sm_counters)
+    return result.cycles * len(result.sm_groups)
 
 
 def _wir_overhead(result: RunResult, p: EnergyParams) -> float:
     """Energy of the added WIR structures (Table III costs x event counts)."""
-    stats = result.wir_stats
-    if not stats:
+    sm_groups = result.sm_groups
+    if not sm_groups or "wir" not in sm_groups[0].children:
         return 0.0
-    rename_ops = stats.get("rename_reads", 0) + stats.get("rename_writes", 0)
-    rb_ops = (
-        stats.get("rb_lookups", 0)
-        + stats.get("rb_reservations", 0)
-        + stats.get("rb_updates", 0)
-    )
-    vsb_ops = stats.get("vsb_lookups", 0) + stats.get("vsb_insertions", 0)
-    vc_ops = stats.get("vc_accesses", 0)
+    s = result.sm_stat
+    rename_ops = s("wir.rename_reads") + s("wir.rename_writes")
+    rb_ops = s("wir.rb.lookups") + s("wir.rb.reservations") + s("wir.rb.updates")
+    vsb_ops = s("wir.vsb.lookups") + s("wir.vsb.insertions")
     return (
         rename_ops * p.rename_table_op
         + rb_ops * p.reuse_buffer_op
-        + stats.get("hash_generations", 0) * p.hash_generation
+        + s("wir.hash_generations") * p.hash_generation
         + vsb_ops * p.vsb_op
-        + stats.get("allocator_ops", 0) * p.register_allocator_op
-        + stats.get("refcount_ops", 0) * p.refcount_op
-        + vc_ops * p.verify_cache_op
+        + s("wir.allocator_ops") * p.register_allocator_op
+        + s("wir.phys.refcount_ops") * p.refcount_op
+        + s("wir.vc.accesses") * p.verify_cache_op
     )

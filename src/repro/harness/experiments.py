@@ -1,10 +1,22 @@
 """One driver per table/figure of the paper's evaluation (Section VII).
 
-Each ``fig*``/``table*`` function runs the required simulations (memoised by
-:mod:`repro.harness.runner`) and returns plain data structures; the
-benchmark harness and ``repro.harness.reporting`` render them.  Docstrings
-quote the paper's headline numbers so measured-vs-paper comparisons live
-next to the code that produces them.
+Each ``fig*``/``table*`` function runs the required simulations (memoised,
+disk-cached, and optionally parallel via :mod:`repro.harness.runner`) and
+returns plain data structures; the benchmark harness and
+``repro.harness.reporting`` render them.  Docstrings quote the paper's
+headline numbers so measured-vs-paper comparisons live next to the code
+that produces them.
+
+Every driver takes ``jobs=N``: the full set of runs it needs is declared up
+front as :class:`~repro.harness.runner.RunSpec` values and prefetched
+through the worker pool, after which assembly reads from the memo.  Results
+are identical for any ``jobs`` value.
+
+Measurements are read from the run's stats registry by dotted path:
+``core.*`` (issue/backend counters), ``regfile.*`` (bank traffic and
+retries), ``l1d.*``/``l1c.*`` (cache counters), ``port.*`` (scratchpad),
+and ``wir.*`` with its ``rb``/``vsb``/``vc``/``phys`` subtrees — summed
+across SMs with :meth:`RunResult.sm_stat`.
 """
 
 from __future__ import annotations
@@ -20,7 +32,7 @@ from repro.energy.sram import (
     VSB_ENTRY_BITS,
     REFCOUNT_BITS,
 )
-from repro.harness.runner import run_benchmark
+from repro.harness.runner import RunSpec, prefetch, run_benchmark
 from repro.workloads import WORKLOADS, all_abbrs, get_workload
 
 #: Benchmarks the paper highlights in Figure 15 / the load-reuse discussion.
@@ -34,17 +46,27 @@ def _suite(abbrs: Optional[Sequence[str]]) -> List[str]:
     return list(abbrs) if abbrs is not None else all_abbrs()
 
 
+def _prefetch(specs: Iterable[RunSpec], jobs: int) -> None:
+    """Fan the drivers' declared runs out to workers when ``jobs > 1``."""
+    if jobs > 1:
+        prefetch(specs, jobs=jobs)
+
+
 # ---------------------------------------------------------------- Figure 2
 
 def fig2_repeated_computations(
-    abbrs: Optional[Sequence[str]] = None, scale: int = 1,
+    abbrs: Optional[Sequence[str]] = None, scale: int = 1, jobs: int = 1,
 ) -> Dict[str, Dict[str, float]]:
     """% of warp computations repeated in 1K-instruction windows.
 
     Paper: 31.4% average across 34 benchmarks; 16.0% repeated >10 times.
     """
+    suite = _suite(abbrs)
+    _prefetch(
+        (RunSpec.make(a, "Base", scale=scale, profile=True) for a in suite),
+        jobs)
     out = {}
-    for abbr in _suite(abbrs):
+    for abbr in suite:
         run = run_benchmark(abbr, "Base", scale=scale, profile=True)
         out[abbr] = {
             "repeated": run.profile.repeat_fraction,
@@ -60,19 +82,22 @@ def fig2_repeated_computations(
 # --------------------------------------------------------------- Figure 12
 
 def fig12_backend_instructions(
-    abbrs: Optional[Sequence[str]] = None, model: str = "RLPV",
+    abbrs: Optional[Sequence[str]] = None, model: str = "RLPV", jobs: int = 1,
 ) -> Dict[str, Dict[str, float]]:
     """Backend-processed instructions of RLPV relative to Base.
 
     Paper: 18.7% of warp instructions bypass backend execution; dummy MOVs
     add 1.6% on average.
     """
+    suite = _suite(abbrs)
+    _prefetch((RunSpec.make(a, m) for a in suite for m in ("Base", model)),
+              jobs)
     out = {}
-    for abbr in _suite(abbrs):
+    for abbr in suite:
         base = run_benchmark(abbr, "Base")
         reuse = run_benchmark(abbr, model)
         base_backend = base.result.backend_instructions
-        dummy = reuse.result.wir_stats.get("dummy_movs", 0)
+        dummy = reuse.result.sm_stat("wir.dummy_movs")
         out[abbr] = {
             "relative_backend": (reuse.result.backend_instructions + dummy)
             / max(1, base_backend),
@@ -95,6 +120,7 @@ BACKEND_OP_KINDS = ("register reads", "register writes", "SP/SFU ops", "memory o
 def fig13_backend_operations(
     abbrs: Optional[Sequence[str]] = None,
     models: Sequence[str] = ("NoVSB", "Affine", "RPV", "RLPV", "RLPVc"),
+    jobs: int = 1,
 ) -> Dict[str, Dict[str, float]]:
     """Relative backend operation counts vs Base (averaged over the suite).
 
@@ -102,16 +128,20 @@ def fig13_backend_operations(
     activations up to 32.4% vs RPV; RLPVc is only slightly below RLPV.
     """
     suite = _suite(abbrs)
+    _prefetch(
+        (RunSpec.make(a, m)
+         for a in suite for m in ("Base", *models)), jobs)
 
     def op_counts(model: str) -> Dict[str, float]:
         totals = {kind: 0.0 for kind in BACKEND_OP_KINDS}
         for abbr in suite:
             run = run_benchmark(abbr, model)
-            totals["register reads"] += run.result.regfile_total("read_requests")
-            totals["register writes"] += run.result.regfile_total("write_requests")
-            totals["SP/SFU ops"] += (run.result.total("fu_sp_insts")
-                                     + run.result.total("fu_sfu_insts"))
-            totals["memory ops"] += run.result.total("mem_insts")
+            stats = run.result
+            totals["register reads"] += stats.sm_stat("regfile.read_requests")
+            totals["register writes"] += stats.sm_stat("regfile.write_requests")
+            totals["SP/SFU ops"] += (stats.sm_stat("core.fu_sp_insts")
+                                     + stats.sm_stat("core.fu_sfu_insts"))
+            totals["memory ops"] += stats.sm_stat("core.mem_insts")
         return totals
 
     base = op_counts("Base")
@@ -129,6 +159,7 @@ def fig13_backend_operations(
 def fig14_gpu_energy(
     abbrs: Optional[Sequence[str]] = None,
     models: Sequence[str] = ("Base", "RPV", "RLPV"),
+    jobs: int = 1,
 ) -> Dict[str, Dict[str, float]]:
     """GPU energy relative to Base, per benchmark and averaged.
 
@@ -137,6 +168,9 @@ def fig14_gpu_energy(
     bottom half.
     """
     suite = _suite(abbrs)
+    _prefetch(
+        (RunSpec.make(a, m)
+         for a in suite for m in {"Base", *models}), jobs)
     out: Dict[str, Dict[str, float]] = {}
     for abbr in suite:
         base_total = run_benchmark(abbr, "Base").energy.gpu_total
@@ -158,9 +192,10 @@ def fig14_gpu_energy(
 
 
 def fig14_breakdown(
-    abbr: str, models: Sequence[str] = ("Base", "RPV", "RLPV")
+    abbr: str, models: Sequence[str] = ("Base", "RPV", "RLPV"), jobs: int = 1,
 ) -> Dict[str, Dict[str, float]]:
     """Per-component GPU energy breakdown normalised to Base's total."""
+    _prefetch((RunSpec.make(abbr, m) for m in {"Base", *models}), jobs)
     base = run_benchmark(abbr, "Base").energy
     return {
         model: run_benchmark(abbr, model).energy.normalised_gpu(base)
@@ -173,27 +208,32 @@ def fig14_breakdown(
 def fig15_l1_accesses(
     abbrs: Sequence[str] = tuple(LOAD_REUSE_BENCHMARKS),
     model: str = "RLPV",
+    jobs: int = 1,
 ) -> Dict[str, Dict[str, float]]:
     """L1D accesses and misses, Base vs the load-reuse design.
 
     Paper: accesses and misses drop substantially in SF, BT, HS, S2, LK
     (LK misses -61.5%); KM can get *worse* (cache contention reordering).
     """
+    full = _suite(None)
+    _prefetch((RunSpec.make(a, m) for a in full for m in ("Base", model)),
+              jobs)
     out = {}
-    suite = list(abbrs) + ["AVG"]
     totals = {"base_accesses": 0, "base_misses": 0, "accesses": 0, "misses": 0}
-    for abbr in _suite(None):
-        base = run_benchmark(abbr, "Base").result.l1d_stats
-        reuse = run_benchmark(abbr, model).result.l1d_stats
+    for abbr in full:
+        base = run_benchmark(abbr, "Base").result
+        reuse = run_benchmark(abbr, model).result
         if abbr in abbrs:
             out[abbr] = {
-                "relative_accesses": reuse["accesses"] / max(1, base["accesses"]),
-                "relative_misses": reuse["misses"] / max(1, base["misses"]),
+                "relative_accesses": reuse.sm_stat("l1d.accesses")
+                / max(1, base.sm_stat("l1d.accesses")),
+                "relative_misses": reuse.sm_stat("l1d.misses")
+                / max(1, base.sm_stat("l1d.misses")),
             }
-        totals["base_accesses"] += base["accesses"]
-        totals["base_misses"] += base["misses"]
-        totals["accesses"] += reuse["accesses"]
-        totals["misses"] += reuse["misses"]
+        totals["base_accesses"] += base.sm_stat("l1d.accesses")
+        totals["base_misses"] += base.sm_stat("l1d.misses")
+        totals["accesses"] += reuse.sm_stat("l1d.accesses")
+        totals["misses"] += reuse.sm_stat("l1d.misses")
     out["AVG"] = {
         "relative_accesses": totals["accesses"] / max(1, totals["base_accesses"]),
         "relative_misses": totals["misses"] / max(1, totals["base_misses"]),
@@ -206,12 +246,15 @@ def fig15_l1_accesses(
 def fig16_sm_energy(
     abbrs: Optional[Sequence[str]] = None,
     models: Sequence[str] = ("NoVSB", "Affine", "RPV", "RLPV", "RLPVc", "Affine+RLPV"),
+    jobs: int = 1,
 ) -> Dict[str, float]:
     """SM energy relative to Base, averaged over the suite.
 
     Paper: RLPV -20.5%, Affine -13.6%, Affine+RLPV -27.9% (best).
     """
     suite = _suite(abbrs)
+    _prefetch(
+        (RunSpec.make(a, m) for a in suite for m in ("Base", *models)), jobs)
     out = {"Base": 1.0}
     base_totals = {a: run_benchmark(a, "Base").energy.sm_total for a in suite}
     for model in models:
@@ -227,14 +270,18 @@ def fig16_sm_energy(
 def fig17_speedup(
     abbrs: Optional[Sequence[str]] = None,
     models: Sequence[str] = ("R", "RL", "RLP", "RLPV"),
+    jobs: int = 1,
 ) -> Dict[str, Dict[str, float]]:
     """Speedup vs Base for the four incremental reuse designs.
 
     Paper: most benchmarks within +-10%; LK exceeds 2x with load reuse;
     GA/BO/BF degrade under RLP and recover with the verify cache (RLPV).
     """
+    suite = _suite(abbrs)
+    _prefetch(
+        (RunSpec.make(a, m) for a in suite for m in ("Base", *models)), jobs)
     out = {}
-    for abbr in _suite(abbrs):
+    for abbr in suite:
         base_cycles = run_benchmark(abbr, "Base").cycles
         out[abbr] = {
             model: base_cycles / run_benchmark(abbr, model).cycles
@@ -258,6 +305,7 @@ def fig17_speedup(
 def fig18_verify_cache(
     abbrs: Sequence[str] = tuple(VERIFY_PRESSURE_BENCHMARKS),
     entry_counts: Sequence[int] = (4, 8, 16),
+    jobs: int = 1,
 ) -> Dict[str, Dict[str, float]]:
     """Verify-cache effect on the register file.
 
@@ -269,6 +317,9 @@ def fig18_verify_cache(
     configs = {"Base": ("Base", {}), "RLP": ("RLP", {})}
     for entries in entry_counts:
         configs[f"RLPV{entries}"] = ("RLPV", {"verify_cache_entries": entries})
+    _prefetch(
+        (RunSpec.make(a, model, **overrides)
+         for a in suite for model, overrides in configs.values()), jobs)
 
     out: Dict[str, Dict[str, float]] = {}
     for label, (model, overrides) in configs.items():
@@ -276,13 +327,13 @@ def fig18_verify_cache(
         for abbr in suite:
             run = run_benchmark(abbr, model, **overrides)
             stats = run.result
-            reads += stats.regfile_total("read_requests")
-            writes += stats.regfile_total("write_requests")
-            verify += stats.regfile_total("verify_read_requests")
-            retries += (stats.regfile_total("read_retries")
-                        + stats.regfile_total("write_retries"))
-            requests += (stats.regfile_total("read_requests")
-                         + stats.regfile_total("write_requests"))
+            reads += stats.sm_stat("regfile.read_requests")
+            writes += stats.sm_stat("regfile.write_requests")
+            verify += stats.sm_stat("regfile.verify_read_requests")
+            retries += (stats.sm_stat("regfile.read_retries")
+                        + stats.sm_stat("regfile.write_retries"))
+            requests += (stats.sm_stat("regfile.read_requests")
+                         + stats.sm_stat("regfile.write_requests"))
         out[label] = {
             "true_reads": reads - verify,
             "verify_reads": verify,
@@ -301,6 +352,7 @@ def fig18_verify_cache(
 def fig19_register_utilization(
     abbrs: Optional[Sequence[str]] = None,
     models: Sequence[str] = ("RLPV", "RLPVc"),
+    jobs: int = 1,
 ) -> Dict[str, Dict[str, float]]:
     """Physical warp registers in use (average and peak of 1,024).
 
@@ -308,6 +360,8 @@ def fig19_register_utilization(
     because logical registers share physical registers.
     """
     suite = _suite(abbrs)
+    _prefetch(
+        (RunSpec.make(a, m) for a in suite for m in ("Base", *models)), jobs)
     out: Dict[str, Dict[str, float]] = {}
 
     base_avg = base_peak = 0.0
@@ -333,9 +387,10 @@ def fig19_register_utilization(
     for model in models:
         avg = peak = 0.0
         for abbr in suite:
-            stats = run_benchmark(abbr, model).result.wir_stats
-            avg += stats["phys_avg"]
-            peak += stats["phys_peak"]
+            result = run_benchmark(abbr, model).result
+            num_sms = len(result.sm_groups)
+            avg += result.sm_stat("wir.phys.avg") / num_sms
+            peak += result.sm_stat("wir.phys.peak") / num_sms
         out[model] = {"average": avg / len(suite), "peak": peak / len(suite)}
     return out
 
@@ -346,15 +401,20 @@ def fig20_vsb_sweep(
     abbrs: Optional[Sequence[str]] = None,
     entry_counts: Sequence[int] = (16, 32, 64, 128, 256, 512),
     model: str = "RLPV",
+    jobs: int = 1,
 ) -> Dict[int, float]:
     """VSB entries vs hit rate. Paper: >50% hits at 128; saturates ~256."""
     suite = _suite(abbrs)
+    _prefetch(
+        (RunSpec.make(a, model, vsb_entries=entries)
+         for a in suite for entries in entry_counts), jobs)
     out = {}
     for entries in entry_counts:
         rates = []
         for abbr in suite:
-            stats = run_benchmark(abbr, model, vsb_entries=entries).result.wir_stats
-            rates.append(stats["vsb_hits"] / max(1, stats["vsb_lookups"]))
+            result = run_benchmark(abbr, model, vsb_entries=entries).result
+            rates.append(result.sm_stat("wir.vsb.hits")
+                         / max(1, result.sm_stat("wir.vsb.lookups")))
         out[entries] = sum(rates) / len(rates)
     return out
 
@@ -365,6 +425,7 @@ def fig21_reuse_buffer_sweep(
     abbrs: Optional[Sequence[str]] = None,
     entry_counts: Sequence[int] = (32, 64, 128, 256, 512),
     model: str = "RLPV",
+    jobs: int = 1,
 ) -> Dict[int, Dict[str, float]]:
     """Reuse-buffer entries vs reused-instruction fraction.
 
@@ -372,6 +433,9 @@ def fig21_reuse_buffer_sweep(
     roughly a doubling of the buffer.
     """
     suite = _suite(abbrs)
+    _prefetch(
+        (RunSpec.make(a, model, reuse_buffer_entries=entries)
+         for a in suite for entries in entry_counts), jobs)
     out = {}
     for entries in entry_counts:
         fractions = []
@@ -381,7 +445,7 @@ def fig21_reuse_buffer_sweep(
             issued = max(1, run.result.issued_instructions)
             fractions.append(run.result.reused_instructions / issued)
             pending_fractions.append(
-                run.result.wir_stats["rb_pending_releases"] / issued)
+                run.result.sm_stat("wir.rb.pending_releases") / issued)
         out[entries] = {
             "reuse_fraction": sum(fractions) / len(fractions),
             "pending_retry_fraction": sum(pending_fractions) / len(pending_fractions),
@@ -395,6 +459,7 @@ def fig22_delay_sweep(
     abbrs: Optional[Sequence[str]] = None,
     delays: Sequence[int] = (3, 4, 5, 6, 7),
     model: str = "RLPV",
+    jobs: int = 1,
 ) -> Dict[str, float]:
     """Backend pipeline delay (D3..D7) vs mean speedup.
 
@@ -402,6 +467,10 @@ def fig22_delay_sweep(
     below Base around 7 cycles.
     """
     suite = _suite(abbrs)
+    specs = [RunSpec.make(a, "Base") for a in suite]
+    specs += [RunSpec.make(a, model, extra_pipeline_latency=delay)
+              for a in suite for delay in delays]
+    _prefetch(specs, jobs)
     out = {}
     for delay in delays:
         product = 1.0

@@ -1,30 +1,132 @@
-"""Run benchmarks against design points, with in-process result caching.
+"""Run benchmarks against design points: memoised, parallel, and disk-cached.
 
 Experiments repeatedly need the same (benchmark, model) run — e.g. Base
 appears as the normalisation baseline in most figures — so completed runs
-are memoised on their full parameterisation.
+are cached at three levels:
+
+* an in-process **result memo** keyed by the full simulation
+  parameterisation (:class:`RunSpec`);
+* an in-process **run memo** additionally keyed by the energy parameters,
+  so two calls differing only in :class:`EnergyParams` share the simulation
+  but never an :class:`EnergyReport`;
+* an optional **on-disk cache** of serialized results, content-addressed by
+  the SHA-256 digest of the complete parameterisation (spec + energy
+  parameters + cache format version), enabled by setting
+  ``REPRO_CACHE_DIR`` or calling :func:`set_cache_dir`.  A warm cache lets
+  repeated figure sweeps and pytest benches skip simulation entirely.
+
+:func:`run_suite` (and :func:`prefetch`) accept ``jobs=N`` to farm missing
+simulations out to a ``multiprocessing`` pool; workers return serialized
+results, so parallel sweeps are bit-identical to serial ones.
 
 The experiment default of 2 SMs (instead of Table II's 15) keeps full-suite
 sweeps laptop-fast and raises per-SM occupancy at our small grid sizes
-(latency hiding depends on resident warps per SM, not on the SM count); per-SM statistics and all model-relative comparisons
-are unaffected by the SM count, and it can be overridden per run.
+(latency hiding depends on resident warps per SM, not on the SM count);
+per-SM statistics and all model-relative comparisons are unaffected by the
+SM count, and it can be overridden per run.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.models import model_config
 from repro.energy import EnergyParams, EnergyReport, compute_energy
 from repro.profiling import RedundancyProfile, RedundancyProfiler
-from repro.sim.config import GPUConfig
 from repro.sim.gpu import GPU, KernelLaunch, RunResult
+from repro.stats import dataclass_to_dict
 from repro.workloads import BuiltWorkload, build_workload
 
 #: SM count used by the experiment drivers (see module docstring).
 EXPERIMENT_SMS = 2
 
+#: Bump when the serialized result layout or simulator behaviour changes in
+#: a way that invalidates previously cached runs.
+CACHE_FORMAT = 1
+
+
+# --------------------------------------------------------------------- specs
+
+@dataclass(frozen=True)
+class RunSpec:
+    """The complete parameterisation of one simulation."""
+
+    abbr: str
+    model: str = "Base"
+    scale: int = 1
+    seed: int = 7
+    num_sms: int = EXPERIMENT_SMS
+    profile: bool = False
+    #: Sorted (name, value) pairs of WIR config overrides.
+    wir_overrides: Tuple[Tuple[str, object], ...] = ()
+
+    @classmethod
+    def make(
+        cls,
+        abbr: str,
+        model: str = "Base",
+        scale: int = 1,
+        seed: int = 7,
+        num_sms: int = EXPERIMENT_SMS,
+        profile: bool = False,
+        **wir_overrides,
+    ) -> "RunSpec":
+        return cls(abbr, model, scale, seed, num_sms, profile,
+                   tuple(sorted(wir_overrides.items())))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "abbr": self.abbr,
+            "model": self.model,
+            "scale": self.scale,
+            "seed": self.seed,
+            "num_sms": self.num_sms,
+            "profile": self.profile,
+            "wir_overrides": [
+                [name, dataclass_to_dict(value)]
+                for name, value in self.wir_overrides
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunSpec":
+        return cls(
+            abbr=data["abbr"],
+            model=data["model"],
+            scale=data["scale"],
+            seed=data["seed"],
+            num_sms=data["num_sms"],
+            profile=data["profile"],
+            wir_overrides=tuple(
+                (name, value) for name, value in data["wir_overrides"]
+            ),
+        )
+
+    def digest(self, energy_params: Optional[EnergyParams] = None) -> str:
+        """Content address of this run (plus the energy parameterisation)."""
+        payload = {
+            "format": CACHE_FORMAT,
+            "spec": self.to_dict(),
+            "energy": _energy_key(energy_params),
+        }
+        canonical = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _energy_key(params: Optional[EnergyParams]) -> Tuple:
+    """Hashable identity of an energy parameterisation."""
+    p = params if params is not None else EnergyParams()
+    return tuple(sorted(dataclass_to_dict(p).items()))
+
+
+# ---------------------------------------------------------------- run object
 
 @dataclass
 class BenchmarkRun:
@@ -46,12 +148,162 @@ class BenchmarkRun:
         return self.result.reuse_fraction
 
 
-_CACHE: Dict[Tuple, BenchmarkRun] = {}
+# ------------------------------------------------------------------- caching
+
+#: spec -> (result, profile, workload-or-None).  The workload is the live,
+#: verified post-run instance for in-process simulations and ``None`` for
+#: results rehydrated from a worker or the disk cache.
+_RESULT_CACHE: Dict[RunSpec, Tuple[RunResult, Optional[RedundancyProfile],
+                                   Optional[BuiltWorkload]]] = {}
+
+#: (spec, energy key) -> BenchmarkRun.  Keyed by the energy parameters too:
+#: a second call with different ``EnergyParams`` must never see the first
+#: call's ``EnergyReport``.
+_RUN_CACHE: Dict[Tuple[RunSpec, Tuple], BenchmarkRun] = {}
+
+#: Observable effort counters (tests and the CLI read these).
+COUNTS = {"simulations": 0, "memo_hits": 0, "disk_hits": 0, "disk_writes": 0}
+
+_cache_dir: Optional[Path] = None
+_cache_dir_from_env = False
+
+
+def set_cache_dir(path: Optional[os.PathLike]) -> None:
+    """Point the on-disk result cache at *path* (``None`` reverts to
+    whatever ``REPRO_CACHE_DIR`` says, i.e. usually off)."""
+    global _cache_dir, _cache_dir_from_env
+    _cache_dir = Path(path) if path is not None else None
+    _cache_dir_from_env = False
+
+
+def cache_dir() -> Optional[Path]:
+    """The active on-disk cache directory (``REPRO_CACHE_DIR`` by default)."""
+    global _cache_dir, _cache_dir_from_env
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if _cache_dir is None or _cache_dir_from_env:
+        _cache_dir = Path(env) if env else None
+        _cache_dir_from_env = True
+    return _cache_dir
 
 
 def clear_cache() -> None:
-    _CACHE.clear()
+    """Drop the in-process memos (the on-disk cache is left alone)."""
+    _RESULT_CACHE.clear()
+    _RUN_CACHE.clear()
 
+
+def _cache_path(digest: str) -> Optional[Path]:
+    base = cache_dir()
+    if base is None:
+        return None
+    return base / digest[:2] / f"{digest}.json"
+
+
+def _payload_from(spec: RunSpec, result: RunResult,
+                  profile: Optional[RedundancyProfile]) -> Dict[str, object]:
+    return {
+        "format": CACHE_FORMAT,
+        "spec": spec.to_dict(),
+        "result": result.to_dict(),
+        "profile": dataclasses.asdict(profile) if profile is not None else None,
+    }
+
+
+def _rehydrate(payload: Dict[str, object]) -> Tuple[RunResult,
+                                                    Optional[RedundancyProfile]]:
+    result = RunResult.from_dict(payload["result"])
+    profile = (RedundancyProfile(**payload["profile"])
+               if payload.get("profile") is not None else None)
+    return result, profile
+
+
+def _disk_load(spec: RunSpec,
+               energy_params: Optional[EnergyParams]) -> Optional[Dict[str, object]]:
+    path = _cache_path(spec.digest(energy_params))
+    if path is None or not path.exists():
+        return None
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    if payload.get("format") != CACHE_FORMAT:
+        return None
+    COUNTS["disk_hits"] += 1
+    return payload
+
+
+def _disk_store(spec: RunSpec, energy_params: Optional[EnergyParams],
+                payload: Dict[str, object]) -> None:
+    path = _cache_path(spec.digest(energy_params))
+    if path is None:
+        return
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(payload, sort_keys=True))
+    tmp.replace(path)
+    COUNTS["disk_writes"] += 1
+
+
+# ---------------------------------------------------------------- simulation
+
+def _simulate(spec: RunSpec) -> Tuple[RunResult, Optional[RedundancyProfile],
+                                      BuiltWorkload]:
+    """Run one simulation in this process (no caching)."""
+    COUNTS["simulations"] += 1
+    config = model_config(spec.model, **dict(spec.wir_overrides))
+    config.num_sms = spec.num_sms
+    workload = build_workload(spec.abbr, scale=spec.scale, seed=spec.seed)
+
+    profilers: List[RedundancyProfiler] = []
+    factory = None
+    if spec.profile:
+        def factory():  # noqa: E306 - small closure
+            p = RedundancyProfiler()
+            profilers.append(p)
+            return p
+
+    launch = KernelLaunch(workload.program, workload.grid, workload.block,
+                          workload.image)
+    result = GPU(config, profiler_factory=factory).run(launch)
+    workload.verify()
+
+    merged: Optional[RedundancyProfile] = None
+    if profilers:
+        merged = profilers[0].profile
+        for p in profilers[1:]:
+            merged = merged.merge(p.profile)
+    return result, merged, workload
+
+
+def _worker(spec_data: Dict[str, object]) -> Dict[str, object]:
+    """Pool worker: simulate one spec and return the serialized payload."""
+    spec = RunSpec.from_dict(spec_data)
+    result, profile, _ = _simulate(spec)
+    return _payload_from(spec, result, profile)
+
+
+def _obtain_result(
+    spec: RunSpec, energy_params: Optional[EnergyParams]
+) -> Tuple[RunResult, Optional[RedundancyProfile], Optional[BuiltWorkload]]:
+    """Result memo -> disk cache -> fresh simulation, in that order."""
+    cached = _RESULT_CACHE.get(spec)
+    if cached is not None:
+        COUNTS["memo_hits"] += 1
+        return cached
+
+    payload = _disk_load(spec, energy_params)
+    if payload is not None:
+        result, profile = _rehydrate(payload)
+        entry = (result, profile, None)
+    else:
+        result, profile, workload = _simulate(spec)
+        _disk_store(spec, energy_params, _payload_from(spec, result, profile))
+        entry = (result, profile, workload)
+    _RESULT_CACHE[spec] = entry
+    return entry
+
+
+# ------------------------------------------------------------------ frontend
 
 def run_benchmark(
     abbr: str,
@@ -68,34 +320,18 @@ def run_benchmark(
     ``wir_overrides`` tweak the model's WIR config, e.g.
     ``run_benchmark("SF", "RLPV", reuse_buffer_entries=512)``.
     """
-    key = (abbr, model, scale, seed, num_sms, profile,
-           tuple(sorted(wir_overrides.items())))
-    cached = _CACHE.get(key)
-    if cached is not None:
-        return cached
+    spec = RunSpec.make(abbr, model, scale=scale, seed=seed, num_sms=num_sms,
+                        profile=profile, **wir_overrides)
+    run_key = (spec, _energy_key(energy_params))
+    run = _RUN_CACHE.get(run_key)
+    if run is not None:
+        return run
 
-    config = model_config(model, **wir_overrides)
-    config.num_sms = num_sms
-    workload = build_workload(abbr, scale=scale, seed=seed)
-
-    profilers: List[RedundancyProfiler] = []
-    factory = None
-    if profile:
-        def factory():  # noqa: E306 - small closure
-            p = RedundancyProfiler()
-            profilers.append(p)
-            return p
-
-    launch = KernelLaunch(workload.program, workload.grid, workload.block,
-                          workload.image)
-    result = GPU(config, profiler_factory=factory).run(launch)
-    workload.verify()
-
-    merged: Optional[RedundancyProfile] = None
-    if profilers:
-        merged = profilers[0].profile
-        for p in profilers[1:]:
-            merged = merged.merge(p.profile)
+    result, merged_profile, workload = _obtain_result(spec, energy_params)
+    if workload is None:
+        # Rehydrated result: rebuild the (pre-run) workload so callers can
+        # still reach the program and launch geometry.
+        workload = build_workload(abbr, scale=scale, seed=seed)
 
     run = BenchmarkRun(
         abbr=abbr,
@@ -103,16 +339,73 @@ def run_benchmark(
         workload=workload,
         result=result,
         energy=compute_energy(result, energy_params),
-        profile=merged,
+        profile=merged_profile,
     )
-    _CACHE[key] = run
+    _RUN_CACHE[run_key] = run
     return run
 
 
+def prefetch(
+    specs: Iterable[RunSpec],
+    jobs: int = 1,
+    energy_params: Optional[EnergyParams] = None,
+) -> int:
+    """Ensure every spec's result is available, simulating missing ones with
+    a worker pool.  Returns the number of simulations actually run.
+
+    Workers return *serialized* results, so a parallel sweep is bit-identical
+    to a serial one; completed payloads land in the disk cache (when enabled)
+    and the in-process memo.
+    """
+    missing: List[RunSpec] = []
+    seen = set()
+    for spec in specs:
+        if spec in _RESULT_CACHE or spec in seen:
+            continue
+        payload = _disk_load(spec, energy_params)
+        if payload is not None:
+            result, profile = _rehydrate(payload)
+            _RESULT_CACHE[spec] = (result, profile, None)
+            continue
+        seen.add(spec)
+        missing.append(spec)
+
+    if not missing:
+        return 0
+
+    if jobs <= 1 or len(missing) == 1:
+        for spec in missing:
+            _obtain_result(spec, energy_params)
+        return len(missing)
+
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+    with context.Pool(processes=min(jobs, len(missing))) as pool:
+        payloads = pool.map(_worker, [spec.to_dict() for spec in missing])
+    for spec, payload in zip(missing, payloads):
+        result, profile = _rehydrate(payload)
+        _disk_store(spec, energy_params, payload)
+        _RESULT_CACHE[spec] = (result, profile, None)
+    return len(missing)
+
+
 def run_suite(
-    abbrs: List[str],
+    abbrs: Sequence[str],
     model: str = "Base",
+    jobs: int = 1,
+    energy_params: Optional[EnergyParams] = None,
     **kwargs,
 ) -> Dict[str, BenchmarkRun]:
-    """Run a list of benchmarks under one design point."""
-    return {abbr: run_benchmark(abbr, model, **kwargs) for abbr in abbrs}
+    """Run a list of benchmarks under one design point.
+
+    ``jobs > 1`` simulates cache-missing benchmarks in parallel; results are
+    identical to a serial run.
+    """
+    specs = [RunSpec.make(abbr, model, **kwargs) for abbr in abbrs]
+    if jobs > 1:
+        prefetch(specs, jobs=jobs, energy_params=energy_params)
+    return {
+        abbr: run_benchmark(abbr, model, energy_params=energy_params, **kwargs)
+        for abbr in abbrs
+    }

@@ -10,6 +10,7 @@ scheduled event.
 
 from __future__ import annotations
 
+import json
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
@@ -20,6 +21,7 @@ from repro.sim.grid import Dim3, enumerate_blocks
 from repro.sim.memory.space import MemoryImage
 from repro.sim.memory.subsystem import MemorySubsystem
 from repro.sim.smcore import SMCore, SMCounters
+from repro.stats import StatGroup, dataclass_from_dict, dataclass_to_dict
 
 
 class SimulationTimeout(RuntimeError):
@@ -46,29 +48,62 @@ class KernelLaunch:
 
 @dataclass
 class RunResult:
-    """Everything measured during one launch."""
+    """Everything measured during one launch.
+
+    Measurements live in one hierarchical stats registry rooted at
+    :attr:`stats`: per-SM subtrees (``sm0.core``, ``sm0.regfile``,
+    ``sm0.l1d``, ``sm0.wir.rb`` ...) plus the chip-level ``memory``
+    subtree.  Use :meth:`stat` / :meth:`sm_stat` for dotted-path access;
+    the legacy per-component views (``l1d_stats``, ``wir_stats``, ...) are
+    derived from the registry.  The whole result round-trips through JSON
+    (:meth:`to_dict` / :meth:`from_dict`), which is what the on-disk run
+    cache and the parallel sweep workers move around; only the live
+    :attr:`launch` object and profiler handles are process-local.
+    """
 
     cycles: int
     config: GPUConfig
-    launch: KernelLaunch
-    sm_counters: List[SMCounters]
-    #: Aggregated register file stats (dict snapshot per SM).
-    regfile_stats: List[Dict[str, int]]
-    l1d_stats: Dict[str, int]
-    l1c_stats: Dict[str, int]
-    l2_stats: Dict[str, int]
-    dram_accesses: int
-    noc_flits: int
-    scratchpad_accesses: int
-    #: WIR structure stats, when the design was enabled.
-    wir_stats: Optional[Dict[str, float]] = None
+    #: Root of the hierarchical stats registry for this run.
+    stats: StatGroup
+    #: The live launch (``None`` on deserialized results).
+    launch: Optional[KernelLaunch] = None
+    #: JSON-safe launch description (kernel name and geometry).
+    launch_summary: Dict[str, object] = field(default_factory=dict)
     #: Per-SM profiler results, when a profiler factory was supplied.
     profiles: Optional[List] = None
 
+    # --- registry access ------------------------------------------------------
+
+    def stat(self, path: str):
+        """Dotted-path lookup from the root (``"sm0.regfile.read_retries"``)."""
+        return self.stats.lookup(path)
+
+    @property
+    def sm_groups(self) -> List[StatGroup]:
+        """The per-SM registry subtrees, in SM order."""
+        children = self.stats.children
+        return [children[name] for name in sorted(
+            (n for n in children if n.startswith("sm")),
+            key=lambda n: int(n[2:]),
+        )]
+
+    def sm_stat(self, path: str):
+        """Sum a per-SM dotted path (relative to each ``sm{N}``) across SMs."""
+        return sum(group.lookup(path) for group in self.sm_groups)
+
+    def merged_sm(self) -> StatGroup:
+        """All per-SM subtrees summed into one group."""
+        return StatGroup.merged(self.sm_groups, name="sm")
+
     # --- aggregate helpers ----------------------------------------------------
 
+    @property
+    def sm_counters(self) -> List[StatGroup]:
+        """Per-SM core counter groups (the old ``SMCounters`` view)."""
+        return [group.lookup("core") for group in self.sm_groups]
+
     def total(self, field_name: str) -> int:
-        return sum(getattr(c, field_name) for c in self.sm_counters)
+        return self.sm_stat(f"core.{field_name}")
 
     @property
     def issued_instructions(self) -> int:
@@ -88,7 +123,88 @@ class RunResult:
         return self.reused_instructions / issued if issued else 0.0
 
     def regfile_total(self, key: str) -> int:
-        return sum(stats[key] for stats in self.regfile_stats)
+        return self.sm_stat(f"regfile.{key}")
+
+    @property
+    def regfile_stats(self) -> List[Dict[str, int]]:
+        return [group.lookup("regfile").counters() for group in self.sm_groups]
+
+    @property
+    def l1d_stats(self) -> Dict[str, int]:
+        return StatGroup.merged(
+            group.lookup("l1d") for group in self.sm_groups).counters()
+
+    @property
+    def l1c_stats(self) -> Dict[str, int]:
+        return StatGroup.merged(
+            group.lookup("l1c") for group in self.sm_groups).counters()
+
+    @property
+    def l2_stats(self) -> Dict[str, int]:
+        return self.stats.lookup("memory.l2").counters()
+
+    @property
+    def dram_accesses(self) -> int:
+        return self.stats.lookup("memory.dram.accesses")
+
+    @property
+    def noc_flits(self) -> int:
+        return self.stats.lookup("memory.noc.flits")
+
+    @property
+    def scratchpad_accesses(self) -> int:
+        return self.sm_stat("port.scratchpad_accesses")
+
+    @property
+    def wir_stats(self) -> Optional[Dict[str, float]]:
+        """Merged flat view of the WIR subtrees (``None`` for Base runs).
+
+        Structure counters keep their historical prefixes (``rb_``,
+        ``vsb_``, ``vc_``); ``phys_peak``/``phys_avg`` are per-SM averages.
+        """
+        sm_groups = self.sm_groups
+        if not sm_groups or "wir" not in sm_groups[0].children:
+            return None
+        merged = StatGroup.merged(
+            group.lookup("wir") for group in sm_groups)
+        totals: Dict[str, float] = merged.counters()
+        for prefix in ("rb", "vsb", "vc"):
+            for key, value in merged.lookup(prefix).counters().items():
+                totals[f"{prefix}_{key}"] = value
+        phys = merged.lookup("phys").counters()
+        num_sms = len(sm_groups)
+        totals["phys_peak"] = phys["peak"] / num_sms
+        totals["phys_avg"] = phys["avg"] / num_sms
+        totals["phys_allocations"] = phys["allocations"]
+        totals["refcount_ops"] = phys["refcount_ops"]
+        return totals
+
+    # --- serialization --------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Lossless plain-data form (config + launch summary + stats tree)."""
+        return {
+            "cycles": self.cycles,
+            "config": dataclass_to_dict(self.config),
+            "launch": dict(self.launch_summary),
+            "stats": self.stats.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunResult":
+        return cls(
+            cycles=data["cycles"],
+            config=dataclass_from_dict(GPUConfig, data["config"]),
+            stats=StatGroup.from_dict(data["stats"], name="run"),
+            launch_summary=dict(data.get("launch", {})),
+        )
+
+    def to_json(self, **kwargs) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, **kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunResult":
+        return cls.from_dict(json.loads(text))
 
 
 class GPU:
@@ -170,57 +286,27 @@ class GPU:
         subsystem: MemorySubsystem,
         profilers: List,
     ) -> RunResult:
-        def sum_stats(stats_list: List[Dict[str, int]]) -> Dict[str, int]:
-            totals: Dict[str, int] = {}
-            for stats in stats_list:
-                for key, value in stats.items():
-                    totals[key] = totals.get(key, 0) + value
-            return totals
-
-        wir_stats = None
-        if self.config.wir.enabled:
-            wir_stats = self._collect_wir(sms)
-            for sm in sms:
+        """Assemble the run's stats registry and wrap it in a RunResult."""
+        root = StatGroup("run")
+        root.add_counter("cycles", cycles)
+        for sm in sms:
+            if sm.unit is not None:
+                sm.unit.finalize_stats()
                 sm.unit.check_invariants()
+            root.adopt(sm.stats)
+        root.adopt(subsystem.stats_group())
 
+        launch_summary = {
+            "program": launch.program.name,
+            "grid": [launch.grid.x, launch.grid.y, launch.grid.z],
+            "block": [launch.block.x, launch.block.y, launch.block.z],
+            "total_threads": launch.total_threads,
+        }
         return RunResult(
             cycles=cycles,
             config=self.config,
+            stats=root,
             launch=launch,
-            sm_counters=[sm.counters for sm in sms],
-            regfile_stats=[vars(sm.regfile.stats).copy() for sm in sms],
-            l1d_stats=sum_stats([sm.port.l1d.stats.snapshot() for sm in sms]),
-            l1c_stats=sum_stats([sm.port.l1c.stats.snapshot() for sm in sms]),
-            l2_stats=subsystem.l2_stats,
-            dram_accesses=subsystem.dram_accesses,
-            noc_flits=subsystem.noc.flits,
-            scratchpad_accesses=sum(sm.port.scratchpad_accesses for sm in sms),
-            wir_stats=wir_stats,
+            launch_summary=launch_summary,
             profiles=profilers or None,
         )
-
-    def _collect_wir(self, sms: List[SMCore]) -> Dict[str, float]:
-        """Aggregate the WIR structure statistics across SMs."""
-        totals: Dict[str, float] = {}
-
-        def add(key: str, value: float) -> None:
-            totals[key] = totals.get(key, 0) + value
-
-        for sm in sms:
-            unit = sm.unit
-            for key, value in vars(unit.counters).items():
-                add(key, value)
-            for key, value in vars(unit.reuse_buffer.stats).items():
-                add(f"rb_{key}", value)
-            for key, value in vars(unit.vsb.stats).items():
-                add(f"vsb_{key}", value)
-            for key, value in vars(unit.verify_cache.stats).items():
-                add(f"vc_{key}", value)
-            add("refcount_ops", unit.refcount.operations)
-            add("phys_peak", unit.physfile.peak_in_use)
-            add("phys_avg", unit.physfile.average_in_use)
-            add("phys_allocations", unit.physfile.allocations)
-        num_sms = max(1, len(sms))
-        totals["phys_peak"] /= num_sms
-        totals["phys_avg"] /= num_sms
-        return totals

@@ -10,36 +10,24 @@ pending fill merge into the existing MSHR.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.sim.config import CacheConfig
+from repro.stats import StatGroup
 
 
-@dataclass
-class CacheStats:
-    accesses: int = 0
-    hits: int = 0
-    misses: int = 0
-    mshr_merges: int = 0
-    mshr_stalls: int = 0
-    evictions: int = 0
-    writebacks: int = 0
+class CacheStats(StatGroup):
+    """Cache event counts, registered into the run's stats tree."""
+
+    COUNTERS = ("accesses", "hits", "misses", "mshr_merges", "mshr_stalls",
+                "evictions", "writebacks")
 
     @property
     def miss_rate(self) -> float:
         return self.misses / self.accesses if self.accesses else 0.0
 
     def snapshot(self) -> Dict[str, int]:
-        return {
-            "accesses": self.accesses,
-            "hits": self.hits,
-            "misses": self.misses,
-            "mshr_merges": self.mshr_merges,
-            "mshr_stalls": self.mshr_stalls,
-            "evictions": self.evictions,
-            "writebacks": self.writebacks,
-        }
+        return self.counters()
 
 
 class Cache:
@@ -60,7 +48,7 @@ class Cache:
         self.config = config
         self.name = name
         self._miss_latency = miss_latency
-        self.stats = CacheStats()
+        self.stats = CacheStats(name)
         self._num_sets = config.num_sets
         self._line_shift = config.line_bytes.bit_length() - 1
         # Per set: ordered list of line tags, most recently used last.

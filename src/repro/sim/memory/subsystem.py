@@ -25,6 +25,7 @@ from repro.isa.opcodes import MemSpace
 from repro.sim.config import GPUConfig
 from repro.sim.memory.cache import Cache
 from repro.sim.memory.space import MemoryImage, MemorySpaceStore
+from repro.stats import StatGroup
 
 
 @dataclass
@@ -139,6 +140,25 @@ class MemorySubsystem:
     def dram_accesses(self) -> int:
         return sum(channel.accesses for channel in self.dram_channels)
 
+    def stats_group(self) -> StatGroup:
+        """This subsystem's subtree of the run's stats registry.
+
+        Chip-level structures aggregate their per-partition/channel scalars
+        at collection time (unlike the per-SM groups, which are live).
+        """
+        memory = StatGroup("memory")
+        l2 = memory.group("l2")
+        for key, value in self.l2_stats.items():
+            l2.add_counter(key, value)
+        dram = memory.group("dram")
+        dram.add_counter("accesses", self.dram_accesses)
+        dram.add_counter(
+            "queueing_cycles",
+            sum(channel.queueing_cycles for channel in self.dram_channels),
+        )
+        memory.group("noc").add_counter("flits", self.noc.flits)
+        return memory
+
 
 class SMMemoryPort:
     """Per-SM memory pipeline front door: L1 caches + scratchpad timing."""
@@ -149,7 +169,12 @@ class SMMemoryPort:
         self.subsystem = subsystem
         self.l1d = Cache(config.l1d, miss_latency=self._miss_cb, name=f"l1d[{sm_id}]")
         self.l1c = Cache(config.l1c, miss_latency=self._miss_cb, name=f"l1c[{sm_id}]")
-        self.scratchpad_accesses = 0
+        self.stats = StatGroup("port")
+        self.stats.add_counter("scratchpad_accesses")
+
+    @property
+    def scratchpad_accesses(self) -> int:
+        return self.stats.scratchpad_accesses
 
     def _miss_cb(self, line_addr: int, cycle: int) -> int:
         return self.subsystem.service_l1_miss(self.sm_id, line_addr, cycle)
@@ -190,7 +215,7 @@ class SMMemoryPort:
 
         # Timing part.
         if space is MemSpace.SHARED:
-            self.scratchpad_accesses += 1
+            self.stats.scratchpad_accesses += 1
             return MemoryAccessResult(
                 ready_cycle=cycle + self.config.shared_mem_latency,
                 scratchpad_accesses=1,

@@ -13,20 +13,16 @@ model of Section VII-A) activates a single bank.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.sim.config import GPUConfig
+from repro.stats import StatGroup
 
 
-@dataclass
-class RegisterFileStats:
-    read_requests: int = 0
-    write_requests: int = 0
-    read_retries: int = 0
-    write_retries: int = 0
-    bank_reads: int = 0
-    bank_writes: int = 0
-    verify_read_requests: int = 0
+class RegisterFileStats(StatGroup):
+    """Register-file port/bank event counts (Figure 18 metrics)."""
+
+    COUNTERS = ("read_requests", "write_requests", "read_retries",
+                "write_retries", "bank_reads", "bank_writes",
+                "verify_read_requests")
 
 
 class RegisterFileTiming:
@@ -40,7 +36,7 @@ class RegisterFileTiming:
         self.num_groups = config.register_bank_groups
         self._read_free = [0] * self.num_groups
         self._write_free = [0] * self.num_groups
-        self.stats = RegisterFileStats()
+        self.stats = RegisterFileStats("regfile")
 
     def group_of(self, reg_id: int) -> int:
         return reg_id % self.num_groups

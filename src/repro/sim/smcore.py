@@ -16,7 +16,6 @@ The WIR unit plugs in via three hooks (issue / allocation / commit); with
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -35,33 +34,28 @@ from repro.sim.regfile import RegisterFileTiming
 from repro.sim.scheduler import WarpScheduler
 from repro.sim.scoreboard import Scoreboard
 from repro.sim.warp import Warp
+from repro.stats import StatGroup
 
 
-@dataclass
-class SMCounters:
-    """Per-SM dynamic event counts feeding the energy model and figures."""
+class SMCounters(StatGroup):
+    """Per-SM dynamic event counts feeding the energy model and figures.
 
-    cycles: int = 0
-    issued: int = 0
-    retired: int = 0
-    reused: int = 0                 # bypassed backend via reuse (incl. queued)
-    reused_loads: int = 0
-    backend_insts: int = 0          # entered register-read/execute path
-    control_insts: int = 0
-    barrier_insts: int = 0
-    store_insts: int = 0
-    fu_sp_insts: int = 0
-    fu_sfu_insts: int = 0
-    fu_sp_lanes: int = 0            # lane activations (affine may be 1)
-    fu_sfu_lanes: int = 0
-    mem_insts: int = 0
-    affine_fu_insts: int = 0        # executed on one lane (Affine model)
-    issued_by_class: Dict[str, int] = field(default_factory=dict)
-    blocks_completed: int = 0
-    warps_completed: int = 0
+    ``reused`` counts instructions that bypassed the backend via reuse
+    (including pending-retry wakeups); ``backend_insts`` entered the
+    register-read/execute path; the ``fu_*_lanes`` counters track lane
+    activations (affine execution may activate a single lane);
+    ``affine_fu_insts`` executed on one lane under the Affine model.
+    """
+
+    COUNTERS = ("cycles", "issued", "retired", "reused", "reused_loads",
+                "backend_insts", "control_insts", "barrier_insts",
+                "store_insts", "fu_sp_insts", "fu_sfu_insts", "fu_sp_lanes",
+                "fu_sfu_lanes", "mem_insts", "affine_fu_insts",
+                "blocks_completed", "warps_completed")
+    HISTOGRAMS = ("issued_by_class",)
 
     def note_class(self, cls: OpClass) -> None:
-        self.issued_by_class[cls.value] = self.issued_by_class.get(cls.value, 0) + 1
+        self.issued_by_class.increment(cls.value)
 
 
 class _BlockState:
@@ -99,7 +93,19 @@ class SMCore:
         self.unit: Optional[WIRUnit] = (
             WIRUnit(config, self.regfile, self.affine) if config.wir.enabled else None
         )
-        self.counters = SMCounters()
+        self.counters = SMCounters("core")
+
+        #: This SM's subtree of the run's stats registry: the component
+        #: groups are adopted live, so ``sm{N}.regfile.read_retries`` et al
+        #: resolve during and after the run.
+        self.stats = StatGroup(f"sm{sm_id}")
+        self.stats.adopt(self.counters)
+        self.stats.adopt(self.regfile.stats)
+        self.stats.adopt(self.port.l1d.stats, name="l1d")
+        self.stats.adopt(self.port.l1c.stats, name="l1c")
+        self.stats.adopt(self.port.stats, name="port")
+        if self.unit is not None:
+            self.stats.adopt(self.unit.counters)
 
         num_sched = config.num_schedulers
         self.schedulers = [

@@ -1,0 +1,18 @@
+"""Unified statistics registry (see :mod:`repro.stats.registry`)."""
+
+from repro.stats.registry import (
+    Counter,
+    Histogram,
+    StatGroup,
+    StatLookupError,
+)
+from repro.stats.serialize import dataclass_from_dict, dataclass_to_dict
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "StatGroup",
+    "StatLookupError",
+    "dataclass_from_dict",
+    "dataclass_to_dict",
+]

@@ -1,0 +1,364 @@
+"""Hierarchical statistics registry.
+
+Every simulated component owns a :class:`StatGroup` instead of an ad-hoc
+counter dataclass; the SM core and GPU adopt those groups into one tree, so
+a whole run's measurements live under a single root with dotted-path access
+(``sm0.regfile.read_retries``), structural merging (sum SMs into one
+group), and lossless JSON (de)serialization.
+
+Design notes
+------------
+* **Attribute ergonomics.** Component code keeps writing
+  ``stats.hits += 1`` and tests keep asserting ``stats.hits == 1``:
+  ``__getattr__`` resolves a counter name to its *value* and
+  ``__setattr__`` stores back into the counter.  Subclasses declare their
+  counters in ``COUNTERS`` (and bucketed counts in ``HISTOGRAMS``) and may
+  add derived ``@property`` helpers, which take precedence as usual.
+* **Composition over registration calls.**  A component builds its group
+  standalone (tests construct a bare :class:`~repro.sim.memory.cache.Cache`
+  and poke ``cache.stats`` directly); containers later :meth:`~StatGroup.adopt`
+  it under a path.  The same object is visible from both sides — there is
+  no copying, so stats are live until the run ends.
+* **Serialization.**  Counters serialize as JSON numbers and histograms as
+  objects, which keeps the wire format human-readable while staying
+  lossless (ints stay ints, floats round-trip exactly).  Deserialization
+  produces plain :class:`StatGroup` nodes — the typed subclasses only add
+  derived properties, never state, so nothing is lost.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+Number = Union[int, float]
+
+
+class StatLookupError(KeyError):
+    """A dotted-path lookup named a stat or group that does not exist."""
+
+
+class Counter:
+    """One named scalar statistic (int until a float is added)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: Number = 0) -> None:
+        self.name = name
+        self.value = value
+
+    def add(self, amount: Number = 1) -> None:
+        self.value += amount
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """Bucketed counts (e.g. issued instructions by opcode class)."""
+
+    __slots__ = ("name", "buckets")
+
+    def __init__(self, name: str, buckets: Optional[Dict[str, Number]] = None) -> None:
+        self.name = name
+        self.buckets: Dict[str, Number] = dict(buckets) if buckets else {}
+
+    def increment(self, bucket: str, amount: Number = 1) -> None:
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + amount
+
+    def merge_from(self, other: "Histogram") -> None:
+        for bucket, count in other.buckets.items():
+            self.increment(bucket, count)
+
+    # Dict-style read access so existing ``issued_by_class.get(...)``-style
+    # consumers keep working.
+    def get(self, bucket: str, default: Number = 0) -> Number:
+        return self.buckets.get(bucket, default)
+
+    def __getitem__(self, bucket: str) -> Number:
+        return self.buckets[bucket]
+
+    def __contains__(self, bucket: str) -> bool:
+        return bucket in self.buckets
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.buckets)
+
+    def __len__(self) -> int:
+        return len(self.buckets)
+
+    def items(self):
+        return self.buckets.items()
+
+    def total(self) -> Number:
+        return sum(self.buckets.values())
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Histogram):
+            return self.buckets == other.buckets
+        if isinstance(other, dict):
+            return self.buckets == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}={self.buckets})"
+
+
+class StatGroup:
+    """A node of the stats tree: named counters/histograms plus child groups.
+
+    Subclasses declare their schema::
+
+        class CacheStats(StatGroup):
+            COUNTERS = ("accesses", "hits", "misses")
+
+    and instances behave like the old dataclasses (``stats.hits += 1``)
+    while also being tree nodes (``root.lookup("sm0.l1d.hits")``).
+    """
+
+    #: Scalar stats created at construction.
+    COUNTERS: Tuple[str, ...] = ()
+    #: Bucketed stats created at construction.
+    HISTOGRAMS: Tuple[str, ...] = ()
+
+    def __init__(self, name: str = "stats", **initial: Number) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "_stats", {})
+        object.__setattr__(self, "_children", {})
+        for field in self.COUNTERS:
+            self._stats[field] = Counter(field, initial.pop(field, 0))
+        for field in self.HISTOGRAMS:
+            self._stats[field] = Histogram(field, initial.pop(field, None))
+        if initial:
+            raise TypeError(
+                f"unknown stat fields for {type(self).__name__}: "
+                f"{sorted(initial)}"
+            )
+
+    # ------------------------------------------------------------- attributes
+
+    def __getattr__(self, key: str):
+        # Only reached when normal attribute lookup fails (so methods and
+        # @property helpers on subclasses win).
+        stats = object.__getattribute__(self, "_stats")
+        stat = stats.get(key)
+        if isinstance(stat, Counter):
+            return stat.value
+        if stat is not None:
+            return stat
+        child = object.__getattribute__(self, "_children").get(key)
+        if child is not None:
+            return child
+        raise AttributeError(
+            f"{type(self).__name__} {self.name!r} has no stat {key!r}"
+        )
+
+    def __setattr__(self, key: str, value) -> None:
+        stats = self.__dict__.get("_stats")
+        if stats is not None and isinstance(stats.get(key), Counter):
+            stats[key].value = value
+            return
+        object.__setattr__(self, key, value)
+
+    # ------------------------------------------------------------ registration
+
+    def add_counter(self, name: str, value: Number = 0) -> Counter:
+        """Create (or fetch) a counter on this node."""
+        stat = self._stats.get(name)
+        if stat is None:
+            stat = Counter(name, value)
+            self._stats[name] = stat
+        elif not isinstance(stat, Counter):
+            raise TypeError(f"stat {name!r} exists and is not a counter")
+        return stat
+
+    def add_histogram(self, name: str) -> Histogram:
+        stat = self._stats.get(name)
+        if stat is None:
+            stat = Histogram(name)
+            self._stats[name] = stat
+        elif not isinstance(stat, Histogram):
+            raise TypeError(f"stat {name!r} exists and is not a histogram")
+        return stat
+
+    def adopt(self, child: "StatGroup", name: Optional[str] = None) -> "StatGroup":
+        """Attach an existing group as a child (shared, not copied)."""
+        key = name if name is not None else child.name
+        if key in self._stats:
+            raise ValueError(f"{key!r} already names a stat on {self.name!r}")
+        self._children[key] = child
+        return child
+
+    def group(self, name: str) -> "StatGroup":
+        """Fetch (or create) a plain child group."""
+        child = self._children.get(name)
+        if child is None:
+            child = StatGroup(name)
+            self._children[name] = child
+        return child
+
+    # ----------------------------------------------------------------- access
+
+    @property
+    def children(self) -> Dict[str, "StatGroup"]:
+        return dict(self._children)
+
+    @property
+    def stats(self) -> Dict[str, Union[Counter, Histogram]]:
+        return dict(self._stats)
+
+    def counters(self) -> Dict[str, Number]:
+        """Scalar stats of this node as a plain ``{name: value}`` dict."""
+        return {
+            name: stat.value
+            for name, stat in self._stats.items()
+            if isinstance(stat, Counter)
+        }
+
+    def lookup(self, path: str):
+        """Resolve a dotted path to a counter value, histogram, or group.
+
+        ``root.lookup("sm0.regfile.read_retries")`` returns the counter's
+        value; a path ending on a group returns the group.  Raises
+        :class:`StatLookupError` naming the available keys on failure.
+        """
+        node: StatGroup = self
+        parts = path.split(".")
+        for i, part in enumerate(parts):
+            is_leaf = i == len(parts) - 1
+            stat = node._stats.get(part)
+            if stat is not None:
+                if not is_leaf:
+                    raise StatLookupError(
+                        f"{'.'.join(parts[:i + 1])!r} is a stat, not a group "
+                        f"(cannot descend into {'.'.join(parts)!r})"
+                    )
+                return stat.value if isinstance(stat, Counter) else stat
+            child = node._children.get(part)
+            if child is None:
+                available = sorted(node._stats) + sorted(node._children)
+                raise StatLookupError(
+                    f"no stat or group {part!r} under "
+                    f"{'.'.join(parts[:i]) or node.name!r}; available: "
+                    f"{', '.join(available) or '(none)'}"
+                )
+            node = child
+        return node
+
+    def flat(self, prefix: str = "") -> Dict[str, Number]:
+        """All counters (and histogram buckets) as dotted-path -> value."""
+        out: Dict[str, Number] = {}
+        for name, stat in self._stats.items():
+            path = f"{prefix}{name}"
+            if isinstance(stat, Counter):
+                out[path] = stat.value
+            else:
+                for bucket, count in stat.buckets.items():
+                    out[f"{path}.{bucket}"] = count
+        for name, child in self._children.items():
+            out.update(child.flat(prefix=f"{prefix}{name}."))
+        return out
+
+    def walk(self, prefix: str = "") -> Iterator[Tuple[str, "StatGroup"]]:
+        """Yield ``(dotted_path, group)`` for this node and all descendants."""
+        yield prefix.rstrip("."), self
+        for name, child in self._children.items():
+            yield from child.walk(prefix=f"{prefix}{name}.")
+
+    # ---------------------------------------------------------------- merging
+
+    def merge_from(self, other: "StatGroup") -> "StatGroup":
+        """Add *other*'s stats into this node, recursively.
+
+        Stats/children missing on this node are created, so merging typed
+        groups into a plain accumulator works; mismatched stat kinds raise.
+        Returns ``self`` for chaining.
+        """
+        for name, stat in other._stats.items():
+            if isinstance(stat, Counter):
+                self.add_counter(name).add(stat.value)
+            else:
+                self.add_histogram(name).merge_from(stat)
+        for name, child in other._children.items():
+            mine = self._children.get(name)
+            if mine is None:
+                mine = StatGroup(name)
+                self._children[name] = mine
+            mine.merge_from(child)
+        return self
+
+    @classmethod
+    def merged(cls, groups: Iterable["StatGroup"], name: str = "merged") -> "StatGroup":
+        """A fresh plain group holding the element-wise sum of *groups*."""
+        out = StatGroup(name)
+        for group in groups:
+            out.merge_from(group)
+        return out
+
+    # ---------------------------------------------------------- serialization
+
+    def to_dict(self) -> Dict:
+        """Lossless plain-data form (counters as numbers, histograms as
+        objects, children nested under ``"groups"``)."""
+        out: Dict = {}
+        stats: Dict = {}
+        for name, stat in self._stats.items():
+            stats[name] = (
+                stat.value if isinstance(stat, Counter) else dict(stat.buckets)
+            )
+        if stats:
+            out["stats"] = stats
+        if self._children:
+            out["groups"] = {
+                name: child.to_dict() for name, child in self._children.items()
+            }
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict, name: str = "stats") -> "StatGroup":
+        """Rebuild a (plain) tree produced by :meth:`to_dict`."""
+        group = StatGroup(name)
+        for key, value in data.get("stats", {}).items():
+            if isinstance(value, dict):
+                group.add_histogram(key).buckets.update(value)
+            else:
+                group.add_counter(key, value)
+        for key, child in data.get("groups", {}).items():
+            group._children[key] = StatGroup.from_dict(child, name=key)
+        return group
+
+    def to_json(self, **kwargs) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, **kwargs)
+
+    @classmethod
+    def from_json(cls, text: str, name: str = "stats") -> "StatGroup":
+        return cls.from_dict(json.loads(text), name=name)
+
+    # ------------------------------------------------------------------ misc
+
+    def reset(self) -> None:
+        """Zero every stat in this subtree (groups keep their structure)."""
+        for stat in self._stats.values():
+            if isinstance(stat, Counter):
+                stat.reset()
+            else:
+                stat.buckets.clear()
+        for child in self._children.values():
+            child.reset()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StatGroup):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}({self.name!r}, "
+            f"stats={len(self._stats)}, children={len(self._children)})"
+        )

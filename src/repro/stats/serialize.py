@@ -1,0 +1,64 @@
+"""Dataclass/enum (de)serialization helpers for run artifacts.
+
+The run cache and the parallel sweep workers move complete
+:class:`~repro.sim.gpu.RunResult` objects across process and filesystem
+boundaries, which requires the configuration dataclasses
+(:class:`~repro.sim.config.GPUConfig` and friends) to round-trip through
+JSON.  The encoder here is generic over dataclasses whose fields are plain
+values, enums, or other such dataclasses — exactly the shape of the config
+tree — so adding a config knob never needs a serializer change.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from enum import Enum
+from typing import Any, Dict, Type, get_type_hints
+
+_HINT_CACHE: Dict[type, Dict[str, Any]] = {}
+
+
+def _type_hints(cls: type) -> Dict[str, Any]:
+    hints = _HINT_CACHE.get(cls)
+    if hints is None:
+        hints = get_type_hints(cls)
+        _HINT_CACHE[cls] = hints
+    return hints
+
+
+def dataclass_to_dict(obj: Any) -> Any:
+    """Encode a dataclass instance (recursively) as plain JSON data."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            field.name: dataclass_to_dict(getattr(obj, field.name))
+            for field in dataclasses.fields(obj)
+        }
+    if isinstance(obj, Enum):
+        return obj.value
+    if isinstance(obj, (list, tuple)):
+        return [dataclass_to_dict(item) for item in obj]
+    return obj
+
+
+def dataclass_from_dict(cls: Type, data: Any) -> Any:
+    """Decode :func:`dataclass_to_dict` output back into *cls*."""
+    if dataclasses.is_dataclass(cls) and isinstance(data, dict):
+        hints = _type_hints(cls)
+        kwargs = {}
+        for field in dataclasses.fields(cls):
+            if field.name not in data:
+                continue
+            kwargs[field.name] = _decode_field(hints[field.name], data[field.name])
+        return cls(**kwargs)
+    return data
+
+
+def _decode_field(hint: Any, value: Any) -> Any:
+    if value is None:
+        return None
+    if isinstance(hint, type):
+        if issubclass(hint, Enum):
+            return hint(value)
+        if dataclasses.is_dataclass(hint):
+            return dataclass_from_dict(hint, value)
+    return value
