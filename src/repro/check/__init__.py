@@ -1,0 +1,38 @@
+"""Robustness layer: lockstep oracle, fault injection, typed check errors.
+
+The error types are dependency-free and imported eagerly — any layer may
+raise them.  The oracle and fault modules import the simulator, so they
+are exposed lazily (PEP 562) to keep ``repro.core``/``repro.sim`` modules
+free to import :mod:`repro.check.errors` without a cycle.
+"""
+
+from __future__ import annotations
+
+from repro.check.errors import (CheckError, DivergenceError,
+                                InvariantViolation, ReuseCorruptionError)
+
+__all__ = [
+    "CheckError", "DivergenceError", "InvariantViolation",
+    "ReuseCorruptionError",
+    "CheckedGPU", "LockstepChecker", "OracleStats", "check_benchmark",
+    "FaultInjector", "FaultPlan", "FaultStats",
+]
+
+_LAZY = {
+    "CheckedGPU": "repro.check.oracle",
+    "LockstepChecker": "repro.check.oracle",
+    "OracleStats": "repro.check.oracle",
+    "check_benchmark": "repro.check.oracle",
+    "FaultInjector": "repro.check.faults",
+    "FaultPlan": "repro.check.faults",
+    "FaultStats": "repro.check.faults",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,145 @@
+"""Typed errors of the robustness layer.
+
+This module is deliberately dependency-free (no imports from ``repro.sim``
+or ``repro.core``) so that *any* layer — the core reuse structures, the SM
+pipeline, the harness — can raise these without import cycles.
+
+Error taxonomy:
+
+* :class:`InvariantViolation` — a WIR structure broke one of its own
+  invariants (reference-count conservation, retry-queue accounting, a
+  buffer naming a dead register).  Carries the dotted stats path of the
+  offending structure (``"wir.phys"``, ``"wir.rb"``, ``"wir.vsb"``).
+* :class:`ReuseCorruptionError` — an arithmetic reuse hit returned a value
+  different from the functionally computed result.  Subclasses
+  ``AssertionError`` for backwards compatibility with the original inline
+  assertion.
+* :class:`DivergenceError` — the lockstep oracle observed the timing
+  pipeline committing architectural state different from the pure
+  functional executor.  Carries full provenance (SM, warp, instruction,
+  cycle, first mismatching lane) and round-trips through JSON for the CI
+  divergence-snapshot artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+
+class CheckError(RuntimeError):
+    """Base class of all robustness-layer failures."""
+
+
+class InvariantViolation(CheckError):
+    """A WIR structure invariant does not hold.
+
+    ``path`` is the dotted stats path of the offending structure relative
+    to the owning SM subtree (e.g. ``"wir.rb"`` means the structure whose
+    counters live at ``sm{N}.wir.rb``).
+    """
+
+    def __init__(self, message: str, path: Optional[str] = None) -> None:
+        super().__init__(
+            f"[{path}] {message}" if path else message)
+        self.path = path
+
+
+class ReuseCorruptionError(CheckError, AssertionError):
+    """A reuse hit returned a value that differs from recomputation."""
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of numpy scalars/arrays for the snapshot."""
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+class DivergenceError(CheckError):
+    """The timing pipeline and the golden model disagree.
+
+    ``kind`` classifies the divergence:
+
+    * ``"control"``  — the pipeline issued from a pc the shadow warp is not
+      at (or from an exited shadow warp).
+    * ``"mask"``     — active-mask mismatch for one instruction.
+    * ``"branch"``   — branch taken-mask mismatch.
+    * ``"register"`` / ``"predicate"`` — committed destination value differs.
+    * ``"address"`` / ``"store"`` — memory operand mismatch.
+    * ``"memory"``   — final memory image differs.
+    * ``"exit"``     — a warp's final exit state differs.
+    * ``"protocol"`` — the lockstep protocol itself broke (checker bug or
+      a commit that never happened).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kind: str = "register",
+        benchmark: Optional[str] = None,
+        sm_id: Optional[int] = None,
+        cycle: Optional[int] = None,
+        block_id: Optional[int] = None,
+        warp_in_block: Optional[int] = None,
+        warp_slot: Optional[int] = None,
+        pc: Optional[int] = None,
+        opcode: Optional[str] = None,
+        lane: Optional[int] = None,
+        expected: Any = None,
+        actual: Any = None,
+        repair: Any = None,
+    ) -> None:
+        where: List[str] = []
+        if sm_id is not None:
+            where.append(f"sm{sm_id}")
+        if block_id is not None:
+            where.append(f"block {block_id}")
+        if warp_in_block is not None:
+            where.append(f"warp {warp_in_block}")
+        if warp_slot is not None:
+            where.append(f"slot {warp_slot}")
+        if pc is not None:
+            where.append(f"pc {pc}")
+        if opcode is not None:
+            where.append(str(opcode))
+        if cycle is not None:
+            where.append(f"cycle {cycle}")
+        prefix = f"[{kind}] " + (f"({', '.join(where)}) " if where else "")
+        super().__init__(prefix + message)
+        self.kind = kind
+        self.benchmark = benchmark
+        self.sm_id = sm_id
+        self.cycle = cycle
+        self.block_id = block_id
+        self.warp_in_block = warp_in_block
+        self.warp_slot = warp_slot
+        self.pc = pc
+        self.opcode = opcode
+        self.lane = lane
+        self.expected = expected
+        self.actual = actual
+        #: The golden-model value the caller may use to repair architectural
+        #: state when quarantining instead of aborting (``None`` when the
+        #: divergence is not repairable, e.g. control-flow divergence).
+        self.repair = repair
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe snapshot (the CI failure artifact)."""
+        return {
+            "kind": self.kind,
+            "message": str(self),
+            "benchmark": self.benchmark,
+            "sm_id": self.sm_id,
+            "cycle": self.cycle,
+            "block_id": self.block_id,
+            "warp_in_block": self.warp_in_block,
+            "warp_slot": self.warp_slot,
+            "pc": self.pc,
+            "opcode": self.opcode,
+            "lane": self.lane,
+            "expected": _jsonable(self.expected),
+            "actual": _jsonable(self.actual),
+        }

@@ -1,0 +1,150 @@
+"""Deterministic fault injection for the WIR structures.
+
+A :class:`FaultPlan` is a frozen, seeded description of *which* faults to
+inject and *how often*; a :class:`FaultInjector` is the live, per-SM
+instance the :class:`~repro.core.wir_unit.WIRUnit` consults from four hook
+points.  Identical plans produce identical fault sequences, so every
+failing fault run is replayable.
+
+The fault taxonomy splits along the design's safety boundary:
+
+**Architecturally-safe faults** — the design must absorb these without any
+wrong result, because the verify-read (not the VSB hint) is the safety
+mechanism:
+
+* *signature squashing* (:meth:`FaultInjector.mutate_signature`) truncates
+  VSB signatures to a few bits, forcing massive hash collisions.  Every
+  collision must surface as a verify-read false positive, never a wrong
+  reuse.
+* *structure evictions* (:meth:`FaultInjector.tick_structures`) randomly
+  drop reuse-buffer entries, VSB entries, and verify-cache lines.  These
+  are availability faults: reuse opportunities disappear (pending waiters
+  re-enter the reuse stage), results stay correct.
+* *allocator scrambling* (:meth:`FaultInjector.scramble_allocated`) fills
+  freshly allocated physical registers with garbage, modelling stale
+  contents from a previous life.  Correctness requires that no pipeline
+  path ever consumes an allocated register before fully writing it.
+
+**Post-verify corruption** — :meth:`FaultInjector.maybe_corrupt_result`
+flips a bit in the physical register *after* the verify point (at the
+commit stage).  This is exactly the class of fault the design itself
+cannot catch; it exists to prove the lockstep oracle (and, for arithmetic
+reuse, the recomputation cross-check in the SM core) has teeth: a later
+reuse of the corrupted register must raise ``DivergenceError`` /
+``ReuseCorruptionError`` — or, with ``config.wir.quarantine`` set, must
+quarantine the WIR unit and still produce correct results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.stats import StatGroup
+
+#: Mirrors :data:`repro.core.physreg.ZERO_REG` without importing the core
+#: layer (keeps this module importable from anywhere).
+_ZERO_REG = 0
+
+
+class FaultStats(StatGroup):
+    """Counts of injected faults, adopted under ``sm{N}.wir.faults``."""
+
+    COUNTERS = ("signature_squashes", "rb_evictions", "vsb_evictions",
+                "vc_drops", "alloc_scrambles", "result_corruptions")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded description of the faults to inject (all rates in [0, 1])."""
+
+    seed: int = 0
+    #: Probability of squashing each generated VSB signature.
+    signature_squash_rate: float = 0.0
+    #: Bits a squashed signature keeps (small => frequent collisions).
+    signature_keep_bits: int = 4
+    #: Per-issue probability of evicting a random reuse-buffer entry.
+    rb_evict_rate: float = 0.0
+    #: Per-issue probability of evicting a random VSB entry.
+    vsb_evict_rate: float = 0.0
+    #: Per-issue probability of dropping a random verify-cache line.
+    vc_drop_rate: float = 0.0
+    #: Probability of filling a freshly allocated register with garbage.
+    alloc_scramble_rate: float = 0.0
+    #: Per-commit probability of flipping a bit in the committed physical
+    #: register — *past* the verify point.
+    corrupt_result_rate: float = 0.0
+    #: Restrict result corruption to loads.  Arithmetic reuse is checked by
+    #: recomputation in the SM core, so loads-only corruption isolates the
+    #: oracle as the only possible catcher.
+    corrupt_loads_only: bool = True
+
+    @property
+    def any_enabled(self) -> bool:
+        return any((self.signature_squash_rate, self.rb_evict_rate,
+                    self.vsb_evict_rate, self.vc_drop_rate,
+                    self.alloc_scramble_rate, self.corrupt_result_rate))
+
+
+class FaultInjector:
+    """Live fault source for one WIR unit (seeded per SM)."""
+
+    def __init__(self, plan: FaultPlan, salt: int = 0) -> None:
+        self.plan = plan
+        self._rng = np.random.default_rng((plan.seed & 0xFFFFFFFF, salt))
+        self.stats = FaultStats("faults")
+
+    def _roll(self, rate: float) -> bool:
+        return rate > 0.0 and self._rng.random() < rate
+
+    # ----------------------------------------------------------- fault hooks
+
+    def mutate_signature(self, signature: int) -> int:
+        """Squash a VSB signature to ``signature_keep_bits`` bits."""
+        if not self._roll(self.plan.signature_squash_rate):
+            return signature
+        self.stats.signature_squashes += 1
+        return signature & ((1 << self.plan.signature_keep_bits) - 1)
+
+    def tick_structures(self, unit) -> None:
+        """Random structure evictions (called once per WIR issue stage)."""
+        plan = self.plan
+        if self._roll(plan.rb_evict_rate):
+            rb = unit.reuse_buffer
+            if rb.num_entries and rb.evict_index(
+                    int(self._rng.integers(rb.num_entries))):
+                self.stats.rb_evictions += 1
+        if self._roll(plan.vsb_evict_rate):
+            vsb = unit.vsb
+            if vsb.num_entries and vsb.evict_index(
+                    int(self._rng.integers(vsb.num_entries))):
+                self.stats.vsb_evictions += 1
+        if self._roll(plan.vc_drop_rate):
+            if unit.verify_cache.drop_random(self._rng):
+                self.stats.vc_drops += 1
+
+    def scramble_allocated(self, physfile, reg: int) -> None:
+        """Fill a freshly allocated register with garbage ("stale" bits)."""
+        if reg == _ZERO_REG or not self._roll(self.plan.alloc_scramble_rate):
+            return
+        self.stats.alloc_scrambles += 1
+        garbage = self._rng.integers(0, 1 << 32, size=physfile.read(reg).shape,
+                                     dtype=np.uint32)
+        physfile.write(reg, garbage)
+
+    def maybe_corrupt_result(self, physfile, reg: int, is_load: bool) -> None:
+        """Flip one bit of a committed result — past the verify point."""
+        if reg == _ZERO_REG:
+            return
+        if self.plan.corrupt_loads_only and not is_load:
+            return
+        if not self._roll(self.plan.corrupt_result_rate):
+            return
+        self.stats.result_corruptions += 1
+        values = physfile.read(reg).copy()
+        lane = int(self._rng.integers(values.shape[0]))
+        bit = int(self._rng.integers(32))
+        values[lane] ^= np.uint32(1 << bit)
+        physfile.write(reg, values)

@@ -5,6 +5,11 @@ Commands:
 * ``list``                      — benchmarks (Table I) and design points.
 * ``run ABBR [--model M] ...``  — simulate one benchmark, print statistics
   (``--json OUT`` additionally dumps the full result registry as JSON).
+* ``check [ABBR ...|--all]``    — referee benchmarks against the lockstep
+  golden-model oracle (``--snapshot OUT`` writes a JSON divergence report
+  on failure, e.g. for a CI artifact).
+* ``cache verify [--prune]``    — audit the on-disk result cache's
+  checksums, optionally deleting corrupt entries.
 * ``compare ABBR``              — one benchmark across the whole model zoo.
 * ``profile ABBR``              — Figure 2 repeated-computation profile.
 * ``experiment NAME``           — run one figure/table driver (fig2..fig22,
@@ -156,6 +161,62 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    from repro.check import CheckError, check_benchmark
+
+    abbrs = list(args.benchmarks) or (all_abbrs() if args.all else [])
+    if not abbrs:
+        print("check: name at least one benchmark or pass --all",
+              file=sys.stderr)
+        return 2
+    unknown = [abbr for abbr in abbrs if abbr not in all_abbrs()]
+    if unknown:
+        print(f"check: unknown benchmark(s) {', '.join(unknown)} "
+              f"(see 'repro list')", file=sys.stderr)
+        return 2
+    failed = 0
+    for abbr in abbrs:
+        try:
+            info = check_benchmark(abbr, model=args.model, scale=args.scale,
+                                   seed=args.seed, num_sms=args.sms)
+        except CheckError as err:
+            failed += 1
+            print(f"FAIL {abbr:<4} {err}")
+            if args.snapshot:
+                snapshot = (err.to_dict() if hasattr(err, "to_dict")
+                            else {"kind": "invariant", "message": str(err),
+                                  "benchmark": abbr})
+                _write_json(json.dumps(snapshot, indent=2, default=str),
+                            args.snapshot)
+        else:
+            print(f"OK   {abbr:<4} {info['cycles']} cycles, "
+                  f"{info['instructions']} instructions refereed, "
+                  f"{info['commits']} commits checked")
+    print(f"{len(abbrs) - failed}/{len(abbrs)} benchmarks verified "
+          f"against the golden model ({args.model})")
+    return 1 if failed else 0
+
+
+def _cmd_cache_verify(args) -> int:
+    from repro.harness.runner import cache_dir, verify_cache_dir
+
+    base = args.dir or cache_dir()
+    if base is None:
+        print("cache verify: no cache directory (set REPRO_CACHE_DIR or "
+              "pass --dir)", file=sys.stderr)
+        return 2
+    report = verify_cache_dir(base, prune=args.prune)
+    print(f"{base}: {report.total} entries — {report.ok} ok, "
+          f"{report.corrupt} corrupt, {report.version_mismatch} "
+          f"older-format")
+    for path in report.corrupt_paths:
+        print(f"  corrupt: {path}" + ("  (deleted)" if args.prune else ""))
+    if args.prune and report.pruned:
+        print(f"pruned {report.pruned} corrupt entr"
+              + ("y" if report.pruned == 1 else "ies"))
+    return 1 if report.corrupt and not args.prune else 0
+
+
 def _cmd_params(_args) -> int:
     params = experiments.table2_parameters()
     print(reporting.format_table(["parameter", "value"], list(params.items()),
@@ -190,6 +251,33 @@ def build_parser() -> argparse.ArgumentParser:
                             help="dump the result registry as JSON "
                                  "('-' for stdout)")
     run_parser.set_defaults(func=_cmd_run)
+
+    check_parser = sub.add_parser(
+        "check", help="verify benchmarks against the lockstep oracle")
+    check_parser.add_argument("benchmarks", nargs="*", metavar="ABBR",
+                              help="benchmarks to check (default: use --all)")
+    check_parser.add_argument("--all", action="store_true",
+                              help="check every benchmark")
+    check_parser.add_argument("--model", default="RLPV", choices=model_names())
+    check_parser.add_argument("--sms", type=int, default=2)
+    check_parser.add_argument("--scale", type=int, default=1)
+    check_parser.add_argument("--seed", type=int, default=7)
+    check_parser.add_argument("--snapshot", metavar="OUT", default=None,
+                              help="on failure, write a JSON divergence "
+                                   "snapshot ('-' for stdout)")
+    check_parser.set_defaults(func=_cmd_check)
+
+    cache_parser = sub.add_parser("cache", help="on-disk result cache tools")
+    cache_sub = cache_parser.add_subparsers(dest="cache_command",
+                                            required=True)
+    verify_parser = cache_sub.add_parser(
+        "verify", help="audit cache entry checksums")
+    verify_parser.add_argument("--dir", default=None,
+                               help="cache directory (default: "
+                                    "REPRO_CACHE_DIR)")
+    verify_parser.add_argument("--prune", action="store_true",
+                               help="delete corrupt entries")
+    verify_parser.set_defaults(func=_cmd_cache_verify)
 
     compare_parser = sub.add_parser("compare",
                                     help="one benchmark, all design points")

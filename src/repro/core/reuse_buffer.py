@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Tuple
 
+from repro.check.errors import InvariantViolation
 from repro.core.refcount import ReferenceCounter
 from repro.stats import StatGroup
 
@@ -369,3 +370,37 @@ class ReuseBuffer:
     @property
     def retry_queue_used(self) -> int:
         return self._retry_queue_used
+
+    def check_invariants(self, refcount: ReferenceCounter) -> None:
+        """Structure self-check; raises :class:`InvariantViolation`.
+
+        Verified: retry-queue accounting matches the waiters actually held,
+        waiters only hang off pending entries, and every register a valid
+        entry names (tag sources and the result) is still live.
+        """
+        waiters = sum(len(entry.waiters) for entry in self._entries)
+        if waiters != self._retry_queue_used:
+            raise InvariantViolation(
+                f"retry-queue accounting off: {waiters} waiters held but "
+                f"{self._retry_queue_used} slots accounted", path="wir.rb")
+        for index, entry in enumerate(self._entries):
+            if not entry.valid:
+                continue
+            if entry.waiters and not entry.pending:
+                raise InvariantViolation(
+                    f"entry {index} holds waiters but is not pending",
+                    path="wir.rb")
+            if not entry.pending:
+                if entry.result_reg < 0:
+                    raise InvariantViolation(
+                        f"entry {index} is filled but names no result "
+                        f"register", path="wir.rb")
+                if refcount.count(entry.result_reg) <= 0:
+                    raise InvariantViolation(
+                        f"entry {index} names dead result register "
+                        f"{entry.result_reg}", path="wir.rb")
+            for kind, operand in entry.tag[1]:
+                if kind == "r" and refcount.count(operand) <= 0:
+                    raise InvariantViolation(
+                        f"entry {index} tag names dead source register "
+                        f"{operand}", path="wir.rb")

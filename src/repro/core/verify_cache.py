@@ -60,3 +60,12 @@ class VerifyCache:
         if self.enabled and reg in self._lines:
             del self._lines[reg]
             self.stats.invalidations += 1
+
+    def drop_random(self, rng) -> bool:
+        """Fault injection: drop one random line; ``True`` if one existed."""
+        if not self._lines:
+            return False
+        lines = list(self._lines)
+        reg = lines[int(rng.integers(len(lines)))]
+        del self._lines[reg]
+        return True

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.check.errors import InvariantViolation
 from repro.core.refcount import ReferenceCounter
 from repro.stats import StatGroup
 
@@ -148,3 +149,17 @@ class ValueSignatureBuffer:
 
     def occupancy(self) -> int:
         return sum(1 for entry in self._entries if entry.valid)
+
+    def check_invariants(self, refcount: ReferenceCounter) -> None:
+        """Every valid entry must name a live physical register."""
+        for index, entry in enumerate(self._entries):
+            if not entry.valid:
+                continue
+            if entry.reg < 0:
+                raise InvariantViolation(
+                    f"entry {index} is valid but names no register",
+                    path="wir.vsb")
+            if refcount.count(entry.reg) <= 0:
+                raise InvariantViolation(
+                    f"entry {index} names dead register {entry.reg}",
+                    path="wir.vsb")

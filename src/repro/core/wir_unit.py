@@ -28,6 +28,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.check.errors import InvariantViolation
 from repro.core.affine import AFFINE_PRESERVING_OPS, AffineTracker
 from repro.core.hashing import H3Hash
 from repro.core.physreg import ZERO_REG, OutOfRegistersError, PhysicalRegisterFile
@@ -61,7 +62,7 @@ class WIRCounters(StatGroup):
     COUNTERS = ("rename_reads", "rename_writes", "hash_generations",
                 "allocator_ops", "dummy_movs", "verify_reads",
                 "verify_cache_filtered", "writes_avoided",
-                "low_register_mode_entries")
+                "low_register_mode_entries", "quarantines")
 
 
 @dataclass
@@ -116,6 +117,8 @@ class WIRUnit:
         )
         self.verify_cache = VerifyCache(self.wir.verify_cache_entries)
         self.hasher = H3Hash(bits=self.wir.hash_bits)
+        #: Optional :class:`repro.check.faults.FaultInjector` (fault runs).
+        self.faults = None
         #: This unit's subtree of the run's stats registry; the structure
         #: groups are adopted (shared, not copied) so they stay live.
         self.counters = WIRCounters("wir")
@@ -135,6 +138,11 @@ class WIRUnit:
         self._max_barrier_count = (1 << self.wir.barrier_count_bits) - 1
 
     # ------------------------------------------------------------------ setup
+
+    def attach_faults(self, injector) -> None:
+        """Arm fault injection; its counters join this unit's subtree."""
+        self.faults = injector
+        self.counters.adopt(injector.stats)
 
     def set_register_cap(self, logical_regs_per_warp: int, active_warps: int) -> None:
         """Capped-register policy: budget = logical registers in flight."""
@@ -192,6 +200,8 @@ class WIRUnit:
         make_waiter: Optional[Callable[[], Waiter]] = None,
     ) -> IssueDecision:
         """Rename sources and probe the reuse buffer."""
+        if self.faults is not None:
+            self.faults.tick_structures(self)
         src_phys, descs = self._rename_sources(warp, inst)
         divergent = self._is_divergent(warp, exec_result)
 
@@ -352,6 +362,8 @@ class WIRUnit:
 
         self.counters.hash_generations += 1
         signature = self.hasher.hash_value(result)
+        if self.faults is not None:
+            signature = self.faults.mutate_signature(signature)
         candidate = self.vsb.lookup(signature)
         hash_cycle = cycle + 2  # hash generation + VSB table access
 
@@ -447,6 +459,12 @@ class WIRUnit:
         """
         slot = warp.warp_slot
         logical = inst.dst.value
+        if self.faults is not None:
+            # Post-verify corruption: by the commit stage every value check
+            # (verify-read, VSB) has already passed — only the lockstep
+            # oracle or the reuse recomputation check can catch this.
+            self.faults.maybe_corrupt_result(self.physfile, dest_phys,
+                                             is_load(inst.opcode))
         self.counters.rename_writes += 1
         self.rename.remap(slot, logical, dest_phys)
         self.refcount.decref(dest_phys)  # release the allocation-stage transit ref
@@ -502,7 +520,19 @@ class WIRUnit:
         return self.physfile.in_use >= self._register_cap
 
     def _allocate_register(self) -> int:
-        """Allocate a physical register, evicting buffer entries if needed."""
+        """Allocate a physical register, evicting buffer entries if needed.
+
+        With fault injection armed, the fresh register may come back full of
+        garbage ("stale" contents) — harmless by design, because every
+        pipeline path fully writes an allocated register before any reader
+        can name it; the oracle proves it.
+        """
+        reg = self._allocate_register_inner()
+        if self.faults is not None:
+            self.faults.scramble_allocated(self.physfile, reg)
+        return reg
+
+    def _allocate_register_inner(self) -> int:
         self.counters.allocator_ops += 1
         if self.physfile.in_use < self._register_cap:
             reg = self.physfile.allocate()
@@ -561,4 +591,29 @@ class WIRUnit:
         return self.counters
 
     def check_invariants(self) -> None:
-        self.refcount.check_conservation()
+        """Cross-structure self-check; raises :class:`InvariantViolation`.
+
+        Validates reference-count conservation plus the reuse buffer's and
+        the VSB's own invariants.  Safe to call at any cycle boundary (the
+        transient states inside one pipeline-stage call all resolve before
+        the stage returns); the SM core calls it periodically when
+        ``config.wir.invariant_check_interval`` is set.
+        """
+        try:
+            self.refcount.check_conservation()
+        except AssertionError as err:
+            raise InvariantViolation(str(err), path="wir.phys") from None
+        self.reuse_buffer.check_invariants(self.refcount)
+        self.vsb.check_invariants(self.refcount)
+
+    def quarantine_flush(self) -> None:
+        """Drop every reuse-buffer entry on quarantine.
+
+        Waiters queued on pending entries are notified with ``None`` so
+        they re-enter the (now reuse-less) issue path and execute.  VSB and
+        rename state is left in place — a quarantined unit stops *offering*
+        reuse, and the registers its tables still name are never read
+        again, so tearing them down buys nothing.
+        """
+        for index in range(self.reuse_buffer.num_entries):
+            self.reuse_buffer.evict_index(index)

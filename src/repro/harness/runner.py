@@ -19,6 +19,15 @@ are cached at three levels:
 simulations out to a ``multiprocessing`` pool; workers return serialized
 results, so parallel sweeps are bit-identical to serial ones.
 
+The harness is crash-proof: a worker that raises, or hangs past the
+per-job ``timeout``, is recorded as a :class:`JobFailure` naming the
+failing :class:`RunSpec` (a poison-pill job can never wedge the pool or
+poison the suite), optionally retried with exponential backoff, and the
+rest of the suite completes.  Disk-cache payloads carry a format version
+and a content checksum, so truncated or bit-rotted entries are detected,
+deleted, and transparently re-simulated; :func:`verify_cache_dir` audits
+(and optionally prunes) a cache directory wholesale.
+
 The experiment default of 2 SMs (instead of Table II's 15) keeps full-suite
 sweeps laptop-fast and raises per-SM occupancy at our small grid sizes
 (latency hiding depends on resident warps per SM, not on the SM count);
@@ -33,9 +42,12 @@ import hashlib
 import json
 import multiprocessing
 import os
+import time
+from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (Callable, Dict, Iterable, List, Optional, Sequence,
+                    Tuple)
 
 from repro.core.models import model_config
 from repro.energy import EnergyParams, EnergyReport, compute_energy
@@ -48,8 +60,18 @@ from repro.workloads import BuiltWorkload, build_workload
 EXPERIMENT_SMS = 2
 
 #: Bump when the serialized result layout or simulator behaviour changes in
-#: a way that invalidates previously cached runs.
-CACHE_FORMAT = 1
+#: a way that invalidates previously cached runs.  Format 2 added the
+#: payload checksum and the ``checked`` spec field.
+CACHE_FORMAT = 2
+
+#: Version of the ``result`` dictionary layout inside a payload; bump when
+#: :meth:`RunResult.to_dict` changes shape without invalidating old runs.
+RESULT_SCHEMA = 1
+
+#: Test seam: when set, called with the :class:`RunSpec` at the top of
+#: every simulation — including inside forked pool workers, which inherit
+#: it.  The harness failure tests install crashing / hanging behaviours.
+_TEST_HOOK: Optional[Callable[["RunSpec"], None]] = None
 
 
 # --------------------------------------------------------------------- specs
@@ -66,6 +88,8 @@ class RunSpec:
     profile: bool = False
     #: Sorted (name, value) pairs of WIR config overrides.
     wir_overrides: Tuple[Tuple[str, object], ...] = ()
+    #: Run under the lockstep golden-model oracle (``repro.check``).
+    checked: bool = False
 
     @classmethod
     def make(
@@ -76,10 +100,11 @@ class RunSpec:
         seed: int = 7,
         num_sms: int = EXPERIMENT_SMS,
         profile: bool = False,
+        checked: bool = False,
         **wir_overrides,
     ) -> "RunSpec":
         return cls(abbr, model, scale, seed, num_sms, profile,
-                   tuple(sorted(wir_overrides.items())))
+                   tuple(sorted(wir_overrides.items())), checked=checked)
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -93,6 +118,7 @@ class RunSpec:
                 [name, dataclass_to_dict(value)]
                 for name, value in self.wir_overrides
             ],
+            "checked": self.checked,
         }
 
     @classmethod
@@ -107,6 +133,7 @@ class RunSpec:
             wir_overrides=tuple(
                 (name, value) for name, value in data["wir_overrides"]
             ),
+            checked=data.get("checked", False),
         )
 
     def digest(self, energy_params: Optional[EnergyParams] = None) -> str:
@@ -162,7 +189,41 @@ _RESULT_CACHE: Dict[RunSpec, Tuple[RunResult, Optional[RedundancyProfile],
 _RUN_CACHE: Dict[Tuple[RunSpec, Tuple], BenchmarkRun] = {}
 
 #: Observable effort counters (tests and the CLI read these).
-COUNTS = {"simulations": 0, "memo_hits": 0, "disk_hits": 0, "disk_writes": 0}
+COUNTS = {"simulations": 0, "memo_hits": 0, "disk_hits": 0, "disk_writes": 0,
+          "disk_corrupt": 0}
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """One simulation job that failed permanently (after any retries).
+
+    ``kind`` is ``"error"`` (the worker raised) or ``"timeout"`` (no result
+    within the per-job deadline — which also covers a worker process that
+    died without reporting back).  ``digest`` names the on-disk cache slot
+    the result would have filled, so a failed job is fully identifiable
+    from logs alone.
+    """
+
+    spec: RunSpec
+    digest: str
+    kind: str
+    error: str
+    attempts: int
+
+    def __str__(self) -> str:
+        return (f"{self.spec.abbr}/{self.spec.model} [{self.kind} after "
+                f"{self.attempts} attempt(s), digest {self.digest[:12]}]: "
+                f"{self.error}")
+
+
+class SuiteError(RuntimeError):
+    """One or more suite jobs failed; carries the :class:`JobFailure` list."""
+
+    def __init__(self, failures: Sequence[JobFailure]) -> None:
+        super().__init__(
+            f"{len(failures)} suite job(s) failed:\n"
+            + "\n".join(f"  - {failure}" for failure in failures))
+        self.failures = list(failures)
 
 _cache_dir: Optional[Path] = None
 _cache_dir_from_env = False
@@ -199,14 +260,24 @@ def _cache_path(digest: str) -> Optional[Path]:
     return base / digest[:2] / f"{digest}.json"
 
 
+def _payload_checksum(payload: Dict[str, object]) -> str:
+    """Content checksum over the canonical payload (minus the checksum)."""
+    body = {key: value for key, value in payload.items() if key != "checksum"}
+    canonical = json.dumps(body, sort_keys=True)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
 def _payload_from(spec: RunSpec, result: RunResult,
                   profile: Optional[RedundancyProfile]) -> Dict[str, object]:
-    return {
+    payload = {
         "format": CACHE_FORMAT,
+        "schema": RESULT_SCHEMA,
         "spec": spec.to_dict(),
         "result": result.to_dict(),
         "profile": dataclasses.asdict(profile) if profile is not None else None,
     }
+    payload["checksum"] = _payload_checksum(payload)
+    return payload
 
 
 def _rehydrate(payload: Dict[str, object]) -> Tuple[RunResult,
@@ -217,19 +288,41 @@ def _rehydrate(payload: Dict[str, object]) -> Tuple[RunResult,
     return result, profile
 
 
+def _read_payload(path: Path) -> Tuple[str, Optional[Dict[str, object]]]:
+    """Classify one cache file: ``("ok", payload)``, ``("version", None)``
+    for a format we no longer speak (left alone), or ``("corrupt", None)``
+    for truncated / bit-rotted / checksum-mismatched content."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return "corrupt", None
+    if not isinstance(payload, dict):
+        return "corrupt", None
+    if payload.get("format") != CACHE_FORMAT:
+        return "version", None
+    if payload.get("checksum") != _payload_checksum(payload):
+        return "corrupt", None
+    return "ok", payload
+
+
 def _disk_load(spec: RunSpec,
                energy_params: Optional[EnergyParams]) -> Optional[Dict[str, object]]:
     path = _cache_path(spec.digest(energy_params))
     if path is None or not path.exists():
         return None
-    try:
-        payload = json.loads(path.read_text())
-    except (OSError, ValueError):
-        return None
-    if payload.get("format") != CACHE_FORMAT:
-        return None
-    COUNTS["disk_hits"] += 1
-    return payload
+    status, payload = _read_payload(path)
+    if status == "ok":
+        COUNTS["disk_hits"] += 1
+        return payload
+    if status == "corrupt":
+        # A damaged entry must never masquerade as a result: drop it and
+        # let the caller re-simulate into a fresh slot.
+        COUNTS["disk_corrupt"] += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+    return None
 
 
 def _disk_store(spec: RunSpec, energy_params: Optional[EnergyParams],
@@ -244,11 +337,57 @@ def _disk_store(spec: RunSpec, energy_params: Optional[EnergyParams],
     COUNTS["disk_writes"] += 1
 
 
+@dataclass
+class CacheReport:
+    """Outcome of a :func:`verify_cache_dir` audit."""
+
+    total: int = 0
+    ok: int = 0
+    corrupt: int = 0
+    version_mismatch: int = 0
+    pruned: int = 0
+    corrupt_paths: List[str] = field(default_factory=list)
+
+
+def verify_cache_dir(base: Optional[os.PathLike] = None,
+                     prune: bool = False) -> CacheReport:
+    """Audit every entry of an on-disk result cache.
+
+    Checks each ``*.json`` payload's parseability, format version, and
+    content checksum.  With ``prune=True`` corrupt entries are deleted
+    (version-mismatched entries are always left alone — an older tool may
+    still want them).  Defaults to the active :func:`cache_dir`.
+    """
+    root = Path(base) if base is not None else cache_dir()
+    report = CacheReport()
+    if root is None or not root.exists():
+        return report
+    for path in sorted(root.glob("*/*.json")):
+        report.total += 1
+        status, _ = _read_payload(path)
+        if status == "ok":
+            report.ok += 1
+        elif status == "version":
+            report.version_mismatch += 1
+        else:
+            report.corrupt += 1
+            report.corrupt_paths.append(str(path))
+            if prune:
+                try:
+                    path.unlink()
+                    report.pruned += 1
+                except OSError:
+                    pass
+    return report
+
+
 # ---------------------------------------------------------------- simulation
 
 def _simulate(spec: RunSpec) -> Tuple[RunResult, Optional[RedundancyProfile],
                                       BuiltWorkload]:
     """Run one simulation in this process (no caching)."""
+    if _TEST_HOOK is not None:
+        _TEST_HOOK(spec)
     COUNTS["simulations"] += 1
     config = model_config(spec.model, **dict(spec.wir_overrides))
     config.num_sms = spec.num_sms
@@ -264,7 +403,13 @@ def _simulate(spec: RunSpec) -> Tuple[RunResult, Optional[RedundancyProfile],
 
     launch = KernelLaunch(workload.program, workload.grid, workload.block,
                           workload.image)
-    result = GPU(config, profiler_factory=factory).run(launch)
+    if spec.checked:
+        from repro.check.oracle import CheckedGPU
+        gpu = CheckedGPU(config, profiler_factory=factory,
+                         benchmark=spec.abbr)
+    else:
+        gpu = GPU(config, profiler_factory=factory)
+    result = gpu.run(launch)
     workload.verify()
 
     merged: Optional[RedundancyProfile] = None
@@ -312,6 +457,7 @@ def run_benchmark(
     seed: int = 7,
     num_sms: int = EXPERIMENT_SMS,
     profile: bool = False,
+    checked: bool = False,
     energy_params: Optional[EnergyParams] = None,
     **wir_overrides,
 ) -> BenchmarkRun:
@@ -319,9 +465,11 @@ def run_benchmark(
 
     ``wir_overrides`` tweak the model's WIR config, e.g.
     ``run_benchmark("SF", "RLPV", reuse_buffer_entries=512)``.
+    ``checked=True`` referees the run against the lockstep golden model
+    (raising :class:`repro.check.DivergenceError` on any disagreement).
     """
     spec = RunSpec.make(abbr, model, scale=scale, seed=seed, num_sms=num_sms,
-                        profile=profile, **wir_overrides)
+                        profile=profile, checked=checked, **wir_overrides)
     run_key = (spec, _energy_key(energy_params))
     run = _RUN_CACHE.get(run_key)
     if run is not None:
@@ -345,17 +493,126 @@ def run_benchmark(
     return run
 
 
+def _failure(spec: RunSpec, energy_params: Optional[EnergyParams],
+             kind: str, error: str, attempts: int) -> JobFailure:
+    return JobFailure(spec=spec, digest=spec.digest(energy_params),
+                      kind=kind, error=error, attempts=attempts)
+
+
+def _retry_wait(backoff: float, attempt: int) -> None:
+    if backoff > 0:
+        time.sleep(backoff * (2 ** attempt))
+
+
+def _serial_simulate(
+    missing: Sequence[RunSpec],
+    energy_params: Optional[EnergyParams],
+    retries: int,
+    backoff: float,
+) -> List[JobFailure]:
+    """In-process fallback path (no per-job timeout is possible here)."""
+    failures: List[JobFailure] = []
+    for spec in missing:
+        for attempt in range(retries + 1):
+            try:
+                _obtain_result(spec, energy_params)
+                break
+            except Exception as err:  # noqa: BLE001 - recorded per spec
+                if attempt < retries:
+                    _retry_wait(backoff, attempt)
+                    continue
+                failures.append(_failure(
+                    spec, energy_params, "error",
+                    f"{type(err).__name__}: {err}", attempt + 1))
+    return failures
+
+
+def _parallel_simulate(
+    missing: Sequence[RunSpec],
+    energy_params: Optional[EnergyParams],
+    jobs: int,
+    timeout: Optional[float],
+    retries: int,
+    backoff: float,
+) -> List[JobFailure]:
+    """Simulate *missing* specs in worker waves with per-job deadlines.
+
+    Each wave gets a pool of exactly as many processes as jobs, so every
+    job starts immediately and ``timeout`` bounds each job's wall clock
+    from the wave start.  A worker that raises surfaces as an ``"error"``
+    failure; one that hangs (or dies without reporting) as a ``"timeout"``
+    — the wave's pool is torn down either way, so a poison-pill spec can
+    never wedge the suite.  Failed specs are re-queued into later waves up
+    to *retries* times with exponential backoff.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+    failures: List[JobFailure] = []
+    queue = deque((spec, 0) for spec in missing)
+    while queue:
+        wave = [queue.popleft() for _ in range(min(jobs, len(queue)))]
+        retry: List[Tuple[RunSpec, int]] = []
+        with context.Pool(processes=len(wave)) as pool:
+            handles = [
+                (spec, attempt, pool.apply_async(_worker, (spec.to_dict(),)))
+                for spec, attempt in wave
+            ]
+            deadline = (time.monotonic() + timeout
+                        if timeout is not None else None)
+            for spec, attempt, handle in handles:
+                remaining = (max(0.0, deadline - time.monotonic())
+                             if deadline is not None else None)
+                try:
+                    payload = handle.get(remaining)
+                except multiprocessing.TimeoutError:
+                    if attempt < retries:
+                        retry.append((spec, attempt + 1))
+                    else:
+                        failures.append(_failure(
+                            spec, energy_params, "timeout",
+                            f"no result within {timeout:g}s", attempt + 1))
+                except Exception as err:  # noqa: BLE001 - recorded per spec
+                    if attempt < retries:
+                        retry.append((spec, attempt + 1))
+                    else:
+                        failures.append(_failure(
+                            spec, energy_params, "error",
+                            f"{type(err).__name__}: {err}", attempt + 1))
+                else:
+                    result, profile = _rehydrate(payload)
+                    _disk_store(spec, energy_params, payload)
+                    _RESULT_CACHE[spec] = (result, profile, None)
+            # Pool.__exit__ terminates the workers, killing any hung ones.
+        if retry:
+            _retry_wait(backoff, retry[0][1] - 1)
+            queue.extend(retry)
+    return failures
+
+
 def prefetch(
     specs: Iterable[RunSpec],
     jobs: int = 1,
     energy_params: Optional[EnergyParams] = None,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    backoff: float = 0.25,
+    strict: bool = True,
+    failures_out: Optional[List[JobFailure]] = None,
 ) -> int:
     """Ensure every spec's result is available, simulating missing ones with
-    a worker pool.  Returns the number of simulations actually run.
+    a worker pool.  Returns the number of simulations attempted.
 
     Workers return *serialized* results, so a parallel sweep is bit-identical
     to a serial one; completed payloads land in the disk cache (when enabled)
     and the in-process memo.
+
+    ``timeout`` bounds each parallel job's wall-clock seconds (hung or
+    silently dying workers are reaped; ignored when ``jobs <= 1``);
+    ``retries`` re-runs a failed job that many extra times with
+    exponential ``backoff``.  Failures are appended to ``failures_out``
+    (when given) and raised as one :class:`SuiteError` unless
+    ``strict=False``.
     """
     missing: List[RunSpec] = []
     seen = set()
@@ -374,19 +631,14 @@ def prefetch(
         return 0
 
     if jobs <= 1 or len(missing) == 1:
-        for spec in missing:
-            _obtain_result(spec, energy_params)
-        return len(missing)
-
-    methods = multiprocessing.get_all_start_methods()
-    context = multiprocessing.get_context(
-        "fork" if "fork" in methods else "spawn")
-    with context.Pool(processes=min(jobs, len(missing))) as pool:
-        payloads = pool.map(_worker, [spec.to_dict() for spec in missing])
-    for spec, payload in zip(missing, payloads):
-        result, profile = _rehydrate(payload)
-        _disk_store(spec, energy_params, payload)
-        _RESULT_CACHE[spec] = (result, profile, None)
+        failures = _serial_simulate(missing, energy_params, retries, backoff)
+    else:
+        failures = _parallel_simulate(missing, energy_params, jobs, timeout,
+                                      retries, backoff)
+    if failures_out is not None:
+        failures_out.extend(failures)
+    if failures and strict:
+        raise SuiteError(failures)
     return len(missing)
 
 
@@ -395,17 +647,41 @@ def run_suite(
     model: str = "Base",
     jobs: int = 1,
     energy_params: Optional[EnergyParams] = None,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    backoff: float = 0.25,
+    strict: bool = True,
+    failures_out: Optional[List[JobFailure]] = None,
     **kwargs,
 ) -> Dict[str, BenchmarkRun]:
     """Run a list of benchmarks under one design point.
 
-    ``jobs > 1`` simulates cache-missing benchmarks in parallel; results are
-    identical to a serial run.
+    ``jobs > 1`` simulates cache-missing benchmarks in parallel; results
+    are identical to a serial run.  A benchmark whose job fails (raises,
+    or exceeds the per-job ``timeout`` under ``jobs > 1``) is omitted from
+    the returned mapping and recorded as a :class:`JobFailure` in
+    ``failures_out``; with ``strict=True`` (the default) the suite then
+    raises :class:`SuiteError` *after* every other benchmark completed.
     """
     specs = [RunSpec.make(abbr, model, **kwargs) for abbr in abbrs]
+    failures: List[JobFailure] = []
     if jobs > 1:
-        prefetch(specs, jobs=jobs, energy_params=energy_params)
-    return {
-        abbr: run_benchmark(abbr, model, energy_params=energy_params, **kwargs)
-        for abbr in abbrs
-    }
+        prefetch(specs, jobs=jobs, energy_params=energy_params,
+                 timeout=timeout, retries=retries, backoff=backoff,
+                 strict=False, failures_out=failures)
+    failed = {failure.spec for failure in failures}
+    runs: Dict[str, BenchmarkRun] = {}
+    for abbr, spec in zip(abbrs, specs):
+        if spec in failed:
+            continue
+        try:
+            runs[abbr] = run_benchmark(abbr, model,
+                                       energy_params=energy_params, **kwargs)
+        except Exception as err:  # noqa: BLE001 - recorded per spec
+            failures.append(_failure(spec, energy_params, "error",
+                                     f"{type(err).__name__}: {err}", 1))
+    if failures_out is not None:
+        failures_out.extend(failures)
+    if failures and strict:
+        raise SuiteError(failures)
+    return runs

@@ -87,6 +87,14 @@ class WIRConfig:
     #: Affine execution model (the "Affine" baseline of Section VII-A);
     #: orthogonal to ``enabled`` so Affine+RLPV is expressible.
     affine: bool = False
+    #: Run ``WIRUnit.check_invariants()`` every N cycles (0 = only at the
+    #: end of the run).  Perf runs keep 0; tests and checked mode arm it.
+    invariant_check_interval: int = 0
+    #: Graceful degradation: on an invariant violation, a reuse-value
+    #: mismatch, or a (repairable) oracle divergence, quarantine the SM's
+    #: WIR unit — log, flush the reuse structures, continue in baseline
+    #: mode — instead of aborting the run.
+    quarantine: bool = False
 
 
 @dataclass

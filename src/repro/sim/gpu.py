@@ -214,10 +214,16 @@ class GPU:
         self,
         config: GPUConfig,
         profiler_factory: Optional[Callable[[], object]] = None,
+        fault_plan=None,
     ) -> None:
         config.validate()
         self.config = config
         self._profiler_factory = profiler_factory
+        #: Optional :class:`repro.check.faults.FaultPlan` (fault campaigns).
+        self._fault_plan = fault_plan
+        #: Optional :class:`repro.check.oracle.LockstepChecker`; set by
+        #: :class:`repro.check.oracle.CheckedGPU` before :meth:`run`.
+        self._checker = None
 
     def run(self, launch: KernelLaunch) -> RunResult:
         """Simulate one kernel launch to completion."""
@@ -230,6 +236,17 @@ class GPU:
             if profiler is not None:
                 profilers.append(profiler)
             sms.append(SMCore(sm_id, config, launch.program, subsystem, profiler))
+
+        if self._checker is not None:
+            self._checker.begin(launch)
+            for sm in sms:
+                sm.checker = self._checker
+        if self._fault_plan is not None and self._fault_plan.any_enabled:
+            from repro.check.faults import FaultInjector
+            for sm in sms:
+                if sm.unit is not None:
+                    sm.unit.attach_faults(
+                        FaultInjector(self._fault_plan, salt=sm.sm_id))
 
         pending = deque(enumerate_blocks(launch.grid, launch.block))
 
@@ -263,7 +280,8 @@ class GPU:
             if cycle >= config.max_cycles:
                 raise SimulationTimeout(
                     f"kernel {launch.program.name!r} exceeded "
-                    f"{config.max_cycles} cycles"
+                    f"{config.max_cycles} cycles\n"
+                    + "\n".join(sm.debug_snapshot() for sm in sms)
                 )
             if active:
                 cycle += 1
@@ -272,10 +290,14 @@ class GPU:
                 if not wakes:
                     # Pending blocks but no SM progress: should be unreachable.
                     raise SimulationTimeout(
-                        f"kernel {launch.program.name!r} deadlocked at cycle {cycle}"
+                        f"kernel {launch.program.name!r} deadlocked at cycle "
+                        f"{cycle}\n"
+                        + "\n".join(sm.debug_snapshot() for sm in sms)
                     )
                 cycle = max(cycle + 1, min(wakes))
 
+        if self._checker is not None:
+            self._checker.finalize(launch, sms)
         return self._collect(cycle, launch, sms, subsystem, profilers)
 
     def _collect(
@@ -292,9 +314,14 @@ class GPU:
         for sm in sms:
             if sm.unit is not None:
                 sm.unit.finalize_stats()
-                sm.unit.check_invariants()
+                # A quarantined unit deliberately leaks transit references
+                # held by the instructions it abandoned; skip its self-check.
+                if not sm.wir_quarantined:
+                    sm.unit.check_invariants()
             root.adopt(sm.stats)
         root.adopt(subsystem.stats_group())
+        if self._checker is not None:
+            root.adopt(self._checker.stats)
 
         launch_summary = {
             "program": launch.program.name,

@@ -60,3 +60,8 @@ class Scoreboard:
 
     def pending_count(self, slot: int) -> int:
         return len(self._pending_regs[slot]) + len(self._pending_preds[slot])
+
+    def pending_snapshot(self, slot: int) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """(pending registers, pending predicates) for diagnostics."""
+        return (tuple(sorted(self._pending_regs[slot])),
+                tuple(sorted(self._pending_preds[slot])))

@@ -16,10 +16,13 @@ The WIR unit plugs in via three hooks (issue / allocation / commit); with
 from __future__ import annotations
 
 import heapq
+import logging
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.check.errors import (DivergenceError, InvariantViolation,
+                                ReuseCorruptionError)
 from repro.core.affine import AFFINE_PRESERVING_OPS, AffineTracker, is_affine_value
 from repro.core.reuse_buffer import Waiter
 from repro.core.wir_unit import IssueDecision, WIRUnit
@@ -35,6 +38,8 @@ from repro.sim.scheduler import WarpScheduler
 from repro.sim.scoreboard import Scoreboard
 from repro.sim.warp import Warp
 from repro.stats import StatGroup
+
+_LOG = logging.getLogger(__name__)
 
 
 class SMCounters(StatGroup):
@@ -93,6 +98,11 @@ class SMCore:
         self.unit: Optional[WIRUnit] = (
             WIRUnit(config, self.regfile, self.affine) if config.wir.enabled else None
         )
+        #: Lockstep golden-model checker (set by ``CheckedGPU`` runs).
+        self.checker = None
+        #: Graceful degradation: once quarantined, the WIR unit stops
+        #: offering reuse and every instruction takes the baseline path.
+        self.wir_quarantined = False
         self.counters = SMCounters("core")
 
         #: This SM's subtree of the run's stats registry: the component
@@ -253,6 +263,15 @@ class SMCore:
             self.counters.cycles += 1
         if self.unit is not None and cycle % self._util_sample_interval == 0:
             self.unit.physfile.sample_utilization()
+        interval = self.config.wir.invariant_check_interval
+        if (interval and self.unit is not None and not self.wir_quarantined
+                and cycle % interval == 0):
+            try:
+                self.unit.check_invariants()
+            except InvariantViolation as err:
+                if not self.config.wir.quarantine:
+                    raise
+                self.quarantine_wir(str(err))
         return active
 
     # ------------------------------------------------------------------ issue
@@ -290,6 +309,8 @@ class SMCore:
 
         if self.profiler is not None:
             self.profiler.observe(inst, exec_result)
+        if self.checker is not None:
+            self.checker.observe_issue(self, warp, inst, exec_result)
 
         cls = inst.op_class
         if cls is OpClass.CONTROL:
@@ -304,7 +325,7 @@ class SMCore:
             return
 
         decision: Optional[IssueDecision] = None
-        if self.unit is not None:
+        if self.unit is not None and not self.wir_quarantined:
             decision = self.unit.issue_stage(
                 warp, inst, exec_result, cycle,
                 make_waiter=lambda: self._make_waiter(warp, inst, exec_result),
@@ -323,10 +344,13 @@ class SMCore:
 
         if decision is not None and decision.action == "reuse":
             self._do_reuse(warp, inst, exec_result, decision)
+            self._checker_commit(warp, inst)
         elif decision is not None and decision.action == "queued":
             self._do_queue(warp, inst)
+            # Functional commit deferred: the lockstep check runs at wakeup.
         else:
             self._do_execute(warp, inst, exec_result, decision, cycle)
+            self._checker_commit(warp, inst)
         self._finish_if_exited(warp)
 
     # --- control / sync -------------------------------------------------------
@@ -383,14 +407,16 @@ class SMCore:
             values = self.unit.physfile.read(decision.result_reg)
             warp.write_reg(inst.dst.value, values, exec_result.mask)
         else:
-            # Arithmetic reuse must be value-exact; assert against the
+            # Arithmetic reuse must be value-exact; check against the
             # functionally computed result (a genuine invariant of the design).
             reused = self.unit.physfile.read(decision.result_reg)
             if not np.array_equal(reused, exec_result.result):
-                raise AssertionError(
+                self._reuse_corrupted(
+                    warp, inst, exec_result, decision.result_reg,
                     f"arithmetic reuse returned a wrong value for {inst} "
-                    f"(pc={inst.pc}, warp slot {warp.warp_slot})"
+                    f"(pc={inst.pc}, warp slot {warp.warp_slot})",
                 )
+                return
             warp.write_reg(inst.dst.value, reused, exec_result.mask)
         retire_cycle = self.cycle + self._front_delay + 1
         result_reg = decision.result_reg
@@ -407,8 +433,14 @@ class SMCore:
 
         def on_result(result_reg: Optional[int]) -> None:
             self._warp_waiting[warp.warp_slot] = False
-            if result_reg is not None:
+            if result_reg is not None and not self.wir_quarantined:
                 self._wake_queued(warp, inst, exec_result, result_reg)
+                self._checker_commit(warp, inst)
+                return
+            if self.wir_quarantined:
+                # Quarantine flushed the queue: take the baseline path.
+                self._do_execute(warp, inst, exec_result, None, self.cycle)
+                self._checker_commit(warp, inst)
                 return
             # The pending entry was evicted before the producer retired:
             # re-enter the reuse stage (it may hit a newer entry, queue
@@ -419,8 +451,10 @@ class SMCore:
             )
             if decision.action == "reuse":
                 self._do_reuse(warp, inst, exec_result, decision)
+                self._checker_commit(warp, inst)
             elif decision.action != "queued":
                 self._do_execute(warp, inst, exec_result, decision, self.cycle)
+                self._checker_commit(warp, inst)
 
         return Waiter(on_result)
 
@@ -441,9 +475,12 @@ class SMCore:
         if inst.op_class is not OpClass.LOAD and not np.array_equal(
             values, exec_result.result
         ):
-            raise AssertionError(
-                f"pending-retry reuse returned a wrong value for {inst}"
+            self._reuse_corrupted(
+                warp, inst, exec_result, result_reg,
+                f"pending-retry reuse returned a wrong value for {inst} "
+                f"(pc={inst.pc}, warp slot {warp.warp_slot})",
             )
+            return
         warp.write_reg(inst.dst.value, values, exec_result.mask)
 
         def commit() -> None:
@@ -453,6 +490,26 @@ class SMCore:
         # Queued instructions re-probe the buffer and retire a cycle after
         # the producer's result lands.
         self._schedule(self.cycle + 1, commit)
+
+    def _reuse_corrupted(
+        self, warp: Warp, inst: Instruction, exec_result: ExecResult,
+        result_reg: int, reason: str,
+    ) -> None:
+        """A reuse hit delivered a wrong value (impossible without faults).
+
+        Without quarantine enabled this is fatal; with it, the unit is
+        quarantined and the instruction falls back to the baseline execute
+        path, so the kernel still completes with correct results.
+        """
+        err = ReuseCorruptionError(reason)
+        if not self.config.wir.quarantine:
+            raise err
+        # Undo the reuse bookkeeping done before the value check: the reuse
+        # count and the transit reference taken at the hit / wakeup.
+        self.counters.reused -= 1
+        self.unit.refcount.decref(result_reg)
+        self.quarantine_wir(reason)
+        self._do_execute(warp, inst, exec_result, None, self.cycle)
 
     # --- execute path -----------------------------------------------------------
 
@@ -591,7 +648,7 @@ class SMCore:
             self._schedule(cycle, lambda: self._retire(warp, inst))
             return
 
-        if self.unit is not None:
+        if self.unit is not None and not self.wir_quarantined:
             ready, dest = self.unit.allocation_stage(
                 warp, inst, exec_result, decision, cycle)
 
@@ -624,3 +681,82 @@ class SMCore:
     def _finish_if_exited(self, warp: Warp) -> None:
         if warp.exited and warp.inflight == 0 and self.warps[warp.warp_slot] is warp:
             self._warp_finished(warp)
+
+    # --- checking / degradation ---------------------------------------------------
+
+    def _checker_commit(self, warp: Warp, inst: Instruction) -> None:
+        """Lockstep commit check for an instruction whose functional state
+        just landed.  Under quarantine mode a repairable register/predicate
+        divergence repairs the architectural value from the oracle and
+        quarantines the WIR unit instead of aborting the run."""
+        if self.checker is None:
+            return
+        try:
+            self.checker.check_commit(self, warp, inst)
+        except DivergenceError as err:
+            if not (self.config.wir.quarantine and err.repair is not None
+                    and self.unit is not None and not self.wir_quarantined):
+                raise
+            full = np.ones(32, dtype=bool)
+            if err.kind == "register":
+                warp.write_reg(inst.dst.value, err.repair, full)
+            elif err.kind == "predicate":
+                warp.write_pred(inst.dst.value, err.repair, full)
+            else:
+                raise
+            self.quarantine_wir(str(err))
+
+    def quarantine_wir(self, reason: str) -> None:
+        """Graceful degradation: disable reuse, keep simulating baseline.
+
+        The functional register state in each :class:`Warp` is the
+        architectural truth, so correctness survives the quarantine; only
+        the timing fidelity of the remaining instructions degrades to the
+        baseline pipeline.  Counted in ``sm{N}.wir.quarantines``.
+        """
+        if self.unit is None or self.wir_quarantined:
+            return
+        self.wir_quarantined = True
+        self.unit.counters.quarantines += 1
+        _LOG.warning("SM%d: WIR unit quarantined at cycle %d: %s",
+                     self.sm_id, self.cycle, reason)
+        self.unit.quarantine_flush()
+
+    # ------------------------------------------------------------- diagnostics
+
+    def debug_snapshot(self) -> str:
+        """Human-readable SM state dump for deadlock / timeout diagnostics."""
+        lines = [
+            f"SM{self.sm_id} @ cycle {self.cycle}: "
+            f"{len(self._events)} queued events, "
+            f"{self.resident_blocks} resident blocks"
+        ]
+        for slot, warp in enumerate(self.warps):
+            if warp is None:
+                continue
+            flags = []
+            if warp.exited:
+                flags.append("exited")
+            if warp.at_barrier:
+                flags.append("barrier")
+            if self._warp_waiting[slot]:
+                flags.append("retry-wait")
+            blocked = self._warp_blocked_until[slot]
+            if blocked > self.cycle:
+                flags.append(f"blocked_until={blocked}")
+            regs, preds = self.scoreboard.pending_snapshot(slot)
+            lines.append(
+                f"  warp slot {slot} (block {warp.block.block_id}."
+                f"{warp.warp_in_block}): pc={warp.pc} inflight={warp.inflight}"
+                f" pending_regs={list(regs)} pending_preds={list(preds)}"
+                + (" [" + ",".join(flags) + "]" if flags else "")
+            )
+        if self.unit is not None:
+            lines.append(
+                f"  wir: rb_occupancy={self.unit.reuse_buffer.occupancy()}"
+                f" retry_queue={self.unit.reuse_buffer.retry_queue_used}"
+                f" vsb_occupancy={self.unit.vsb.occupancy()}"
+                f" phys_free={self.unit.physfile.free_count}"
+                f" quarantined={self.wir_quarantined}"
+            )
+        return "\n".join(lines)

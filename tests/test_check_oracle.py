@@ -1,0 +1,115 @@
+"""Lockstep golden-model oracle: every workload, every commit, refereed.
+
+The oracle (``repro.check.oracle``) replays each issued instruction on a
+pure functional executor and compares architectural effects at commit.
+These tests prove (a) the timing pipeline agrees with the ISA semantics on
+every benchmark of the suite, (b) the oracle's own protocol holds together
+(stats, registry adoption, serialization), and (c) the harness can request
+checked runs end to end.
+"""
+
+import json
+
+import pytest
+
+from repro import Dim3, KernelLaunch, MemoryImage, assemble
+from repro.check import CheckedGPU, DivergenceError, check_benchmark
+from repro.harness.runner import RunSpec, clear_cache, run_benchmark
+from repro.workloads import all_abbrs
+from tests.conftest import SIMPLE_ARITH, make_config
+
+#: One small workload per benchmark family (imaging, graph, linear algebra,
+#: scan/reduce, stencil, finance, media) — the quick tier-1 oracle sweep.
+FAMILY_PICKS = ("SF", "BT", "GA", "BP", "PF", "BO", "SD")
+
+
+def run_checked(source, grid=4, block=64, model="RLPV", image=None,
+                num_sms=1, **wir_overrides):
+    """Assemble and run a kernel under the lockstep oracle."""
+    config = make_config(model, num_sms=num_sms, **wir_overrides)
+    program = assemble(source, name="checked-kernel")
+    if image is None:
+        image = MemoryImage()
+    if isinstance(grid, int):
+        grid = Dim3(grid)
+    if isinstance(block, int):
+        block = Dim3(block)
+    launch = KernelLaunch(program, grid, block, image)
+    result = CheckedGPU(config).run(launch)
+    return result, image
+
+
+class TestOracleOnKernels:
+    @pytest.mark.parametrize("model", ["Base", "R", "RLPV"])
+    def test_simple_kernel_passes(self, model):
+        result, _ = run_checked(SIMPLE_ARITH, grid=8, block=64, model=model)
+        assert result.stat("oracle.instructions") > 0
+        assert result.stat("oracle.commits") > 0
+
+    def test_oracle_checks_every_commit(self):
+        """Every register/predicate write must be refereed exactly once."""
+        result, _ = run_checked(SIMPLE_ARITH, grid=8, block=64)
+        # SIMPLE_ARITH: 9 register-writing instructions per warp, 16 warps.
+        assert result.stat("oracle.commits") == 9 * 16
+        assert result.stat("oracle.memory_words") > 0
+
+    def test_checked_matches_unchecked_timing(self):
+        """The oracle observes; it must never perturb the simulation."""
+        from repro.sim.gpu import GPU
+        config = make_config("RLPV")
+        # Same interval in both runs so the configs are identical.
+        config.wir.invariant_check_interval = 64
+        program = assemble(SIMPLE_ARITH, name="k")
+        plain = GPU(make_config("RLPV",
+                                invariant_check_interval=64)).run(
+            KernelLaunch(program, Dim3(8), Dim3(64), MemoryImage()))
+        checked = CheckedGPU(config).run(
+            KernelLaunch(program, Dim3(8), Dim3(64), MemoryImage()))
+        assert checked.cycles == plain.cycles
+        assert checked.issued_instructions == plain.issued_instructions
+        assert checked.reused_instructions == plain.reused_instructions
+
+
+class TestOracleOnWorkloads:
+    @pytest.mark.parametrize("abbr", FAMILY_PICKS)
+    def test_family_pick_base_model(self, abbr):
+        """The oracle also referees the Base pipeline (no WIR unit)."""
+        info = check_benchmark(abbr, model="Base", num_sms=1)
+        assert info["commits"] > 0
+        assert info["quarantines"] == 0
+
+    @pytest.mark.parametrize("abbr", all_abbrs())
+    def test_all_workloads_pass_under_rlpv(self, abbr):
+        """Acceptance: all 34 workloads verify against the golden model."""
+        info = check_benchmark(abbr, model="RLPV")
+        assert info["instructions"] > 0
+        assert info["commits"] > 0
+        assert info["quarantines"] == 0
+
+
+class TestHarnessIntegration:
+    def test_run_benchmark_checked(self):
+        clear_cache()
+        run = run_benchmark("GA", "RLPV", num_sms=1, checked=True)
+        assert run.result.stat("oracle.commits") > 0
+        plain = run_benchmark("GA", "RLPV", num_sms=1)
+        assert "oracle" not in plain.result.stats.children
+
+    def test_checked_spec_has_its_own_cache_identity(self):
+        checked = RunSpec.make("GA", "RLPV", checked=True)
+        plain = RunSpec.make("GA", "RLPV")
+        assert checked.digest() != plain.digest()
+        assert RunSpec.from_dict(checked.to_dict()) == checked
+
+
+class TestDivergenceError:
+    def test_snapshot_round_trips_json(self):
+        err = DivergenceError(
+            "value mismatch", kind="register", benchmark="GA", sm_id=0,
+            cycle=123, block_id=1, warp_in_block=2, warp_slot=5, pc=7,
+            opcode="add", lane=3, expected=[1, 2], actual=[1, 9])
+        snapshot = json.loads(json.dumps(err.to_dict()))
+        assert snapshot["kind"] == "register"
+        assert snapshot["benchmark"] == "GA"
+        assert snapshot["lane"] == 3
+        assert "pc 7" in snapshot["message"]

@@ -83,3 +83,53 @@ def test_parser_structure():
     assert args.benchmark == "SF"
     assert args.model == "R"
     assert args.scale == 2
+
+
+def test_check(capsys):
+    code, out = run_cli(capsys, "check", "GA", "BP", "--sms", "1")
+    assert code == 0
+    assert out.count("OK") == 2
+    assert "2/2 benchmarks verified against the golden model (RLPV)" in out
+
+
+def test_check_unknown_benchmark(capsys):
+    code = main(["check", "ZZ"])
+    assert code == 2
+
+
+def test_check_requires_a_target(capsys):
+    code = main(["check"])
+    assert code == 2
+
+
+def test_cache_verify_reports_corruption(capsys, tmp_path):
+    from repro.harness.runner import clear_cache, run_benchmark, set_cache_dir
+
+    try:
+        set_cache_dir(tmp_path)
+        clear_cache()
+        run_benchmark("GA", "Base", num_sms=1)
+        entry = next(tmp_path.glob("*/*.json"))
+        entry.write_text(entry.read_text()[:30])
+
+        code, out = run_cli(capsys, "cache", "verify", "--dir", str(tmp_path))
+        assert code == 1
+        assert "1 corrupt" in out
+
+        code, out = run_cli(capsys, "cache", "verify", "--dir", str(tmp_path),
+                            "--prune")
+        assert code == 0
+        assert "pruned 1 corrupt entry" in out
+        assert not entry.exists()
+    finally:
+        set_cache_dir(None)
+        clear_cache()
+
+
+def test_cache_verify_without_dir(capsys, monkeypatch):
+    from repro.harness.runner import set_cache_dir
+
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    set_cache_dir(None)
+    code = main(["cache", "verify"])
+    assert code == 2

@@ -1,0 +1,136 @@
+"""Deterministic fault injection against the WIR structures.
+
+The campaign splits along the design's safety boundary (see
+``repro.check.faults``): architecturally-safe faults must be absorbed with
+bit-exact results (the verify-read — not the VSB hint — is the safety
+mechanism), while post-verify corruption must be *caught*, either by the
+lockstep oracle or by the SM core's arithmetic recomputation check — and,
+with quarantine enabled, survived.
+"""
+
+import pytest
+
+from repro.check import (DivergenceError, FaultPlan, InvariantViolation,
+                         ReuseCorruptionError, check_benchmark)
+from repro.core.affine import AffineTracker
+from repro.core.wir_unit import WIRUnit
+from repro.sim.regfile import RegisterFileTiming
+from tests.conftest import SIMPLE_ARITH, make_config, run_kernel
+
+
+class TestArchitecturallySafeFaults:
+    def test_signature_squash_forces_collisions_safely(self):
+        """Squashed hashes collide massively; every collision must surface
+        as a verify-read false positive, never as a wrong value."""
+        plan = FaultPlan(seed=3, signature_squash_rate=0.5,
+                         signature_keep_bits=2)
+        info = check_benchmark("BP", fault_plan=plan)
+        result = info["result"]
+        assert result.sm_stat("wir.faults.signature_squashes") > 0
+        assert result.sm_stat("wir.vsb.false_positives") > 0
+        assert info["quarantines"] == 0
+
+    def test_structure_evictions_are_availability_only(self):
+        plan = FaultPlan(seed=5, rb_evict_rate=0.05, vsb_evict_rate=0.05,
+                         vc_drop_rate=0.05)
+        info = check_benchmark("BP", fault_plan=plan)
+        result = info["result"]
+        assert result.sm_stat("wir.faults.rb_evictions") > 0
+        assert result.sm_stat("wir.faults.vsb_evictions") > 0
+        assert result.sm_stat("wir.faults.vc_drops") > 0
+        assert info["quarantines"] == 0
+
+    def test_alloc_scramble_is_harmless(self):
+        """Garbage in freshly allocated registers proves every allocation
+        is fully written before any consumer can name it."""
+        plan = FaultPlan(seed=9, alloc_scramble_rate=1.0)
+        info = check_benchmark("GA", fault_plan=plan)
+        assert info["result"].sm_stat("wir.faults.alloc_scrambles") > 0
+        assert info["quarantines"] == 0
+
+    def test_identical_plans_are_replayable(self):
+        plan = FaultPlan(seed=11, rb_evict_rate=0.1)
+        first = check_benchmark("GA", fault_plan=plan)
+        second = check_benchmark("GA", fault_plan=plan)
+        assert first["cycles"] == second["cycles"]
+        assert (first["result"].sm_stat("wir.faults.rb_evictions")
+                == second["result"].sm_stat("wir.faults.rb_evictions"))
+
+
+class TestPostVerifyCorruption:
+    #: Past the verify point, every value check has already passed — only
+    #: the oracle (loads) or the recomputation check (arithmetic reuse of a
+    #: VSB-shared register) can catch a flipped bit.
+    PLAN = FaultPlan(seed=1, corrupt_result_rate=1.0, corrupt_loads_only=True)
+
+    def test_oracle_catches_corrupted_load_reuse(self):
+        with pytest.raises(DivergenceError) as excinfo:
+            check_benchmark("BO", fault_plan=self.PLAN)
+        assert excinfo.value.kind == "register"
+        assert excinfo.value.repair is not None
+
+    def test_recompute_check_catches_shared_register_corruption(self):
+        """On SF the corrupted load register is VSB-shared with arithmetic
+        results, so the SM core's recomputation check fires first."""
+        with pytest.raises(ReuseCorruptionError):
+            check_benchmark("SF", fault_plan=self.PLAN)
+
+    @pytest.mark.parametrize("abbr", ["BO", "SF"])
+    def test_quarantine_survives_corruption(self, abbr):
+        """Graceful degradation: quarantine the WIR unit, repair from the
+        golden value, finish the kernel with verified-correct results."""
+        info = check_benchmark(abbr, fault_plan=self.PLAN, quarantine=True)
+        assert info["quarantines"] >= 1
+        # check_benchmark ran workload.verify() and the oracle's final
+        # memory comparison — reaching here means the output is correct.
+
+
+class TestInvariantChecks:
+    def _make_unit(self):
+        config = make_config("RLPV")
+        return WIRUnit(config, RegisterFileTiming(config),
+                       AffineTracker(enabled=False))
+
+    def test_clean_unit_passes(self):
+        self._make_unit().check_invariants()
+
+    def test_conservation_violation_names_physfile(self):
+        unit = self._make_unit()
+        unit.physfile.allocate()  # in use, but no counted reference
+        with pytest.raises(InvariantViolation) as excinfo:
+            unit.check_invariants()
+        assert excinfo.value.path == "wir.phys"
+
+    def test_retry_queue_accounting_violation_names_rb(self):
+        unit = self._make_unit()
+        unit.reuse_buffer._retry_queue_used = 3  # no waiter actually held
+        with pytest.raises(InvariantViolation) as excinfo:
+            unit.check_invariants()
+        assert excinfo.value.path == "wir.rb"
+
+    def test_dead_register_in_vsb_names_vsb(self):
+        unit = self._make_unit()
+        reg = unit.physfile.allocate()
+        unit.refcount.incref(reg)
+        unit.vsb.insert(0x1234, reg)  # takes its own reference
+        unit.refcount.decref(reg)
+        unit.refcount.decref(reg)  # steals the VSB's reference too
+        with pytest.raises(InvariantViolation) as excinfo:
+            unit.check_invariants()
+        assert excinfo.value.path == "wir.vsb"
+
+    def test_periodic_checks_run_when_configured(self, monkeypatch):
+        calls = {"n": 0}
+        original = WIRUnit.check_invariants
+
+        def counting(self):
+            calls["n"] += 1
+            return original(self)
+
+        monkeypatch.setattr(WIRUnit, "check_invariants", counting)
+        run_kernel(SIMPLE_ARITH, model="RLPV")
+        only_final = calls["n"]
+        calls["n"] = 0
+        run_kernel(SIMPLE_ARITH, model="RLPV", invariant_check_interval=16)
+        assert only_final == 1  # the end-of-run check in GPU._collect
+        assert calls["n"] > only_final
