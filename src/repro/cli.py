@@ -10,6 +10,9 @@ Commands:
   on failure, e.g. for a CI artifact).
 * ``cache verify [--prune]``    — audit the on-disk result cache's
   checksums, optionally deleting corrupt entries.
+* ``trace ABBR [--chrome OUT] [--stalls]`` — run one workload with the
+  observability layer armed: print the per-SM stall-attribution table and
+  export a Chrome ``trace_event`` JSON (chrome://tracing / Perfetto).
 * ``compare ABBR``              — one benchmark across the whole model zoo.
 * ``profile ABBR``              — Figure 2 repeated-computation profile.
 * ``experiment NAME``           — run one figure/table driver (fig2..fig22,
@@ -32,7 +35,7 @@ from typing import List, Optional
 from repro.core.models import MODEL_ORDER, model_names
 from repro.harness import experiments, reporting
 from repro.harness.runner import RunSpec, prefetch, run_benchmark
-from repro.workloads import WORKLOADS, all_abbrs
+from repro.workloads import DEMO_WORKLOADS, WORKLOADS, all_abbrs
 
 EXPERIMENTS = {
     "fig2": (experiments.fig2_repeated_computations, "per-benchmark", True),
@@ -197,6 +200,63 @@ def _cmd_check(args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.core.models import model_config
+    from repro.sim.gpu import GPU, KernelLaunch
+    from repro.trace import export_chrome_trace, validate_chrome_trace
+    from repro.workloads import build_workload
+
+    config = model_config(args.model)
+    config.num_sms = args.sms
+    config.trace.stalls = True
+    config.trace.enabled = True
+    config.trace.ring_capacity = args.ring_capacity
+    config.trace.sample_period = args.sample_period
+    config.trace.sample_window = args.sample_window
+
+    workload = build_workload(args.benchmark, scale=args.scale, seed=args.seed)
+    launch = KernelLaunch(workload.program, workload.grid, workload.block,
+                          workload.image)
+    result = GPU(config).run(launch)
+    workload.verify()
+
+    print(f"{args.benchmark} on {args.model} "
+          f"({args.sms} SMs, scale {args.scale}, seed {args.seed}): "
+          f"{result.cycles} cycles, {result.issued_instructions} issued")
+
+    # Conservation is the layer's core invariant; trip hard if it fails.
+    violations = []
+    for sm in result.sm_groups:
+        stall = sm.lookup("stall")
+        try:
+            stall.check_conservation()
+        except AssertionError as err:
+            violations.append(str(err))
+    if violations:
+        for violation in violations:
+            print(f"CONSERVATION VIOLATION: {violation}", file=sys.stderr)
+        return 1
+
+    if args.stalls:
+        print()
+        print(reporting.render_stall_table(
+            result.stall_breakdown(),
+            title=f"Stall attribution — {args.benchmark}/{args.model}"))
+
+    if args.chrome:
+        trace = export_chrome_trace(result.trace, path=args.chrome)
+        problems = validate_chrome_trace(trace)
+        if problems:
+            for problem in problems:
+                print(f"TRACE SCHEMA PROBLEM: {problem}", file=sys.stderr)
+            return 1
+        ring = result.trace.ring
+        print(f"\nwrote {args.chrome}: {len(trace['traceEvents'])} events"
+              + (f" ({ring.dropped} dropped at ring capacity "
+                 f"{ring.capacity})" if ring.dropped else ""))
+    return 0
+
+
 def _cmd_cache_verify(args) -> int:
     from repro.harness.runner import cache_dir, verify_cache_dir
 
@@ -278,6 +338,31 @@ def build_parser() -> argparse.ArgumentParser:
     verify_parser.add_argument("--prune", action="store_true",
                                help="delete corrupt entries")
     verify_parser.set_defaults(func=_cmd_cache_verify)
+
+    trace_parser = sub.add_parser(
+        "trace", help="stall attribution + Chrome trace for one workload")
+    trace_parser.add_argument(
+        "benchmark", choices=all_abbrs() + list(DEMO_WORKLOADS),
+        metavar="ABBR", help="benchmark abbreviation or demo workload "
+                             "(see 'repro list'; demos: "
+                             + ", ".join(DEMO_WORKLOADS) + ")")
+    trace_parser.add_argument("--model", default="RLPV", choices=model_names())
+    trace_parser.add_argument("--sms", type=int, default=2)
+    trace_parser.add_argument("--scale", type=int, default=1)
+    trace_parser.add_argument("--seed", type=int, default=7)
+    trace_parser.add_argument("--stalls", action="store_true",
+                              help="print the per-SM stall breakdown table")
+    trace_parser.add_argument("--chrome", metavar="OUT", default=None,
+                              help="write a Chrome trace_event JSON "
+                                   "(load in chrome://tracing or Perfetto)")
+    trace_parser.add_argument("--ring-capacity", type=int, default=65536,
+                              help="event ring buffer capacity")
+    trace_parser.add_argument("--sample-period", type=int, default=0,
+                              help="capture-window period in cycles "
+                                   "(0 = trace every cycle)")
+    trace_parser.add_argument("--sample-window", type=int, default=1024,
+                              help="cycles captured per period")
+    trace_parser.set_defaults(func=_cmd_trace)
 
     compare_parser = sub.add_parser("compare",
                                     help="one benchmark, all design points")

@@ -132,6 +132,8 @@ class ReuseBuffer:
         self._retry_queue_used = 0
         self._next_token = 0
         self.stats = ReuseBufferStats("rb")
+        #: Observability hook (per-SM ``SMTraceView`` or ``None``).
+        self.tracer = None
 
     # --- helpers -------------------------------------------------------------
 
@@ -158,6 +160,11 @@ class ReuseBuffer:
         if not entry.valid:
             return []
         self.stats.evictions += 1
+        if self.tracer is not None:
+            self.tracer.component_event(
+                "rb", "rb_evict",
+                {"reg": entry.result_reg, "pending": entry.pending,
+                 "orphans": len(entry.waiters)})
         for kind, operand in entry.tag[1]:
             if kind == "r":
                 self._refcount.decref(operand)
@@ -317,6 +324,10 @@ class ReuseBuffer:
         self._retry_queue_used -= len(waiters)
         self.stats.updates += 1
         self.stats.pending_releases += len(waiters)
+        if self.tracer is not None:
+            self.tracer.component_event(
+                "rb", "rb_fill",
+                {"index": index, "reg": result_reg, "waiters": len(waiters)})
         if entry.is_load:
             self.stats.load_hits += len(waiters)
         return waiters

@@ -64,6 +64,8 @@ class ValueSignatureBuffer:
             for s in range(self._num_sets)
         ]
         self.stats = VSBStats("vsb")
+        #: Observability hook (per-SM ``SMTraceView`` or ``None``).
+        self.tracer = None
 
     def _set_of(self, hash_value: int) -> int:
         return hash_value & (self._num_sets - 1)
@@ -117,6 +119,9 @@ class ValueSignatureBuffer:
         entry = self._entries[victim]
         if entry.valid:
             self.stats.evictions += 1
+            if self.tracer is not None:
+                self.tracer.component_event("vsb", "vsb_evict",
+                                            {"reg": entry.reg})
             self._refcount.decref(entry.reg)
         self._refcount.incref(reg)
         entry.valid = True
@@ -124,6 +129,8 @@ class ValueSignatureBuffer:
         entry.reg = reg
         self._touch(set_index, victim)
         self.stats.insertions += 1
+        if self.tracer is not None:
+            self.tracer.component_event("vsb", "vsb_insert", {"reg": reg})
 
     def evict_index(self, index: int) -> bool:
         """Low-register-mode eviction of one slot; True if one was dropped."""
@@ -133,6 +140,8 @@ class ValueSignatureBuffer:
         if not entry.valid:
             return False
         self.stats.evictions += 1
+        if self.tracer is not None:
+            self.tracer.component_event("vsb", "vsb_evict", {"reg": entry.reg})
         self._refcount.decref(entry.reg)
         entry.valid = False
         entry.reg = -1

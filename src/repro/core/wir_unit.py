@@ -119,6 +119,11 @@ class WIRUnit:
         self.hasher = H3Hash(bits=self.wir.hash_bits)
         #: Optional :class:`repro.check.faults.FaultInjector` (fault runs).
         self.faults = None
+        #: Observability hook (per-SM ``SMTraceView`` or ``None``).
+        self.tracer = None
+        #: Stall-attribution hook: ``stall_probe(slot, logical_dst)`` marks
+        #: the producer of (slot, logical_dst) as performing a verify-read.
+        self.stall_probe = None
         #: This unit's subtree of the run's stats registry; the structure
         #: groups are adopted (shared, not copied) so they stay live.
         self.counters = WIRCounters("wir")
@@ -203,6 +208,9 @@ class WIRUnit:
         if self.faults is not None:
             self.faults.tick_structures(self)
         src_phys, descs = self._rename_sources(warp, inst)
+        if self.tracer is not None and src_phys:
+            self.tracer.wir_event(warp.warp_slot, "rename",
+                                  {"pc": inst.pc, "srcs": len(src_phys)})
         divergent = self._is_divergent(warp, exec_result)
 
         if not inst.writes_register:
@@ -246,9 +254,15 @@ class WIRUnit:
             # Transit reference: the result register must survive until this
             # instruction's retire even if the entry is evicted meanwhile.
             self.refcount.incref(result_reg)
+            if self.tracer is not None:
+                self.tracer.wir_event(warp.warp_slot, "reuse_hit",
+                                      {"pc": inst.pc, "reg": result_reg})
             return IssueDecision(action="reuse", src_phys=src_phys, tag=tag,
                                  result_reg=result_reg, rb_index=index)
         if outcome == "queued":
+            if self.tracer is not None:
+                self.tracer.wir_event(warp.warp_slot, "reuse_queue",
+                                      {"pc": inst.pc, "index": index})
             return IssueDecision(action="queued", src_phys=src_phys, tag=tag,
                                  rb_index=index)
 
@@ -371,14 +385,25 @@ class WIRUnit:
             # Verify-read (possibly filtered by the verify cache).
             if self.verify_cache.access(candidate):
                 self.counters.verify_cache_filtered += 1
+                if self.tracer is not None:
+                    self.tracer.wir_event(slot, "verify_filtered",
+                                          {"candidate": candidate})
                 ready = hash_cycle + 1
             else:
                 self.counters.verify_reads += 1
+                if self.stall_probe is not None:
+                    self.stall_probe(slot, logical)
+                if self.tracer is not None:
+                    self.tracer.wir_event(slot, "verify_read",
+                                          {"candidate": candidate})
                 ready = self.regfile.schedule_read(
                     candidate, hash_cycle,
                     affine=self.affine.is_affine(candidate), verify=True)
             if np.array_equal(self.physfile.read(candidate), result):
                 self.counters.writes_avoided += 1
+                if self.tracer is not None:
+                    self.tracer.wir_event(slot, "vsb_share",
+                                          {"reg": candidate})
                 return ready, candidate
             # False positive: allocate + write (Figure 7).
             self.vsb.note_false_positive()

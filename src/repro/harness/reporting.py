@@ -55,6 +55,53 @@ def render_per_benchmark(
     return format_table(["benchmark"] + columns, rows, title=title)
 
 
+def render_stall_table(
+    breakdown: Mapping[str, Mapping[str, int]],
+    title: str = "Stall attribution",
+) -> str:
+    """Render a per-SM stall breakdown (``RunResult.stall_breakdown()``).
+
+    One row per reason plus the ``resident_warp_cycles`` conservation row;
+    one column per SM plus a chip total and its share of all resident warp
+    cycles.
+    """
+    sms = list(breakdown)
+    reasons = [r for r in next(iter(breakdown.values()))
+               if r != "resident_warp_cycles"]
+    grand_total = sum(breakdown[sm]["resident_warp_cycles"] for sm in sms)
+    rows: List[List[object]] = []
+    for reason in reasons:
+        counts = [breakdown[sm][reason] for sm in sms]
+        total = sum(counts)
+        share = f"{total / grand_total * 100:.1f}%" if grand_total else "-"
+        rows.append([reason] + counts + [total, share])
+    rows.append(
+        ["resident_warp_cycles"]
+        + [breakdown[sm]["resident_warp_cycles"] for sm in sms]
+        + [grand_total, "100.0%" if grand_total else "-"])
+    return format_table(["reason"] + sms + ["total", "share"], rows,
+                        title=title)
+
+
+def suite_stall_fractions(
+    breakdowns: Mapping[str, Mapping[str, Mapping[str, int]]],
+) -> Dict[str, Dict[str, float]]:
+    """Collapse {workload: per-SM breakdown} into {workload: {reason:
+    fraction of resident warp cycles}} for :func:`render_per_benchmark`."""
+    fractions: Dict[str, Dict[str, float]] = {}
+    for abbr, breakdown in breakdowns.items():
+        merged: Dict[str, int] = {}
+        for per_sm in breakdown.values():
+            for reason, count in per_sm.items():
+                merged[reason] = merged.get(reason, 0) + count
+        total = merged.pop("resident_warp_cycles", 0)
+        fractions[abbr] = {
+            reason: (count / total if total else 0.0)
+            for reason, count in merged.items()
+        }
+    return fractions
+
+
 def render_series(
     data: Mapping[object, object], x_label: str, y_label: str, title: str,
 ) -> str:

@@ -90,6 +90,8 @@ class RunSpec:
     wir_overrides: Tuple[Tuple[str, object], ...] = ()
     #: Run under the lockstep golden-model oracle (``repro.check``).
     checked: bool = False
+    #: Collect per-cycle stall attribution (``sm*.stall.*``; ``repro.trace``).
+    trace_stalls: bool = False
 
     @classmethod
     def make(
@@ -101,10 +103,12 @@ class RunSpec:
         num_sms: int = EXPERIMENT_SMS,
         profile: bool = False,
         checked: bool = False,
+        trace_stalls: bool = False,
         **wir_overrides,
     ) -> "RunSpec":
         return cls(abbr, model, scale, seed, num_sms, profile,
-                   tuple(sorted(wir_overrides.items())), checked=checked)
+                   tuple(sorted(wir_overrides.items())), checked=checked,
+                   trace_stalls=trace_stalls)
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -119,6 +123,7 @@ class RunSpec:
                 for name, value in self.wir_overrides
             ],
             "checked": self.checked,
+            "trace_stalls": self.trace_stalls,
         }
 
     @classmethod
@@ -134,6 +139,7 @@ class RunSpec:
                 (name, value) for name, value in data["wir_overrides"]
             ),
             checked=data.get("checked", False),
+            trace_stalls=data.get("trace_stalls", False),
         )
 
     def digest(self, energy_params: Optional[EnergyParams] = None) -> str:
@@ -391,6 +397,7 @@ def _simulate(spec: RunSpec) -> Tuple[RunResult, Optional[RedundancyProfile],
     COUNTS["simulations"] += 1
     config = model_config(spec.model, **dict(spec.wir_overrides))
     config.num_sms = spec.num_sms
+    config.trace.stalls = spec.trace_stalls
     workload = build_workload(spec.abbr, scale=spec.scale, seed=spec.seed)
 
     profilers: List[RedundancyProfiler] = []
@@ -458,6 +465,7 @@ def run_benchmark(
     num_sms: int = EXPERIMENT_SMS,
     profile: bool = False,
     checked: bool = False,
+    trace_stalls: bool = False,
     energy_params: Optional[EnergyParams] = None,
     **wir_overrides,
 ) -> BenchmarkRun:
@@ -469,7 +477,8 @@ def run_benchmark(
     (raising :class:`repro.check.DivergenceError` on any disagreement).
     """
     spec = RunSpec.make(abbr, model, scale=scale, seed=seed, num_sms=num_sms,
-                        profile=profile, checked=checked, **wir_overrides)
+                        profile=profile, checked=checked,
+                        trace_stalls=trace_stalls, **wir_overrides)
     run_key = (spec, _energy_key(energy_params))
     run = _RUN_CACHE.get(run_key)
     if run is not None:

@@ -4,8 +4,15 @@ A *warp computation* is the combination of opcode, immediates, input values,
 and result values of one dynamic warp instruction.  The profiler samples the
 instruction stream in windows of 1K dynamic warp instructions and counts, in
 each window, how many instructions repeat a computation already performed
-earlier in that window.  Control-flow instructions, barriers, and stores are
-always counted as not repeated, matching the paper's method.
+earlier in that window.
+
+Denominator semantics (pinned by the Figure 2 regression tests): the repeat
+fractions are taken over *all* dynamic warp instructions.  Control-flow
+instructions, barriers, stores, and nops are excluded from matching — they
+can never be counted repeated — but they still occupy window slots and are
+still counted in :attr:`RedundancyProfile.instructions`.  This matches the
+paper, which reports repeats as a percentage of total dynamic warp
+instructions, not of reuse-eligible ones.
 
 The profiler attaches to an SM via the ``profiler`` hook and observes every
 issued instruction; results from the per-SM profilers are merged by
@@ -42,7 +49,11 @@ class RedundancyProfile:
 
     @property
     def repeat_fraction(self) -> float:
-        """Fraction of dynamic instructions repeating a recent computation."""
+        """Fraction of dynamic instructions repeating a recent computation.
+
+        The denominator is every observed instruction, including the
+        excluded classes (control/sync/store/nop) that can never repeat.
+        """
         return self.repeated / self.instructions if self.instructions else 0.0
 
     @property
@@ -68,7 +79,11 @@ class RedundancyProfiler:
         self._counts: Dict[int, int] = {}
 
     def observe(self, inst: Instruction, exec_result: ExecResult) -> None:
-        """Record one dynamic warp instruction."""
+        """Record one dynamic warp instruction.
+
+        Every instruction advances the window and the denominator; excluded
+        classes (``_computation_key`` returns None) just never match.
+        """
         key = self._computation_key(inst, exec_result)
         self.profile.instructions += 1
         if key is not None:

@@ -98,6 +98,27 @@ class WIRConfig:
 
 
 @dataclass
+class TraceConfig:
+    """Observability knobs (``repro.trace``); everything defaults off.
+
+    With both toggles off the simulator takes the exact pre-observability
+    code paths: no attributor or tracer objects exist and no stat groups
+    are registered, so serialized results stay bit-identical.
+    """
+
+    #: Event tracing (ring-buffer tracer, Chrome export).
+    enabled: bool = False
+    #: Per-cycle stall attribution (``sm*.stall.*`` counters).
+    stalls: bool = False
+    #: Maximum events retained; once full, new events are dropped (counted).
+    ring_capacity: int = 65536
+    #: Capture window period in cycles; 0 = capture every cycle.
+    sample_period: int = 0
+    #: Cycles captured at the start of each period.
+    sample_window: int = 1024
+
+
+@dataclass
 class GPUConfig:
     """Machine parameters (paper Table II defaults)."""
 
@@ -150,6 +171,9 @@ class GPUConfig:
     # --- reuse design ---
     wir: WIRConfig = field(default_factory=WIRConfig)
 
+    # --- observability ---
+    trace: TraceConfig = field(default_factory=TraceConfig)
+
     def with_wir(self, wir: WIRConfig) -> "GPUConfig":
         """Return a copy of this config with a different WIR design."""
         return replace(self, wir=wir)
@@ -175,3 +199,7 @@ class GPUConfig:
             raise ValueError("extra pipeline latency must be non-negative")
         if self.wir.reuse_buffer_entries < 0 or self.wir.vsb_entries < 0:
             raise ValueError("buffer entry counts must be non-negative")
+        if self.trace.ring_capacity < 1:
+            raise ValueError("trace ring capacity must be at least 1")
+        if self.trace.sample_period < 0 or self.trace.sample_window < 0:
+            raise ValueError("trace sampling parameters must be non-negative")

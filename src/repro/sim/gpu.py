@@ -71,6 +71,9 @@ class RunResult:
     launch_summary: Dict[str, object] = field(default_factory=dict)
     #: Per-SM profiler results, when a profiler factory was supplied.
     profiles: Optional[List] = None
+    #: Live :class:`repro.trace.events.EventTracer` when event tracing was
+    #: enabled (``None`` otherwise and on deserialized results).
+    trace: Optional[object] = None
 
     # --- registry access ------------------------------------------------------
 
@@ -121,6 +124,23 @@ class RunResult:
     def reuse_fraction(self) -> float:
         issued = self.issued_instructions
         return self.reused_instructions / issued if issued else 0.0
+
+    def stall_breakdown(self) -> Optional[Dict[str, Dict[str, int]]]:
+        """Per-SM stall-reason counts (``None`` unless run with
+        ``config.trace.stalls``).  Keys are ``sm{N}``; each value maps
+        reason -> cycles, in taxonomy order, plus ``resident_warp_cycles``.
+        """
+        sm_groups = self.sm_groups
+        if not sm_groups or "stall" not in sm_groups[0].children:
+            return None
+        from repro.trace.stall import STALL_REASONS
+        breakdown: Dict[str, Dict[str, int]] = {}
+        for group in sm_groups:
+            stall = group.lookup("stall")
+            row = {reason: stall.lookup(reason) for reason in STALL_REASONS}
+            row["resident_warp_cycles"] = stall.lookup("resident_warp_cycles")
+            breakdown[group.name] = row
+        return breakdown
 
     def regfile_total(self, key: str) -> int:
         return self.sm_stat(f"regfile.{key}")
@@ -229,6 +249,11 @@ class GPU:
         """Simulate one kernel launch to completion."""
         config = self.config
         subsystem = MemorySubsystem(config, launch.image)
+        tracer = None
+        if config.trace.enabled:
+            from repro.trace.events import CHIP_PID, EventTracer
+            tracer = EventTracer(config.trace)
+            subsystem.tracer = tracer.view(CHIP_PID)
         profilers = []
         sms: List[SMCore] = []
         for sm_id in range(config.num_sms):
@@ -236,6 +261,8 @@ class GPU:
             if profiler is not None:
                 profilers.append(profiler)
             sms.append(SMCore(sm_id, config, launch.program, subsystem, profiler))
+            if tracer is not None:
+                sms[-1].attach_tracer(tracer.view(sm_id))
 
         if self._checker is not None:
             self._checker.begin(launch)
@@ -272,6 +299,8 @@ class GPU:
 
         cycle = 0
         while True:
+            if tracer is not None:
+                tracer.now = cycle
             active = False
             for sm in sms:
                 active |= sm.tick(cycle)
@@ -294,11 +323,18 @@ class GPU:
                         f"{cycle}\n"
                         + "\n".join(sm.debug_snapshot() for sm in sms)
                     )
-                cycle = max(cycle + 1, min(wakes))
+                target = max(cycle + 1, min(wakes))
+                # The skipped cycles never tick; attribute them in bulk
+                # (each SM's classification is stable across the gap).
+                gap = target - cycle - 1
+                if gap:
+                    for sm in sms:
+                        sm.account_idle_cycles(gap)
+                cycle = target
 
         if self._checker is not None:
             self._checker.finalize(launch, sms)
-        return self._collect(cycle, launch, sms, subsystem, profilers)
+        return self._collect(cycle, launch, sms, subsystem, profilers, tracer)
 
     def _collect(
         self,
@@ -307,10 +343,13 @@ class GPU:
         sms: List[SMCore],
         subsystem: MemorySubsystem,
         profilers: List,
+        tracer=None,
     ) -> RunResult:
         """Assemble the run's stats registry and wrap it in a RunResult."""
         root = StatGroup("run")
         root.add_counter("cycles", cycles)
+        if tracer is not None:
+            root.adopt(tracer.stats)
         for sm in sms:
             if sm.unit is not None:
                 sm.unit.finalize_stats()
@@ -336,4 +375,5 @@ class GPU:
             launch=launch,
             launch_summary=launch_summary,
             profiles=profilers or None,
+            trace=tracer,
         )

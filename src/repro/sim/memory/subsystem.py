@@ -97,6 +97,8 @@ class MemorySubsystem:
             for _ in range(config.l2_partitions)
         ]
         self.noc = NoCModel(config.noc_bytes_per_cycle, line_bytes, config.num_sms)
+        #: Observability hook (chip-level ``SMTraceView`` or ``None``).
+        self.tracer = None
         self.l2_partitions = [
             Cache(
                 config.l2_partition_config,
@@ -120,6 +122,11 @@ class MemorySubsystem:
     def service_l1_miss(self, sm_id: int, line_addr: int, cycle: int) -> int:
         """Latency added beyond the L1 for one missed line."""
         noc_delay = self.noc.traverse(sm_id, cycle)
+        if self.tracer is not None:
+            self.tracer.component_event(
+                "mem", "l1_miss",
+                {"sm": sm_id, "line": line_addr,
+                 "partition": self._partition_of(line_addr)})
         partition = self.l2_partitions[self._partition_of(line_addr)]
         # L2 "hit latency" in its CacheConfig is the round-trip seen by the
         # SM minus the NoC component; Table II's 200-cycle L2 latency is the
@@ -171,6 +178,8 @@ class SMMemoryPort:
         self.l1c = Cache(config.l1c, miss_latency=self._miss_cb, name=f"l1c[{sm_id}]")
         self.stats = StatGroup("port")
         self.stats.add_counter("scratchpad_accesses")
+        #: Observability hook (per-SM ``SMTraceView`` or ``None``).
+        self.tracer = None
 
     @property
     def scratchpad_accesses(self) -> int:
@@ -216,6 +225,8 @@ class SMMemoryPort:
         # Timing part.
         if space is MemSpace.SHARED:
             self.stats.scratchpad_accesses += 1
+            if self.tracer is not None:
+                self.tracer.mem_access("shared", 0, 0, 0)
             return MemoryAccessResult(
                 ready_cycle=cycle + self.config.shared_mem_latency,
                 scratchpad_accesses=1,
@@ -236,6 +247,8 @@ class SMMemoryPort:
                 hits += 1
             else:
                 misses += 1
+        if self.tracer is not None:
+            self.tracer.mem_access(space.name.lower(), len(lines), hits, misses)
         return MemoryAccessResult(
             ready_cycle=ready,
             lines=len(lines),

@@ -37,6 +37,8 @@ class RegisterFileTiming:
         self._read_free = [0] * self.num_groups
         self._write_free = [0] * self.num_groups
         self.stats = RegisterFileStats("regfile")
+        #: Observability hook (an ``SMTraceView`` or ``None``).
+        self.tracer = None
 
     def group_of(self, reg_id: int) -> int:
         return reg_id % self.num_groups
@@ -51,6 +53,8 @@ class RegisterFileTiming:
         self.stats.read_retries += start - cycle
         if verify:
             self.stats.verify_read_requests += 1
+        if self.tracer is not None and start > cycle:
+            self.tracer.bank_conflict(reg_id, start - cycle, "read", verify)
         self._read_free[group] = start + 1
         self.stats.bank_reads += 1 if affine else self.BANKS_PER_GROUP
         return start + 1
@@ -61,6 +65,8 @@ class RegisterFileTiming:
         start = max(cycle, self._write_free[group])
         self.stats.write_requests += 1
         self.stats.write_retries += start - cycle
+        if self.tracer is not None and start > cycle:
+            self.tracer.bank_conflict(reg_id, start - cycle, "write")
         self._write_free[group] = start + 1
         self.stats.bank_writes += 1 if affine else self.BANKS_PER_GROUP
         return start + 1

@@ -26,6 +26,9 @@ class WarpScheduler:
         #: Slot age: lower = older; refreshed when a block is dispatched.
         self._age: dict = {slot: i for i, slot in enumerate(self.slots)}
         self._age_counter = len(self.slots)
+        #: Observability hook: called as ``on_pick(scheduler_id, slot)``
+        #: whenever a slot wins arbitration.  Never influences the choice.
+        self.on_pick: Optional[Callable[[int, int], None]] = None
 
     def note_dispatch(self, slot: int) -> None:
         """Record that *slot* received a fresh warp (it becomes youngest)."""
@@ -35,8 +38,12 @@ class WarpScheduler:
     def pick(self, ready: Callable[[int], bool]) -> Optional[int]:
         """Select the next slot to issue from, or ``None`` if none is ready."""
         if self.policy is SchedulerPolicy.GTO:
-            return self._pick_gto(ready)
-        return self._pick_lrr(ready)
+            slot = self._pick_gto(ready)
+        else:
+            slot = self._pick_lrr(ready)
+        if slot is not None and self.on_pick is not None:
+            self.on_pick(self.scheduler_id, slot)
+        return slot
 
     def _pick_gto(self, ready: Callable[[int], bool]) -> Optional[int]:
         # Greedy: stick with the last-issued warp while it stays ready.

@@ -58,6 +58,31 @@ class Scoreboard:
         elif inst.writes_predicate:
             self._pending_preds[slot].discard(inst.dst.value)
 
+    def blockers(self, slot: int, inst: Instruction) -> Tuple[List[int], List[int]]:
+        """The pending (registers, predicates) that block *inst* from issue.
+
+        Mirrors :meth:`can_issue` exactly (same operand sets, same pending
+        state) but returns every offender instead of a boolean, so stall
+        attribution can ask its producers why they are still in flight.
+        """
+        regs = self._pending_regs[slot]
+        preds = self._pending_preds[slot]
+        blocking_regs: List[int] = []
+        blocking_preds: List[int] = []
+        if regs:
+            for reg in inst.source_registers():
+                if reg in regs:
+                    blocking_regs.append(reg)
+            if inst.writes_register and inst.dst.value in regs:
+                blocking_regs.append(inst.dst.value)
+        if preds:
+            for pred in inst.source_predicates():
+                if pred in preds:
+                    blocking_preds.append(pred)
+            if inst.writes_predicate and inst.dst.value in preds:
+                blocking_preds.append(inst.dst.value)
+        return blocking_regs, blocking_preds
+
     def pending_count(self, slot: int) -> int:
         return len(self._pending_regs[slot]) + len(self._pending_preds[slot])
 

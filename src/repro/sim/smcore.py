@@ -38,6 +38,7 @@ from repro.sim.scheduler import WarpScheduler
 from repro.sim.scoreboard import Scoreboard
 from repro.sim.warp import Warp
 from repro.stats import StatGroup
+from repro.trace.stall import StallAttributor
 
 _LOG = logging.getLogger(__name__)
 
@@ -104,6 +105,14 @@ class SMCore:
         #: offering reuse and every instruction takes the baseline path.
         self.wir_quarantined = False
         self.counters = SMCounters("core")
+        #: Observability (repro.trace): the event-trace view installed by
+        #: :meth:`attach_tracer`, and the per-cycle stall attributor.  Both
+        #: stay ``None`` unless enabled in ``config.trace``, in which case
+        #: they observe but never influence timing.
+        self.tracer = None
+        self.stall: Optional[StallAttributor] = (
+            StallAttributor(self) if config.trace.stalls else None
+        )
 
         #: This SM's subtree of the run's stats registry: the component
         #: groups are adopted live, so ``sm{N}.regfile.read_retries`` et al
@@ -116,6 +125,10 @@ class SMCore:
         self.stats.adopt(self.port.stats, name="port")
         if self.unit is not None:
             self.stats.adopt(self.unit.counters)
+        if self.stall is not None:
+            self.stats.adopt(self.stall.stats)
+            if self.unit is not None:
+                self.unit.stall_probe = self.stall.note_verify
 
         num_sched = config.num_schedulers
         self.schedulers = [
@@ -151,6 +164,19 @@ class SMCore:
         # Register-utilisation sampling (Figure 19) interval.
         self._util_sample_interval = 64
         self.on_block_complete: Optional[Callable[[int, int], None]] = None
+
+    def attach_tracer(self, view) -> None:
+        """Wire an :class:`~repro.trace.events.SMTraceView` through every
+        component of this SM (observer only; no timing influence)."""
+        self.tracer = view
+        self.regfile.tracer = view
+        self.port.tracer = view
+        for scheduler in self.schedulers:
+            scheduler.on_pick = view.scheduler_pick
+        if self.unit is not None:
+            self.unit.tracer = view
+            self.unit.reuse_buffer.tracer = view
+            self.unit.vsb.tracer = view
 
     # ------------------------------------------------------------ block admin
 
@@ -254,11 +280,15 @@ class SMCore:
             _, _, callback = heapq.heappop(self._events)
             callback()
             active = True
+        issued: List[int] = []
         for scheduler in self.schedulers:
             slot = scheduler.pick(self._ready)
             if slot is not None:
                 self._issue(slot)
+                issued.append(slot)
                 active = True
+        if self.stall is not None:
+            self.stall.observe(cycle, issued)
         if active:
             self.counters.cycles += 1
         if self.unit is not None and cycle % self._util_sample_interval == 0:
@@ -273,6 +303,17 @@ class SMCore:
                     raise
                 self.quarantine_wir(str(err))
         return active
+
+    def account_idle_cycles(self, count: int) -> None:
+        """Bulk stall attribution for idle-skipped cycles.
+
+        The GPU loop fast-forwards past cycles where no SM can issue; every
+        state change that could alter a warp's classification is a
+        ``next_wake`` candidate, so the classification at the current cycle
+        holds for the whole skipped gap (see :mod:`repro.trace.stall`).
+        """
+        if self.stall is not None and count > 0:
+            self.stall.observe(self.cycle, (), weight=count)
 
     # ------------------------------------------------------------------ issue
 
@@ -320,9 +361,17 @@ class SMCore:
             self._issue_sync(warp, inst)
             return
         if cls is OpClass.NOP:
+            if self.tracer is not None:
+                self.tracer.issue_event(slot, "nop", {"pc": inst.pc})
             warp.advance()
             self._finish_if_exited(warp)
             return
+
+        if self.tracer is not None:
+            # Backend-bound instructions are async spans closed at retire;
+            # control/sync/nop above never reach _retire, so they are
+            # instants instead.
+            self.tracer.begin_inst(slot, inst)
 
         decision: Optional[IssueDecision] = None
         if self.unit is not None and not self.wir_quarantined:
@@ -358,6 +407,9 @@ class SMCore:
     def _issue_control(self, warp: Warp, inst: Instruction, exec_result: ExecResult) -> None:
         self.counters.control_insts += 1
         slot = warp.warp_slot
+        if self.tracer is not None:
+            self.tracer.issue_event(slot, inst.opcode.name.lower(),
+                                    {"pc": inst.pc})
         if inst.opcode is Opcode.BRA:
             warp.resolve_branch(inst.pc, exec_result.taken_mask, inst.target)
         else:  # exit
@@ -368,6 +420,9 @@ class SMCore:
 
     def _issue_sync(self, warp: Warp, inst: Instruction) -> None:
         self.counters.barrier_insts += 1
+        if self.tracer is not None:
+            self.tracer.issue_event(warp.warp_slot, inst.opcode.name.lower(),
+                                    {"pc": inst.pc})
         warp.advance()
         if inst.opcode is Opcode.BAR:
             warp.at_barrier = True
@@ -524,6 +579,9 @@ class SMCore:
     ) -> None:
         self.counters.backend_insts += 1
         cls = inst.op_class
+        if self.stall is not None:
+            self.stall.note_backend(warp.warp_slot, inst,
+                                    "mem" if cls is OpClass.LOAD else "exec")
 
         # Functional commit (loads commit below with the memory access).
         if cls is not OpClass.LOAD:
@@ -673,6 +731,10 @@ class SMCore:
         self._schedule(ready, lambda: self._retire(warp, inst))
 
     def _retire(self, warp: Warp, inst: Instruction) -> None:
+        if self.stall is not None:
+            self.stall.note_retire(warp.warp_slot, inst)
+        if self.tracer is not None:
+            self.tracer.end_inst(warp.warp_slot, inst)
         self.scoreboard.release(warp.warp_slot, inst)
         warp.inflight -= 1
         self.counters.retired += 1
@@ -718,6 +780,9 @@ class SMCore:
             return
         self.wir_quarantined = True
         self.unit.counters.quarantines += 1
+        if self.tracer is not None:
+            self.tracer.component_event("wirunit", "quarantine",
+                                        {"reason": reason[:120]})
         _LOG.warning("SM%d: WIR unit quarantined at cycle %d: %s",
                      self.sm_id, self.cycle, reason)
         self.unit.quarantine_flush()

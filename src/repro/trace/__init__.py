@@ -1,0 +1,27 @@
+"""Observability layer: per-cycle stall attribution + bounded event tracing.
+
+See DESIGN.md §7 for the stall taxonomy, event schema, and sampling model.
+"""
+
+from repro.trace.chrome import export_chrome_trace, validate_chrome_trace
+from repro.trace.events import (
+    CHIP_PID,
+    COMPONENT_TIDS,
+    EventRing,
+    EventTracer,
+    SMTraceView,
+)
+from repro.trace.stall import STALL_REASONS, StallAttributor, StallCounters
+
+__all__ = [
+    "CHIP_PID",
+    "COMPONENT_TIDS",
+    "EventRing",
+    "EventTracer",
+    "SMTraceView",
+    "STALL_REASONS",
+    "StallAttributor",
+    "StallCounters",
+    "export_chrome_trace",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,147 @@
+"""Chrome ``trace_event`` export for the ring-buffer tracer.
+
+The exported JSON is the *object* form (``{"traceEvents": [...]}``), which
+both ``chrome://tracing`` and Perfetto load directly.  Timestamps are
+simulated cycles (one cycle == one microsecond on the timeline, which keeps
+the viewer's zoom levels sane for runs of 1e4–1e6 cycles).
+
+Process/thread naming metadata ("M" events) is synthesized at export time
+from the pids/tids actually seen, so the viewer shows "SM 0" / "warp 3" /
+"reuse buffer" rows instead of bare integers.
+
+Spans whose "e" fell off the end of the bounded ring would render as
+infinitely long in the viewer, so unmatched async begin events are dropped
+at export (the count is reported in the returned metadata).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.trace.events import CHIP_PID, COMPONENT_TIDS, EventTracer
+
+_TID_NAMES = {
+    COMPONENT_TIDS["sched"]: "scheduler",
+    COMPONENT_TIDS["regfile"]: "register file",
+    COMPONENT_TIDS["rb"]: "reuse buffer",
+    COMPONENT_TIDS["vsb"]: "VSB",
+    COMPONENT_TIDS["mem"]: "memory port",
+    COMPONENT_TIDS["wirunit"]: "WIR unit",
+}
+
+
+def _pid_name(pid: int) -> str:
+    return "memory subsystem" if pid == CHIP_PID else f"SM {pid}"
+
+
+def _tid_name(tid: int) -> str:
+    return _TID_NAMES.get(tid, f"warp {tid}")
+
+
+def export_chrome_trace(tracer: EventTracer, path: Optional[str] = None) -> dict:
+    """Render *tracer*'s ring into a Chrome trace object.
+
+    Writes JSON to *path* when given; always returns the trace dict.
+    """
+    events = tracer.ring.events()
+
+    # Pair async begins/ends by (pid, cat, id); keep only matched pairs.
+    begun: Dict[Tuple[int, str, int], int] = {}
+    ended: Set[Tuple[int, str, int]] = set()
+    for event in events:
+        ph = event["ph"]
+        if ph in ("b", "e"):
+            key = (event["pid"], event["cat"], event["id"])
+            if ph == "b":
+                begun[key] = event["ts"]
+            elif key in begun:
+                ended.add(key)
+
+    trace_events: List[dict] = []
+    dropped_unmatched = 0
+    seen: Set[Tuple[int, int]] = set()
+    for event in events:
+        ph = event["ph"]
+        if ph in ("b", "e"):
+            key = (event["pid"], event["cat"], event["id"])
+            if key not in ended:
+                dropped_unmatched += 1
+                continue
+        seen.add((event["pid"], event["tid"]))
+        trace_events.append(event)
+
+    # Name every process and thread we actually emitted on.
+    metadata: List[dict] = []
+    for pid in sorted({pid for pid, _ in seen}):
+        metadata.append({"ph": "M", "name": "process_name", "pid": pid,
+                         "tid": 0, "args": {"name": _pid_name(pid)}})
+    for pid, tid in sorted(seen):
+        metadata.append({"ph": "M", "name": "thread_name", "pid": pid,
+                         "tid": tid, "args": {"name": _tid_name(tid)}})
+
+    trace = {
+        "traceEvents": metadata + trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro.trace",
+            "clock": "cycles",
+            "ring_dropped": tracer.ring.dropped,
+            "unmatched_spans_dropped": dropped_unmatched,
+        },
+    }
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(trace, handle, indent=1)
+    return trace
+
+
+_REQUIRED = {
+    "b": ("name", "cat", "ts", "pid", "tid", "id"),
+    "e": ("name", "cat", "ts", "pid", "tid", "id"),
+    "i": ("name", "cat", "ts", "pid", "tid"),
+    "X": ("name", "cat", "ts", "pid", "tid", "dur"),
+    "M": ("name", "pid", "tid", "args"),
+}
+
+
+def validate_chrome_trace(trace: dict) -> List[str]:
+    """Schema/nesting lint for an exported trace; returns problem strings.
+
+    Checks the invariants the golden-file test (and CI) rely on: required
+    keys per phase, integer non-negative timestamps, and — for async
+    spans — that every id has exactly one "b" and one "e", with
+    ``ts(b) <= ts(e)``.
+    """
+    problems: List[str] = []
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+
+    spans: Dict[Tuple[int, str, int], List[dict]] = {}
+    for pos, event in enumerate(events):
+        ph = event.get("ph")
+        if ph not in _REQUIRED:
+            problems.append(f"event {pos}: unknown ph {ph!r}")
+            continue
+        for key in _REQUIRED[ph]:
+            if key not in event:
+                problems.append(f"event {pos} (ph={ph}): missing {key!r}")
+        if ph != "M":
+            ts = event.get("ts")
+            if not isinstance(ts, int) or ts < 0:
+                problems.append(f"event {pos}: bad ts {ts!r}")
+        if ph in ("b", "e"):
+            key = (event.get("pid"), event.get("cat"), event.get("id"))
+            spans.setdefault(key, []).append(event)
+
+    for key, pair in sorted(spans.items(), key=lambda item: str(item[0])):
+        phases = [event.get("ph") for event in pair]
+        if phases != ["b", "e"]:
+            problems.append(f"span {key}: phases {phases} != ['b', 'e']")
+            continue
+        if pair[0].get("ts", 0) > pair[1].get("ts", 0):
+            problems.append(f"span {key}: begin ts after end ts")
+        if pair[0].get("name") != pair[1].get("name"):
+            problems.append(f"span {key}: begin/end name mismatch")
+    return problems

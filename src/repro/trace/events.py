@@ -1,0 +1,210 @@
+"""Bounded ring-buffer event tracer (the observability layer's event half).
+
+One :class:`EventTracer` serves a whole run: the GPU loop advances
+:attr:`EventTracer.now` once per simulated cycle, and every component emits
+through a cheap per-SM facade (:class:`SMTraceView`) that stamps events with
+the current cycle and its process id.  Events are plain dicts already in
+Chrome ``trace_event`` shape (``ph``/``name``/``cat``/``ts``/``pid``/
+``tid``), so export is a straight dump (see :mod:`repro.trace.chrome`).
+
+Overhead is bounded twice over:
+
+* a **sampling window** — with ``sample_period > 0`` only cycles where
+  ``now % period < window`` open new events (in-flight instruction spans
+  still close, so exported spans are never left dangling);
+* a **bounded ring** — at most ``ring_capacity`` events are kept; once the
+  ring is full, new events are counted as ``dropped`` and discarded, which
+  preserves the (matched) spans already captured from the run's start.
+
+Instruction lifetimes are Chrome *async* spans ("b"/"e" matched by an id
+unique per dynamic instruction) rather than same-thread "B"/"E" duration
+events: one warp can have several instructions in flight at once, and
+overlapping durations on one tid would violate Chrome's nesting rules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.stats import StatGroup
+
+#: Reserved thread ids for non-warp rows of an SM's track (warp slots are
+#: 0..max_warps_per_sm-1, far below these).
+COMPONENT_TIDS: Dict[str, int] = {
+    "sched": 100,
+    "regfile": 101,
+    "rb": 102,
+    "vsb": 103,
+    "mem": 104,
+    "wirunit": 105,
+}
+
+#: Process id of the chip-level memory subsystem track (SMs use their id).
+CHIP_PID = 1000
+
+
+class TraceStats(StatGroup):
+    """Tracer effort counters (adopted into the run registry as ``trace``)."""
+
+    COUNTERS = ("emitted", "dropped", "sampled_out")
+
+
+class EventRing:
+    """Fixed-capacity event store that keeps the earliest events.
+
+    Dropping *new* events once full (instead of rotating the oldest out)
+    keeps begin/end span pairs from the captured prefix intact; the
+    ``dropped`` count records how much of the tail was lost.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.dropped = 0
+        self._events: List[dict] = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def append(self, event: dict) -> bool:
+        if len(self._events) >= self.capacity:
+            self.dropped += 1
+            return False
+        self._events.append(event)
+        return True
+
+    def events(self) -> List[dict]:
+        return list(self._events)
+
+
+class EventTracer:
+    """Run-wide event collector with cycle-window sampling."""
+
+    def __init__(self, config) -> None:
+        #: Current simulation cycle; the GPU loop keeps this fresh.
+        self.now = 0
+        self.ring = EventRing(config.ring_capacity)
+        self._period = config.sample_period
+        self._window = config.sample_window
+        self._next_id = 0
+        self.stats = TraceStats("trace")
+        #: Open async spans: (pid, slot, pc) -> FIFO of span ids.
+        self._open: Dict[Tuple[int, int, int], List[int]] = {}
+
+    # ----------------------------------------------------------------- gating
+
+    def sampling(self) -> bool:
+        """Whether the current cycle is inside the capture window."""
+        if self._period <= 0:
+            return True
+        return self.now % self._period < self._window
+
+    # --------------------------------------------------------------- emission
+
+    def _emit(self, event: dict) -> None:
+        if self.ring.append(event):
+            self.stats.emitted += 1
+        else:
+            self.stats.dropped += 1
+
+    def instant(self, pid: int, tid: int, name: str, cat: str,
+                args: Optional[dict] = None) -> None:
+        if not self.sampling():
+            self.stats.sampled_out += 1
+            return
+        event = {"ph": "i", "name": name, "cat": cat, "ts": self.now,
+                 "pid": pid, "tid": tid, "s": "t"}
+        if args:
+            event["args"] = args
+        self._emit(event)
+
+    def begin_span(self, pid: int, tid: int, pc: int, name: str, cat: str,
+                   args: Optional[dict] = None) -> None:
+        if not self.sampling():
+            self.stats.sampled_out += 1
+            return
+        self._next_id += 1
+        ident = self._next_id
+        self._open.setdefault((pid, tid, pc), []).append(ident)
+        event = {"ph": "b", "name": name, "cat": cat, "ts": self.now,
+                 "pid": pid, "tid": tid, "id": ident}
+        if args:
+            event["args"] = args
+        self._emit(event)
+
+    def end_span(self, pid: int, tid: int, pc: int, name: str, cat: str) -> None:
+        """Close the oldest open span for (pid, tid, pc), if any.
+
+        Ends are *not* sampling-gated: a span opened inside a capture
+        window must close even if the window has since passed, or the
+        export would contain a dangling "b".
+        """
+        fifo = self._open.get((pid, tid, pc))
+        if not fifo:
+            return
+        ident = fifo.pop(0)
+        if not fifo:
+            del self._open[(pid, tid, pc)]
+        self._emit({"ph": "e", "name": name, "cat": cat, "ts": self.now,
+                    "pid": pid, "tid": tid, "id": ident})
+
+    # ------------------------------------------------------------------ views
+
+    def view(self, pid: int) -> "SMTraceView":
+        return SMTraceView(self, pid)
+
+
+class SMTraceView:
+    """Per-SM (or chip-level) emission facade bound to one process id."""
+
+    __slots__ = ("tracer", "pid")
+
+    def __init__(self, tracer: EventTracer, pid: int) -> None:
+        self.tracer = tracer
+        self.pid = pid
+
+    # --- instruction lifetime spans ------------------------------------------
+
+    def begin_inst(self, slot: int, inst) -> None:
+        self.tracer.begin_span(self.pid, slot, inst.pc,
+                               inst.opcode.name.lower(), "inst",
+                               args={"pc": inst.pc})
+
+    def end_inst(self, slot: int, inst) -> None:
+        self.tracer.end_span(self.pid, slot, inst.pc,
+                             inst.opcode.name.lower(), "inst")
+
+    # --- instants -------------------------------------------------------------
+
+    def issue_event(self, slot: int, name: str,
+                    args: Optional[dict] = None) -> None:
+        """Control/barrier/nop issue (no backend journey to span)."""
+        self.tracer.instant(self.pid, slot, name, "issue", args)
+
+    def wir_event(self, slot: int, name: str,
+                  args: Optional[dict] = None) -> None:
+        """WIR lifecycle event attributed to a warp slot (rename,
+        reuse_hit, reuse_queue, verify_read, vsb_share, quarantine...)."""
+        self.tracer.instant(self.pid, slot, name, "wir", args)
+
+    def component_event(self, comp: str, name: str,
+                        args: Optional[dict] = None) -> None:
+        """Event on a component track (rb/vsb evictions and fills...)."""
+        self.tracer.instant(self.pid, COMPONENT_TIDS[comp], name, comp, args)
+
+    def scheduler_pick(self, scheduler_id: int, slot: int) -> None:
+        self.tracer.instant(self.pid, COMPONENT_TIDS["sched"], "pick",
+                            "sched", {"scheduler": scheduler_id, "slot": slot})
+
+    def bank_conflict(self, reg_id: int, retries: int, kind: str,
+                      verify: bool = False) -> None:
+        args = {"reg": reg_id, "retries": retries, "kind": kind}
+        if verify:
+            args["verify"] = True
+        self.tracer.instant(self.pid, COMPONENT_TIDS["regfile"],
+                            "bank_conflict", "regfile", args)
+
+    def mem_access(self, space: str, lines: int, hits: int,
+                   misses: int) -> None:
+        self.tracer.instant(self.pid, COMPONENT_TIDS["mem"], "mem_access",
+                            "mem", {"space": space, "lines": lines,
+                                    "hits": hits, "misses": misses})

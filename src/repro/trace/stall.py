@@ -1,0 +1,168 @@
+"""Per-cycle stall attribution (the observability layer's accounting half).
+
+Every cycle, every *resident* warp slot of an SM is classified into exactly
+one reason — either it issued, or the first condition that prevented issue,
+checked in the same order the SM's ``_ready`` predicate checks them:
+
+========================  ====================================================
+``issued``                the slot issued an instruction this cycle
+``empty``                 warp exited (draining in-flight work) or has no
+                          next instruction
+``barrier``               waiting at a ``bar.sync``
+``reuse_queue_wait``      parked in the pending-retry queue (Section VI-B)
+``control_hazard``        blocked on branch-resolution latency
+``verify_wait``           blocked by the scoreboard on a producer currently
+                          in its VSB verify-read
+``memory_pending``        blocked by the scoreboard on an in-flight load
+``scoreboard_raw``        blocked by the scoreboard on any other producer
+                          (ALU latency, rename/reuse front latency)
+``exec_pipe_busy``        ready, but the needed execution pipeline is busy
+``not_selected``          ready, but lost scheduler arbitration
+========================  ====================================================
+
+The conservation invariant — per SM, the reason counts sum exactly to
+``resident_warp_cycles`` — holds by construction (one bucket per resident
+slot per cycle) and is asserted by tests and the ``repro trace`` CLI.
+
+The scoreboard tracks *logical* destination IDs, not why the producer is
+slow, so the attributor keeps a side map from pending destinations to the
+producer's kind: loads register ``"mem"``, other backend instructions
+``"exec"`` (reported as ``scoreboard_raw``), and the WIR unit flips an
+entry to ``"verify"`` while the producer performs its VSB verify-read.
+
+Idle-skipped cycles (the GPU fast-forwards when no SM can issue) are
+accounted in bulk with ``weight = gap``: every state transition that could
+change a warp's classification — a retire event, a control-hazard expiry, a
+pipeline becoming free — is a ``next_wake`` candidate, so the
+classification computed at the gap's first cycle is constant across it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.stats import StatGroup
+
+#: All stall reasons, in classification-priority order (``issued`` first).
+STALL_REASONS: Tuple[str, ...] = (
+    "issued",
+    "empty",
+    "barrier",
+    "reuse_queue_wait",
+    "control_hazard",
+    "verify_wait",
+    "memory_pending",
+    "scoreboard_raw",
+    "exec_pipe_busy",
+    "not_selected",
+)
+
+
+class StallCounters(StatGroup):
+    """Per-SM stall accounting: one counter per reason plus the total.
+
+    ``resident_warp_cycles`` counts (resident warp, cycle) pairs and always
+    equals the sum of the reason counters (the conservation invariant).
+    """
+
+    COUNTERS = STALL_REASONS + ("resident_warp_cycles",)
+
+    def bump(self, reason: str, weight: int) -> None:
+        self._stats[reason].add(weight)
+
+    def breakdown(self) -> Dict[str, int]:
+        """Reason -> count, in priority order (without the total)."""
+        return {reason: self._stats[reason].value for reason in STALL_REASONS}
+
+    def check_conservation(self) -> None:
+        total = sum(self.breakdown().values())
+        if total != self.resident_warp_cycles:
+            raise AssertionError(
+                f"stall conservation violated on {self.name!r}: reasons sum "
+                f"to {total} but resident_warp_cycles is "
+                f"{self.resident_warp_cycles}")
+
+
+class StallAttributor:
+    """Classifies one SM's resident warps every cycle.
+
+    Constructed by (and bound to) its :class:`~repro.sim.smcore.SMCore`; it
+    reads the core's issue-gating state directly, so classification and the
+    ``_ready`` predicate can never drift apart silently — the conservation
+    test cross-checks ``stall.issued`` against ``core.issued``.
+    """
+
+    def __init__(self, sm) -> None:
+        self.sm = sm
+        self.stats = StallCounters("stall")
+        #: (slot, dst id, is_predicate) -> "exec" | "mem" | "verify" for
+        #: every scoreboard-pending destination of a backend instruction.
+        self._producer_kind: Dict[Tuple[int, int, bool], str] = {}
+
+    # ------------------------------------------------------- producer tracking
+
+    def note_backend(self, slot: int, inst, kind: str) -> None:
+        """A backend instruction started executing; remember why its
+        scoreboard entry will stay pending (``"mem"`` or ``"exec"``)."""
+        if inst.writes_register:
+            self._producer_kind[(slot, inst.dst.value, False)] = kind
+        elif inst.writes_predicate:
+            self._producer_kind[(slot, inst.dst.value, True)] = kind
+
+    def note_verify(self, slot: int, reg: int) -> None:
+        """The producer of (slot, reg) entered its VSB verify-read."""
+        self._producer_kind[(slot, reg, False)] = "verify"
+
+    def note_retire(self, slot: int, inst) -> None:
+        if inst.writes_register:
+            self._producer_kind.pop((slot, inst.dst.value, False), None)
+        elif inst.writes_predicate:
+            self._producer_kind.pop((slot, inst.dst.value, True), None)
+
+    # ----------------------------------------------------------- classification
+
+    def observe(self, cycle: int, issued: Sequence[int], weight: int = 1) -> None:
+        """Account *weight* cycles of the SM's current state.
+
+        *issued* lists the slots that issued this cycle (empty for bulk
+        idle-gap accounting, where by definition nothing could issue).
+        """
+        stats = self.stats
+        for slot, warp in enumerate(self.sm.warps):
+            if warp is None:
+                continue
+            stats.resident_warp_cycles += weight
+            if slot in issued:
+                stats.bump("issued", weight)
+            else:
+                stats.bump(self._classify(slot, warp, cycle), weight)
+
+    def _classify(self, slot: int, warp, cycle: int) -> str:
+        sm = self.sm
+        if warp.exited:
+            return "empty"
+        if warp.at_barrier:
+            return "barrier"
+        if sm._warp_waiting[slot]:
+            return "reuse_queue_wait"
+        if sm._warp_blocked_until[slot] > cycle:
+            return "control_hazard"
+        inst = warp.next_instruction()
+        if inst is None:
+            return "empty"
+        regs, preds = sm.scoreboard.blockers(slot, inst)
+        if regs or preds:
+            kinds = self._producer_kind
+            found = set()
+            for reg in regs:
+                found.add(kinds.get((slot, reg, False), "exec"))
+            for pred in preds:
+                found.add(kinds.get((slot, pred, True), "exec"))
+            if "verify" in found:
+                return "verify_wait"
+            if "mem" in found:
+                return "memory_pending"
+            return "scoreboard_raw"
+        if not sm._pipeline_available(inst.op_class):
+            return "exec_pipe_busy"
+        return "not_selected"

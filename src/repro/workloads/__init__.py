@@ -11,6 +11,7 @@ equivalence checks.
 
 from repro.workloads.common import BuiltWorkload
 from repro.workloads.registry import (
+    DEMO_WORKLOADS,
     WORKLOADS,
     WorkloadInfo,
     all_abbrs,
@@ -20,6 +21,7 @@ from repro.workloads.registry import (
 
 __all__ = [
     "BuiltWorkload",
+    "DEMO_WORKLOADS",
     "WORKLOADS",
     "WorkloadInfo",
     "all_abbrs",

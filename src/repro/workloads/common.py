@@ -140,6 +140,42 @@ def quantised_floats(
     return pool[rng.integers(0, levels, size=count)].view(np.uint32)
 
 
+def build_vectoradd(scale: int = 1, seed: int = 7) -> BuiltWorkload:
+    """Demo kernel: ``out[i] = a[i] + b[i]`` over duplicated-value inputs.
+
+    Not one of Table I's 34 benchmarks — a minimal, fast workload for the
+    ``repro trace`` quick-start and CI smoke runs.  The duplicated inputs
+    still exercise the reuse path under WIR models.
+    """
+    rng = rng_for(seed, "vectoradd")
+    n = 2048 * scale
+    a_base, b_base, out_base = 4096, 1 << 18, 1 << 20
+    a = duplicated_values(n, rng, unique=64)
+    b = duplicated_values(n, rng, unique=64)
+    image = MemoryImage()
+    image.global_mem.write_block(a_base, a)
+    image.global_mem.write_block(b_base, b)
+    expected = (a.astype(np.uint64) + b) & 0xFFFFFFFF
+
+    def check(words: np.ndarray) -> None:
+        assert np.array_equal(words, expected.astype(np.uint32)), \
+            "vectoradd output mismatch"
+
+    source = PROLOGUE + f"""
+    shl   r4, r1, 2
+    add   r5, r4, {a_base}
+    add   r6, r4, {b_base}
+    ld.global r7, [r5]
+    ld.global r8, [r6]
+    add   r9, r7, r8
+    add   r10, r4, {out_base}
+    st.global -, [r10], r9
+    exit
+"""
+    return build("vectoradd", source, Dim3(n // 128), Dim3(128), image,
+                 output_region=(out_base, n), check=check)
+
+
 def build(
     name: str,
     source: str,

@@ -1,0 +1,29 @@
+"""Regenerate ``chrome_trace_golden.json`` after an intentional format change.
+
+Run from the repository root::
+
+    PYTHONPATH=src:. python tests/data/regen_chrome_golden.py
+
+The golden file pins the Chrome ``trace_event`` export of one tiny
+deterministic kernel (see ``tests/test_trace_chrome.py``); commit the
+refreshed file together with the exporter change that motivated it.
+"""
+
+import json
+from pathlib import Path
+
+
+def main() -> None:
+    from tests.test_trace_chrome import (GOLDEN, GOLDEN_BLOCK, GOLDEN_GRID,
+                                         GOLDEN_KERNEL, traced_run)
+    from repro.trace import export_chrome_trace
+
+    result = traced_run(source=GOLDEN_KERNEL, grid=GOLDEN_GRID,
+                        block=GOLDEN_BLOCK)
+    trace = export_chrome_trace(result.trace)
+    GOLDEN.write_text(json.dumps(trace, indent=1) + "\n")
+    print(f"wrote {GOLDEN} ({len(trace['traceEvents'])} events)")
+
+
+if __name__ == "__main__":
+    main()

@@ -52,6 +52,57 @@ def test_profile(capsys):
     assert "repeated computations" in out
 
 
+def test_trace_stalls_table(capsys):
+    code, out = run_cli(capsys, "trace", "vectoradd", "--sms", "1", "--stalls")
+    assert code == 0
+    assert "resident_warp_cycles" in out
+    assert "100.0%" in out
+    for reason in ("issued", "memory_pending", "scoreboard_raw"):
+        assert reason in out
+
+
+def test_trace_chrome_export(capsys, tmp_path):
+    import json
+
+    out_file = tmp_path / "trace.json"
+    code, out = run_cli(capsys, "trace", "vectoradd", "--sms", "1",
+                        "--chrome", str(out_file))
+    assert code == 0
+    assert f"wrote {out_file}" in out
+    trace = json.loads(out_file.read_text())
+    assert trace["traceEvents"]
+    from repro.trace import validate_chrome_trace
+    assert validate_chrome_trace(trace) == []
+
+
+def test_trace_accepts_table1_benchmark(capsys):
+    code, out = run_cli(capsys, "trace", "GA", "--sms", "1", "--stalls")
+    assert code == 0
+    assert "GA on RLPV" in out
+
+
+def test_trace_rejects_unknown_benchmark():
+    with pytest.raises(SystemExit):
+        main(["trace", "ZZ"])
+
+
+def test_trace_ring_capacity_flag(capsys, tmp_path):
+    out_file = tmp_path / "trace.json"
+    code, out = run_cli(capsys, "trace", "vectoradd", "--sms", "1",
+                        "--ring-capacity", "128", "--chrome", str(out_file))
+    assert code == 0
+    assert "dropped at ring capacity 128" in out
+
+
+def test_vectoradd_not_in_table1_suite():
+    # The demo kernel must never leak into the 34-benchmark figure sweeps.
+    from repro.workloads import all_abbrs, get_workload
+
+    assert "vectoradd" not in all_abbrs()
+    assert len(all_abbrs()) == 34
+    assert get_workload("vectoradd").suite == "demo"
+
+
 def test_experiment_series(capsys, monkeypatch):
     # Full-suite drivers are heavy; stub one in to exercise the rendering
     # paths end to end.

@@ -93,6 +93,76 @@ class TestRedundancyProfiler:
         assert merged.repeat_fraction == pytest.approx(10 / 30)
 
 
+class TestFraction2Denominator:
+    """Pin the Figure 2 fraction semantics: repeat fractions are taken over
+    *all* dynamic warp instructions.  Excluded classes (control / sync /
+    store / nop) can never be counted repeated, but they still occupy
+    window slots and still count in the denominator — the paper reports
+    repeats as a percentage of total dynamic warp instructions.
+    """
+
+    @staticmethod
+    def _observers():
+        from repro.sim.exec_engine import execute
+        from tests.test_exec_engine import make_warp
+
+        warp = make_warp()
+        add = assemble("add r1, r0, 1")[0]
+        # Distinct immediates make distinct computations (never repeats).
+        uniques = [assemble(f"add r1, r0, {imm}")[0] for imm in (2, 3, 4)]
+        exit_inst = assemble("exit")[0]
+        return warp, execute, add, uniques, exit_inst
+
+    def test_excluded_classes_stay_in_denominator(self):
+        """3 repeats over a stream of 8 is 3/8, not 3-of-eligible."""
+        warp, execute, add, _, exit_inst = self._observers()
+        profiler = RedundancyProfiler(window=1024)
+        for _ in range(4):          # 4 identical adds: 3 repeats
+            profiler.observe(add, execute(add, warp))
+        for _ in range(4):          # 4 excluded instructions
+            profiler.observe(exit_inst, execute(exit_inst, warp))
+        assert profiler.profile.instructions == 8
+        assert profiler.profile.repeated == 3
+        assert profiler.profile.repeat_fraction == pytest.approx(3 / 8)
+
+    def test_excluded_classes_occupy_window_slots(self):
+        """The 1K window counts every instruction, eligible or not."""
+        warp, execute, add, _, exit_inst = self._observers()
+        profiler = RedundancyProfiler(window=4)
+        for _ in range(3):
+            profiler.observe(exit_inst, execute(exit_inst, warp))
+        profiler.observe(add, execute(add, warp))
+        # Window rolled after 4 observations, only 1 of them eligible.
+        assert profiler.profile.windows == 1
+        # The add's computation was forgotten with the window: a repeat of
+        # it in the next window counts as fresh.
+        profiler.observe(add, execute(add, warp))
+        assert profiler.profile.repeated == 0
+
+    def test_never_repeating_computation_dilutes_fraction(self):
+        """Distinct computations and excluded slots dilute identically."""
+        warp, execute, add, uniques, exit_inst = self._observers()
+        profiler = RedundancyProfiler(window=1024)
+        for _ in range(2):
+            profiler.observe(add, execute(add, warp))       # 1 repeat
+        for inst in uniques:                                # all distinct
+            profiler.observe(inst, execute(inst, warp))
+        for _ in range(3):
+            profiler.observe(exit_inst, execute(exit_inst, warp))
+        assert profiler.profile.instructions == 8
+        assert profiler.profile.repeat_fraction == pytest.approx(1 / 8)
+
+    def test_high_repeat_fraction_uses_same_denominator(self):
+        warp, execute, add, _, exit_inst = self._observers()
+        profiler = RedundancyProfiler(window=1024)
+        for _ in range(12):         # occurrences 11 and 12 exceed >10x
+            profiler.observe(add, execute(add, warp))
+        for _ in range(4):
+            profiler.observe(exit_inst, execute(exit_inst, warp))
+        assert profiler.profile.highly_repeated == 2
+        assert profiler.profile.high_repeat_fraction == pytest.approx(2 / 16)
+
+
 class TestRunner:
     def setup_method(self):
         clear_cache()

@@ -1,0 +1,166 @@
+"""Chrome ``trace_event`` export: schema, nesting, golden file, validation.
+
+The exporter emits the JSON Object Format (``{"traceEvents": [...]}``) with
+async begin/end pairs (``ph`` ``b``/``e``) for instruction lifetimes and
+instants (``ph`` ``i``) for point events — loadable in ``chrome://tracing``
+and Perfetto.  ``tests/data/chrome_trace_golden.json`` pins the exported
+shape for one tiny deterministic kernel; regenerate it with
+``python tests/data/regen_chrome_golden.py`` after an intentional format
+change.
+"""
+
+import json
+from pathlib import Path
+
+from repro import Dim3, GPU, KernelLaunch, MemoryImage, assemble
+from repro.trace import (CHIP_PID, EventRing, EventTracer,
+                         export_chrome_trace, validate_chrome_trace)
+from repro.trace.events import COMPONENT_TIDS
+from tests.conftest import SIMPLE_ARITH, make_config
+
+GOLDEN = Path(__file__).parent / "data" / "chrome_trace_golden.json"
+
+#: The tiny deterministic run pinned by the golden file (also used by
+#: ``tests/data/regen_chrome_golden.py`` — keep the two in sync).
+GOLDEN_KERNEL = SIMPLE_ARITH
+GOLDEN_GRID, GOLDEN_BLOCK = 1, 32
+
+
+def traced_run(source=SIMPLE_ARITH, grid=2, block=64, model="Base",
+               num_sms=1, **trace_overrides):
+    config = make_config(model, num_sms=num_sms)
+    config.trace.enabled = True
+    config.trace.stalls = True
+    for name, value in trace_overrides.items():
+        setattr(config.trace, name, value)
+    program = assemble(source)
+    result = GPU(config).run(
+        KernelLaunch(program, Dim3(grid), Dim3(block), MemoryImage()))
+    return result
+
+
+class TestExport:
+    def test_schema_valid_and_json_round_trips(self, tmp_path):
+        result = traced_run(model="RLPV")
+        path = tmp_path / "trace.json"
+        trace = export_chrome_trace(result.trace, path=str(path))
+        assert validate_chrome_trace(trace) == []
+
+        loaded = json.loads(path.read_text())
+        assert validate_chrome_trace(loaded) == []
+        assert loaded["traceEvents"] == trace["traceEvents"]
+        for event in loaded["traceEvents"]:
+            assert {"ph", "pid", "tid", "name"} <= set(event)
+            if event["ph"] != "M":
+                assert isinstance(event["ts"], int) and event["ts"] >= 0
+
+    def test_nesting_well_formed(self):
+        """Every async span has exactly one begin and one matching end."""
+        result = traced_run(model="RLPV")
+        trace = export_chrome_trace(result.trace)
+        spans = {}
+        for event in trace["traceEvents"]:
+            if event["ph"] in ("b", "e"):
+                spans.setdefault(
+                    (event["pid"], event["cat"], event["id"]), []).append(event)
+        assert spans, "expected async instruction spans in the trace"
+        for key, pair in spans.items():
+            assert [e["ph"] for e in pair] == ["b", "e"], key
+            begin, end = pair
+            assert begin["ts"] <= end["ts"]
+            assert begin["name"] == end["name"]
+
+    def test_metadata_names_all_tracks(self):
+        result = traced_run(model="RLPV")
+        trace = export_chrome_trace(result.trace)
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        pids = {e["pid"] for e in meta if e["name"] == "process_name"}
+        assert 0 in pids  # SM 0
+        tid_names = {e["args"]["name"] for e in meta
+                     if e["name"] == "thread_name"}
+        assert "scheduler" in tid_names or any(
+            n.startswith("warp") for n in tid_names)
+
+    def test_wir_events_present_under_rlpv(self):
+        result = traced_run(model="RLPV")
+        cats = {e.get("cat") for e in
+                export_chrome_trace(result.trace)["traceEvents"]}
+        assert "wir" in cats
+        assert "inst" in cats
+
+    def test_chip_memory_track(self):
+        """L1 misses surface on the chip-level memory-subsystem track."""
+        source = """
+            mov   r0, %tid.x
+            shl   r1, r0, 2
+            ld.global r2, [r1]
+            exit
+        """
+        result = traced_run(source=source, model="Base")
+        events = export_chrome_trace(result.trace)["traceEvents"]
+        chip = [e for e in events
+                if e["pid"] == CHIP_PID and e["name"] == "l1_miss"]
+        assert chip
+        assert all(e["tid"] == COMPONENT_TIDS["mem"] for e in chip)
+
+    def test_golden_file(self):
+        """The exported trace for the pinned kernel matches the golden file."""
+        result = traced_run(source=GOLDEN_KERNEL, grid=GOLDEN_GRID,
+                            block=GOLDEN_BLOCK)
+        trace = export_chrome_trace(result.trace)
+        golden = json.loads(GOLDEN.read_text())
+        assert trace["traceEvents"] == golden["traceEvents"]
+        assert trace["otherData"] == golden["otherData"]
+        assert validate_chrome_trace(golden) == []
+
+
+class TestValidator:
+    def test_catches_missing_keys(self):
+        trace = {"traceEvents": [{"ph": "i", "pid": 0, "name": "x"}]}
+        problems = validate_chrome_trace(trace)
+        assert problems and any("tid" in p or "ts" in p for p in problems)
+
+    def test_catches_negative_ts(self):
+        trace = {"traceEvents": [
+            {"ph": "i", "pid": 0, "tid": 0, "name": "x", "ts": -1,
+             "cat": "c", "s": "t"}]}
+        assert validate_chrome_trace(trace)
+
+    def test_catches_unbalanced_span(self):
+        begin = {"ph": "b", "pid": 0, "tid": 0, "name": "x", "ts": 0,
+                 "cat": "inst", "id": 1}
+        assert validate_chrome_trace({"traceEvents": [begin]})
+
+    def test_catches_backwards_span(self):
+        events = [
+            {"ph": "b", "pid": 0, "tid": 0, "name": "x", "ts": 5,
+             "cat": "inst", "id": 1},
+            {"ph": "e", "pid": 0, "tid": 0, "name": "x", "ts": 2,
+             "cat": "inst", "id": 1},
+        ]
+        assert validate_chrome_trace({"traceEvents": events})
+
+
+class TestRing:
+    def test_capacity_and_drop_count(self):
+        ring = EventRing(capacity=4)
+        kept = sum(ring.append({"n": i}) for i in range(10))
+        assert kept == 4
+        assert len(ring) == 4
+        assert ring.dropped == 6
+        # Drop-new policy: the run-start events survive.
+        assert [e["n"] for e in ring.events()] == [0, 1, 2, 3]
+
+    def test_sampling_windows(self):
+        from repro.sim.config import TraceConfig
+
+        tracer = EventTracer(TraceConfig(
+            enabled=True, ring_capacity=1024,
+            sample_period=100, sample_window=10))
+        tracer.now = 5
+        assert tracer.sampling()
+        tracer.now = 50
+        assert not tracer.sampling()
+        tracer.instant(0, 0, "x", "cat")
+        assert tracer.stats.lookup("sampled_out") == 1
+        assert len(tracer.ring) == 0

@@ -1,0 +1,110 @@
+"""Observer purity: tracing must never change what it observes.
+
+With ``config.trace`` at its defaults (everything off) the simulator takes
+the exact pre-observability code paths: no attributor or tracer objects are
+created, no extra stats groups are adopted, and serialized results are
+bit-identical run to run.  With tracing *enabled*, timing and every
+non-observability statistic must still be unchanged — the layer is
+read-only by construction (all hook sites are ``is not None``-guarded
+observers).
+"""
+
+import json
+
+from repro import Dim3, GPU, KernelLaunch, assemble
+from repro.workloads import build_workload
+from tests.conftest import make_config
+
+
+def run_workload(abbr, model="Base", num_sms=1, scale=1, trace=None):
+    config = make_config(model, num_sms=num_sms)
+    if trace:
+        for name, value in trace.items():
+            setattr(config.trace, name, value)
+    workload = build_workload(abbr, scale=scale)
+    launch = KernelLaunch(workload.program, workload.grid, workload.block,
+                          workload.image)
+    result = GPU(config).run(launch)
+    workload.verify()
+    return result
+
+
+def canonical(result):
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+def strip_observability(data):
+    """Remove the stall/trace stats groups and the trace config subtree."""
+    data = json.loads(json.dumps(data))  # deep copy
+    data["config"].pop("trace", None)
+    stats = data["stats"]
+    stats.get("groups", {}).pop("trace", None)
+    for name, child in stats.get("groups", {}).items():
+        if name.startswith("sm"):
+            child.get("groups", {}).pop("stall", None)
+    return data
+
+
+class TestDisabledPath:
+    def test_disabled_runs_bit_identical(self):
+        """Two default-config runs serialize to the same bytes."""
+        first = run_workload("GA")
+        second = run_workload("GA")
+        assert canonical(first) == canonical(second)
+
+    def test_disabled_run_carries_no_observability_stats(self):
+        result = run_workload("GA")
+        serialized = result.to_dict()
+        assert "trace" not in serialized["stats"]["groups"]
+        for name, child in serialized["stats"]["groups"].items():
+            if name.startswith("sm"):
+                assert "stall" not in child.get("groups", {})
+        assert result.trace is None
+
+    def test_disabled_core_has_no_hooks_armed(self):
+        config = make_config("RLPV", num_sms=1)
+        program = assemble("exit")
+        gpu_result = GPU(config).run(
+            KernelLaunch(program, Dim3(1), Dim3(32),
+                         build_workload("GA").image))
+        assert gpu_result.trace is None
+
+
+class TestEnabledPurity:
+    def test_enabled_matches_disabled_exactly(self):
+        """Full tracing on: identical cycles and non-observability stats."""
+        for abbr, model in (("GA", "Base"), ("vectoradd", "RLPV")):
+            off = run_workload(abbr, model)
+            on = run_workload(abbr, model,
+                              trace={"enabled": True, "stalls": True})
+            assert on.cycles == off.cycles
+            assert (json.dumps(strip_observability(on.to_dict()),
+                               sort_keys=True)
+                    == json.dumps(strip_observability(off.to_dict()),
+                                  sort_keys=True))
+
+    def test_sampling_does_not_perturb(self):
+        off = run_workload("BP")
+        on = run_workload("BP", trace={"enabled": True, "stalls": True,
+                                       "sample_period": 64,
+                                       "sample_window": 16})
+        assert on.cycles == off.cycles
+
+
+class TestRingBounds:
+    def test_ring_respects_capacity_on_long_run(self):
+        """A tiny ring on a real workload stays bounded and counts drops."""
+        result = run_workload("vectoradd", "RLPV", scale=2,
+                              trace={"enabled": True, "ring_capacity": 256})
+        tracer = result.trace
+        assert len(tracer.ring) <= 256
+        assert tracer.ring.dropped > 0
+        assert tracer.stats.lookup("dropped") == tracer.ring.dropped
+        assert (tracer.stats.lookup("emitted") + tracer.ring.dropped
+                >= len(tracer.ring))
+
+    def test_drop_counter_lands_in_stats_tree(self):
+        result = run_workload("vectoradd", "RLPV",
+                              trace={"enabled": True, "ring_capacity": 64})
+        assert result.stat("trace.dropped") == result.trace.ring.dropped
+        assert result.stat("trace.dropped") > 0

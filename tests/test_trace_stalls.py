@@ -1,0 +1,167 @@
+"""Per-cycle stall attribution: conservation, cross-checks, and plumbing.
+
+The core invariant of ``repro.trace.stall`` is *conservation*: every resident
+warp slot is classified into exactly one stall reason every simulated cycle
+(ticked or idle-skipped), so for each SM the sum over all reasons equals
+``resident_warp_cycles``.  The seeded-random sweep below asserts that across
+randomized (workload, model, SM count, WIR override) mixes.
+"""
+
+import random
+
+import pytest
+
+from repro import Dim3, GPU, KernelLaunch, MemoryImage, assemble
+from repro.harness import reporting
+from repro.harness.runner import run_benchmark
+from repro.sim.gpu import RunResult
+from repro.trace.stall import STALL_REASONS, StallCounters
+from repro.workloads import build_workload
+from tests.conftest import SIMPLE_ARITH, make_config
+
+
+def run_traced(abbr: str, model: str = "Base", num_sms: int = 1,
+               scale: int = 1, seed: int = 7, **wir_overrides):
+    config = make_config(model, num_sms=num_sms, **wir_overrides)
+    config.trace.stalls = True
+    workload = build_workload(abbr, scale=scale, seed=seed)
+    launch = KernelLaunch(workload.program, workload.grid, workload.block,
+                          workload.image)
+    result = GPU(config).run(launch)
+    workload.verify()
+    return result
+
+
+def assert_conserved(result) -> None:
+    breakdown = result.stall_breakdown()
+    assert breakdown is not None
+    for sm_name, row in breakdown.items():
+        total = sum(row[reason] for reason in STALL_REASONS)
+        assert total == row["resident_warp_cycles"], (
+            f"{sm_name}: reasons sum to {total}, "
+            f"resident_warp_cycles {row['resident_warp_cycles']}")
+    for group in result.sm_groups:
+        stall = group.lookup("stall")
+        # Deserialized trees rehydrate as plain StatGroups; the live
+        # StallCounters additionally exposes the hard-failing check.
+        if hasattr(stall, "check_conservation"):
+            stall.check_conservation()  # must not raise
+
+
+class TestConservation:
+    # Fast workloads spanning the suite's behavioural range: stencil,
+    # graph/irregular, scan, linear algebra, plus the demo kernel.
+    WORKLOADS = ["GA", "BT", "PF", "BP", "SD", "vectoradd"]
+    MODELS = ["Base", "R", "RLPV", "NoVSB", "Affine+RLPV"]
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_randomized_mixes(self, seed):
+        """Seeded-random (workload, model, config) mixes all conserve."""
+        rng = random.Random(1000 + seed)
+        for _ in range(3):
+            abbr = rng.choice(self.WORKLOADS)
+            model = rng.choice(self.MODELS)
+            num_sms = rng.choice([1, 2])
+            overrides = {}
+            if model != "Base" and rng.random() < 0.5:
+                overrides["reuse_buffer_entries"] = rng.choice([4, 16, 64])
+            result = run_traced(abbr, model, num_sms=num_sms,
+                                seed=rng.randrange(100), **overrides)
+            assert_conserved(result)
+
+    def test_issued_matches_core_counter(self):
+        """The 'issued' stall bucket is the issue counter, per SM."""
+        result = run_traced("GA", "RLPV", num_sms=2)
+        for group in result.sm_groups:
+            assert group.lookup("stall.issued") == group.lookup("core.issued")
+
+    def test_multi_sm_totals(self):
+        """Chip-wide issued bucket equals chip-wide issued instructions."""
+        result = run_traced("BP", "Base", num_sms=2)
+        assert_conserved(result)
+        assert result.sm_stat("stall.issued") == result.issued_instructions
+
+    def test_reasons_cover_taxonomy(self):
+        breakdown = run_traced("vectoradd", "RLPV").stall_breakdown()
+        for row in breakdown.values():
+            assert list(row) == list(STALL_REASONS) + ["resident_warp_cycles"]
+
+    def test_memory_and_raw_stalls_show_up(self):
+        """A load-heavy kernel spends cycles on memory and RAW hazards."""
+        result = run_traced("vectoradd", "Base")
+        merged = result.merged_sm().lookup("stall")
+        assert merged.lookup("memory_pending") > 0
+        assert merged.lookup("scoreboard_raw") > 0
+
+    def test_verify_wait_requires_wir(self):
+        """verify_wait only exists for WIR models issuing verify reads."""
+        base = run_traced("vectoradd", "Base")
+        wir = run_traced("vectoradd", "RLPV")
+        assert base.merged_sm().lookup("stall.verify_wait") == 0
+        assert wir.merged_sm().lookup("stall.verify_wait") > 0
+
+    def test_barrier_attribution(self):
+        """Warps parked at a barrier are attributed to 'barrier'."""
+        source = """
+            mov   r0, %tid.x
+            and   r1, r0, 31
+            shl   r2, r1, 2
+            st.shared -, [r2], r0
+            bar.sync
+            ld.shared r3, [r2]
+            exit
+        """
+        config = make_config("Base", num_sms=1)
+        config.trace.stalls = True
+        program = assemble(source)
+        result = GPU(config).run(
+            KernelLaunch(program, Dim3(2), Dim3(128), MemoryImage()))
+        assert_conserved(result)
+        assert result.merged_sm().lookup("stall.barrier") > 0
+
+
+class TestPlumbing:
+    def test_breakdown_none_without_flag(self):
+        config = make_config("Base", num_sms=1)
+        program = assemble(SIMPLE_ARITH)
+        result = GPU(config).run(
+            KernelLaunch(program, Dim3(2), Dim3(64), MemoryImage()))
+        assert result.stall_breakdown() is None
+        for group in result.sm_groups:
+            assert "stall" not in group.children
+
+    def test_survives_serialization(self):
+        """Stall stats round-trip through the disk-cache payload format."""
+        result = run_traced("GA", "RLPV")
+        restored = RunResult.from_dict(result.to_dict())
+        assert restored.stall_breakdown() == result.stall_breakdown()
+        assert_conserved(restored)
+
+    def test_harness_trace_stalls(self):
+        """run_benchmark(trace_stalls=True) exposes the breakdown."""
+        run = run_benchmark("GA", "Base", num_sms=1, trace_stalls=True)
+        assert_conserved(run.result)
+        plain = run_benchmark("GA", "Base", num_sms=1)
+        assert plain.result.stall_breakdown() is None
+        assert plain.result.cycles == run.result.cycles
+
+    def test_conservation_check_raises_when_violated(self):
+        counters = StallCounters("stall")
+        counters.bump("issued", 3)
+        counters._stats["resident_warp_cycles"].add(5)
+        with pytest.raises(AssertionError):
+            counters.check_conservation()
+
+    def test_render_stall_table(self):
+        result = run_traced("GA", "RLPV", num_sms=2)
+        table = reporting.render_stall_table(result.stall_breakdown())
+        assert "resident_warp_cycles" in table
+        assert "sm0" in table and "sm1" in table
+        assert "100.0%" in table
+
+    def test_suite_stall_fractions(self):
+        result = run_traced("GA", "Base")
+        fractions = reporting.suite_stall_fractions(
+            {"GA": result.stall_breakdown()})
+        total = sum(fractions["GA"].values())
+        assert total == pytest.approx(1.0)
