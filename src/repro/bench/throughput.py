@@ -1,0 +1,325 @@
+"""Simulator throughput measurement and perf-regression gating.
+
+The unit under test is the *simulator*, not the modelled GPU: the headline
+metric is cycles simulated per wall-clock second.  Three design decisions
+keep the numbers comparable across commits and machines:
+
+* **Pinned subset.**  A fixed set of (workload, scale) pairs under the Base
+  model, chosen to cover the arithmetic/memory/divergence mix of the full
+  suite while finishing in minutes.  Changing the subset invalidates the
+  baseline, so it is part of the report and compared by the gate.
+* **Best-of-N timing.**  Wall times on shared machines are noisy (±30%
+  between runs is routine); the *minimum* over N repetitions estimates the
+  noise-free cost far better than the mean.  Every per-entry wall time in
+  the report is a best-of-``reps`` minimum.
+* **Machine normalization.**  A short calibration microkernel (pure-Python
+  dict/arithmetic churn plus a small numpy loop — the same instruction mix
+  that dominates the simulator) is timed on every run.  Throughputs are
+  scaled by ``calibration_s / reference_s`` so a report from a faster or
+  slower machine lands near the committed baseline; the regression gate
+  compares *normalized* aggregates only.
+
+Runs bypass the harness result caches entirely (direct ``GPU.run`` on a
+freshly built workload) — a cache hit would time nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.models import model_config
+from repro.sim.gpu import GPU, KernelLaunch
+from repro.workloads import build_workload
+
+#: Bump when the report layout changes incompatibly.
+BENCH_SCHEMA_VERSION = 1
+
+#: Committed report / baseline filename (repo root).
+DEFAULT_REPORT_NAME = "BENCH_sim_throughput.json"
+
+#: Gate threshold: fail when a normalized aggregate drops by more than this.
+REGRESSION_TOLERANCE = 0.15
+
+#: (abbr, scale) pairs timed under the Base model.  Covers compute-bound
+#: (KM, BS), memory-heavy (SD, MQ), branchy (BP) and tiny-kernel (HW) shapes.
+PINNED_SUBSET: Tuple[Tuple[str, int], ...] = (
+    ("KM", 5),
+    ("SD", 4),
+    ("MQ", 5),
+    ("BS", 6),
+    ("HW", 2),
+    ("BP", 3),
+)
+
+#: Engines measured, in report order.  "scalar" is the oracle interpreter;
+#: "vector" is the compiled fast path (bit-identical by construction — see
+#: tests/test_exec_differential.py).
+ENGINES: Tuple[str, ...] = ("scalar", "vector")
+
+#: Calibration wall time on the machine the committed baseline was measured
+#: on.  Units cancel in the normalization ratio; the constant only anchors
+#: "normalized" to mean "as if on the reference machine".
+CALIBRATION_REFERENCE_S = 0.048
+
+_SEED = 7
+_NUM_SMS = 2
+
+
+def calibrate_machine(reps: int = 5) -> float:
+    """Best-of-*reps* wall time of the calibration microkernel, seconds."""
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        # Python-side churn: dict updates, integer mixing, attribute-free
+        # loops — the shape of the simulator's scheduler/scoreboard work.
+        acc = 0
+        table: Dict[int, int] = {}
+        for i in range(150_000):
+            key = i & 1023
+            table[key] = i
+            acc += table[key] ^ (i >> 3)
+        # numpy-side churn: small-vector elementwise ops, the shape of the
+        # execution engines' 32-lane kernels.
+        lanes = np.arange(4096, dtype=np.uint32)
+        for _ in range(300):
+            lanes = (lanes * np.uint32(2654435761)) & np.uint32(0xFFFFFFFF)
+        if int(lanes[0]) + acc < 0:  # defeat dead-code elimination
+            raise AssertionError
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+@dataclass
+class BenchEntry:
+    """One (workload, engine) measurement."""
+
+    abbr: str
+    scale: int
+    model: str
+    engine: str
+    cycles: int
+    instructions: int
+    wall_s: float          # best-of-reps minimum
+    cycles_per_sec: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "abbr": self.abbr,
+            "scale": self.scale,
+            "model": self.model,
+            "engine": self.engine,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "wall_s": round(self.wall_s, 6),
+            "cycles_per_sec": round(self.cycles_per_sec, 1),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "BenchEntry":
+        return cls(
+            abbr=data["abbr"], scale=data["scale"], model=data["model"],
+            engine=data["engine"], cycles=data["cycles"],
+            instructions=data["instructions"], wall_s=data["wall_s"],
+            cycles_per_sec=data["cycles_per_sec"],
+        )
+
+
+@dataclass
+class BenchReport:
+    """A full throughput report (what ``BENCH_sim_throughput.json`` holds)."""
+
+    calibration_s: float
+    reps: int
+    entries: List[BenchEntry] = field(default_factory=list)
+    subset: Tuple[Tuple[str, int], ...] = PINNED_SUBSET
+    machine: str = ""
+
+    @property
+    def normalization(self) -> float:
+        """Multiplier mapping raw throughput to reference-machine units."""
+        return self.calibration_s / CALIBRATION_REFERENCE_S
+
+    def engine_entries(self, engine: str) -> List[BenchEntry]:
+        return [e for e in self.entries if e.engine == engine]
+
+    def aggregate_cps(self, engine: str, normalized: bool = False) -> float:
+        """Geometric-mean cycles/sec across the subset for *engine*."""
+        values = [e.cycles_per_sec for e in self.engine_entries(engine)]
+        if not values:
+            return 0.0
+        mean = statistics.geometric_mean(values)
+        return mean * self.normalization if normalized else mean
+
+    @property
+    def vector_speedup(self) -> float:
+        scalar = self.aggregate_cps("scalar")
+        vector = self.aggregate_cps("vector")
+        return vector / scalar if scalar else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "machine": self.machine,
+            "calibration": {
+                "seconds": round(self.calibration_s, 6),
+                "reference_seconds": CALIBRATION_REFERENCE_S,
+                "normalization": round(self.normalization, 4),
+            },
+            "reps": self.reps,
+            "subset": [list(pair) for pair in self.subset],
+            "entries": [e.to_dict() for e in self.entries],
+            "aggregate": {
+                engine: {
+                    "cycles_per_sec": round(self.aggregate_cps(engine), 1),
+                    "normalized_cycles_per_sec": round(
+                        self.aggregate_cps(engine, normalized=True), 1),
+                }
+                for engine in ENGINES
+            },
+            "vector_speedup": round(self.vector_speedup, 3),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2) + "\n"
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "BenchReport":
+        version = data.get("schema_version")
+        if version != BENCH_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported bench report schema {version!r} "
+                f"(this build reads version {BENCH_SCHEMA_VERSION})")
+        return cls(
+            calibration_s=data["calibration"]["seconds"],
+            reps=data["reps"],
+            entries=[BenchEntry.from_dict(e) for e in data["entries"]],
+            subset=tuple((abbr, scale) for abbr, scale in data["subset"]),
+            machine=data.get("machine", ""),
+        )
+
+    @classmethod
+    def load(cls, path) -> "BenchReport":
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
+
+
+def _time_once(abbr: str, scale: int, engine: str,
+               model: str = "Base") -> Tuple[float, int, int]:
+    """One uncached simulation; returns (wall_s, cycles, instructions)."""
+    config = model_config(model)
+    config.num_sms = _NUM_SMS
+    config.exec_engine = engine
+    workload = build_workload(abbr, scale=scale, seed=_SEED)
+    launch = KernelLaunch(workload.program, workload.grid, workload.block,
+                          workload.image)
+    gpu = GPU(config)
+    t0 = time.perf_counter()
+    result = gpu.run(launch)
+    wall = time.perf_counter() - t0
+    workload.verify()
+    return wall, result.cycles, result.issued_instructions
+
+
+def measure_subset(
+    reps: int = 3,
+    subset: Sequence[Tuple[str, int]] = PINNED_SUBSET,
+    engines: Sequence[str] = ENGINES,
+    model: str = "Base",
+    progress: Optional[Callable[[str], None]] = None,
+) -> BenchReport:
+    """Measure the pinned subset under every engine; returns the report.
+
+    Interleaves engines per workload (scalar rep, vector rep, ...) so slow
+    machine-wide drift (thermal, noisy neighbours) hits both engines alike.
+    """
+    report = BenchReport(
+        calibration_s=calibrate_machine(),
+        reps=reps,
+        subset=tuple(subset),
+        machine=f"{platform.machine()}/{platform.python_implementation()}"
+                f"-{platform.python_version()}",
+    )
+    for abbr, scale in subset:
+        best: Dict[str, Tuple[float, int, int]] = {}
+        for rep in range(reps):
+            for engine in engines:
+                sample = _time_once(abbr, scale, engine, model=model)
+                if engine not in best or sample[0] < best[engine][0]:
+                    best[engine] = sample
+        for engine in engines:
+            wall, cycles, instructions = best[engine]
+            report.entries.append(BenchEntry(
+                abbr=abbr, scale=scale, model=model, engine=engine,
+                cycles=cycles, instructions=instructions, wall_s=wall,
+                cycles_per_sec=cycles / wall if wall else 0.0,
+            ))
+        if progress is not None:
+            scalar_cps = next((e.cycles_per_sec for e in report.entries
+                               if e.abbr == abbr and e.engine == "scalar"), 0)
+            vector_cps = next((e.cycles_per_sec for e in report.entries
+                               if e.abbr == abbr and e.engine == "vector"), 0)
+            ratio = vector_cps / scalar_cps if scalar_cps else 0.0
+            progress(f"{abbr}@{scale}: scalar {scalar_cps:,.0f} c/s, "
+                     f"vector {vector_cps:,.0f} c/s ({ratio:.2f}x)")
+    return report
+
+
+@dataclass
+class GateResult:
+    """Outcome of comparing a fresh report against the committed baseline."""
+
+    ok: bool
+    messages: List[str] = field(default_factory=list)
+
+
+def compare_reports(
+    current: BenchReport,
+    baseline: BenchReport,
+    tolerance: float = REGRESSION_TOLERANCE,
+) -> GateResult:
+    """Regression gate: normalized aggregates must not drop > *tolerance*.
+
+    Also trips when the pinned subset changed (the aggregates would not be
+    comparable) or when cycle counts moved for the same spec — a correctness
+    drift the perf gate is well placed to catch early.
+    """
+    result = GateResult(ok=True)
+    if tuple(current.subset) != tuple(baseline.subset):
+        result.ok = False
+        result.messages.append(
+            "pinned subset changed; regenerate the baseline "
+            f"(baseline {list(baseline.subset)}, current {list(current.subset)})")
+        return result
+
+    base_cycles = {(e.abbr, e.scale, e.engine): e.cycles
+                   for e in baseline.entries}
+    for entry in current.entries:
+        key = (entry.abbr, entry.scale, entry.engine)
+        expected = base_cycles.get(key)
+        if expected is not None and expected != entry.cycles:
+            result.ok = False
+            result.messages.append(
+                f"cycle-count drift on {entry.abbr}@{entry.scale}/"
+                f"{entry.engine}: baseline {expected}, now {entry.cycles}")
+
+    for engine in ENGINES:
+        base = baseline.aggregate_cps(engine, normalized=True)
+        cur = current.aggregate_cps(engine, normalized=True)
+        if not base:
+            continue
+        ratio = cur / base
+        label = (f"{engine}: normalized {cur:,.0f} c/s vs baseline "
+                 f"{base:,.0f} c/s ({ratio:.2f}x)")
+        if ratio < 1.0 - tolerance:
+            result.ok = False
+            result.messages.append(f"REGRESSION {label}")
+        else:
+            result.messages.append(f"ok {label}")
+    return result

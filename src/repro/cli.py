@@ -13,6 +13,10 @@ Commands:
 * ``trace ABBR [--chrome OUT] [--stalls]`` — run one workload with the
   observability layer armed: print the per-SM stall-attribution table and
   export a Chrome ``trace_event`` JSON (chrome://tracing / Perfetto).
+* ``bench [--check] ...``       — time the simulator itself (cycles/sec,
+  scalar vs vector engine) over the pinned subset; write
+  ``BENCH_sim_throughput.json`` and optionally gate against the committed
+  baseline (>15% normalized regression fails).
 * ``compare ABBR``              — one benchmark across the whole model zoo.
 * ``profile ABBR``              — Figure 2 repeated-computation profile.
 * ``experiment NAME``           — run one figure/table driver (fig2..fig22,
@@ -257,6 +261,51 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.bench import (DEFAULT_REPORT_NAME, PINNED_SUBSET, BenchReport,
+                             compare_reports, measure_subset)
+
+    baseline_path = Path(args.baseline or DEFAULT_REPORT_NAME)
+    if args.check and not baseline_path.exists():
+        print(f"bench: no baseline at {baseline_path} "
+              "(run 'repro bench' once and commit the report)",
+              file=sys.stderr)
+        return 2
+
+    subset = PINNED_SUBSET
+    if args.quick:
+        # Small-scale spot check (CI smoke / local sanity): same workloads,
+        # lighter scales, one rep.  Never written over the committed report.
+        subset = tuple((abbr, max(1, scale - 2)) for abbr, scale in subset)
+    reps = 1 if args.quick else args.reps
+
+    print(f"timing {len(subset)} workloads x 2 engines, best of {reps} "
+          f"rep{'s' if reps != 1 else ''} ...")
+    report = measure_subset(reps=reps, subset=subset, progress=print)
+    for engine in ("scalar", "vector"):
+        print(f"aggregate {engine:<6} {report.aggregate_cps(engine):,.0f} "
+              f"cycles/sec (normalized "
+              f"{report.aggregate_cps(engine, normalized=True):,.0f})")
+    print(f"vector speedup: {report.vector_speedup:.2f}x")
+
+    out = args.out
+    if out is None and not args.quick and not args.check:
+        out = DEFAULT_REPORT_NAME
+    if out is not None:
+        Path(out).write_text(report.to_json())
+        print(f"wrote {out}")
+
+    if args.check:
+        gate = compare_reports(report, BenchReport.load(baseline_path))
+        for message in gate.messages:
+            print(message)
+        if not gate.ok:
+            print("bench: throughput regression gate FAILED", file=sys.stderr)
+            return 1
+        print("bench: throughput regression gate passed")
+    return 0
+
+
 def _cmd_cache_verify(args) -> int:
     from repro.harness.runner import cache_dir, verify_cache_dir
 
@@ -363,6 +412,26 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--sample-window", type=int, default=1024,
                               help="cycles captured per period")
     trace_parser.set_defaults(func=_cmd_trace)
+
+    bench_parser = sub.add_parser(
+        "bench", help="time the simulator (scalar vs vector engine)")
+    bench_parser.add_argument("--reps", type=int, default=3,
+                              help="repetitions per measurement; the minimum "
+                                   "wall time wins (default 3)")
+    bench_parser.add_argument("--out", metavar="OUT", default=None,
+                              help="report path (default "
+                                   "BENCH_sim_throughput.json unless "
+                                   "--quick/--check)")
+    bench_parser.add_argument("--check", action="store_true",
+                              help="gate against the committed baseline; "
+                                   "exit 1 on >15%% normalized regression")
+    bench_parser.add_argument("--baseline", metavar="PATH", default=None,
+                              help="baseline report for --check (default: "
+                                   "BENCH_sim_throughput.json)")
+    bench_parser.add_argument("--quick", action="store_true",
+                              help="reduced scales, one rep (smoke only; "
+                                   "not comparable to the baseline)")
+    bench_parser.set_defaults(func=_cmd_bench)
 
     compare_parser = sub.add_parser("compare",
                                     help="one benchmark, all design points")

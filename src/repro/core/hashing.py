@@ -40,6 +40,13 @@ class H3Hash:
             tables[:, selected] ^= bit_masks[:, bit : bit + 1]
         self._tables = tables & np.uint32(self._mask)
         self._positions = np.arange(WARP_REGISTER_BYTES)
+        # Signature memo: warp values recur heavily (that redundancy is the
+        # whole point of the paper), so identical 128-byte payloads skip the
+        # table gather.  The hash is a pure function of the bytes, so the
+        # memo cannot change any signature — it is bounded and cleared
+        # wholesale to keep worst-case memory flat.
+        self._memo: dict = {}
+        self._memo_limit = 1 << 16
 
     def hash_value(self, value: np.ndarray) -> int:
         """Hash one warp register value (32 uint32 lanes) to a signature."""
@@ -48,8 +55,16 @@ class H3Hash:
             raise ValueError(
                 f"expected {WARP_REGISTER_BYTES} bytes, got {data.size}"
             )
+        key = data.tobytes()
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
         words = self._tables[self._positions, data]
-        return int(np.bitwise_xor.reduce(words))
+        result = int(np.bitwise_xor.reduce(words))
+        if len(self._memo) >= self._memo_limit:
+            self._memo.clear()
+        self._memo[key] = result
+        return result
 
     def hash_bytes(self, data: bytes) -> int:
         """Hash a raw 128-byte buffer (convenience for tests)."""

@@ -145,6 +145,10 @@ class ReuseBuffer:
         return self._set_of(tag) * self.associativity
 
     def _touch(self, set_index: int, slot: int) -> None:
+        # A one-way set's recency order cannot change; skip the list
+        # shuffle in the direct-indexed default.
+        if self.associativity == 1:
+            return
         order = self._lru[set_index]
         order.remove(slot)
         order.append(slot)

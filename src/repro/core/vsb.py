@@ -76,6 +76,10 @@ class ValueSignatureBuffer:
         return self._set_of(hash_value) * self.associativity
 
     def _touch(self, set_index: int, slot: int) -> None:
+        # A one-way set's recency order cannot change; skip the list
+        # shuffle in the direct-indexed default.
+        if self.associativity == 1:
+            return
         order = self._lru[set_index]
         order.remove(slot)
         order.append(slot)

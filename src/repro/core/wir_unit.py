@@ -49,6 +49,44 @@ from repro.stats import StatGroup
 _OPCODE_INDEX = {op: i for i, op in enumerate(Opcode)}
 
 
+class _SourcePlan:
+    """Static per-instruction rename/tag plan (see ``WIRUnit._plan_of``).
+
+    ``steps`` drives source renaming: ``(True, logical, extra_desc)`` for a
+    register/address operand (``extra_desc`` is the interned address-offset
+    descriptor, or ``None``), ``(False, desc, None)`` for an interned
+    immediate / special-register descriptor.
+    """
+
+    __slots__ = ("inst", "steps", "num_reg_reads", "opcode_index",
+                 "reuse_candidate", "load", "warp_dependent")
+
+    def __init__(self, inst: Instruction) -> None:
+        self.inst = inst
+        steps: List[Tuple[bool, object, Optional[Tuple[str, int]]]] = []
+        num_reg_reads = 0
+        for src in inst.srcs:
+            if src.kind in (OperandKind.REG, OperandKind.ADDR):
+                num_reg_reads += 1
+                extra = None
+                if src.kind is OperandKind.ADDR and src.offset:
+                    extra = ("i", src.offset & 0xFFFFFFFF)
+                steps.append((True, src.value, extra))
+            elif src.kind is OperandKind.IMM:
+                steps.append((False, ("i", src.value), None))
+            elif src.kind is OperandKind.SREG:
+                # Special registers are warp-constant; encode the value class
+                # into the tag so identical tid patterns match across warps.
+                steps.append((False, ("i", 0xFFFF0000 | src.value), None))
+        self.steps = tuple(steps)
+        self.num_reg_reads = num_reg_reads
+        self.opcode_index = _OPCODE_INDEX[inst.opcode]
+        self.reuse_candidate = is_reuse_candidate(inst.opcode)
+        self.load = is_load(inst.opcode)
+        self.warp_dependent = any(
+            src.kind is OperandKind.SREG for src in inst.srcs)
+
+
 class WIRCounters(StatGroup):
     """Event counts for the added structures (Table III energy accounting).
 
@@ -141,6 +179,9 @@ class WIRUnit:
         #: Per-block barrier counts saturate at 2**barrier_count_bits - 1;
         #: beyond that the block stops reusing loads (Section VI-A).
         self._max_barrier_count = (1 << self.wir.barrier_count_bits) - 1
+        #: Interned per-instruction rename/tag plans, keyed by ``id(inst)``
+        #: (each plan pins its instruction, keeping the key unique).
+        self._plans: Dict[int, _SourcePlan] = {}
 
     # ------------------------------------------------------------------ setup
 
@@ -171,24 +212,43 @@ class WIRUnit:
 
     # --------------------------------------------------------------- renaming
 
+    def _plan_of(self, inst: Instruction) -> "_SourcePlan":
+        """Interned per-instruction rename/tag plan.
+
+        Operand-kind dispatch, static immediate descriptors, opcode index,
+        and reuse-eligibility predicates depend only on the static
+        instruction, so they are computed once per instruction per unit and
+        reused on every issue.  The plan pins the instruction object, so the
+        ``id`` key stays unique for the unit's lifetime.
+        """
+        plan = self._plans.get(id(inst))
+        if plan is None:
+            plan = _SourcePlan(inst)
+            self._plans[id(inst)] = plan
+        return plan
+
     def _rename_sources(self, warp: Warp, inst: Instruction) -> Tuple[Tuple[int, ...], Tuple]:
         """Rename source registers; returns (phys ids, tag source descriptors)."""
+        return self._rename_with_plan(warp, self._plan_of(inst))
+
+    def _rename_with_plan(
+        self, warp: Warp, plan: "_SourcePlan"
+    ) -> Tuple[Tuple[int, ...], Tuple]:
+        if plan.num_reg_reads:
+            self.counters.rename_reads += plan.num_reg_reads
+        slot = warp.warp_slot
+        lookup = self.rename.lookup
         phys: List[int] = []
         descs: List[Tuple[str, int]] = []
-        for src in inst.srcs:
-            if src.kind in (OperandKind.REG, OperandKind.ADDR):
-                self.counters.rename_reads += 1
-                preg = self.rename.lookup(warp.warp_slot, src.value)
+        for is_reg, payload, extra in plan.steps:
+            if is_reg:
+                preg = lookup(slot, payload)
                 phys.append(preg)
                 descs.append(("r", preg))
-                if src.kind is OperandKind.ADDR and src.offset:
-                    descs.append(("i", src.offset & 0xFFFFFFFF))
-            elif src.kind is OperandKind.IMM:
-                descs.append(("i", src.value))
-            elif src.kind is OperandKind.SREG:
-                # Special registers are warp-constant; encode the value class
-                # into the tag so identical tid patterns match across warps.
-                descs.append(("i", 0xFFFF0000 | src.value))
+                if extra is not None:
+                    descs.append(extra)
+            else:
+                descs.append(payload)
         return tuple(phys), tuple(descs)
 
     def _make_tag(self, inst: Instruction, descs: Tuple) -> Tag:
@@ -207,7 +267,8 @@ class WIRUnit:
         """Rename sources and probe the reuse buffer."""
         if self.faults is not None:
             self.faults.tick_structures(self)
-        src_phys, descs = self._rename_sources(warp, inst)
+        plan = self._plan_of(inst)
+        src_phys, descs = self._rename_with_plan(warp, plan)
         if self.tracer is not None and src_phys:
             self.tracer.wir_event(warp.warp_slot, "rename",
                                   {"pc": inst.pc, "srcs": len(src_phys)})
@@ -216,7 +277,7 @@ class WIRUnit:
         if not inst.writes_register:
             return IssueDecision(action="bypass", src_phys=src_phys,
                                  divergent=divergent)
-        if not is_reuse_candidate(inst.opcode):
+        if not plan.reuse_candidate:
             # Writes a register but never participates in reuse (e.g. selp):
             # it still goes through register allocation at writeback.
             return IssueDecision(action="execute", src_phys=src_phys,
@@ -227,7 +288,7 @@ class WIRUnit:
             return IssueDecision(action="execute", src_phys=src_phys,
                                  divergent=True)
 
-        load = is_load(inst.opcode)
+        load = plan.load
         if load and not self._load_may_reuse(warp, inst):
             return IssueDecision(action="execute", src_phys=src_phys)
 
@@ -236,9 +297,9 @@ class WIRUnit:
         # (two warps share the tag but not the values).  Their *results* are
         # still shared through the VSB, so downstream threadIdx-derived
         # arithmetic — the paper's motivating pattern — reuses normally.
-        if self._tag_is_warp_dependent(inst):
+        if plan.warp_dependent:
             return IssueDecision(action="execute", src_phys=src_phys)
-        tag = self._make_tag(inst, descs)
+        tag = (plan.opcode_index, descs)
 
         barrier_count = warp.barrier_count
         tbid = self._entry_tbid(warp, inst)

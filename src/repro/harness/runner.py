@@ -92,6 +92,10 @@ class RunSpec:
     checked: bool = False
     #: Collect per-cycle stall attribution (``sm*.stall.*``; ``repro.trace``).
     trace_stalls: bool = False
+    #: Execution engine (``"scalar"`` | ``"vector"``).  Both are bit-identical
+    #: (see ``tests/test_exec_differential.py``); scalar stays the default so
+    #: cached experiment digests are unchanged.
+    exec_engine: str = "scalar"
 
     @classmethod
     def make(
@@ -104,14 +108,15 @@ class RunSpec:
         profile: bool = False,
         checked: bool = False,
         trace_stalls: bool = False,
+        exec_engine: str = "scalar",
         **wir_overrides,
     ) -> "RunSpec":
         return cls(abbr, model, scale, seed, num_sms, profile,
                    tuple(sorted(wir_overrides.items())), checked=checked,
-                   trace_stalls=trace_stalls)
+                   trace_stalls=trace_stalls, exec_engine=exec_engine)
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        data = {
             "abbr": self.abbr,
             "model": self.model,
             "scale": self.scale,
@@ -125,6 +130,11 @@ class RunSpec:
             "checked": self.checked,
             "trace_stalls": self.trace_stalls,
         }
+        if self.exec_engine != "scalar":
+            # Omitted at the default so pre-existing cache digests (and
+            # payloads) for scalar runs remain valid.
+            data["exec_engine"] = self.exec_engine
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "RunSpec":
@@ -140,6 +150,7 @@ class RunSpec:
             ),
             checked=data.get("checked", False),
             trace_stalls=data.get("trace_stalls", False),
+            exec_engine=data.get("exec_engine", "scalar"),
         )
 
     def digest(self, energy_params: Optional[EnergyParams] = None) -> str:
@@ -398,6 +409,7 @@ def _simulate(spec: RunSpec) -> Tuple[RunResult, Optional[RedundancyProfile],
     config = model_config(spec.model, **dict(spec.wir_overrides))
     config.num_sms = spec.num_sms
     config.trace.stalls = spec.trace_stalls
+    config.exec_engine = spec.exec_engine
     workload = build_workload(spec.abbr, scale=spec.scale, seed=spec.seed)
 
     profilers: List[RedundancyProfiler] = []
@@ -466,6 +478,7 @@ def run_benchmark(
     profile: bool = False,
     checked: bool = False,
     trace_stalls: bool = False,
+    exec_engine: str = "scalar",
     energy_params: Optional[EnergyParams] = None,
     **wir_overrides,
 ) -> BenchmarkRun:
@@ -478,7 +491,8 @@ def run_benchmark(
     """
     spec = RunSpec.make(abbr, model, scale=scale, seed=seed, num_sms=num_sms,
                         profile=profile, checked=checked,
-                        trace_stalls=trace_stalls, **wir_overrides)
+                        trace_stalls=trace_stalls, exec_engine=exec_engine,
+                        **wir_overrides)
     run_key = (spec, _energy_key(energy_params))
     run = _RUN_CACHE.get(run_key)
     if run is not None:

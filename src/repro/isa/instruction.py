@@ -97,7 +97,9 @@ class Operand:
         if self.kind is OperandKind.SREG:
             return self.sreg_name
         if self.offset:
-            return f"[r{self.value}+{self.offset}]"
+            # Emit a sign the assembler can re-parse ([r3-4], not [r3+-4]).
+            sign = "+" if self.offset >= 0 else "-"
+            return f"[r{self.value}{sign}{abs(self.offset)}]"
         return f"[r{self.value}]"
 
 
@@ -137,43 +139,29 @@ class Instruction:
     #: selp reads an extra predicate source; setp writes this predicate.
     pred_src: Optional[int] = None
 
-    @property
-    def op_class(self) -> OpClass:
-        return op_class(self.opcode)
+    # Decoded metadata below is derived purely from the fields above and
+    # cached once at construction: the issue loop queries it every cycle for
+    # every resident warp, and recomputing (frozenset-membership chains,
+    # tuple rebuilds) dominated scheduler-scan profiles.  The cache slots
+    # are plain instance attributes set with ``object.__setattr__`` (the
+    # dataclass is frozen); they carry no class-level annotation on purpose
+    # so dataclass-generated ``__eq__``/``__hash__`` ignore them.
 
-    @property
-    def space(self) -> Optional[MemSpace]:
-        return mem_space(self.opcode)
-
-    @property
-    def is_branch(self) -> bool:
-        return self.opcode is Opcode.BRA
-
-    @property
-    def is_barrier(self) -> bool:
-        return self.opcode is Opcode.BAR
-
-    @property
-    def is_exit(self) -> bool:
-        return self.opcode is Opcode.EXIT
-
-    @property
-    def writes_register(self) -> bool:
-        return self.dst is not None and self.dst.kind is OperandKind.REG
-
-    @property
-    def writes_predicate(self) -> bool:
-        return self.dst is not None and self.dst.kind is OperandKind.PRED
-
-    def source_registers(self) -> Tuple[int, ...]:
-        """Logical register indices read by this instruction (incl. address bases)."""
-        regs = []
-        for src in self.srcs:
-            if src.kind in (OperandKind.REG, OperandKind.ADDR):
-                regs.append(src.value)
-        return tuple(regs)
-
-    def source_predicates(self) -> Tuple[int, ...]:
+    def __post_init__(self) -> None:
+        setattr_ = object.__setattr__
+        setattr_(self, "op_class", op_class(self.opcode))
+        setattr_(self, "space", mem_space(self.opcode))
+        setattr_(self, "is_branch", self.opcode is Opcode.BRA)
+        setattr_(self, "is_barrier", self.opcode is Opcode.BAR)
+        setattr_(self, "is_exit", self.opcode is Opcode.EXIT)
+        writes_register = self.dst is not None and self.dst.kind is OperandKind.REG
+        writes_predicate = self.dst is not None and self.dst.kind is OperandKind.PRED
+        setattr_(self, "writes_register", writes_register)
+        setattr_(self, "writes_predicate", writes_predicate)
+        regs = tuple(
+            src.value for src in self.srcs
+            if src.kind in (OperandKind.REG, OperandKind.ADDR)
+        )
         preds = []
         if self.guard is not None:
             preds.append(self.guard.index)
@@ -182,7 +170,27 @@ class Instruction:
         for src in self.srcs:
             if src.kind is OperandKind.PRED:
                 preds.append(src.value)
-        return tuple(preds)
+        setattr_(self, "_source_registers", regs)
+        setattr_(self, "_source_predicates", tuple(preds))
+        # Scoreboard probe sets: everything this instruction reads plus the
+        # register/predicate it writes (WAW ordering), precomputed so the
+        # per-cycle hazard check reduces to two ``isdisjoint`` calls.
+        sb_regs = regs + (self.dst.value,) if writes_register else regs
+        sb_preds = self._source_predicates
+        if writes_predicate:
+            sb_preds = sb_preds + (self.dst.value,)
+        setattr_(self, "sb_regs", sb_regs)
+        setattr_(self, "sb_preds", sb_preds)
+        # Distinct source registers in ascending order: the operand-collect
+        # stage reads one bank per distinct register.
+        setattr_(self, "bank_regs", tuple(sorted(set(regs))))
+
+    def source_registers(self) -> Tuple[int, ...]:
+        """Logical register indices read by this instruction (incl. address bases)."""
+        return self._source_registers
+
+    def source_predicates(self) -> Tuple[int, ...]:
+        return self._source_predicates
 
     def __str__(self) -> str:
         parts = []

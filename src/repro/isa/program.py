@@ -63,6 +63,33 @@ class Program:
         """Reconvergence pc for the branch at *branch_pc*."""
         return self.reconvergence[branch_pc]
 
+    def disassemble(self) -> str:
+        """Reassemblable source text (inverse of :func:`assemble`).
+
+        ``Instruction.__str__`` renders branches with their resolved pc
+        (``bra @5``), which the assembler rejects — it only accepts labels.
+        Disassembly synthesises a ``L<pc>`` label at every branch-target pc
+        (including the one-past-the-end target of a branch to program end)
+        and emits the label form.  Reassembling the text yields a program
+        whose instruction list compares equal to this one; only the label
+        *names* may differ from the original source.
+        """
+        targets = {inst.target for inst in self.instructions if inst.is_branch}
+        label_of = {pc: f"L{pc}" for pc in sorted(targets)}
+        lines = [f"// {self.name} (disassembly)"]
+        for inst in self.instructions:
+            if inst.pc in label_of:
+                lines.append(f"{label_of[inst.pc]}:")
+            text = str(inst)
+            if inst.is_branch:
+                head, _, _ = text.rpartition(" ")
+                text = f"{head} {label_of[inst.target]}"
+            lines.append(f"    {text}")
+        end_pc = len(self.instructions)
+        if end_pc in label_of:
+            lines.append(f"{label_of[end_pc]}:")
+        return "\n".join(lines) + "\n"
+
     def listing(self) -> str:
         """Human-readable disassembly with pcs and reconvergence annotations."""
         pc_to_label = {pc: name for name, pc in self.labels.items()}

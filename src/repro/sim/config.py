@@ -168,6 +168,12 @@ class GPUConfig:
     # --- limits ---
     max_cycles: int = 5_000_000
 
+    # --- host execution strategy (simulation speed, not modelled hardware) ---
+    #: "scalar" interprets every issued instruction (the oracle, default);
+    #: "vector" uses per-instruction compiled numpy kernels plus the fast
+    #: issue loop.  Both produce bit-identical results (see DESIGN.md §8).
+    exec_engine: str = "scalar"
+
     # --- reuse design ---
     wir: WIRConfig = field(default_factory=WIRConfig)
 
@@ -203,3 +209,7 @@ class GPUConfig:
             raise ValueError("trace ring capacity must be at least 1")
         if self.trace.sample_period < 0 or self.trace.sample_window < 0:
             raise ValueError("trace sampling parameters must be non-negative")
+        if self.exec_engine not in ("scalar", "vector"):
+            raise ValueError(
+                f"unknown exec engine {self.exec_engine!r}; "
+                "expected 'scalar' or 'vector'")

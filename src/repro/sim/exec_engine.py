@@ -216,3 +216,266 @@ def execute(inst: Instruction, warp: Warp) -> ExecResult:
                           addresses=sources[0], store_values=sources[1])
 
     raise NotImplementedError(f"no semantics for {opcode}")
+
+
+# ---------------------------------------------------------------------------
+# Execution engines
+#
+# ``ScalarExecEngine`` is the seed interpreter above, untouched: every issue
+# re-dispatches on the opcode and re-resolves each operand.  It is the
+# correctness oracle and the default.
+#
+# ``VectorExecEngine`` compiles each static instruction once, the first time
+# it issues, into a closure with the opcode dispatch, guard, comparison
+# table, and operand resolvers already bound — all 32 lanes still evaluate
+# as single numpy array ops, but the per-issue Python interpretation
+# (frozenset chains, operand-kind branching, ``np.full`` immediates) is
+# hoisted out of the hot loop.  Instructions whose opcode has no compiled
+# kernel fall back to the scalar interpreter, so the two engines are
+# value-identical by construction: every kernel reuses the exact arithmetic
+# lambdas of the scalar tables.
+# ---------------------------------------------------------------------------
+
+
+def _sfu_wrap(fn: Callable[[np.ndarray], np.ndarray]) -> Callable:
+    def compute(sources: Tuple[np.ndarray, ...]) -> np.ndarray:
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            return fn(sources[0])
+    return compute
+
+
+def _div_rem(opcode: Opcode) -> Callable:
+    def compute(sources: Tuple[np.ndarray, ...]) -> np.ndarray:
+        a, b = _as_i32(sources[0]), _as_i32(sources[1])
+        safe = np.where(b == 0, np.int32(1), b)
+        with np.errstate(divide="ignore"):
+            out = a // safe if opcode is Opcode.DIV else a % safe
+        return _from_i32(np.where(b == 0, np.int32(-1), out))
+    return compute
+
+
+def _fdiv(sources: Tuple[np.ndarray, ...]) -> np.ndarray:
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return _from_f32(_as_f32(sources[0]) / _as_f32(sources[1]))
+
+
+def _cvt_f2i(sources: Tuple[np.ndarray, ...]) -> np.ndarray:
+    with np.errstate(invalid="ignore"):
+        vals = np.nan_to_num(_as_f32(sources[0]).astype(np.float64),
+                             nan=0.0, posinf=2**31 - 1, neginf=-(2**31))
+        clipped = np.clip(vals, -(2.0**31), 2.0**31 - 1)
+    return _from_i32(clipped.astype(np.int64).astype(np.int32))
+
+
+#: Register-result opcodes: opcode -> fn(sources) -> uint32 lane values.
+#: Every entry reuses the scalar tables' arithmetic, so results are
+#: bit-identical between engines.
+_RESULT_OPS: Dict[Opcode, Callable[[Tuple[np.ndarray, ...]], np.ndarray]] = {}
+for _op, _fn in _INT_BINOPS.items():
+    _RESULT_OPS[_op] = (lambda f: lambda s: f(s[0], s[1]))(_fn)
+for _op, _fn in _FP_BINOPS.items():
+    _RESULT_OPS[_op] = (lambda f: lambda s: f(s[0], s[1]))(_fn)
+for _op, _fn in _SFU_UNOPS.items():
+    _RESULT_OPS[_op] = _sfu_wrap(_fn)
+_RESULT_OPS.update({
+    Opcode.MOV: lambda s: s[0].copy(),
+    Opcode.ABS: lambda s: _from_i32(np.abs(_as_i32(s[0]))),
+    Opcode.NEG: lambda s: _from_i32(-_as_i32(s[0])),
+    Opcode.NOT: lambda s: ~s[0],
+    Opcode.FABS: lambda s: s[0] & np.uint32(0x7FFFFFFF),
+    Opcode.FNEG: lambda s: s[0] ^ np.uint32(0x80000000),
+    Opcode.DIV: _div_rem(Opcode.DIV),
+    Opcode.REM: _div_rem(Opcode.REM),
+    Opcode.FDIV: _fdiv,
+    Opcode.MAD: lambda s: _from_i32(
+        _as_i32(s[0]) * _as_i32(s[1]) + _as_i32(s[2])),
+    Opcode.FMAD: lambda s: _from_f32(
+        _as_f32(s[0]) * _as_f32(s[1]) + _as_f32(s[2])),
+    Opcode.CVT_I2F: lambda s: _from_f32(_as_i32(s[0]).astype(np.float32)),
+    Opcode.CVT_F2I: _cvt_f2i,
+})
+del _op, _fn
+
+
+def _compile_operand(operand: Operand) -> Callable[[Warp], np.ndarray]:
+    """Bind one source operand to a resolver closure.
+
+    Register reads return views (exactly like :func:`resolve_operand`);
+    immediates are materialized once and shared — the simulator treats
+    source arrays as read-only, the same contract special registers
+    already rely on.
+    """
+    kind = operand.kind
+    if kind is OperandKind.REG:
+        index = operand.value
+        return lambda warp: warp.registers[index]
+    if kind is OperandKind.IMM:
+        shared = np.full(WARP_SIZE, operand.value, dtype=np.uint32)
+        shared.flags.writeable = False
+        return lambda warp: shared
+    if kind is OperandKind.SREG:
+        name = operand.sreg_name
+        return lambda warp: warp.special_value(name)
+    if kind is OperandKind.ADDR:
+        index, offset = operand.value, operand.offset
+        def resolve_addr(warp: Warp) -> np.ndarray:
+            addr = warp.registers[index].astype(np.int64) + offset
+            return (addr & 0xFFFFFFFF).astype(np.uint32)
+        return resolve_addr
+    raise ValueError(f"cannot resolve operand {operand}")
+
+
+def _compile_kernel(inst: Instruction) -> Optional[Callable[[Warp], ExecResult]]:
+    """Compile one instruction to a ``kernel(warp) -> ExecResult`` closure.
+
+    Returns ``None`` when the opcode has no vector kernel; the engine then
+    falls back to the scalar interpreter for that instruction.
+    """
+    guard = inst.guard
+    opcode = inst.opcode
+
+    if opcode is Opcode.BRA:
+        def bra_kernel(warp: Warp) -> ExecResult:
+            mask = warp.guard_mask(guard)
+            return ExecResult(mask=mask, taken_mask=mask & warp.active_mask)
+        return bra_kernel
+
+    if opcode in (Opcode.EXIT, Opcode.BAR, Opcode.MEMBAR, Opcode.NOP):
+        return lambda warp: ExecResult(mask=warp.guard_mask(guard))
+
+    resolvers = tuple(_compile_operand(src) for src in inst.srcs)
+
+    # Mask resolver specialised on the (static) guard: the unguarded case —
+    # the vast majority — skips the guard_mask call and predicate blend.
+    if guard is None:
+        def mask_of(warp: Warp) -> np.ndarray:
+            return warp.active_mask.copy()
+    else:
+        def mask_of(warp: Warp) -> np.ndarray:
+            return warp.guard_mask(guard)
+
+    compute = _RESULT_OPS.get(opcode)
+    if compute is not None:
+        # Arity-specialised source gathering (saves a generator + tuple()
+        # round trip per issue on the hottest kernel shape).
+        if len(resolvers) == 2:
+            resolve_a, resolve_b = resolvers
+
+            def alu_kernel(warp: Warp) -> ExecResult:
+                sources = (resolve_a(warp), resolve_b(warp))
+                return ExecResult(mask=mask_of(warp), sources=sources,
+                                  result=compute(sources))
+        elif len(resolvers) == 1:
+            resolve_a, = resolvers
+
+            def alu_kernel(warp: Warp) -> ExecResult:
+                sources = (resolve_a(warp),)
+                return ExecResult(mask=mask_of(warp), sources=sources,
+                                  result=compute(sources))
+        else:
+            def alu_kernel(warp: Warp) -> ExecResult:
+                sources = tuple(resolve(warp) for resolve in resolvers)
+                return ExecResult(mask=mask_of(warp), sources=sources,
+                                  result=compute(sources))
+        return alu_kernel
+
+    if opcode is Opcode.SELP:
+        pred_src = inst.pred_src
+        resolve_a, resolve_b = resolvers
+
+        def selp_kernel(warp: Warp) -> ExecResult:
+            sources = (resolve_a(warp), resolve_b(warp))
+            pred = warp.read_pred(pred_src)
+            return ExecResult(mask=mask_of(warp), sources=sources,
+                              result=np.where(pred, sources[0], sources[1]))
+        return selp_kernel
+
+    if opcode in (Opcode.SETP, Opcode.FSETP):
+        table = _CMP_INT if opcode is Opcode.SETP else _CMP_FP
+        cmp_fn = table[inst.cmp]
+        resolve_a, resolve_b = resolvers
+
+        def setp_kernel(warp: Warp) -> ExecResult:
+            sources = (resolve_a(warp), resolve_b(warp))
+            return ExecResult(mask=mask_of(warp), sources=sources,
+                              pred_result=cmp_fn(sources[0], sources[1]))
+        return setp_kernel
+
+    if opcode.value.startswith("ld."):
+        resolve_addr = resolvers[0]
+
+        def load_kernel(warp: Warp) -> ExecResult:
+            addresses = resolve_addr(warp)
+            return ExecResult(mask=mask_of(warp), sources=(addresses,),
+                              addresses=addresses)
+        return load_kernel
+
+    if opcode.value.startswith("st."):
+        resolve_addr, resolve_values = resolvers
+
+        def store_kernel(warp: Warp) -> ExecResult:
+            addresses = resolve_addr(warp)
+            values = resolve_values(warp)
+            return ExecResult(mask=mask_of(warp), sources=(addresses, values),
+                              addresses=addresses, store_values=values)
+        return store_kernel
+
+    return None
+
+
+class ScalarExecEngine:
+    """The seed per-issue interpreter — the correctness oracle."""
+
+    name = "scalar"
+
+    def __init__(self, program=None) -> None:
+        del program
+
+    def execute(self, inst: Instruction, warp: Warp) -> ExecResult:
+        return execute(inst, warp)
+
+
+class VectorExecEngine:
+    """Per-instruction compiled kernels with a scalar fallback.
+
+    Kernels are compiled lazily on first issue and cached per static
+    instruction; the cache keeps a reference to the instruction so its
+    ``id`` can never be recycled while the kernel is live.
+    """
+
+    name = "vector"
+
+    def __init__(self, program=None) -> None:
+        del program
+        self._kernels: Dict[int, Tuple[Instruction, Optional[Callable]]] = {}
+        self.compiled = 0
+        self.fallbacks = 0
+
+    def execute(self, inst: Instruction, warp: Warp) -> ExecResult:
+        entry = self._kernels.get(id(inst))
+        if entry is None:
+            kernel = _compile_kernel(inst)
+            self._kernels[id(inst)] = (inst, kernel)
+            if kernel is None:
+                self.fallbacks += 1
+            else:
+                self.compiled += 1
+        else:
+            kernel = entry[1]
+        if kernel is None:
+            return execute(inst, warp)
+        return kernel(warp)
+
+
+_ENGINES = {"scalar": ScalarExecEngine, "vector": VectorExecEngine}
+
+
+def make_engine(name: str, program=None):
+    """Instantiate the execution engine selected by ``GPUConfig.exec_engine``."""
+    try:
+        cls = _ENGINES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown exec engine {name!r}; expected one of {sorted(_ENGINES)}"
+        ) from None
+    return cls(program)

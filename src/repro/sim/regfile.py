@@ -39,6 +39,19 @@ class RegisterFileTiming:
         self.stats = RegisterFileStats("regfile")
         #: Observability hook (an ``SMTraceView`` or ``None``).
         self.tracer = None
+        #: Vector-engine fast path: ``schedule_read``/``schedule_write`` run
+        #: several times per backend instruction, so they mutate the Counter
+        #: objects directly instead of going through the StatGroup attribute
+        #: magic.  Same objects, so the reported stats are identical.
+        self._fast_stats = config.exec_engine == "vector"
+        counters = self.stats._stats
+        self._c_read_requests = counters["read_requests"]
+        self._c_read_retries = counters["read_retries"]
+        self._c_write_requests = counters["write_requests"]
+        self._c_write_retries = counters["write_retries"]
+        self._c_bank_reads = counters["bank_reads"]
+        self._c_bank_writes = counters["bank_writes"]
+        self._c_verify_reads = counters["verify_read_requests"]
 
     def group_of(self, reg_id: int) -> int:
         return reg_id % self.num_groups
@@ -47,28 +60,40 @@ class RegisterFileTiming:
         self, reg_id: int, cycle: int, affine: bool = False, verify: bool = False
     ) -> int:
         """Arbitrate one register read; returns the cycle the data is ready."""
-        group = self.group_of(reg_id)
+        group = reg_id % self.num_groups
         start = max(cycle, self._read_free[group])
-        self.stats.read_requests += 1
-        self.stats.read_retries += start - cycle
-        if verify:
-            self.stats.verify_read_requests += 1
+        if self._fast_stats:
+            self._c_read_requests.value += 1
+            self._c_read_retries.value += start - cycle
+            if verify:
+                self._c_verify_reads.value += 1
+            self._c_bank_reads.value += 1 if affine else self.BANKS_PER_GROUP
+        else:
+            self.stats.read_requests += 1
+            self.stats.read_retries += start - cycle
+            if verify:
+                self.stats.verify_read_requests += 1
+            self.stats.bank_reads += 1 if affine else self.BANKS_PER_GROUP
         if self.tracer is not None and start > cycle:
             self.tracer.bank_conflict(reg_id, start - cycle, "read", verify)
         self._read_free[group] = start + 1
-        self.stats.bank_reads += 1 if affine else self.BANKS_PER_GROUP
         return start + 1
 
     def schedule_write(self, reg_id: int, cycle: int, affine: bool = False) -> int:
         """Arbitrate one register write; returns the completion cycle."""
-        group = self.group_of(reg_id)
+        group = reg_id % self.num_groups
         start = max(cycle, self._write_free[group])
-        self.stats.write_requests += 1
-        self.stats.write_retries += start - cycle
+        if self._fast_stats:
+            self._c_write_requests.value += 1
+            self._c_write_retries.value += start - cycle
+            self._c_bank_writes.value += 1 if affine else self.BANKS_PER_GROUP
+        else:
+            self.stats.write_requests += 1
+            self.stats.write_retries += start - cycle
+            self.stats.bank_writes += 1 if affine else self.BANKS_PER_GROUP
         if self.tracer is not None and start > cycle:
             self.tracer.bank_conflict(reg_id, start - cycle, "write")
         self._write_free[group] = start + 1
-        self.stats.bank_writes += 1 if affine else self.BANKS_PER_GROUP
         return start + 1
 
     @property

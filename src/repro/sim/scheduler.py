@@ -26,6 +26,21 @@ class WarpScheduler:
         #: Slot age: lower = older; refreshed when a block is dispatched.
         self._age: dict = {slot: i for i, slot in enumerate(self.slots)}
         self._age_counter = len(self.slots)
+        #: Fast-path arbitration (set by the SM when the vector engine is
+        #: selected): GTO scans only slots currently holding a warp instead
+        #: of the full static group.  Ages are unique, so the min-age winner
+        #: is independent of scan order and the pick is provably identical —
+        #: non-resident slots can never be ready.  LRR keeps the full scan
+        #: in both modes because its ``_rr_index`` update depends on the
+        #: static slot ordering.
+        self.use_resident = False
+        self._resident: List[int] = []
+        #: Resident slots whose current instruction is not known to be
+        #: scoreboard-blocked (see ``SMCore._sb_wait``).  The SM keeps this
+        #: in sync with every ``_sb_wait`` toggle; when it hits zero the
+        #: fused pick returns immediately.  Maintained (but unused) under
+        #: the scalar engine, which never sets ``_sb_wait``.
+        self.scannable = 0
         #: Observability hook: called as ``on_pick(scheduler_id, slot)``
         #: whenever a slot wins arbitration.  Never influences the choice.
         self.on_pick: Optional[Callable[[int, int], None]] = None
@@ -34,6 +49,19 @@ class WarpScheduler:
         """Record that *slot* received a fresh warp (it becomes youngest)."""
         self._age[slot] = self._age_counter
         self._age_counter += 1
+        if slot not in self._resident:
+            self._resident.append(slot)
+            self.scannable += 1
+
+    def note_finished(self, slot: int) -> None:
+        """Record that *slot*'s warp exited (drop it from the fast scan).
+
+        The slot's ``_sb_wait`` flag is always clear here (its last retire
+        or issue preceded the exit), so it counted as scannable.
+        """
+        if slot in self._resident:
+            self._resident.remove(slot)
+            self.scannable -= 1
 
     def pick(self, ready: Callable[[int], bool]) -> Optional[int]:
         """Select the next slot to issue from, or ``None`` if none is ready."""
@@ -52,7 +80,7 @@ class WarpScheduler:
         # Then oldest: lowest dispatch age wins.
         best: Optional[int] = None
         best_age = None
-        for slot in self.slots:
+        for slot in (self._resident if self.use_resident else self.slots):
             if not ready(slot):
                 continue
             age = self._age[slot]

@@ -27,21 +27,18 @@ class Scoreboard:
         self._pending_preds[slot].clear()
 
     def can_issue(self, slot: int, inst: Instruction) -> bool:
-        """RAW/WAW/WAR-safe issue check against pending writes."""
+        """RAW/WAW/WAR-safe issue check against pending writes.
+
+        ``inst.sb_regs``/``inst.sb_preds`` are the precomputed union of the
+        instruction's sources and (write-ordering) destination, so the hot
+        check is two set/tuple disjointness probes.
+        """
         regs = self._pending_regs[slot]
+        if regs and not regs.isdisjoint(inst.sb_regs):
+            return False
         preds = self._pending_preds[slot]
-        if regs:
-            for reg in inst.source_registers():
-                if reg in regs:
-                    return False
-            if inst.writes_register and inst.dst.value in regs:
-                return False
-        if preds:
-            for pred in inst.source_predicates():
-                if pred in preds:
-                    return False
-            if inst.writes_predicate and inst.dst.value in preds:
-                return False
+        if preds and not preds.isdisjoint(inst.sb_preds):
+            return False
         return True
 
     def register(self, slot: int, inst: Instruction) -> None:

@@ -29,8 +29,8 @@ from repro.core.wir_unit import IssueDecision, WIRUnit
 from repro.isa.instruction import Instruction, OperandKind
 from repro.isa.opcodes import MemSpace, Opcode, OpClass
 from repro.isa.program import Program
-from repro.sim.config import GPUConfig
-from repro.sim.exec_engine import ExecResult, execute
+from repro.sim.config import GPUConfig, SchedulerPolicy
+from repro.sim.exec_engine import ExecResult, make_engine
 from repro.sim.grid import BlockDescriptor
 from repro.sim.memory.subsystem import MemorySubsystem, SMMemoryPort
 from repro.sim.regfile import RegisterFileTiming
@@ -41,6 +41,10 @@ from repro.stats import StatGroup
 from repro.trace.stall import StallAttributor
 
 _LOG = logging.getLogger(__name__)
+
+#: Sleep-memo target for an SM with no time-based wake candidate (it wakes
+#: on events or a block dispatch, both of which bypass / reset the memo).
+_NEVER = 1 << 62
 
 
 class SMCounters(StatGroup):
@@ -89,6 +93,9 @@ class SMCore:
         self.sm_id = sm_id
         self.config = config
         self.program = program
+        #: Direct reference for the fast ready scan (skips two attribute hops
+        #: and ``Program.__getitem__`` per probe).
+        self._instructions = program.instructions
         self.profiler = profiler
 
         self.warps: List[Optional[Warp]] = [None] * config.max_warps_per_sm
@@ -139,6 +146,47 @@ class SMCore:
             )
             for i in range(num_sched)
         ]
+        #: Owning scheduler per warp slot (for ``scannable`` accounting).
+        self._sched_of_slot = [
+            self.schedulers[s % num_sched]
+            for s in range(config.max_warps_per_sm)
+        ]
+
+        #: Execution engine (DESIGN.md §8): "scalar" is the seed interpreter
+        #: and stays the oracle; "vector" compiles per-instruction kernels
+        #: and additionally opts this SM into the fast ready scan and the
+        #: schedulers' resident-slot arbitration.  Both paths are
+        #: bit-identical — the fast variants are algebraic rewrites, proven
+        #: so by tests/test_exec_differential.py.
+        self.engine = make_engine(config.exec_engine, program)
+        #: Bound dispatch, looked up once (``_issue`` runs per instruction).
+        self._engine_execute = self.engine.execute
+        self._fast_path = config.exec_engine == "vector"
+        self._ready_impl = self._ready_fast if self._fast_path else self._ready
+        #: Fully fused arbitration (pick + ready in one loop) is GTO-only;
+        #: LRR keeps ``scheduler.pick`` because its round-robin pointer
+        #: depends on the static scan order.
+        self._fast_gto = (self._fast_path
+                          and config.scheduler_policy is SchedulerPolicy.GTO)
+        if self._fast_path:
+            for scheduler in self.schedulers:
+                scheduler.use_resident = True
+            # The fast path updates these Counter/Histogram objects directly
+            # (same objects the StatGroup attribute magic resolves to, so
+            # reported stats are identical to the scalar engine's).
+            stats = self.counters._stats
+            self._c_cycles = stats["cycles"]
+            self._c_issued = stats["issued"]
+            self._c_retired = stats["retired"]
+            self._c_backend = stats["backend_insts"]
+            self._c_fu_sp_insts = stats["fu_sp_insts"]
+            self._c_fu_sp_lanes = stats["fu_sp_lanes"]
+            self._c_fu_sfu_insts = stats["fu_sfu_insts"]
+            self._c_fu_sfu_lanes = stats["fu_sfu_lanes"]
+            self._c_affine_fu = stats["affine_fu_insts"]
+            self._c_mem_insts = stats["mem_insts"]
+            self._c_store_insts = stats["store_insts"]
+            self._h_by_class = stats["issued_by_class"]
 
         # Backend pipelines: initiation-interval-limited (1 warp inst/cycle).
         self._sp_free = [0] * config.num_sp_pipelines
@@ -149,12 +197,23 @@ class SMCore:
         self._events: List[Tuple[int, int, Callable[[], None]]] = []
         self._event_seq = 0
         self.cycle = 0
+        #: Sleep memo (vector engine): cycles below this are housekeeping-
+        #: only ticks (see :meth:`tick`).  0 disables the memo, which is the
+        #: permanent state under the scalar engine.
+        self._sleep_until = 0
 
         # Resident blocks.
         self._blocks: Dict[int, _BlockState] = {}
         self._warp_blocked_until: List[int] = [0] * config.max_warps_per_sm
         #: Warps waiting in the pending-retry queue do not issue.
         self._warp_waiting: List[bool] = [False] * config.max_warps_per_sm
+        #: Fast-scan memo (vector engine only): the slot's current
+        #: instruction failed the scoreboard check, so the slot cannot
+        #: become ready until one of its own in-flight instructions retires
+        #: — the only event that shrinks its pending sets (``register`` only
+        #: runs when this slot issues, ``reset_slot`` only at dispatch).
+        #: Both clearing sites reset the flag.
+        self._sb_wait: List[bool] = [False] * config.max_warps_per_sm
 
         #: Extra front-of-backend latency from the rename + reuse stages.
         extra = config.wir.extra_pipeline_latency
@@ -209,10 +268,12 @@ class SMCore:
             self.scoreboard.reset_slot(slot)
             self._warp_blocked_until[slot] = self.cycle
             self._warp_waiting[slot] = False
+            self._sb_wait[slot] = False
             if self.unit is not None:
                 self.unit.reset_slot(slot)
             self.schedulers[slot % len(self.schedulers)].note_dispatch(slot)
         self._blocks[block.block_id] = _BlockState(block, slots)
+        self._sleep_until = 0
         self._refresh_register_cap()
 
     def _refresh_register_cap(self) -> None:
@@ -225,6 +286,8 @@ class SMCore:
         """A warp has exited and drained its in-flight instructions."""
         state = self._blocks.get(warp.block.block_id)
         self.warps[warp.warp_slot] = None
+        self.schedulers[warp.warp_slot % len(self.schedulers)].note_finished(
+            warp.warp_slot)
         self.counters.warps_completed += 1
         if self.unit is not None:
             self.unit.reset_slot(warp.warp_slot)
@@ -275,23 +338,69 @@ class SMCore:
     def tick(self, cycle: int) -> bool:
         """Advance one cycle: drain due events, then issue. Returns activity."""
         self.cycle = cycle
+        events = self._events
+        if (cycle < self._sleep_until
+                and not (events and events[0][0] <= cycle)):
+            # Vector-engine sleep memo: the last full tick was inactive, so
+            # every warp is blocked on either an event (none due) or a time
+            # target at or beyond ``_sleep_until`` — this tick would do
+            # nothing.  Periodic housekeeping still runs so sampled stats
+            # match the scalar engine cycle for cycle.
+            if self.unit is not None:
+                self._tick_housekeeping(cycle)
+            return False
+        self._sleep_until = 0
         active = False
-        while self._events and self._events[0][0] <= cycle:
-            _, _, callback = heapq.heappop(self._events)
+        while events and events[0][0] <= cycle:
+            _, _, callback = heapq.heappop(events)
             callback()
             active = True
-        issued: List[int] = []
-        for scheduler in self.schedulers:
-            slot = scheduler.pick(self._ready)
-            if slot is not None:
-                self._issue(slot)
-                issued.append(slot)
-                active = True
-        if self.stall is not None:
-            self.stall.observe(cycle, issued)
+        if self._fast_gto and self.stall is None:
+            for scheduler in self.schedulers:
+                slot = self._fast_pick(scheduler)
+                if slot is not None:
+                    self._issue(slot)
+                    active = True
+        else:
+            issued: List[int] = []
+            if self._fast_gto:
+                for scheduler in self.schedulers:
+                    slot = self._fast_pick(scheduler)
+                    if slot is not None:
+                        self._issue(slot)
+                        issued.append(slot)
+                        active = True
+            else:
+                for scheduler in self.schedulers:
+                    slot = scheduler.pick(self._ready_impl)
+                    if slot is not None:
+                        self._issue(slot)
+                        issued.append(slot)
+                        active = True
+            if self.stall is not None:
+                self.stall.observe(cycle, issued)
         if active:
-            self.counters.cycles += 1
-        if self.unit is not None and cycle % self._util_sample_interval == 0:
+            if self._fast_path:
+                self._c_cycles.value += 1
+            else:
+                self.counters.cycles += 1
+        elif self._fast_path and self.stall is None:
+            # Inactive full tick: nothing can change before the earliest
+            # wake candidate (see ``next_wake``), so skip straight to the
+            # housekeeping-only path until then.  Disabled under stall
+            # attribution, which must observe every ticked cycle.
+            wake = self.next_wake()
+            self._sleep_until = wake if wake is not None else _NEVER
+        if self.unit is not None:
+            self._tick_housekeeping(cycle)
+        return active
+
+    def _tick_housekeeping(self, cycle: int) -> None:
+        """Per-cycle sampling and invariant checks (run on every ticked
+        cycle, including sleep-memo ticks, so sampled stats are identical
+        across engines).  No-op for unit-less SMs, so callers skip the call
+        when ``self.unit is None``."""
+        if cycle % self._util_sample_interval == 0:
             self.unit.physfile.sample_utilization()
         interval = self.config.wir.invariant_check_interval
         if (interval and self.unit is not None and not self.wir_quarantined
@@ -302,7 +411,6 @@ class SMCore:
                 if not self.config.wir.quarantine:
                     raise
                 self.quarantine_wir(str(err))
-        return active
 
     def account_idle_cycles(self, count: int) -> None:
         """Bulk stall attribution for idle-skipped cycles.
@@ -330,6 +438,117 @@ class SMCore:
             return False
         return self._pipeline_available(inst.op_class)
 
+    def _ready_fast(self, slot: int) -> bool:
+        """Vector-engine variant of :meth:`_ready` — same decision, fewer
+        Python hops.
+
+        The scheduler scan calls this for every candidate slot every cycle
+        (it dominates scalar profiles), so the property/method chain of
+        ``Warp.next_instruction`` and the per-call hazard loops are inlined
+        against the cached instruction metadata.  A non-exited warp's pc is
+        always in range (every pc change runs ``Warp._reconverge``), so the
+        direct instruction-list index is safe.
+        """
+        warp = self.warps[slot]
+        if (warp is None or warp.exited or warp.at_barrier
+                or self._warp_waiting[slot] or self._sb_wait[slot]):
+            return False
+        cycle = self.cycle
+        if self._warp_blocked_until[slot] > cycle:
+            return False
+        inst = self._instructions[warp.stack[-1].pc]
+        regs = self.scoreboard._pending_regs[slot]
+        if regs and not regs.isdisjoint(inst.sb_regs):
+            self._sb_wait[slot] = True
+            self._sched_of_slot[slot].scannable -= 1
+            return False
+        preds = self.scoreboard._pending_preds[slot]
+        if preds and not preds.isdisjoint(inst.sb_preds):
+            self._sb_wait[slot] = True
+            self._sched_of_slot[slot].scannable -= 1
+            return False
+        cls = inst.op_class
+        if cls is OpClass.INT or cls is OpClass.FP or cls is OpClass.PRED:
+            return min(self._sp_free) <= cycle
+        if cls is OpClass.SFU:
+            return self._sfu_free <= cycle
+        if cls is OpClass.LOAD or cls is OpClass.STORE:
+            return self._mem_free <= cycle
+        return True
+
+    def _fast_pick(self, scheduler: WarpScheduler) -> Optional[int]:
+        """Fused GTO arbitration (vector engine): ``scheduler.pick`` with the
+        :meth:`_ready_fast` body inlined into the min-age scan.
+
+        Decision-identical to ``scheduler.pick(self._ready_fast)``: the
+        greedy probe of the last-issued slot runs first, then the oldest
+        ready resident slot wins (ages are unique, so the winner does not
+        depend on scan order).  Pipeline availability is hoisted out of the
+        loop — ``_sp_free``/``_sfu_free``/``_mem_free`` only move when an
+        issue executes, i.e. after this pick returns.
+        """
+        if scheduler.scannable == 0:
+            # Every resident slot is scoreboard-blocked; nothing to scan.
+            return None
+        last = scheduler._last_issued
+        if last is not None and self._ready_fast(last):
+            if scheduler.on_pick is not None:
+                scheduler.on_pick(scheduler.scheduler_id, last)
+            return last
+
+        cycle = self.cycle
+        warps = self.warps
+        waiting = self._warp_waiting
+        blocked_until = self._warp_blocked_until
+        sb_wait = self._sb_wait
+        pend_regs = self.scoreboard._pending_regs
+        pend_preds = self.scoreboard._pending_preds
+        instructions = self._instructions
+        sp_ok = min(self._sp_free) <= cycle
+        sfu_ok = self._sfu_free <= cycle
+        mem_ok = self._mem_free <= cycle
+        age_of = scheduler._age
+
+        best: Optional[int] = None
+        best_age = None
+        for slot in scheduler._resident:
+            if sb_wait[slot] or waiting[slot]:
+                continue
+            warp = warps[slot]
+            if warp is None or warp.exited or warp.at_barrier:
+                continue
+            if blocked_until[slot] > cycle:
+                continue
+            inst = instructions[warp.stack[-1].pc]
+            regs = pend_regs[slot]
+            if regs and not regs.isdisjoint(inst.sb_regs):
+                sb_wait[slot] = True
+                scheduler.scannable -= 1
+                continue
+            preds = pend_preds[slot]
+            if preds and not preds.isdisjoint(inst.sb_preds):
+                sb_wait[slot] = True
+                scheduler.scannable -= 1
+                continue
+            cls = inst.op_class
+            if cls is OpClass.INT or cls is OpClass.FP or cls is OpClass.PRED:
+                if not sp_ok:
+                    continue
+            elif cls is OpClass.SFU:
+                if not sfu_ok:
+                    continue
+            elif cls is OpClass.LOAD or cls is OpClass.STORE:
+                if not mem_ok:
+                    continue
+            age = age_of[slot]
+            if best_age is None or age < best_age:
+                best, best_age = slot, age
+        if best is not None:
+            scheduler._last_issued = best
+            if scheduler.on_pick is not None:
+                scheduler.on_pick(scheduler.scheduler_id, best)
+        return best
+
     def _pipeline_available(self, cls: OpClass) -> bool:
         if cls in (OpClass.INT, OpClass.FP, OpClass.PRED):
             return min(self._sp_free) <= self.cycle
@@ -341,11 +560,19 @@ class SMCore:
 
     def _issue(self, slot: int) -> None:
         warp = self.warps[slot]
-        inst = warp.next_instruction()
+        if self._fast_path:
+            # The pick already proved the warp is live and in range.
+            inst = self._instructions[warp.stack[-1].pc]
+        else:
+            inst = warp.next_instruction()
         cycle = self.cycle
-        exec_result = execute(inst, warp)
-        self.counters.issued += 1
-        self.counters.note_class(inst.op_class)
+        exec_result = self._engine_execute(inst, warp)
+        if self._fast_path:
+            self._c_issued.value += 1
+            self._h_by_class.increment(inst.op_class.value)
+        else:
+            self.counters.issued += 1
+            self.counters.note_class(inst.op_class)
         warp.last_issue_cycle = cycle
 
         if self.profiler is not None:
@@ -577,7 +804,10 @@ class SMCore:
         cycle: int,
         from_retry: bool = False,
     ) -> None:
-        self.counters.backend_insts += 1
+        if self._fast_path:
+            self._c_backend.value += 1
+        else:
+            self.counters.backend_insts += 1
         cls = inst.op_class
         if self.stall is not None:
             self.stall.note_backend(warp.warp_slot, inst,
@@ -595,11 +825,16 @@ class SMCore:
         # Operand collection: one bank read per distinct register source.
         read_ready = start
         reg_keys = self._source_bank_keys(warp, inst, decision)
-        for key in reg_keys:
-            read_ready = max(
-                read_ready,
-                self.regfile.schedule_read(key, start, affine=self.affine.is_affine(key)),
-            )
+        affine = self.affine
+        if affine.enabled:
+            for key in reg_keys:
+                read_ready = max(
+                    read_ready,
+                    self.regfile.schedule_read(key, start, affine=affine.is_affine(key)),
+                )
+        else:
+            for key in reg_keys:
+                read_ready = max(read_ready, self.regfile.schedule_read(key, start))
 
         if cls in (OpClass.LOAD, OpClass.STORE):
             exec_ready = self._execute_memory(warp, inst, exec_result, read_ready)
@@ -615,10 +850,10 @@ class SMCore:
         """Register-bank keys of the distinct register sources."""
         if decision is not None:
             return sorted(set(decision.src_phys))
-        keys = {
-            (warp.warp_slot << 8) | reg for reg in inst.source_registers()
-        }
-        return sorted(keys)
+        base = warp.warp_slot << 8
+        # ``bank_regs`` is the cached sorted distinct source-register tuple;
+        # or-ing a constant high part preserves the order.
+        return [base | reg for reg in inst.bank_regs]
 
     def _execute_alu(
         self,
@@ -629,24 +864,49 @@ class SMCore:
         decision: Optional[IssueDecision],
     ) -> int:
         cls = inst.op_class
-        lanes = int(exec_result.mask.sum())
-        affine_exec = self._affine_execution(warp, inst, exec_result, decision)
+        fast = self._fast_path
+        if fast:
+            lanes = int(np.count_nonzero(exec_result.mask))
+            # With the Affine model off, _affine_execution is a constant
+            # False (its first check); skip the call.
+            affine_exec = (self.affine.enabled and
+                           self._affine_execution(warp, inst, exec_result,
+                                                  decision))
+        else:
+            lanes = int(exec_result.mask.sum())
+            affine_exec = self._affine_execution(warp, inst, exec_result, decision)
         lane_cost = 1 if affine_exec else max(lanes, 1)
         if affine_exec:
-            self.counters.affine_fu_insts += 1
+            if fast:
+                self._c_affine_fu.value += 1
+            else:
+                self.counters.affine_fu_insts += 1
 
         if cls is OpClass.SFU:
             start = max(ready, self._sfu_free)
             self._sfu_free = start + 1
-            self.counters.fu_sfu_insts += 1
-            self.counters.fu_sfu_lanes += lane_cost
+            if fast:
+                self._c_fu_sfu_insts.value += 1
+                self._c_fu_sfu_lanes.value += lane_cost
+            else:
+                self.counters.fu_sfu_insts += 1
+                self.counters.fu_sfu_lanes += lane_cost
             return start + self.config.sfu_latency
 
-        pipe = min(range(len(self._sp_free)), key=lambda i: self._sp_free[i])
-        start = max(ready, self._sp_free[pipe])
-        self._sp_free[pipe] = start + 1
-        self.counters.fu_sp_insts += 1
-        self.counters.fu_sp_lanes += lane_cost
+        sp_free = self._sp_free
+        pipe = 0
+        free = sp_free[0]
+        for i in range(1, len(sp_free)):
+            if sp_free[i] < free:
+                pipe, free = i, sp_free[i]
+        start = max(ready, free)
+        sp_free[pipe] = start + 1
+        if fast:
+            self._c_fu_sp_insts.value += 1
+            self._c_fu_sp_lanes.value += lane_cost
+        else:
+            self.counters.fu_sp_insts += 1
+            self.counters.fu_sp_lanes += lane_cost
         return start + self.config.sp_latency
 
     def _affine_execution(
@@ -676,9 +936,14 @@ class SMCore:
     ) -> int:
         start = max(ready, self._mem_free)
         self._mem_free = start + 1
-        self.counters.mem_insts += 1
-        if inst.op_class is OpClass.STORE:
-            self.counters.store_insts += 1
+        if self._fast_path:
+            self._c_mem_insts.value += 1
+            if inst.op_class is OpClass.STORE:
+                self._c_store_insts.value += 1
+        else:
+            self.counters.mem_insts += 1
+            if inst.op_class is OpClass.STORE:
+                self.counters.store_insts += 1
         result = self.port.access(
             inst.space,
             warp.block.block_id,
@@ -721,7 +986,11 @@ class SMCore:
 
         # Base GPU: plain register write.
         key = (warp.warp_slot << 8) | inst.dst.value
-        if exec_result.mask.all():
+        if self._fast_path and not self.affine.enabled:
+            # record_write / record_partial_write are no-ops returning
+            # False with tracking disabled; skip them and the mask check.
+            affine = False
+        elif exec_result.mask.all():
             affine = self.affine.record_write(key, warp.read_reg(inst.dst.value),
                                               opcode=inst.opcode)
         else:
@@ -736,8 +1005,15 @@ class SMCore:
         if self.tracer is not None:
             self.tracer.end_inst(warp.warp_slot, inst)
         self.scoreboard.release(warp.warp_slot, inst)
+        # The retire may have unblocked this slot's next instruction.
+        if self._sb_wait[warp.warp_slot]:
+            self._sb_wait[warp.warp_slot] = False
+            self._sched_of_slot[warp.warp_slot].scannable += 1
         warp.inflight -= 1
-        self.counters.retired += 1
+        if self._fast_path:
+            self._c_retired.value += 1
+        else:
+            self.counters.retired += 1
         self._finish_if_exited(warp)
 
     def _finish_if_exited(self, warp: Warp) -> None:
@@ -779,6 +1055,9 @@ class SMCore:
         if self.unit is None or self.wir_quarantined:
             return
         self.wir_quarantined = True
+        # The flush below may wake pending-retry warps outside an event, so
+        # the sleep memo is no longer trustworthy.
+        self._sleep_until = 0
         self.unit.counters.quarantines += 1
         if self.tracer is not None:
             self.tracer.component_event("wirunit", "quarantine",

@@ -1,0 +1,122 @@
+"""Bench subsystem: report schema, regression gate, and measurement."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchEntry,
+    BenchReport,
+    calibrate_machine,
+    compare_reports,
+    measure_subset,
+)
+from repro.bench.throughput import CALIBRATION_REFERENCE_S
+
+
+def _report(calibration_s=CALIBRATION_REFERENCE_S, scalar_cps=5000.0,
+            vector_cps=10000.0, cycles=1000, subset=(("HW", 1),)):
+    report = BenchReport(calibration_s=calibration_s, reps=3,
+                         subset=tuple(subset), machine="test")
+    for abbr, scale in subset:
+        for engine, cps in (("scalar", scalar_cps), ("vector", vector_cps)):
+            report.entries.append(BenchEntry(
+                abbr=abbr, scale=scale, model="Base", engine=engine,
+                cycles=cycles, instructions=cycles * 2, wall_s=cycles / cps,
+                cycles_per_sec=cps))
+    return report
+
+
+class TestReportSchema:
+    def test_round_trip(self):
+        report = _report()
+        clone = BenchReport.from_dict(json.loads(report.to_json()))
+        assert clone.subset == report.subset
+        assert clone.reps == report.reps
+        assert [e.to_dict() for e in clone.entries] == \
+            [e.to_dict() for e in report.entries]
+
+    def test_unknown_schema_version_rejected(self):
+        data = _report().to_dict()
+        data["schema_version"] = BENCH_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema"):
+            BenchReport.from_dict(data)
+
+    def test_aggregates(self):
+        report = _report(scalar_cps=5000.0, vector_cps=10000.0)
+        assert report.aggregate_cps("scalar") == pytest.approx(5000.0)
+        assert report.vector_speedup == pytest.approx(2.0)
+
+    def test_machine_normalization(self):
+        # A machine whose calibration runs 2x slower than the reference gets
+        # its throughput scaled 2x up (same simulator, slower host).
+        slow = _report(calibration_s=2 * CALIBRATION_REFERENCE_S)
+        fast = _report(calibration_s=CALIBRATION_REFERENCE_S)
+        assert slow.aggregate_cps("scalar", normalized=True) == \
+            pytest.approx(2 * fast.aggregate_cps("scalar", normalized=True))
+
+
+class TestRegressionGate:
+    def test_passes_when_equal(self):
+        gate = compare_reports(_report(), _report())
+        assert gate.ok
+
+    def test_passes_within_tolerance(self):
+        current = _report(scalar_cps=5000.0 * 0.90, vector_cps=10000.0 * 0.90)
+        assert compare_reports(current, _report()).ok
+
+    def test_fails_beyond_tolerance(self):
+        current = _report(scalar_cps=5000.0 * 0.80, vector_cps=10000.0 * 0.80)
+        gate = compare_reports(current, _report())
+        assert not gate.ok
+        assert any("REGRESSION" in m for m in gate.messages)
+
+    def test_normalization_excuses_a_slow_machine(self):
+        # Half the raw throughput on a machine that calibrates 2x slower is
+        # not a regression.
+        current = _report(calibration_s=2 * CALIBRATION_REFERENCE_S,
+                          scalar_cps=2500.0, vector_cps=5000.0)
+        assert compare_reports(current, _report()).ok
+
+    def test_subset_change_trips_gate(self):
+        current = _report(subset=(("KM", 1),))
+        gate = compare_reports(current, _report())
+        assert not gate.ok
+        assert any("subset" in m for m in gate.messages)
+
+    def test_cycle_drift_trips_gate(self):
+        current = _report(cycles=1001)
+        gate = compare_reports(current, _report())
+        assert not gate.ok
+        assert any("drift" in m for m in gate.messages)
+
+
+class TestMeasurement:
+    def test_calibration_is_positive_and_stable(self):
+        assert calibrate_machine(reps=2) > 0.0
+
+    def test_measure_tiny_subset(self):
+        report = measure_subset(reps=1, subset=(("HW", 1),))
+        assert len(report.entries) == 2
+        scalar, = report.engine_entries("scalar")
+        vector, = report.engine_entries("vector")
+        assert scalar.cycles == vector.cycles        # bit-identical engines
+        assert scalar.cycles_per_sec > 0
+        assert vector.cycles_per_sec > 0
+        # The fresh report always passes the gate against itself.
+        assert compare_reports(report, report).ok
+
+
+@pytest.mark.tier2
+def test_committed_baseline_loads_and_is_self_consistent():
+    """The repo-root baseline must stay readable by the current schema."""
+    from pathlib import Path
+
+    from repro.bench import DEFAULT_REPORT_NAME, PINNED_SUBSET
+
+    path = Path(__file__).resolve().parent.parent / DEFAULT_REPORT_NAME
+    baseline = BenchReport.load(path)
+    assert baseline.subset == PINNED_SUBSET
+    assert baseline.vector_speedup >= 2.0
+    assert compare_reports(baseline, baseline).ok

@@ -184,3 +184,29 @@ def test_cache_verify_without_dir(capsys, monkeypatch):
     set_cache_dir(None)
     code = main(["cache", "verify"])
     assert code == 2
+
+
+def test_bench_parser_defaults():
+    args = build_parser().parse_args(["bench"])
+    assert args.reps == 3 and not args.check and not args.quick
+    args = build_parser().parse_args(
+        ["bench", "--quick", "--check", "--baseline", "b.json", "--out", "o"])
+    assert args.quick and args.check and args.baseline == "b.json"
+
+
+def test_bench_check_without_baseline_errors(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    code = main(["bench", "--quick", "--check", "--baseline",
+                 str(tmp_path / "missing.json")])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "no baseline" in captured.err
+
+
+@pytest.mark.tier2
+def test_bench_quick_end_to_end(capsys, tmp_path):
+    out = tmp_path / "report.json"
+    code, text = run_cli(capsys, "bench", "--quick", "--out", str(out))
+    assert code == 0
+    assert "vector speedup" in text
+    assert out.exists()

@@ -134,3 +134,175 @@ def test_block_geometry_independence(grid, warps):
     out = run(source, "RLPV", grid=grid, block=warps * 32)
     gtid = np.arange(grid * warps * 32, dtype=np.uint32)
     assert np.array_equal(out, gtid * 3 + 7)
+
+
+# ---------------------------------------------------------------------------
+# Unit-level structure properties: H3 hashing, rename/refcount conservation,
+# and reuse-buffer invariants under adversarial operation sequences.
+# ---------------------------------------------------------------------------
+
+from repro.core.hashing import WARP_REGISTER_BYTES, H3Hash
+from repro.core.physreg import ZERO_REG, PhysicalRegisterFile
+from repro.core.refcount import ReferenceCounter
+from repro.core.rename import RenameTables
+from repro.core.reuse_buffer import ReuseBuffer, Waiter
+from repro.isa.instruction import NUM_LOGICAL_REGS
+
+_value128 = st.binary(min_size=WARP_REGISTER_BYTES,
+                      max_size=WARP_REGISTER_BYTES)
+_H3 = H3Hash()
+
+
+def _xor_bytes(a: bytes, b: bytes) -> bytes:
+    return (np.frombuffer(a, np.uint8) ^ np.frombuffer(b, np.uint8)).tobytes()
+
+
+class TestH3Properties:
+    @given(_value128, _value128)
+    @settings(max_examples=50, deadline=None)
+    def test_gf2_linearity(self, x, y):
+        """h(x ^ y) == h(x) ^ h(y) — the defining H3 property."""
+        assert _H3.hash_bytes(_xor_bytes(x, y)) == \
+            _H3.hash_bytes(x) ^ _H3.hash_bytes(y)
+
+    def test_zero_hashes_to_zero(self):
+        assert _H3.hash_bytes(bytes(WARP_REGISTER_BYTES)) == 0
+
+    @given(_value128)
+    @settings(max_examples=25, deadline=None)
+    def test_deterministic_across_instances_and_memo(self, x):
+        """Same seed -> same function; the memo never changes a signature."""
+        fresh = H3Hash()
+        first = _H3.hash_bytes(x)
+        assert _H3.hash_bytes(x) == first            # memo hit path
+        assert fresh.hash_bytes(x) == first          # fresh-table path
+
+    @given(_value128, st.integers(1, 31))
+    @settings(max_examples=25, deadline=None)
+    def test_width_mask(self, x, bits):
+        assert H3Hash(bits=bits).hash_bytes(x) < (1 << bits)
+
+    @given(_value128, st.integers(0, WARP_REGISTER_BYTES - 1),
+           st.integers(1, 255))
+    @settings(max_examples=25, deadline=None)
+    def test_crafted_collision_pairs(self, x, position, delta):
+        """Values differing by a byte whose table entry is zero collide.
+
+        By linearity, h(x) == h(x ^ d) iff h(d) == 0.  We synthesise d as a
+        single-byte difference and verify the collision criterion exactly
+        matches the table entry — the memo and gather path must agree with
+        the algebra.
+        """
+        d = bytearray(WARP_REGISTER_BYTES)
+        d[position] = delta
+        d = bytes(d)
+        collides = _H3.hash_bytes(x) == _H3.hash_bytes(_xor_bytes(x, d))
+        assert collides == (_H3.hash_bytes(d) == 0)
+        assert _H3.hash_bytes(d) == int(_H3._tables[position][delta])
+
+
+class TestRenameRefcountConservation:
+    """Random remap/reset traffic never leaks or double-frees registers."""
+
+    @given(st.lists(st.tuples(st.integers(0, 3),          # warp slot
+                              st.integers(0, NUM_LOGICAL_REGS - 1),
+                              st.integers(0, 99)),         # op selector
+                    min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_leak_free(self, ops):
+        physfile = PhysicalRegisterFile(64)
+        refcount = ReferenceCounter(physfile)
+        tables = RenameTables(4, refcount)
+        for slot, logical, selector in ops:
+            if selector < 70:
+                phys = physfile.allocate()
+                if phys is None:
+                    continue
+                # remap increfs; drop the allocation's implicit claim by
+                # treating the table as the sole owner (as the WIR unit
+                # does after the retire-time handoff).
+                tables.remap(slot, logical, phys)
+            elif selector < 85 and tables.is_mapped(slot, logical):
+                # Re-point at an already-live register (reuse hit).
+                donor = tables.lookup(slot, logical)
+                tables.remap(slot, (logical + 1) % NUM_LOGICAL_REGS, donor)
+            else:
+                tables.reset_slot(slot)
+            refcount.check_conservation()
+        for slot in range(4):
+            tables.reset_slot(slot)
+        refcount.check_conservation()
+        assert physfile.in_use == 1          # only the pinned zero register
+        assert refcount.live_registers() == 1
+        assert refcount.count(ZERO_REG) == 1
+
+
+def _tag(opcode, operands):
+    return (opcode, tuple(operands))
+
+
+class TestReuseBufferInvariants:
+    """Random lookup/reserve/fill/evict sequences hold the structural
+    invariants checked by ``ReuseBuffer.check_invariants`` at every step."""
+
+    @given(st.integers(1, 4),                  # associativity log2 selector
+           st.lists(st.tuples(st.integers(0, 5),    # op selector
+                              st.integers(0, 7),    # tag pool index
+                              st.integers(0, 15)),  # token/index jitter
+                    min_size=1, max_size=120))
+    @settings(max_examples=50, deadline=None)
+    def test_invariants_under_random_traffic(self, assoc_sel, ops):
+        physfile = PhysicalRegisterFile(128)
+        refcount = ReferenceCounter(physfile)
+        associativity = [1, 1, 2, 4][assoc_sel - 1]
+        rb = ReuseBuffer(16, refcount, retry_queue_entries=4,
+                         associativity=associativity)
+        # A pool of live source registers the tags may name.  The external
+        # incref stands in for the rename tables' ownership.
+        pool = []
+        for _ in range(8):
+            reg = physfile.allocate()
+            refcount.incref(reg)
+            pool.append(reg)
+        tags = [_tag(i & 3, [("r", pool[i]), ("i", i * 7)])
+                for i in range(8)]
+        reservations = []
+        results = []
+        for op, tag_index, jitter in ops:
+            tag = tags[tag_index]
+            if op <= 1:
+                outcome, reg, index = rb.lookup(
+                    tag, is_load=False, consumer_barrier_count=0,
+                    consumer_tbid=0, pending_retry=bool(jitter & 1),
+                    make_waiter=lambda: Waiter(results.append))
+                if outcome == "hit":
+                    assert refcount.count(reg) > 0
+            elif op <= 3:
+                reserved = rb.reserve(tag, is_load=False, barrier_count=0,
+                                      tbid=0, allow_insert=jitter != 0)
+                if reserved is not None:
+                    reservations.append(reserved)
+            elif op == 4 and reservations:
+                index, token = reservations.pop(jitter % len(reservations))
+                result = physfile.allocate()
+                if result is None:
+                    continue
+                refcount.incref(result)            # producer's claim
+                for waiter in rb.fill(index, token, result):
+                    waiter.on_result(result)
+                refcount.decref(result)            # producer retires
+            else:
+                rb.evict_index(jitter)
+            rb.check_invariants(refcount)
+            assert rb.occupancy() <= rb.num_entries
+            assert 0 <= rb.retry_queue_used <= rb.retry_queue_entries
+        # Drain: evict everything, then the pool must be the only ownership.
+        for index in range(rb.num_entries):
+            rb.evict_index(index)
+        rb.check_invariants(refcount)
+        assert rb.occupancy() == 0
+        assert rb.retry_queue_used == 0
+        for reg in pool:
+            refcount.decref(reg)
+        refcount.check_conservation()
+        assert physfile.in_use == 1
