@@ -323,10 +323,13 @@ class CheckedGPU(GPU):
                          fault_plan=fault_plan)
         self._benchmark = benchmark
 
-    def run(self, launch: KernelLaunch) -> RunResult:
+    def run(self, launch: KernelLaunch, resume=None) -> RunResult:
+        # Forward ``resume`` so the harness can call every GPU uniformly;
+        # GPU._check_resumable still refuses an actual resume while the
+        # lockstep checker is attached.
         self._checker = LockstepChecker(benchmark=self._benchmark)
         try:
-            return super().run(launch)
+            return super().run(launch, resume=resume)
         finally:
             self._checker = None
 

@@ -1,0 +1,36 @@
+"""Numpy <-> JSON-safe encoding for checkpoint payloads.
+
+Arrays are serialized as ``{"dtype", "shape", "data"}`` with the raw bytes
+base64-encoded.  ``dtype`` uses the explicit-endianness string form
+(``"<u4"``), so a snapshot taken on one machine decodes identically on
+another; decoding copies out of the base64 buffer so the result is a
+normal writable array.
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Dict, Optional
+
+import numpy as np
+
+
+def encode_array(arr: Optional[np.ndarray]) -> Optional[Dict]:
+    """JSON-safe form of *arr* (``None`` passes through)."""
+    if arr is None:
+        return None
+    arr = np.ascontiguousarray(arr)
+    return {
+        "dtype": arr.dtype.str,
+        "shape": list(arr.shape),
+        "data": base64.b64encode(arr.tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(data: Optional[Dict]) -> Optional[np.ndarray]:
+    """Inverse of :func:`encode_array`; returns a fresh writable array."""
+    if data is None:
+        return None
+    raw = base64.b64decode(data["data"])
+    arr = np.frombuffer(raw, dtype=np.dtype(data["dtype"]))
+    return arr.reshape(data["shape"]).copy()

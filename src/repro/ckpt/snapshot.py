@@ -1,0 +1,139 @@
+"""The on-disk checkpoint container.
+
+A checkpoint file is one JSON object::
+
+    {
+      "format":   1,          # file container layout
+      "schema":   1,          # simulator state_dict schema
+      "meta":     {...},      # program/launch/config identity (free-form)
+      "state":    {...},      # GPU.state_dict() payload
+      "checksum": "sha256..." # over the canonical body minus this key
+    }
+
+The checksum is computed over ``json.dumps(body, sort_keys=True)`` with the
+``checksum`` key absent — the same recipe as the harness result cache
+(``repro.harness.runner._payload_checksum``) — so truncated or bit-rotted
+files are detected before any state is restored.  Writes go to a unique
+per-process ``*.tmp`` name in the target directory and are published with
+``os.replace``, so concurrent writers and SIGKILLed workers can never leave
+a torn checkpoint under the final name (orphaned temps are swept by
+``repro cache verify --prune``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+#: Bump when the file container layout changes incompatibly.
+CKPT_FORMAT = 1
+#: Bump when any component's ``state_dict`` schema changes incompatibly.
+CKPT_SCHEMA = 1
+
+#: Test seam: called as ``hook(cycle, path)`` after every checkpoint write.
+#: The chaos tests install a hook that SIGKILLs the worker at a chosen
+#: checkpoint, proving the harness resumes from the file just written.
+_TEST_HOOK: Optional[Callable[[int, Path], None]] = None
+
+_TMP_COUNTER = itertools.count()
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is missing, corrupt, or incompatible."""
+
+
+def _checksum(body: Dict) -> str:
+    canonical = json.dumps(body, sort_keys=True).encode()
+    return hashlib.sha256(canonical).hexdigest()
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write *text* to *path* via a unique same-directory temp + rename.
+
+    The temp name embeds the pid and a process-local counter, so two
+    workers publishing the same path never truncate each other's temp
+    file mid-replace; ``os.replace`` makes the final publish atomic.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f"{path.name}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp"
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+
+
+def write_checkpoint(path, state: Dict, meta: Dict) -> Path:
+    """Atomically write a checkpoint file; returns the final path."""
+    path = Path(path)
+    body = {
+        "format": CKPT_FORMAT,
+        "schema": CKPT_SCHEMA,
+        "meta": meta,
+        "state": state,
+    }
+    payload = dict(body)
+    payload["checksum"] = _checksum(body)
+    atomic_write_text(path, json.dumps(payload, sort_keys=True))
+    hook = _TEST_HOOK
+    if hook is not None:
+        hook(int(state.get("cycle", -1)), path)
+    return path
+
+
+def read_checkpoint(path) -> Dict:
+    """Load and verify a checkpoint file; raises :class:`CheckpointError`."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise CheckpointError(f"no checkpoint at {path}") from None
+    except (OSError, json.JSONDecodeError) as err:
+        raise CheckpointError(f"unreadable checkpoint {path}: {err}") from None
+    if not isinstance(payload, dict):
+        raise CheckpointError(f"malformed checkpoint {path}: not an object")
+    if payload.get("format") != CKPT_FORMAT:
+        raise CheckpointError(
+            f"checkpoint {path} has container format "
+            f"{payload.get('format')!r}; this build reads {CKPT_FORMAT}")
+    if payload.get("schema") != CKPT_SCHEMA:
+        raise CheckpointError(
+            f"checkpoint {path} has state schema {payload.get('schema')!r}; "
+            f"this build reads {CKPT_SCHEMA}")
+    stored = payload.get("checksum")
+    body = {k: v for k, v in payload.items() if k != "checksum"}
+    if stored != _checksum(body):
+        raise CheckpointError(f"checksum mismatch in checkpoint {path}")
+    return payload
+
+
+def inspect_checkpoint(path) -> Dict:
+    """Summary of a checkpoint (validates it as a side effect).
+
+    Returns plain data fit for ``repro ckpt inspect``: versions, checksum
+    status, the snapshot cycle, the stored meta, and per-SM occupancy.
+    """
+    payload = read_checkpoint(path)
+    state = payload["state"]
+    sms = []
+    for sm in state.get("sms", []):
+        sms.append({
+            "resident_blocks": len(sm.get("blocks", {})),
+            "live_warps": sum(1 for w in sm.get("warps", []) if w is not None),
+            "queued_events": len(sm.get("events", [])),
+        })
+    return {
+        "path": str(path),
+        "format": payload["format"],
+        "schema": payload["schema"],
+        "checksum": "ok",
+        "cycle": state.get("cycle"),
+        "next_block_index": state.get("next_block_index"),
+        "meta": payload.get("meta", {}),
+        "sms": sms,
+    }

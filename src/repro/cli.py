@@ -9,7 +9,12 @@ Commands:
   golden-model oracle (``--snapshot OUT`` writes a JSON divergence report
   on failure, e.g. for a CI artifact).
 * ``cache verify [--prune]``    — audit the on-disk result cache's
-  checksums, optionally deleting corrupt entries.
+  checksums, optionally deleting corrupt entries and sweeping orphaned
+  temp files left behind by killed workers.
+* ``ckpt save ABBR --cycle N --out PATH`` — run a workload to cycle N and
+  snapshot the full simulator state; ``ckpt resume PATH`` finishes such a
+  run bit-identically in a fresh process; ``ckpt inspect PATH`` validates
+  a checkpoint's checksum and summarises its contents.
 * ``trace ABBR [--chrome OUT] [--stalls]`` — run one workload with the
   observability layer armed: print the per-SM stall-attribution table and
   export a Chrome ``trace_event`` JSON (chrome://tracing / Perfetto).
@@ -317,13 +322,96 @@ def _cmd_cache_verify(args) -> int:
     report = verify_cache_dir(base, prune=args.prune)
     print(f"{base}: {report.total} entries — {report.ok} ok, "
           f"{report.corrupt} corrupt, {report.version_mismatch} "
-          f"older-format")
+          f"older-format, {report.tmp_orphans} orphaned temp file"
+          + ("" if report.tmp_orphans == 1 else "s"))
     for path in report.corrupt_paths:
         print(f"  corrupt: {path}" + ("  (deleted)" if args.prune else ""))
     if args.prune and report.pruned:
         print(f"pruned {report.pruned} corrupt entr"
               + ("y" if report.pruned == 1 else "ies"))
+    if args.prune and report.tmp_pruned:
+        print(f"swept {report.tmp_pruned} orphaned temp file"
+              + ("" if report.tmp_pruned == 1 else "s"))
     return 1 if report.corrupt and not args.prune else 0
+
+
+def _cmd_ckpt_save(args) -> int:
+    from repro.ckpt import write_checkpoint
+    from repro.core.models import model_config
+    from repro.sim.gpu import GPU, KernelLaunch
+    from repro.workloads import build_workload
+
+    config = model_config(args.model)
+    config.num_sms = args.sms
+    config.exec_engine = args.engine
+    workload = build_workload(args.benchmark, scale=args.scale, seed=args.seed)
+    launch = KernelLaunch(workload.program, workload.grid, workload.block,
+                          workload.image)
+    gpu = GPU(config)
+    gpu.checkpoint_meta_extra = {
+        "workload": {"abbr": args.benchmark, "scale": args.scale,
+                     "seed": args.seed},
+    }
+    status, payload = gpu.run_to_cycle(launch, args.cycle)
+    if status == "done":
+        print(f"ckpt save: {args.benchmark} completed at cycle "
+              f"{payload.cycles}, before the requested cycle {args.cycle}; "
+              "nothing to checkpoint", file=sys.stderr)
+        return 1
+    write_checkpoint(Path(args.out), payload,
+                     meta=gpu.checkpoint_meta(launch))
+    print(f"wrote {args.out}: {args.benchmark}/{args.model} "
+          f"({args.engine} engine) paused at cycle {payload['cycle']}, "
+          f"{payload['next_block_index']}/{launch.total_blocks} blocks "
+          "dispatched")
+    return 0
+
+
+def _cmd_ckpt_resume(args) -> int:
+    from repro.ckpt import CheckpointError, read_checkpoint
+    from repro.sim.config import GPUConfig
+    from repro.sim.gpu import GPU, KernelLaunch
+    from repro.stats import dataclass_from_dict
+    from repro.workloads import build_workload
+
+    try:
+        ckpt = read_checkpoint(Path(args.path))
+    except CheckpointError as err:
+        print(f"ckpt resume: {args.path}: {err}", file=sys.stderr)
+        return 1
+    meta = ckpt["meta"]
+    workload_meta = meta.get("workload")
+    if not workload_meta:
+        print("ckpt resume: checkpoint meta carries no workload identity "
+              "(written by an external tool?)", file=sys.stderr)
+        return 1
+    config = dataclass_from_dict(GPUConfig, meta["config"])
+    workload = build_workload(workload_meta["abbr"],
+                              scale=workload_meta["scale"],
+                              seed=workload_meta["seed"])
+    launch = KernelLaunch(workload.program, workload.grid, workload.block,
+                          workload.image)
+    result = GPU(config).run(launch, resume=ckpt["state"])
+    workload.verify()
+    print(f"resumed {workload_meta['abbr']} from cycle "
+          f"{ckpt['state']['cycle']} and completed at cycle {result.cycles} "
+          f"({result.issued_instructions} instructions issued; "
+          "workload output verified)")
+    if args.json:
+        _write_json(result.to_json(indent=2), args.json)
+    return 0
+
+
+def _cmd_ckpt_inspect(args) -> int:
+    from repro.ckpt import CheckpointError, inspect_checkpoint
+
+    try:
+        info = inspect_checkpoint(Path(args.path))
+    except CheckpointError as err:
+        print(f"ckpt inspect: {args.path}: {err}", file=sys.stderr)
+        return 1
+    print(json.dumps(info, indent=2, default=str))
+    return 0
 
 
 def _cmd_params(_args) -> int:
@@ -387,6 +475,38 @@ def build_parser() -> argparse.ArgumentParser:
     verify_parser.add_argument("--prune", action="store_true",
                                help="delete corrupt entries")
     verify_parser.set_defaults(func=_cmd_cache_verify)
+
+    ckpt_parser = sub.add_parser(
+        "ckpt", help="checkpoint/resume tools (repro.ckpt)")
+    ckpt_sub = ckpt_parser.add_subparsers(dest="ckpt_command", required=True)
+    ckpt_save = ckpt_sub.add_parser(
+        "save", help="run a workload to a cycle and snapshot its state")
+    ckpt_save.add_argument("benchmark", choices=all_abbrs(), metavar="ABBR",
+                           help="benchmark abbreviation (see 'repro list')")
+    ckpt_save.add_argument("--cycle", type=int, required=True,
+                           help="pause and snapshot at this cycle")
+    ckpt_save.add_argument("--out", metavar="PATH", required=True,
+                           help="checkpoint file to write")
+    ckpt_save.add_argument("--model", default="RLPV", choices=model_names())
+    ckpt_save.add_argument("--sms", type=int, default=2)
+    ckpt_save.add_argument("--scale", type=int, default=1)
+    ckpt_save.add_argument("--seed", type=int, default=7)
+    ckpt_save.add_argument("--engine", default="scalar",
+                           choices=("scalar", "vector"))
+    ckpt_save.set_defaults(func=_cmd_ckpt_save)
+    ckpt_resume = ckpt_sub.add_parser(
+        "resume", help="finish a checkpointed run in this process")
+    ckpt_resume.add_argument("path", metavar="PATH",
+                             help="checkpoint file written by 'ckpt save' "
+                                  "or a timed-out harness job")
+    ckpt_resume.add_argument("--json", metavar="OUT", default=None,
+                             help="dump the final result registry as JSON "
+                                  "('-' for stdout)")
+    ckpt_resume.set_defaults(func=_cmd_ckpt_resume)
+    ckpt_inspect = ckpt_sub.add_parser(
+        "inspect", help="validate a checkpoint and summarise its contents")
+    ckpt_inspect.add_argument("path", metavar="PATH")
+    ckpt_inspect.set_defaults(func=_cmd_ckpt_inspect)
 
     trace_parser = sub.add_parser(
         "trace", help="stall attribution + Chrome trace for one workload")

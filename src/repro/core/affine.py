@@ -78,6 +78,19 @@ class AffineTracker:
             self._affine[key] = False
             self.full_writes += 1
 
+    def state_dict(self) -> Dict:
+        return {
+            "affine": {str(key): flag for key, flag in self._affine.items()},
+            "affine_writes": self.affine_writes,
+            "full_writes": self.full_writes,
+        }
+
+    def load_state(self, state: Dict) -> None:
+        self._affine = {int(key): flag
+                        for key, flag in state["affine"].items()}
+        self.affine_writes = state["affine_writes"]
+        self.full_writes = state["full_writes"]
+
     def is_affine(self, key: int) -> bool:
         """Affine-ness of a register (unwritten registers hold zero: affine)."""
         if not self.enabled:

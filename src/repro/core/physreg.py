@@ -10,10 +10,11 @@ one physical register.  The zero register is never freed.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque, Dict, Optional
 
 import numpy as np
 
+from repro.ckpt.codec import decode_array, encode_array
 from repro.sim.grid import WARP_SIZE
 
 #: The reserved all-zero physical register.
@@ -86,6 +87,32 @@ class PhysicalRegisterFile:
     def copy_lanes(self, src: int, dst: int, mask: np.ndarray) -> None:
         """Dummy-MOV semantics: copy *src* lanes selected by *mask* into *dst*."""
         np.copyto(self._values[dst], self._values[src], where=mask)
+
+    # --- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> Dict:
+        """Values, the free pool *in order* (allocate pops left, release
+        appends — the order decides future allocations), and counters."""
+        return {
+            "values": encode_array(self._values),
+            "free": list(self._free),
+            "in_use": self._in_use,
+            "peak_in_use": self.peak_in_use,
+            "allocations": self.allocations,
+            "releases": self.releases,
+            "util_accum": self._util_accum,
+            "util_samples": self._util_samples,
+        }
+
+    def load_state(self, state: Dict) -> None:
+        self._values[:] = decode_array(state["values"])
+        self._free = deque(state["free"])
+        self._in_use = state["in_use"]
+        self.peak_in_use = state["peak_in_use"]
+        self.allocations = state["allocations"]
+        self.releases = state["releases"]
+        self._util_accum = state["util_accum"]
+        self._util_samples = state["util_samples"]
 
     # --- utilisation sampling (Figure 19) ------------------------------------
 

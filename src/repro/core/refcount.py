@@ -46,6 +46,15 @@ class ReferenceCounter:
         if count == 0:
             self._physfile.release(reg)
 
+    def state_dict(self) -> dict:
+        return {"counts": list(self._counts), "operations": self.operations}
+
+    def load_state(self, state: dict) -> None:
+        # Counts are restored wholesale — never through incref/decref, which
+        # would release registers mid-restore.
+        self._counts = list(state["counts"])
+        self.operations = state["operations"]
+
     def live_registers(self) -> int:
         """Registers with a non-zero count (invariant-check helper)."""
         return sum(1 for count in self._counts if count > 0)

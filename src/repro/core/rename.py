@@ -13,6 +13,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.ckpt.codec import decode_array, encode_array
 from repro.core.physreg import ZERO_REG
 from repro.core.refcount import ReferenceCounter
 from repro.isa.instruction import NUM_LOGICAL_REGS
@@ -59,6 +60,24 @@ class RenameTables:
         self._mapping[slot, logical] = phys
         if old >= 0:
             self._refcount.decref(old)
+
+    # --- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "mapping": encode_array(self._mapping),
+            "pin": encode_array(self._pin),
+            "reads": self.reads,
+            "writes": self.writes,
+        }
+
+    def load_state(self, state: dict) -> None:
+        # Arrays are restored directly (no remap/decref churn): the matching
+        # reference counts are restored wholesale by the ReferenceCounter.
+        self._mapping[:] = decode_array(state["mapping"])
+        self._pin[:] = decode_array(state["pin"])
+        self.reads = state["reads"]
+        self.writes = state["writes"]
 
     # --- pin bits (Section V-D) ----------------------------------------------
 

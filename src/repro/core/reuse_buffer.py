@@ -61,12 +61,16 @@ class ReuseBufferStats(StatGroup):
 class Waiter:
     """One queued instruction waiting on a pending entry."""
 
-    __slots__ = ("on_result",)
+    __slots__ = ("on_result", "descriptor")
 
     def __init__(self, on_result: Callable[[Optional[int]], None]) -> None:
         #: Called with the result physical register, or ``None`` when the
         #: pending entry was evicted and the waiter must execute after all.
         self.on_result = on_result
+        #: Plain-data identity of the waiting instruction, set by the SM
+        #: (checkpointing externalizes the queue through it); the buffer
+        #: itself never reads it.
+        self.descriptor = None
 
 
 class _Entry:
@@ -378,6 +382,63 @@ class ReuseBuffer:
                 dropped += 1
         self._notify_failed(orphans)
         return dropped
+
+    # --- checkpointing ---------------------------------------------------------
+
+    def state_dict(self, encode_waiter: Callable[[Waiter], dict]) -> dict:
+        """Entries, LRU orders, and queue bookkeeping.
+
+        Waiters hold SM-side callbacks, so the SM supplies *encode_waiter*
+        to externalize each one (via ``Waiter.descriptor``) as plain data.
+        """
+        entries = []
+        for entry in self._entries:
+            tag = entry.tag
+            entries.append({
+                "valid": entry.valid,
+                "tag": ([tag[0], [list(desc) for desc in tag[1]]]
+                        if tag is not None else None),
+                "result_reg": entry.result_reg,
+                "pending": entry.pending,
+                "barrier_count": entry.barrier_count,
+                "tbid": entry.tbid,
+                "is_load": entry.is_load,
+                "token": entry.token,
+                "waiters": [encode_waiter(w) for w in entry.waiters],
+            })
+        return {
+            "entries": entries,
+            "lru": [list(order) for order in self._lru],
+            "retry_queue_used": self._retry_queue_used,
+            "next_token": self._next_token,
+        }
+
+    def load_state(
+        self, state: dict, decode_waiter: Callable[[dict], Waiter]
+    ) -> None:
+        """Inverse of :meth:`state_dict`.
+
+        Fields are set directly, never through reserve/fill — the matching
+        reference counts are restored wholesale by the ReferenceCounter.
+        Tags are re-tupled (JSON lists would break ``entry.tag == tag``
+        equality and ``_mix``).
+        """
+        for entry, data in zip(self._entries, state["entries"]):
+            entry.valid = data["valid"]
+            tag = data["tag"]
+            entry.tag = (
+                (tag[0], tuple((kind, operand) for kind, operand in tag[1]))
+                if tag is not None else None)
+            entry.result_reg = data["result_reg"]
+            entry.pending = data["pending"]
+            entry.barrier_count = data["barrier_count"]
+            entry.tbid = data["tbid"]
+            entry.is_load = data["is_load"]
+            entry.token = data["token"]
+            entry.waiters = [decode_waiter(w) for w in data["waiters"]]
+        self._lru = [list(order) for order in state["lru"]]
+        self._retry_queue_used = state["retry_queue_used"]
+        self._next_token = state["next_token"]
 
     def occupancy(self) -> int:
         return sum(1 for entry in self._entries if entry.valid)

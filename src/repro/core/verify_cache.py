@@ -55,6 +55,13 @@ class VerifyCache:
         self._lines[reg] = None
         return False
 
+    def state_dict(self) -> dict:
+        """Resident lines in LRU order (first = oldest)."""
+        return {"lines": list(self._lines)}
+
+    def load_state(self, state: dict) -> None:
+        self._lines = OrderedDict((reg, None) for reg in state["lines"])
+
     def invalidate(self, reg: int) -> None:
         """A write to *reg* evicts its cached value."""
         if self.enabled and reg in self._lines:

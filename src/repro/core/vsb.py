@@ -151,6 +151,26 @@ class ValueSignatureBuffer:
         entry.reg = -1
         return True
 
+    def state_dict(self) -> dict:
+        """Entries and per-set LRU order (stats live in the SM stats tree)."""
+        return {
+            "entries": [
+                [entry.valid, entry.hash_value, entry.reg]
+                for entry in self._entries
+            ],
+            "lru": [list(order) for order in self._lru],
+        }
+
+    def load_state(self, state: dict) -> None:
+        # Fields are set directly — no incref/decref, the counter array is
+        # restored wholesale elsewhere.
+        for entry, (valid, hash_value, reg) in zip(self._entries,
+                                                   state["entries"]):
+            entry.valid = valid
+            entry.hash_value = hash_value
+            entry.reg = reg
+        self._lru = [list(order) for order in state["lru"]]
+
     def note_false_positive(self) -> None:
         self.stats.false_positives += 1
 

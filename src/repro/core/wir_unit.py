@@ -660,6 +660,48 @@ class WIRUnit:
         for index in indices:
             self.reuse_buffer.evict_if_source(index, reg)
 
+    # ---------------------------------------------------------- checkpointing
+
+    def state_dict(self, encode_waiter: Callable[[Waiter], dict]) -> dict:
+        """Composite snapshot of every reuse structure.
+
+        Not serialized: the interned ``_plans`` and the hasher memo (pure
+        caches, lazily repopulated), ``_max_barrier_count`` (config-derived),
+        and ``_register_cap`` (recomputed from the restored warp population
+        by ``SMCore._refresh_register_cap``).
+        """
+        return {
+            "physfile": self.physfile.state_dict(),
+            "refcount": self.refcount.state_dict(),
+            "rename": self.rename.state_dict(),
+            "vsb": self.vsb.state_dict(),
+            "reuse_buffer": self.reuse_buffer.state_dict(encode_waiter),
+            "verify_cache": self.verify_cache.state_dict(),
+            "evict_pointer": self._evict_pointer,
+            "rb_src_refs": {
+                str(reg): sorted(indices)
+                for reg, indices in self._rb_src_refs.items() if indices
+            },
+        }
+
+    def load_state(
+        self, state: dict, decode_waiter: Callable[[dict], Waiter]
+    ) -> None:
+        self.physfile.load_state(state["physfile"])
+        self.refcount.load_state(state["refcount"])
+        self.rename.load_state(state["rename"])
+        self.vsb.load_state(state["vsb"])
+        self.reuse_buffer.load_state(state["reuse_buffer"], decode_waiter)
+        self.verify_cache.load_state(state["verify_cache"])
+        self._evict_pointer = state["evict_pointer"]
+        # Sets of ints iterate in value-hash order, which depends only on
+        # the contents — restoring from sorted lists reproduces the original
+        # eviction walk order in ``_invalidate_stale_tags``.
+        self._rb_src_refs = {
+            int(reg): set(indices)
+            for reg, indices in state["rb_src_refs"].items()
+        }
+
     # ------------------------------------------------------------ diagnostics
 
     def finalize_stats(self) -> WIRCounters:

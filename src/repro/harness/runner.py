@@ -49,6 +49,7 @@ from pathlib import Path
 from typing import (Callable, Dict, Iterable, List, Optional, Sequence,
                     Tuple)
 
+from repro.ckpt import CheckpointError, atomic_write_text, read_checkpoint
 from repro.core.models import model_config
 from repro.energy import EnergyParams, EnergyReport, compute_energy
 from repro.profiling import RedundancyProfile, RedundancyProfiler
@@ -96,6 +97,11 @@ class RunSpec:
     #: (see ``tests/test_exec_differential.py``); scalar stays the default so
     #: cached experiment digests are unchanged.
     exec_engine: str = "scalar"
+    #: Snapshot simulator state every N cycles so a killed or timed-out job
+    #: resumes from its checkpoint on retry (``repro.ckpt``; needs an
+    #: on-disk cache dir).  ``None`` (default) leaves runs byte-identical
+    #: to pre-checkpoint behaviour.
+    checkpoint_every: Optional[int] = None
 
     @classmethod
     def make(
@@ -109,11 +115,13 @@ class RunSpec:
         checked: bool = False,
         trace_stalls: bool = False,
         exec_engine: str = "scalar",
+        checkpoint_every: Optional[int] = None,
         **wir_overrides,
     ) -> "RunSpec":
         return cls(abbr, model, scale, seed, num_sms, profile,
                    tuple(sorted(wir_overrides.items())), checked=checked,
-                   trace_stalls=trace_stalls, exec_engine=exec_engine)
+                   trace_stalls=trace_stalls, exec_engine=exec_engine,
+                   checkpoint_every=checkpoint_every)
 
     def to_dict(self) -> Dict[str, object]:
         data = {
@@ -134,6 +142,9 @@ class RunSpec:
             # Omitted at the default so pre-existing cache digests (and
             # payloads) for scalar runs remain valid.
             data["exec_engine"] = self.exec_engine
+        if self.checkpoint_every is not None:
+            # Same digest-stability rule as exec_engine.
+            data["checkpoint_every"] = self.checkpoint_every
         return data
 
     @classmethod
@@ -151,6 +162,7 @@ class RunSpec:
             checked=data.get("checked", False),
             trace_stalls=data.get("trace_stalls", False),
             exec_engine=data.get("exec_engine", "scalar"),
+            checkpoint_every=data.get("checkpoint_every"),
         )
 
     def digest(self, energy_params: Optional[EnergyParams] = None) -> str:
@@ -347,11 +359,19 @@ def _disk_store(spec: RunSpec, energy_params: Optional[EnergyParams],
     path = _cache_path(spec.digest(energy_params))
     if path is None:
         return
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_suffix(".tmp")
-    tmp.write_text(json.dumps(payload, sort_keys=True))
-    tmp.replace(path)
+    # Unique per-process temp name: two workers (or a worker and a retry of
+    # the same spec) racing on one slot must never interleave writes into a
+    # shared ".tmp" file; each publishes atomically via os.replace.
+    atomic_write_text(path, json.dumps(payload, sort_keys=True))
     COUNTS["disk_writes"] += 1
+
+
+def _ckpt_path(spec: RunSpec) -> Optional[Path]:
+    """Checkpoint slot for one run, next to the result cache."""
+    base = cache_dir()
+    if base is None:
+        return None
+    return base / "ckpt" / f"{spec.digest()}.ckpt.json"
 
 
 @dataclass
@@ -364,6 +384,9 @@ class CacheReport:
     version_mismatch: int = 0
     pruned: int = 0
     corrupt_paths: List[str] = field(default_factory=list)
+    #: Orphaned ``*.tmp`` files (killed mid-write) found under the cache.
+    tmp_orphans: int = 0
+    tmp_pruned: int = 0
 
 
 def verify_cache_dir(base: Optional[os.PathLike] = None,
@@ -373,7 +396,10 @@ def verify_cache_dir(base: Optional[os.PathLike] = None,
     Checks each ``*.json`` payload's parseability, format version, and
     content checksum.  With ``prune=True`` corrupt entries are deleted
     (version-mismatched entries are always left alone — an older tool may
-    still want them).  Defaults to the active :func:`cache_dir`.
+    still want them).  Orphaned ``*.tmp`` files — half-written payloads or
+    checkpoints abandoned by killed workers — are counted (and swept under
+    ``prune=True``); they are never read, so they only waste space.
+    Defaults to the active :func:`cache_dir`.
     """
     root = Path(base) if base is not None else cache_dir()
     report = CacheReport()
@@ -395,6 +421,14 @@ def verify_cache_dir(base: Optional[os.PathLike] = None,
                     report.pruned += 1
                 except OSError:
                     pass
+    for path in sorted(root.rglob("*.tmp")):
+        report.tmp_orphans += 1
+        if prune:
+            try:
+                path.unlink()
+                report.tmp_pruned += 1
+            except OSError:
+                pass
     return report
 
 
@@ -410,6 +444,7 @@ def _simulate(spec: RunSpec) -> Tuple[RunResult, Optional[RedundancyProfile],
     config.num_sms = spec.num_sms
     config.trace.stalls = spec.trace_stalls
     config.exec_engine = spec.exec_engine
+    config.checkpoint_every = spec.checkpoint_every
     workload = build_workload(spec.abbr, scale=spec.scale, seed=spec.seed)
 
     profilers: List[RedundancyProfiler] = []
@@ -428,8 +463,38 @@ def _simulate(spec: RunSpec) -> Tuple[RunResult, Optional[RedundancyProfile],
                          benchmark=spec.abbr)
     else:
         gpu = GPU(config, profiler_factory=factory)
-    result = gpu.run(launch)
+
+    ckpt_path = (_ckpt_path(spec)
+                 if spec.checkpoint_every is not None else None)
+    resume = None
+    if ckpt_path is not None:
+        gpu.checkpoint_path = ckpt_path
+        gpu.checkpoint_meta_extra = {
+            "workload": {"abbr": spec.abbr, "scale": spec.scale,
+                         "seed": spec.seed},
+        }
+        if ckpt_path.exists():
+            try:
+                ckpt = read_checkpoint(ckpt_path)
+            except CheckpointError:
+                # A damaged checkpoint is worth exactly nothing: drop it
+                # and restart from cycle 0.
+                ckpt = None
+                try:
+                    ckpt_path.unlink()
+                except OSError:
+                    pass
+            if ckpt is not None and ckpt["meta"] == gpu.checkpoint_meta(launch):
+                resume = ckpt["state"]
+
+    result = gpu.run(launch, resume=resume)
     workload.verify()
+    if ckpt_path is not None:
+        # The run completed; its checkpoint slot is spent.
+        try:
+            ckpt_path.unlink()
+        except OSError:
+            pass
 
     merged: Optional[RedundancyProfile] = None
     if profilers:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from enum import Enum
+from typing import Optional
 
 
 class SchedulerPolicy(Enum):
@@ -168,6 +169,12 @@ class GPUConfig:
     # --- limits ---
     max_cycles: int = 5_000_000
 
+    # --- checkpointing (host robustness, not modelled hardware) ---
+    #: Snapshot the full simulator state every N cycles so a killed or
+    #: timed-out run can resume bit-identically (DESIGN.md §12).  ``None``
+    #: disables checkpointing entirely (the default; runs are unchanged).
+    checkpoint_every: Optional[int] = None
+
     # --- host execution strategy (simulation speed, not modelled hardware) ---
     #: "scalar" interprets every issued instruction (the oracle, default);
     #: "vector" uses per-instruction compiled numpy kernels plus the fast
@@ -209,6 +216,8 @@ class GPUConfig:
             raise ValueError("trace ring capacity must be at least 1")
         if self.trace.sample_period < 0 or self.trace.sample_window < 0:
             raise ValueError("trace sampling parameters must be non-negative")
+        if self.checkpoint_every is not None and self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be at least 1 cycle")
         if self.exec_engine not in ("scalar", "vector"):
             raise ValueError(
                 f"unknown exec engine {self.exec_engine!r}; "

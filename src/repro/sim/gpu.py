@@ -13,8 +13,10 @@ from __future__ import annotations
 import json
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
+from repro.ckpt import write_checkpoint
 from repro.isa.program import Program
 from repro.sim.config import GPUConfig
 from repro.sim.grid import Dim3, enumerate_blocks
@@ -244,9 +246,61 @@ class GPU:
         #: Optional :class:`repro.check.oracle.LockstepChecker`; set by
         #: :class:`repro.check.oracle.CheckedGPU` before :meth:`run`.
         self._checker = None
+        #: Where periodic checkpoints go when ``config.checkpoint_every``
+        #: is set (the harness points this next to the run cache).
+        self.checkpoint_path: Optional[Path] = None
+        #: Extra identity merged into every checkpoint's meta block (the
+        #: harness and CLI record the workload spec here so a checkpoint
+        #: file is self-describing for ``repro ckpt resume``).
+        self.checkpoint_meta_extra: Dict = {}
 
-    def run(self, launch: KernelLaunch) -> RunResult:
-        """Simulate one kernel launch to completion."""
+    def run(
+        self, launch: KernelLaunch, resume: Optional[Dict] = None
+    ) -> RunResult:
+        """Simulate one kernel launch to completion.
+
+        With *resume*, restore the checkpointed ``state`` dict (see
+        :mod:`repro.ckpt`) instead of starting at cycle 0; the rest of the
+        run is bit-identical to the uninterrupted one.
+        """
+        status, payload = self._run(launch, resume=resume)
+        assert status == "done"
+        return payload
+
+    def run_to_cycle(
+        self, launch: KernelLaunch, cycle: int, resume: Optional[Dict] = None
+    ) -> Tuple[str, Union[RunResult, Dict]]:
+        """Run until the clock reaches *cycle*, then snapshot and pause.
+
+        Returns ``("paused", state)`` with a serializable state dict, or
+        ``("done", result)`` if the kernel finished first.
+        """
+        return self._run(launch, resume=resume, stop_cycle=cycle)
+
+    def _check_resumable(self, reason: str) -> None:
+        """Checkpointing serializes simulator state only — observers with
+        process-local state (checker, profilers, fault injectors, tracers)
+        cannot be restored, so their runs refuse to checkpoint or resume."""
+        problems = []
+        if self._checker is not None:
+            problems.append("a lockstep checker")
+        if self._profiler_factory is not None:
+            problems.append("profilers")
+        if self._fault_plan is not None and self._fault_plan.any_enabled:
+            problems.append("fault injection")
+        if self.config.trace.enabled or self.config.trace.stalls:
+            problems.append("tracing")
+        if problems:
+            raise ValueError(
+                f"cannot {reason} with {' / '.join(problems)} attached: "
+                "observer state is not checkpointed")
+
+    def _run(
+        self,
+        launch: KernelLaunch,
+        resume: Optional[Dict] = None,
+        stop_cycle: Optional[int] = None,
+    ) -> Tuple[str, Union[RunResult, Dict]]:
         config = self.config
         subsystem = MemorySubsystem(config, launch.image)
         tracer = None
@@ -275,7 +329,26 @@ class GPU:
                     sm.unit.attach_faults(
                         FaultInjector(self._fault_plan, salt=sm.sm_id))
 
-        pending = deque(enumerate_blocks(launch.grid, launch.block))
+        ckpt_path = self.checkpoint_path
+        every = config.checkpoint_every
+        if every is not None and ckpt_path is not None:
+            self._check_resumable("checkpoint")
+        if resume is not None or stop_cycle is not None:
+            self._check_resumable("resume or pause")
+
+        all_blocks = list(enumerate_blocks(launch.grid, launch.block))
+        if resume is not None:
+            # Blocks are enumerated deterministically, so the dispatch
+            # frontier is just an index into the same sequence.
+            descriptors = {bd.block_id: bd for bd in all_blocks}
+            pending = deque(all_blocks[resume["next_block_index"]:])
+            for sm, sm_state in zip(sms, resume["sms"]):
+                sm.load_state(sm_state, descriptors.__getitem__)
+            subsystem.load_state(resume["memory"])
+            cycle = resume["cycle"]
+        else:
+            pending = deque(all_blocks)
+            cycle = 0
 
         def fill(sm: SMCore) -> None:
             while pending and sm.can_accept(pending[0]):
@@ -286,19 +359,36 @@ class GPU:
 
         for sm in sms:
             sm.on_block_complete = on_complete
-        # Initial fill round-robins blocks across SMs (as the hardware block
-        # dispatcher does) instead of packing the first SM solid.
-        while pending:
-            dispatched = False
-            for sm in sms:
-                if pending and sm.can_accept(pending[0]):
-                    sm.dispatch_block(pending.popleft())
-                    dispatched = True
-            if not dispatched:
-                break
+        if resume is None:
+            # Initial fill round-robins blocks across SMs (as the hardware
+            # block dispatcher does) instead of packing the first SM solid.
+            while pending:
+                dispatched = False
+                for sm in sms:
+                    if pending and sm.can_accept(pending[0]):
+                        sm.dispatch_block(pending.popleft())
+                        dispatched = True
+                if not dispatched:
+                    break
 
-        cycle = 0
+        next_ckpt: Optional[int] = None
+        if every is not None and ckpt_path is not None:
+            next_ckpt = (cycle // every + 1) * every
+
         while True:
+            # Snapshots are taken at the top of the loop — "about to tick
+            # cycle C" — so restore re-executes cycle C first.
+            if stop_cycle is not None and cycle >= stop_cycle:
+                return ("paused",
+                        self._state_dict(cycle, launch, pending, sms,
+                                         subsystem))
+            if next_ckpt is not None and cycle >= next_ckpt:
+                write_checkpoint(
+                    ckpt_path,
+                    self._state_dict(cycle, launch, pending, sms, subsystem),
+                    meta=self.checkpoint_meta(launch),
+                )
+                next_ckpt = (cycle // every + 1) * every
             if tracer is not None:
                 tracer.now = cycle
             active = False
@@ -334,7 +424,37 @@ class GPU:
 
         if self._checker is not None:
             self._checker.finalize(launch, sms)
-        return self._collect(cycle, launch, sms, subsystem, profilers, tracer)
+        return ("done",
+                self._collect(cycle, launch, sms, subsystem, profilers,
+                              tracer))
+
+    def _state_dict(
+        self,
+        cycle: int,
+        launch: KernelLaunch,
+        pending: deque,
+        sms: List[SMCore],
+        subsystem: MemorySubsystem,
+    ) -> Dict:
+        """Serializable snapshot of the whole chip at a cycle boundary."""
+        return {
+            "cycle": cycle,
+            "next_block_index": launch.total_blocks - len(pending),
+            "sms": [sm.state_dict() for sm in sms],
+            "memory": subsystem.state_dict(),
+        }
+
+    def checkpoint_meta(self, launch: KernelLaunch) -> Dict:
+        """Identity of the run a checkpoint belongs to: a resume must be
+        driving the exact same program, geometry, and configuration."""
+        meta = {
+            "program": launch.program.name,
+            "grid": [launch.grid.x, launch.grid.y, launch.grid.z],
+            "block": [launch.block.x, launch.block.y, launch.block.z],
+            "config": dataclass_to_dict(self.config),
+        }
+        meta.update(self.checkpoint_meta_extra)
+        return meta
 
     def _collect(
         self,

@@ -117,3 +117,20 @@ class Cache:
     def invalidate_all(self) -> None:
         self._sets = [[] for _ in range(self._num_sets)]
         self._pending.clear()
+
+    # --- checkpointing ------------------------------------------------------
+
+    def state_dict(self) -> Dict:
+        """Tag arrays (MRU order), in-flight fills (insertion order), and
+        this cache's own stats — self-contained, because L2 partition
+        caches have no live stats tree until collection time."""
+        return {
+            "sets": [list(line_set) for line_set in self._sets],
+            "pending": [[line, ready] for line, ready in self._pending.items()],
+            "stats": self.stats.to_dict(),
+        }
+
+    def load_state(self, state: Dict) -> None:
+        self._sets = [list(line_set) for line_set in state["sets"]]
+        self._pending = {line: ready for line, ready in state["pending"]}
+        self.stats.load_state(state["stats"])

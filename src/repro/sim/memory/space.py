@@ -16,6 +16,7 @@ from typing import Dict, Iterable, Optional
 
 import numpy as np
 
+from repro.ckpt.codec import decode_array, encode_array
 from repro.isa.opcodes import MemSpace
 
 
@@ -82,6 +83,14 @@ class MemorySpaceStore:
     def size_words(self) -> int:
         return self._data.size
 
+    def state_dict(self) -> Dict:
+        """The full backing array — including its grown size, so address
+        probes after restore see the same ``size_words``."""
+        return {"data": encode_array(self._data)}
+
+    def load_state(self, state: Dict) -> None:
+        self._data = decode_array(state["data"])
+
 
 class MemoryImage:
     """All backing stores for one kernel launch."""
@@ -104,6 +113,29 @@ class MemoryImage:
     def release_scratchpad(self, block_id: int) -> None:
         """Free a completed block's scratchpad."""
         self._scratchpads.pop(block_id, None)
+
+    def state_dict(self) -> Dict:
+        return {
+            "global": self.global_mem.state_dict(),
+            "const": self.const_mem.state_dict(),
+            "param": self.param_mem.state_dict(),
+            "local": self.local_mem.state_dict(),
+            "scratchpads": {
+                str(block_id): store.state_dict()
+                for block_id, store in self._scratchpads.items()
+            },
+        }
+
+    def load_state(self, state: Dict) -> None:
+        self.global_mem.load_state(state["global"])
+        self.const_mem.load_state(state["const"])
+        self.param_mem.load_state(state["param"])
+        self.local_mem.load_state(state["local"])
+        self._scratchpads = {}
+        for block_id, data in state["scratchpads"].items():
+            store = MemorySpaceStore(f"shared[{int(block_id)}]")
+            store.load_state(data)
+            self._scratchpads[int(block_id)] = store
 
     def store_for(self, space: MemSpace, block_id: int) -> MemorySpaceStore:
         """Resolve the backing store for *space* accessed by *block_id*."""

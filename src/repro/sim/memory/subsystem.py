@@ -63,6 +63,18 @@ class DRAMChannel:
         self._next_free = max(self._next_free, cycle) + self._service_cycles
         return wait + self._extra_latency
 
+    def state_dict(self) -> Dict:
+        return {
+            "next_free": self._next_free,
+            "accesses": self.accesses,
+            "queueing_cycles": self.queueing_cycles,
+        }
+
+    def load_state(self, state: Dict) -> None:
+        self._next_free = state["next_free"]
+        self.accesses = state["accesses"]
+        self.queueing_cycles = state["queueing_cycles"]
+
 
 class NoCModel:
     """Bandwidth-limited interconnect between SMs and L2 partitions."""
@@ -78,6 +90,13 @@ class NoCModel:
         wait = max(0, self._next_free[sm_id] - cycle)
         self._next_free[sm_id] = max(self._next_free[sm_id], cycle) + self._service_cycles
         return wait + self._service_cycles
+
+    def state_dict(self) -> Dict:
+        return {"next_free": list(self._next_free), "flits": self.flits}
+
+    def load_state(self, state: Dict) -> None:
+        self._next_free = list(state["next_free"])
+        self.flits = state["flits"]
 
 
 class MemorySubsystem:
@@ -135,6 +154,28 @@ class MemorySubsystem:
         base = self.config.l2_latency - self.config.l1d.hit_latency
         return max(0, noc_delay + (ready - cycle) + base - partition.config.hit_latency)
 
+    def state_dict(self) -> Dict:
+        """Chip-level timing state plus the functional memory image.
+
+        The DRAM-callback closures inside the L2 partitions are rebuilt at
+        construction; ``stats_group()`` aggregates from the restored
+        scalars at collection time, so no chip-level stat tree is stored.
+        """
+        return {
+            "dram": [channel.state_dict() for channel in self.dram_channels],
+            "noc": self.noc.state_dict(),
+            "l2": [partition.state_dict() for partition in self.l2_partitions],
+            "image": self.image.state_dict(),
+        }
+
+    def load_state(self, state: Dict) -> None:
+        for channel, data in zip(self.dram_channels, state["dram"]):
+            channel.load_state(data)
+        self.noc.load_state(state["noc"])
+        for partition, data in zip(self.l2_partitions, state["l2"]):
+            partition.load_state(data)
+        self.image.load_state(state["image"])
+
     @property
     def l2_stats(self) -> Dict[str, int]:
         totals: Dict[str, int] = {}
@@ -184,6 +225,18 @@ class SMMemoryPort:
     @property
     def scratchpad_accesses(self) -> int:
         return self.stats.scratchpad_accesses
+
+    def state_dict(self) -> Dict:
+        return {
+            "l1d": self.l1d.state_dict(),
+            "l1c": self.l1c.state_dict(),
+            "stats": self.stats.to_dict(),
+        }
+
+    def load_state(self, state: Dict) -> None:
+        self.l1d.load_state(state["l1d"])
+        self.l1c.load_state(state["l1c"])
+        self.stats.load_state(state["stats"])
 
     def _miss_cb(self, line_addr: int, cycle: int) -> int:
         return self.subsystem.service_l1_miss(self.sm_id, line_addr, cycle)

@@ -96,6 +96,18 @@ class RegisterFileTiming:
         self._write_free[group] = start + 1
         return start + 1
 
+    def state_dict(self) -> dict:
+        """Port-arbiter state (stats restore through the SM's stats tree,
+        keeping the ``_c_*`` Counter references valid)."""
+        return {
+            "read_free": list(self._read_free),
+            "write_free": list(self._write_free),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._read_free = list(state["read_free"])
+        self._write_free = list(state["write_free"])
+
     @property
     def retries_per_request(self) -> float:
         total = self.stats.read_requests + self.stats.write_requests

@@ -63,6 +63,26 @@ class WarpScheduler:
             self._resident.remove(slot)
             self.scannable -= 1
 
+    def state_dict(self) -> dict:
+        """Arbitration state (``slots``/``policy``/``use_resident`` are
+        config-derived and rebuilt at construction)."""
+        return {
+            "last_issued": self._last_issued,
+            "rr_index": self._rr_index,
+            "age": {str(slot): age for slot, age in self._age.items()},
+            "age_counter": self._age_counter,
+            "resident": list(self._resident),
+            "scannable": self.scannable,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._last_issued = state["last_issued"]
+        self._rr_index = state["rr_index"]
+        self._age = {int(slot): age for slot, age in state["age"].items()}
+        self._age_counter = state["age_counter"]
+        self._resident = list(state["resident"])
+        self.scannable = state["scannable"]
+
     def pick(self, ready: Callable[[int], bool]) -> Optional[int]:
         """Select the next slot to issue from, or ``None`` if none is ready."""
         if self.policy is SchedulerPolicy.GTO:

@@ -87,3 +87,15 @@ class Scoreboard:
         """(pending registers, pending predicates) for diagnostics."""
         return (tuple(sorted(self._pending_regs[slot])),
                 tuple(sorted(self._pending_preds[slot])))
+
+    # --- checkpointing ------------------------------------------------------
+
+    def state_dict(self) -> Dict:
+        return {
+            "regs": [sorted(pending) for pending in self._pending_regs],
+            "preds": [sorted(pending) for pending in self._pending_preds],
+        }
+
+    def load_state(self, state: Dict) -> None:
+        self._pending_regs = [set(pending) for pending in state["regs"]]
+        self._pending_preds = [set(pending) for pending in state["preds"]]

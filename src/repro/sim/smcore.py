@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.check.errors import (DivergenceError, InvariantViolation,
                                 ReuseCorruptionError)
+from repro.ckpt.codec import decode_array, encode_array
 from repro.core.affine import AFFINE_PRESERVING_OPS, AffineTracker, is_affine_value
 from repro.core.reuse_buffer import Waiter
 from repro.core.wir_unit import IssueDecision, WIRUnit
@@ -45,6 +46,26 @@ _LOG = logging.getLogger(__name__)
 #: Sleep-memo target for an SM with no time-based wake candidate (it wakes
 #: on events or a block dispatch, both of which bypass / reset the memo).
 _NEVER = 1 << 62
+
+# Event kinds on the SM heap.  Events are plain (cycle, seq, kind, payload)
+# records dispatched by :meth:`SMCore._dispatch` — declarative data instead
+# of bound closures, so an event queue can be serialized into a checkpoint
+# and rebuilt in a fresh process.  ``seq`` is unique per SM, so heap
+# ordering never compares payloads.
+EV_RETIRE = 0        # payload (warp, inst)
+EV_REUSE_COMMIT = 1  # payload (warp, inst, result_reg)
+EV_WRITEBACK = 2     # payload (warp, inst, exec_result, decision, ready)
+EV_WIR_COMMIT = 3    # payload (warp, inst, decision, dest)
+
+#: Serialized names (checkpoint files store names, not raw ints, so a
+#: renumbering is caught by schema validation instead of silent mis-dispatch).
+EVENT_KIND_NAMES = {
+    EV_RETIRE: "retire",
+    EV_REUSE_COMMIT: "reuse_commit",
+    EV_WRITEBACK: "writeback",
+    EV_WIR_COMMIT: "wir_commit",
+}
+EVENT_KINDS_BY_NAME = {name: kind for kind, name in EVENT_KIND_NAMES.items()}
 
 
 class SMCounters(StatGroup):
@@ -193,8 +214,8 @@ class SMCore:
         self._sfu_free = 0
         self._mem_free = 0
 
-        # Event heap: (cycle, seq, callback).
-        self._events: List[Tuple[int, int, Callable[[], None]]] = []
+        # Event heap: (cycle, seq, kind, payload) — see EVENT_KIND_NAMES.
+        self._events: List[Tuple[int, int, int, tuple]] = []
         self._event_seq = 0
         self.cycle = 0
         #: Sleep memo (vector engine): cycles below this are housekeeping-
@@ -307,9 +328,32 @@ class SMCore:
 
     # -------------------------------------------------------------- event loop
 
-    def _schedule(self, cycle: int, callback: Callable[[], None]) -> None:
+    def _schedule(self, cycle: int, kind: int, payload: tuple) -> None:
         self._event_seq += 1
-        heapq.heappush(self._events, (max(cycle, self.cycle + 1), self._event_seq, callback))
+        heapq.heappush(
+            self._events,
+            (max(cycle, self.cycle + 1), self._event_seq, kind, payload))
+
+    def _dispatch(self, kind: int, payload: tuple) -> None:
+        """Fire one due event record (the closure bodies of old)."""
+        if kind == EV_WRITEBACK:
+            warp, inst, exec_result, decision, ready = payload
+            self._writeback(warp, inst, exec_result, decision, ready)
+        elif kind == EV_RETIRE:
+            warp, inst = payload
+            self._retire(warp, inst)
+        elif kind == EV_REUSE_COMMIT:
+            warp, inst, result_reg = payload
+            self.unit.commit_reuse(warp, inst, result_reg)
+            self._retire(warp, inst)
+        elif kind == EV_WIR_COMMIT:
+            warp, inst, decision, dest = payload
+            waiters = self.unit.commit_stage(warp, inst, decision, dest)
+            self._retire(warp, inst)
+            for waiter in waiters:
+                waiter.on_result(dest)
+        else:  # pragma: no cover - schema violation
+            raise RuntimeError(f"unknown SM event kind {kind!r}")
 
     def busy(self) -> bool:
         return bool(self._events) or any(warp is not None for warp in self.warps)
@@ -352,8 +396,8 @@ class SMCore:
         self._sleep_until = 0
         active = False
         while events and events[0][0] <= cycle:
-            _, _, callback = heapq.heappop(events)
-            callback()
+            _, _, kind, payload = heapq.heappop(events)
+            self._dispatch(kind, payload)
             active = True
         if self._fast_gto and self.stall is None:
             for scheduler in self.schedulers:
@@ -701,13 +745,8 @@ class SMCore:
                 return
             warp.write_reg(inst.dst.value, reused, exec_result.mask)
         retire_cycle = self.cycle + self._front_delay + 1
-        result_reg = decision.result_reg
-
-        def commit() -> None:
-            self.unit.commit_reuse(warp, inst, result_reg)
-            self._retire(warp, inst)
-
-        self._schedule(retire_cycle, commit)
+        self._schedule(retire_cycle, EV_REUSE_COMMIT,
+                       (warp, inst, decision.result_reg))
 
     def _make_waiter(self, warp: Warp, inst: Instruction, exec_result: ExecResult) -> Waiter:
         """Waiter for the pending-retry queue (Section VI-B)."""
@@ -738,7 +777,12 @@ class SMCore:
                 self._do_execute(warp, inst, exec_result, decision, self.cycle)
                 self._checker_commit(warp, inst)
 
-        return Waiter(on_result)
+        waiter = Waiter(on_result)
+        # Plain-data identity of the waiting instruction, so a checkpoint
+        # can externalize the queue entry and a restore can rebuild an
+        # equivalent waiter via ``_make_waiter`` (DESIGN.md §12).
+        waiter.descriptor = (warp, inst, exec_result)
+        return waiter
 
     def _do_queue(self, warp: Warp, inst: Instruction) -> None:
         """The instruction waits on a pending reuse-buffer entry."""
@@ -764,14 +808,9 @@ class SMCore:
             )
             return
         warp.write_reg(inst.dst.value, values, exec_result.mask)
-
-        def commit() -> None:
-            self.unit.commit_reuse(warp, inst, result_reg)
-            self._retire(warp, inst)
-
         # Queued instructions re-probe the buffer and retire a cycle after
         # the producer's result lands.
-        self._schedule(self.cycle + 1, commit)
+        self._schedule(self.cycle + 1, EV_REUSE_COMMIT, (warp, inst, result_reg))
 
     def _reuse_corrupted(
         self, warp: Warp, inst: Instruction, exec_result: ExecResult,
@@ -841,8 +880,8 @@ class SMCore:
         else:
             exec_ready = self._execute_alu(warp, inst, exec_result, read_ready, decision)
 
-        self._schedule(exec_ready, lambda: self._writeback(
-            warp, inst, exec_result, decision, exec_ready))
+        self._schedule(exec_ready, EV_WRITEBACK,
+                       (warp, inst, exec_result, decision, exec_ready))
 
     def _source_bank_keys(
         self, warp: Warp, inst: Instruction, decision: Optional[IssueDecision]
@@ -968,20 +1007,13 @@ class SMCore:
         cycle: int,
     ) -> None:
         if not inst.writes_register:
-            self._schedule(cycle, lambda: self._retire(warp, inst))
+            self._schedule(cycle, EV_RETIRE, (warp, inst))
             return
 
         if self.unit is not None and not self.wir_quarantined:
             ready, dest = self.unit.allocation_stage(
                 warp, inst, exec_result, decision, cycle)
-
-            def commit() -> None:
-                waiters = self.unit.commit_stage(warp, inst, decision, dest)
-                self._retire(warp, inst)
-                for waiter in waiters:
-                    waiter.on_result(dest)
-
-            self._schedule(ready, commit)
+            self._schedule(ready, EV_WIR_COMMIT, (warp, inst, decision, dest))
             return
 
         # Base GPU: plain register write.
@@ -997,7 +1029,7 @@ class SMCore:
             self.affine.record_partial_write(key)
             affine = False
         ready = self.regfile.schedule_write(key, cycle, affine=affine)
-        self._schedule(ready, lambda: self._retire(warp, inst))
+        self._schedule(ready, EV_RETIRE, (warp, inst))
 
     def _retire(self, warp: Warp, inst: Instruction) -> None:
         if self.stall is not None:
@@ -1065,6 +1097,219 @@ class SMCore:
         _LOG.warning("SM%d: WIR unit quarantined at cycle %d: %s",
                      self.sm_id, self.cycle, reason)
         self.unit.quarantine_flush()
+
+    # ----------------------------------------------------------- checkpointing
+
+    @staticmethod
+    def _encode_exec_result(res: ExecResult) -> dict:
+        return {
+            "mask": encode_array(res.mask),
+            "sources": [encode_array(src) for src in res.sources],
+            "result": encode_array(res.result),
+            "pred_result": encode_array(res.pred_result),
+            "taken_mask": encode_array(res.taken_mask),
+            "addresses": encode_array(res.addresses),
+            "store_values": encode_array(res.store_values),
+        }
+
+    @staticmethod
+    def _decode_exec_result(data: dict) -> ExecResult:
+        return ExecResult(
+            mask=decode_array(data["mask"]),
+            sources=tuple(decode_array(src) for src in data["sources"]),
+            result=decode_array(data["result"]),
+            pred_result=decode_array(data["pred_result"]),
+            taken_mask=decode_array(data["taken_mask"]),
+            addresses=decode_array(data["addresses"]),
+            store_values=decode_array(data["store_values"]),
+        )
+
+    @staticmethod
+    def _encode_decision(decision: Optional[IssueDecision]) -> Optional[dict]:
+        if decision is None:
+            return None
+        tag = decision.tag
+        return {
+            "action": decision.action,
+            "src_phys": list(decision.src_phys),
+            "tag": ([tag[0], [list(desc) for desc in tag[1]]]
+                    if tag is not None else None),
+            "result_reg": decision.result_reg,
+            "rb_index": decision.rb_index,
+            "rb_token": decision.rb_token,
+            "reserved": decision.reserved,
+            "divergent": decision.divergent,
+        }
+
+    @staticmethod
+    def _decode_decision(data: Optional[dict]) -> Optional[IssueDecision]:
+        if data is None:
+            return None
+        tag = data["tag"]
+        return IssueDecision(
+            action=data["action"],
+            src_phys=tuple(data["src_phys"]),
+            tag=((tag[0], tuple((kind, operand) for kind, operand in tag[1]))
+                 if tag is not None else None),
+            result_reg=data["result_reg"],
+            rb_index=data["rb_index"],
+            rb_token=data["rb_token"],
+            reserved=data["reserved"],
+            divergent=data["divergent"],
+        )
+
+    def _encode_waiter(self, waiter: Waiter) -> dict:
+        warp, inst, exec_result = waiter.descriptor
+        return {
+            "slot": warp.warp_slot,
+            "pc": inst.pc,
+            "exec": self._encode_exec_result(exec_result),
+        }
+
+    def _decode_waiter(self, data: dict) -> Waiter:
+        warp = self.warps[data["slot"]]
+        inst = self._instructions[data["pc"]]
+        return self._make_waiter(warp, inst,
+                                 self._decode_exec_result(data["exec"]))
+
+    def _encode_event(self, event: Tuple[int, int, int, tuple]) -> dict:
+        """One heap record as plain data.
+
+        A warp is identified by its slot (a warp can never finish while it
+        has in-flight instructions, so the slot still holds it at restore);
+        an instruction by its pc (restore indexes ``self._instructions``, so
+        per-``id(inst)`` plan/kernel caches repopulate lazily and purely).
+        """
+        cycle, seq, kind, payload = event
+        data: dict = {"cycle": cycle, "seq": seq,
+                      "kind": EVENT_KIND_NAMES[kind]}
+        if kind == EV_RETIRE:
+            warp, inst = payload
+            data["payload"] = {"slot": warp.warp_slot, "pc": inst.pc}
+        elif kind == EV_REUSE_COMMIT:
+            warp, inst, result_reg = payload
+            data["payload"] = {"slot": warp.warp_slot, "pc": inst.pc,
+                               "result_reg": result_reg}
+        elif kind == EV_WRITEBACK:
+            warp, inst, exec_result, decision, ready = payload
+            data["payload"] = {
+                "slot": warp.warp_slot, "pc": inst.pc,
+                "exec": self._encode_exec_result(exec_result),
+                "decision": self._encode_decision(decision),
+                # The raw (unclamped) writeback cycle: _writeback passes it
+                # on to allocation/regfile scheduling, so the heap cycle
+                # alone (clamped by _schedule) would not reproduce it.
+                "ready": ready,
+            }
+        else:  # EV_WIR_COMMIT
+            warp, inst, decision, dest = payload
+            data["payload"] = {"slot": warp.warp_slot, "pc": inst.pc,
+                               "decision": self._encode_decision(decision),
+                               "dest": dest}
+        return data
+
+    def _decode_event(self, data: dict) -> Tuple[int, int, int, tuple]:
+        kind = EVENT_KINDS_BY_NAME[data["kind"]]
+        p = data["payload"]
+        warp = self.warps[p["slot"]]
+        inst = self._instructions[p["pc"]]
+        if kind == EV_RETIRE:
+            payload: tuple = (warp, inst)
+        elif kind == EV_REUSE_COMMIT:
+            payload = (warp, inst, p["result_reg"])
+        elif kind == EV_WRITEBACK:
+            payload = (warp, inst, self._decode_exec_result(p["exec"]),
+                       self._decode_decision(p["decision"]), p["ready"])
+        else:
+            payload = (warp, inst, self._decode_decision(p["decision"]),
+                       p["dest"])
+        return (data["cycle"], data["seq"], kind, payload)
+
+    def state_dict(self) -> dict:
+        """Complete snapshot of this SM at a cycle boundary (pure reads).
+
+        Not serialized: the execution engine's per-instruction kernel and
+        plan caches (pure, lazily repopulated), config-derived constants,
+        and the ``_c_*`` fast-path counter references (restored in place
+        through the stats tree).
+        """
+        events = sorted(self._events, key=lambda event: (event[0], event[1]))
+        return {
+            "cycle": self.cycle,
+            "warps": [warp.state_dict() if warp is not None else None
+                      for warp in self.warps],
+            "blocks": {
+                str(block_id): {"slots": list(bs.slots),
+                                "live_warps": bs.live_warps}
+                for block_id, bs in self._blocks.items()
+            },
+            "scoreboard": self.scoreboard.state_dict(),
+            "schedulers": [sched.state_dict() for sched in self.schedulers],
+            "regfile": self.regfile.state_dict(),
+            "port": self.port.state_dict(),
+            "affine": self.affine.state_dict(),
+            "unit": (self.unit.state_dict(self._encode_waiter)
+                     if self.unit is not None else None),
+            "wir_quarantined": self.wir_quarantined,
+            "sp_free": list(self._sp_free),
+            "sfu_free": self._sfu_free,
+            "mem_free": self._mem_free,
+            "events": [self._encode_event(event) for event in events],
+            "event_seq": self._event_seq,
+            "sleep_until": self._sleep_until,
+            "warp_blocked_until": list(self._warp_blocked_until),
+            "warp_waiting": list(self._warp_waiting),
+            "sb_wait": list(self._sb_wait),
+            "stats": self.stats.to_dict(),
+        }
+
+    def load_state(self, state: dict, descriptor_of) -> None:
+        """Restore a snapshot onto a freshly constructed SM.
+
+        *descriptor_of* maps a block id back to its
+        :class:`~repro.sim.grid.BlockDescriptor` (the GPU regenerates them
+        deterministically from the launch geometry).
+        """
+        self.cycle = state["cycle"]
+        # Warps first: waiter and event decoding below needs live objects.
+        self.warps = [None] * len(self.warps)
+        for slot, wstate in enumerate(state["warps"]):
+            if wstate is None:
+                continue
+            warp = Warp(slot, descriptor_of(wstate["block_id"]),
+                        wstate["warp_in_block"], self.program)
+            warp.load_state(wstate)
+            self.warps[slot] = warp
+        self._blocks = {}
+        for block_id_str, bstate in state["blocks"].items():
+            block_id = int(block_id_str)
+            bs = _BlockState(descriptor_of(block_id), list(bstate["slots"]))
+            bs.live_warps = bstate["live_warps"]
+            self._blocks[block_id] = bs
+        self.scoreboard.load_state(state["scoreboard"])
+        for sched, sstate in zip(self.schedulers, state["schedulers"]):
+            sched.load_state(sstate)
+        self.regfile.load_state(state["regfile"])
+        self.port.load_state(state["port"])
+        self.affine.load_state(state["affine"])
+        self.wir_quarantined = state["wir_quarantined"]
+        if self.unit is not None:
+            self.unit.load_state(state["unit"], self._decode_waiter)
+            self._refresh_register_cap()
+        self._sp_free = list(state["sp_free"])
+        self._sfu_free = state["sfu_free"]
+        self._mem_free = state["mem_free"]
+        self._events = [self._decode_event(event)
+                        for event in state["events"]]
+        heapq.heapify(self._events)
+        self._event_seq = state["event_seq"]
+        self._sleep_until = state["sleep_until"]
+        self._warp_blocked_until = list(state["warp_blocked_until"])
+        # After the unit restore: rebuilding waiters via _make_waiter set
+        # flags for queued slots; the stored list is authoritative.
+        self._warp_waiting = list(state["warp_waiting"])
+        self._sb_wait = list(state["sb_wait"])
+        self.stats.load_state(state["stats"])
 
     # ------------------------------------------------------------- diagnostics
 

@@ -13,6 +13,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.ckpt.codec import decode_array, encode_array
 from repro.isa.instruction import NUM_LOGICAL_REGS, NUM_PRED_REGS
 from repro.isa.program import EXIT_PC, Program
 from repro.sim.grid import WARP_SIZE, BlockDescriptor
@@ -76,6 +77,52 @@ class Warp:
         # Scheduling bookkeeping.
         self.inflight = 0              # issued but not retired instructions
         self.last_issue_cycle = -1
+
+    # --- checkpointing ------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Plain-data snapshot (identity + functional + control state).
+
+        ``tid``/``lane_ids`` are derived from ``(block, warp_in_block)`` at
+        construction and never mutate, so only the identity is stored.
+        """
+        return {
+            "slot": self.warp_slot,
+            "block_id": self.block.block_id,
+            "warp_in_block": self.warp_in_block,
+            "registers": encode_array(self.registers),
+            "predicates": encode_array(self.predicates),
+            "stack": [
+                {"mask": encode_array(e.mask), "pc": e.pc,
+                 "reconv_pc": e.reconv_pc}
+                for e in self.stack
+            ],
+            "exited": self.exited,
+            "at_barrier": self.at_barrier,
+            "barrier_count": self.barrier_count,
+            "shared_store_flag": self.shared_store_flag,
+            "global_store_flag": self.global_store_flag,
+            "inflight": self.inflight,
+            "last_issue_cycle": self.last_issue_cycle,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a snapshot onto a freshly constructed warp (same
+        ``(slot, block, warp_in_block, program)`` identity)."""
+        self.registers[:] = decode_array(state["registers"])
+        self.predicates[:] = decode_array(state["predicates"])
+        self.stack = [
+            StackEntry(mask=decode_array(e["mask"]), pc=e["pc"],
+                       reconv_pc=e["reconv_pc"])
+            for e in state["stack"]
+        ]
+        self.exited = state["exited"]
+        self.at_barrier = state["at_barrier"]
+        self.barrier_count = state["barrier_count"]
+        self.shared_store_flag = state["shared_store_flag"]
+        self.global_store_flag = state["global_store_flag"]
+        self.inflight = state["inflight"]
+        self.last_issue_cycle = state["last_issue_cycle"]
 
     # --- control flow -----------------------------------------------------
 

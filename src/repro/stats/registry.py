@@ -333,6 +333,30 @@ class StatGroup:
             group._children[key] = StatGroup.from_dict(child, name=key)
         return group
 
+    def load_state(self, data: Dict) -> None:
+        """In-place restore of a :meth:`to_dict` payload.
+
+        Unlike :meth:`from_dict` (which builds a fresh plain tree), this
+        writes values *into* the existing counter/histogram objects —
+        components and engine fast paths hold direct references to them
+        (see ``adopt``), so a checkpoint restore must mutate, never
+        replace.  Stats/children absent from *data* keep their current
+        (zero, on a fresh build) values; unknown keys are created plain.
+        """
+        for key, value in data.get("stats", {}).items():
+            if isinstance(value, dict):
+                hist = self.add_histogram(key)
+                hist.buckets.clear()
+                hist.buckets.update(value)
+            else:
+                self.add_counter(key).set(value)
+        for key, child in data.get("groups", {}).items():
+            target = self._children.get(key)
+            if target is None:
+                target = StatGroup(key)
+                self._children[key] = target
+            target.load_state(child)
+
     def to_json(self, **kwargs) -> str:
         return json.dumps(self.to_dict(), sort_keys=True, **kwargs)
 
