@@ -32,7 +32,10 @@ from typing import Callable, Dict, Optional
 #: Bump when the file container layout changes incompatibly.
 CKPT_FORMAT = 1
 #: Bump when any component's ``state_dict`` schema changes incompatibly.
-CKPT_SCHEMA = 1
+#: 2: the SM's functional-unit timing moved into a ``pipeline`` sub-document
+#: keyed by stage name (repro.pipeline), replacing the top-level
+#: ``sp_free``/``sfu_free``/``mem_free`` keys.
+CKPT_SCHEMA = 2
 
 #: Test seam: called as ``hook(cycle, path)`` after every checkpoint write.
 #: The chaos tests install a hook that SIGKILLs the worker at a chosen
@@ -118,6 +121,10 @@ def inspect_checkpoint(path) -> Dict:
     Returns plain data fit for ``repro ckpt inspect``: versions, checksum
     status, the snapshot cycle, the stored meta, and per-SM occupancy.
     """
+    # Deferred import: repro.ckpt must stay importable without triggering
+    # the simulator package (serde pulls in the exec engine).
+    from repro.sim.serde import event_kind_summary
+
     payload = read_checkpoint(path)
     state = payload["state"]
     sms = []
@@ -126,6 +133,7 @@ def inspect_checkpoint(path) -> Dict:
             "resident_blocks": len(sm.get("blocks", {})),
             "live_warps": sum(1 for w in sm.get("warps", []) if w is not None),
             "queued_events": len(sm.get("events", [])),
+            "event_kinds": event_kind_summary(sm.get("events", [])),
         })
     return {
         "path": str(path),

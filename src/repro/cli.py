@@ -22,6 +22,8 @@ Commands:
   scalar vs vector engine) over the pinned subset; write
   ``BENCH_sim_throughput.json`` and optionally gate against the committed
   baseline (>15% normalized regression fails).
+* ``pipeline show``             — print the composed stage graph (declared
+  dataflow, engine bindings, stats, checkpointed state) for a config.
 * ``compare ABBR``              — one benchmark across the whole model zoo.
 * ``profile ABBR``              — Figure 2 repeated-computation profile.
 * ``experiment NAME``           — run one figure/table driver (fig2..fig22,
@@ -414,6 +416,34 @@ def _cmd_ckpt_inspect(args) -> int:
     return 0
 
 
+def _cmd_pipeline_show(args) -> int:
+    from repro import MemoryImage, assemble
+    from repro.core.models import model_config
+    from repro.sim.memory.subsystem import MemorySubsystem
+    from repro.sim.smcore import SMCore
+
+    config = model_config(args.model)
+    config.exec_engine = args.engine
+    # A one-instruction program: stage composition depends only on config.
+    sm = SMCore(0, config, assemble("    exit"),
+                MemorySubsystem(config, MemoryImage()))
+    stages = sm.pipeline.describe()
+    if args.json:
+        _write_json(json.dumps(stages, indent=2), args.json)
+        return 0
+    print(f"pipeline for model {args.model} ({args.engine} engine) — "
+          f"{len(stages)} stages")
+    for desc in stages:
+        print(f"\n{desc['name']}  [{desc['binding']}]")
+        print(f"  in:    {', '.join(desc['inputs']) or '-'}")
+        print(f"  out:   {', '.join(desc['outputs']) or '-'}")
+        if desc["state_fields"]:
+            print(f"  state: {', '.join(desc['state_fields'])}")
+        if desc["stats"]:
+            print(f"  stats: {', '.join(desc['stats'])}")
+    return 0
+
+
 def _cmd_params(_args) -> int:
     params = experiments.table2_parameters()
     print(reporting.format_table(["parameter", "value"], list(params.items()),
@@ -507,6 +537,21 @@ def build_parser() -> argparse.ArgumentParser:
         "inspect", help="validate a checkpoint and summarise its contents")
     ckpt_inspect.add_argument("path", metavar="PATH")
     ckpt_inspect.set_defaults(func=_cmd_ckpt_inspect)
+
+    pipeline_parser = sub.add_parser(
+        "pipeline", help="stage pipeline tools (repro.pipeline)")
+    pipeline_sub = pipeline_parser.add_subparsers(dest="pipeline_command",
+                                                  required=True)
+    pipeline_show = pipeline_sub.add_parser(
+        "show", help="print the composed stage graph for a config")
+    pipeline_show.add_argument("--model", default="RLPV",
+                               choices=model_names())
+    pipeline_show.add_argument("--engine", default="scalar",
+                               choices=("scalar", "vector"))
+    pipeline_show.add_argument("--json", metavar="OUT", default=None,
+                               help="dump stage descriptions as JSON "
+                                    "('-' for stdout)")
+    pipeline_show.set_defaults(func=_cmd_pipeline_show)
 
     trace_parser = sub.add_parser(
         "trace", help="stall attribution + Chrome trace for one workload")

@@ -1,20 +1,16 @@
-"""Per-SM WIR unit: the rename, reuse, and register-allocation stages.
+"""Per-SM WIR unit: the rename/reuse/allocation *structures* of Sections
+V and VI — rename tables, reuse buffer, VSB, verify cache, hasher,
+physical register file, and the reference counter that ties them together.
 
-This class wires together the structures of Sections V and VI and exposes
-two pipeline entry points to the SM core:
-
-* :meth:`issue_stage` — runs at instruction issue: renames source operands
-  to physical IDs, probes the reuse buffer, and decides whether the
-  instruction executes, reuses a previous result, or queues on a pending
-  entry (pending-retry).
-* :meth:`allocation_stage` — runs when an executed instruction's result is
-  available: hashes the result, probes the value signature buffer,
-  performs the verify-read or register write (arbitrating real register
-  banks), applies the divergence pin-bit rules, and remaps the logical
-  destination.  Returns the cycle at which the writeback completes and the
-  commit descriptor for the retire event.
-* :meth:`commit_stage` — runs at retire: updates the rename table and the
-  reuse buffer, and wakes pending-retry waiters.
+The pipeline *sequencing* over these structures lives in
+:mod:`repro.pipeline.stages` (DESIGN.md §13): the rename stage drives
+:meth:`plan_of` / :meth:`rename_with_plan`, the reuse-probe stage drives
+the buffer lookup/reservation helpers (:meth:`load_may_reuse`,
+:meth:`entry_tbid`, :meth:`track_tag_sources`), and the allocate/verify
+and writeback/retire stages drive :meth:`allocate_register`,
+:meth:`invalidate_stale_tags`, and the rename-table remap.  This class
+owns structure lifetime, the capped-register policy, checkpointing, and
+the cross-structure invariants.
 
 All reference counting flows through :class:`ReferenceCounter`, so the
 conservation invariant (live counted registers == allocated registers) holds
@@ -23,15 +19,13 @@ at every cycle boundary; tests assert it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
-import numpy as np
-
 from repro.check.errors import InvariantViolation
-from repro.core.affine import AFFINE_PRESERVING_OPS, AffineTracker
+from repro.core.affine import AffineTracker
 from repro.core.hashing import H3Hash
-from repro.core.physreg import ZERO_REG, OutOfRegistersError, PhysicalRegisterFile
+from repro.core.physreg import OutOfRegistersError, PhysicalRegisterFile
 from repro.core.refcount import ReferenceCounter
 from repro.core.rename import RenameTables
 from repro.core.reuse_buffer import NULL_TBID, ReuseBuffer, Tag, Waiter
@@ -40,7 +34,6 @@ from repro.core.vsb import ValueSignatureBuffer
 from repro.isa.instruction import Instruction, OperandKind
 from repro.isa.opcodes import MemSpace, Opcode, is_load, is_reuse_candidate
 from repro.sim.config import GPUConfig, RegisterPolicy
-from repro.sim.exec_engine import ExecResult
 from repro.sim.regfile import RegisterFileTiming
 from repro.sim.warp import Warp
 from repro.stats import StatGroup
@@ -50,7 +43,7 @@ _OPCODE_INDEX = {op: i for i, op in enumerate(Opcode)}
 
 
 class _SourcePlan:
-    """Static per-instruction rename/tag plan (see ``WIRUnit._plan_of``).
+    """Static per-instruction rename/tag plan (see ``WIRUnit.plan_of``).
 
     ``steps`` drives source renaming: ``(True, logical, extra_desc)`` for a
     register/address operand (``extra_desc`` is the interned address-offset
@@ -157,11 +150,6 @@ class WIRUnit:
         self.hasher = H3Hash(bits=self.wir.hash_bits)
         #: Optional :class:`repro.check.faults.FaultInjector` (fault runs).
         self.faults = None
-        #: Observability hook (per-SM ``SMTraceView`` or ``None``).
-        self.tracer = None
-        #: Stall-attribution hook: ``stall_probe(slot, logical_dst)`` marks
-        #: the producer of (slot, logical_dst) as performing a verify-read.
-        self.stall_probe = None
         #: This unit's subtree of the run's stats registry; the structure
         #: groups are adopted (shared, not copied) so they stay live.
         self.counters = WIRCounters("wir")
@@ -212,7 +200,7 @@ class WIRUnit:
 
     # --------------------------------------------------------------- renaming
 
-    def _plan_of(self, inst: Instruction) -> "_SourcePlan":
+    def plan_of(self, inst: Instruction) -> "_SourcePlan":
         """Interned per-instruction rename/tag plan.
 
         Operand-kind dispatch, static immediate descriptors, opcode index,
@@ -227,11 +215,11 @@ class WIRUnit:
             self._plans[id(inst)] = plan
         return plan
 
-    def _rename_sources(self, warp: Warp, inst: Instruction) -> Tuple[Tuple[int, ...], Tuple]:
+    def rename_sources(self, warp: Warp, inst: Instruction) -> Tuple[Tuple[int, ...], Tuple]:
         """Rename source registers; returns (phys ids, tag source descriptors)."""
-        return self._rename_with_plan(warp, self._plan_of(inst))
+        return self.rename_with_plan(warp, self.plan_of(inst))
 
-    def _rename_with_plan(
+    def rename_with_plan(
         self, warp: Warp, plan: "_SourcePlan"
     ) -> Tuple[Tuple[int, ...], Tuple]:
         if plan.num_reg_reads:
@@ -251,113 +239,12 @@ class WIRUnit:
                 descs.append(payload)
         return tuple(phys), tuple(descs)
 
-    def _make_tag(self, inst: Instruction, descs: Tuple) -> Tag:
+    def make_tag(self, inst: Instruction, descs: Tuple) -> Tag:
         return (_OPCODE_INDEX[inst.opcode], descs)
 
-    # ------------------------------------------------------------ issue stage
+    # --------------------------------------------- reuse-eligibility helpers
 
-    def issue_stage(
-        self,
-        warp: Warp,
-        inst: Instruction,
-        exec_result: ExecResult,
-        cycle: int,
-        make_waiter: Optional[Callable[[], Waiter]] = None,
-    ) -> IssueDecision:
-        """Rename sources and probe the reuse buffer."""
-        if self.faults is not None:
-            self.faults.tick_structures(self)
-        plan = self._plan_of(inst)
-        src_phys, descs = self._rename_with_plan(warp, plan)
-        if self.tracer is not None and src_phys:
-            self.tracer.wir_event(warp.warp_slot, "rename",
-                                  {"pc": inst.pc, "srcs": len(src_phys)})
-        divergent = self._is_divergent(warp, exec_result)
-
-        if not inst.writes_register:
-            return IssueDecision(action="bypass", src_phys=src_phys,
-                                 divergent=divergent)
-        if not plan.reuse_candidate:
-            # Writes a register but never participates in reuse (e.g. selp):
-            # it still goes through register allocation at writeback.
-            return IssueDecision(action="execute", src_phys=src_phys,
-                                 divergent=divergent)
-
-        # Divergent instructions bypass the reuse buffer entirely (V-D).
-        if divergent:
-            return IssueDecision(action="execute", src_phys=src_phys,
-                                 divergent=True)
-
-        load = plan.load
-        if load and not self._load_may_reuse(warp, inst):
-            return IssueDecision(action="execute", src_phys=src_phys)
-
-        # Instructions reading special registers must not reuse: %tid et al.
-        # are per-warp value vectors that the register-ID tag cannot proxy
-        # (two warps share the tag but not the values).  Their *results* are
-        # still shared through the VSB, so downstream threadIdx-derived
-        # arithmetic — the paper's motivating pattern — reuses normally.
-        if plan.warp_dependent:
-            return IssueDecision(action="execute", src_phys=src_phys)
-        tag = (plan.opcode_index, descs)
-
-        barrier_count = warp.barrier_count
-        tbid = self._entry_tbid(warp, inst)
-        outcome, result_reg, index = self.reuse_buffer.lookup(
-            tag,
-            is_load=load,
-            consumer_barrier_count=barrier_count,
-            consumer_tbid=warp.block.block_id & 0xF,
-            pending_retry=self.wir.pending_retry,
-            make_waiter=make_waiter,
-        )
-        if outcome == "hit":
-            # Transit reference: the result register must survive until this
-            # instruction's retire even if the entry is evicted meanwhile.
-            self.refcount.incref(result_reg)
-            if self.tracer is not None:
-                self.tracer.wir_event(warp.warp_slot, "reuse_hit",
-                                      {"pc": inst.pc, "reg": result_reg})
-            return IssueDecision(action="reuse", src_phys=src_phys, tag=tag,
-                                 result_reg=result_reg, rb_index=index)
-        if outcome == "queued":
-            if self.tracer is not None:
-                self.tracer.wir_event(warp.warp_slot, "reuse_queue",
-                                      {"pc": inst.pc, "index": index})
-            return IssueDecision(action="queued", src_phys=src_phys, tag=tag,
-                                 rb_index=index)
-
-        # Miss: optionally reserve the entry eagerly (pending-retry), else
-        # remember the index for the retire-time update.
-        reserved = False
-        token = -1
-        if self.wir.pending_retry:
-            allow = not self._in_low_register_mode()
-            reservation = self.reuse_buffer.reserve(
-                tag, is_load=load, barrier_count=barrier_count, tbid=tbid,
-                allow_insert=allow,
-            )
-            if reservation is not None:
-                index, token = reservation
-                self._track_tag_sources(tag, index)
-                reserved = True
-        if not reserved:
-            # The retire-time buffer update will register the source IDs;
-            # transit references keep them live until then (the hardware
-            # analogue: in-flight instructions count as references).
-            for reg in src_phys:
-                self.refcount.incref(reg)
-        return IssueDecision(action="execute", src_phys=src_phys, tag=tag,
-                             rb_index=index, rb_token=token, reserved=reserved)
-
-    def _is_divergent(self, warp: Warp, exec_result: ExecResult) -> bool:
-        """Divergent = any of the 32 lanes inactive for this instruction."""
-        return not bool(exec_result.mask.all())
-
-    def _tag_is_warp_dependent(self, inst: Instruction) -> bool:
-        return any(src.kind is OperandKind.SREG for src in inst.srcs)
-
-    def _load_may_reuse(self, warp: Warp, inst: Instruction) -> bool:
+    def load_may_reuse(self, warp: Warp, inst: Instruction) -> bool:
         """Memory-hazard rules of Section VI-A."""
         if not self.wir.load_reuse:
             return False
@@ -374,238 +261,24 @@ class WIRUnit:
             return not warp.global_store_flag
         return False
 
-    def _entry_tbid(self, warp: Warp, inst: Instruction) -> int:
+    def entry_tbid(self, warp: Warp, inst: Instruction) -> int:
         if inst.space is MemSpace.SHARED:
             return warp.block.block_id & 0xF
         return NULL_TBID
 
-    def _track_tag_sources(self, tag: Tag, index: int) -> None:
+    def track_tag_sources(self, tag: Tag, index: int) -> None:
         for kind, operand in tag[1]:
             if kind == "r":
                 self._rb_src_refs.setdefault(operand, set()).add(index)
 
-    # ------------------------------------------------------- allocation stage
-
-    def allocation_stage(
-        self,
-        warp: Warp,
-        inst: Instruction,
-        exec_result: ExecResult,
-        decision: IssueDecision,
-        cycle: int,
-    ) -> Tuple[int, int]:
-        """Register allocation for an executed instruction's result.
-
-        Performs the hash + VSB probe + verify-read / register write and the
-        divergence pin-bit rules.  Returns ``(ready_cycle, dest_phys)``; the
-        caller schedules the commit at ``ready_cycle``.  A transit reference
-        is taken on the returned register (released by :meth:`commit_stage`)
-        so buffer evictions between writeback and retire cannot recycle it.
-        """
-        ready, dest = self._allocation_inner(warp, inst, exec_result, decision, cycle)
-        self.refcount.incref(dest)
-        return ready, dest
-
-    def _allocation_inner(
-        self,
-        warp: Warp,
-        inst: Instruction,
-        exec_result: ExecResult,
-        decision: IssueDecision,
-        cycle: int,
-    ) -> Tuple[int, int]:
-        assert inst.writes_register
-        logical = inst.dst.value
-        slot = warp.warp_slot
-        result = warp.read_reg(logical)  # value already committed functionally
-
-        if decision.divergent:
-            return self._allocate_divergent(warp, inst, exec_result, cycle,
-                                            logical, slot, result)
-
-        # Convergent redefinition clears the pin bit (Section V-D).
-        if self.rename.pin_bit(slot, logical):
-            self.rename.clear_pin(slot, logical)
-
-        if not self.wir.use_vsb:
-            # NoVSB: a fresh register for every convergent write.
-            dest = self._allocate_register()
-            self.physfile.write(dest, result)
-            ready = self.regfile.schedule_write(
-                dest, cycle, affine=self._write_affine(dest, result, inst))
-            return ready, dest
-
-        self.counters.hash_generations += 1
-        signature = self.hasher.hash_value(result)
-        if self.faults is not None:
-            signature = self.faults.mutate_signature(signature)
-        candidate = self.vsb.lookup(signature)
-        hash_cycle = cycle + 2  # hash generation + VSB table access
-
-        if candidate is not None:
-            # Verify-read (possibly filtered by the verify cache).
-            if self.verify_cache.access(candidate):
-                self.counters.verify_cache_filtered += 1
-                if self.tracer is not None:
-                    self.tracer.wir_event(slot, "verify_filtered",
-                                          {"candidate": candidate})
-                ready = hash_cycle + 1
-            else:
-                self.counters.verify_reads += 1
-                if self.stall_probe is not None:
-                    self.stall_probe(slot, logical)
-                if self.tracer is not None:
-                    self.tracer.wir_event(slot, "verify_read",
-                                          {"candidate": candidate})
-                ready = self.regfile.schedule_read(
-                    candidate, hash_cycle,
-                    affine=self.affine.is_affine(candidate), verify=True)
-            if np.array_equal(self.physfile.read(candidate), result):
-                self.counters.writes_avoided += 1
-                if self.tracer is not None:
-                    self.tracer.wir_event(slot, "vsb_share",
-                                          {"reg": candidate})
-                return ready, candidate
-            # False positive: allocate + write (Figure 7).
-            self.vsb.note_false_positive()
-            dest = self._allocate_register()
-            self.physfile.write(dest, result)
-            self.vsb.insert(signature, dest)
-            ready = self.regfile.schedule_write(
-                dest, ready, affine=self._write_affine(dest, result, inst))
-            return ready, dest
-
-        # VSB miss: new register, write, register the signature.
-        if self._in_low_register_mode():
-            self.vsb.evict_index(self.vsb.index_of(signature) if self.vsb.num_entries else 0)
-            dest = self._allocate_register()
-            self.physfile.write(dest, result)
-        else:
-            dest = self._allocate_register()
-            self.physfile.write(dest, result)
-            self.vsb.insert(signature, dest)
-        ready = self.regfile.schedule_write(
-            dest, hash_cycle, affine=self._write_affine(dest, result, inst))
-        return ready, dest
-
-    def _allocate_divergent(
-        self,
-        warp: Warp,
-        inst: Instruction,
-        exec_result: ExecResult,
-        cycle: int,
-        logical: int,
-        slot: int,
-        result: np.ndarray,
-    ) -> Tuple[int, int]:
-        """Pin-bit rules for divergent destinations (Section V-D)."""
-        mask = exec_result.mask
-        if self.rename.pin_bit(slot, logical) and self.rename.is_mapped(slot, logical):
-            # Dedicated register: overwrite active lanes in place.
-            dest = self.rename.lookup(slot, logical)
-            self._invalidate_stale_tags(dest)
-            self.verify_cache.invalidate(dest)
-            self.physfile.write(dest, result, mask=mask)
-            self.affine.record_partial_write(dest)
-            ready = self.regfile.schedule_write(dest, cycle)
-            return ready, dest
-
-        # First divergent write: dedicated register + dummy MOV for the
-        # inactive lanes (copied from the current physical register).
-        current = self.rename.lookup(slot, logical)
-        dest = self._allocate_register()
-        self.rename.set_pin(slot, logical)
-        self.physfile.copy_lanes(current, dest, ~mask)
-        self.physfile.write(dest, result, mask=mask)
-        self.affine.record_partial_write(dest)
-        self.counters.dummy_movs += 1
-        # Dummy MOV costs: one register read + one register write.
-        read_ready = self.regfile.schedule_read(
-            current, cycle, affine=self.affine.is_affine(current))
-        ready = self.regfile.schedule_write(dest, read_ready)
-        ready = self.regfile.schedule_write(dest, ready)  # the result write
-        return ready, dest
-
-    def _write_affine(self, dest: int, result: np.ndarray, inst: Instruction) -> bool:
-        return self.affine.record_write(dest, result, opcode=inst.opcode)
-
-    # ---------------------------------------------------------- commit stage
-
-    def commit_stage(
-        self,
-        warp: Warp,
-        inst: Instruction,
-        decision: IssueDecision,
-        dest_phys: int,
-    ) -> List[Waiter]:
-        """Retire: remap the logical destination and update the reuse buffer.
-
-        Returns pending-retry waiters released by this retire (the SM core
-        schedules their completions).
-        """
-        slot = warp.warp_slot
-        logical = inst.dst.value
-        if self.faults is not None:
-            # Post-verify corruption: by the commit stage every value check
-            # (verify-read, VSB) has already passed — only the lockstep
-            # oracle or the reuse recomputation check can catch this.
-            self.faults.maybe_corrupt_result(self.physfile, dest_phys,
-                                             is_load(inst.opcode))
-        self.counters.rename_writes += 1
-        self.rename.remap(slot, logical, dest_phys)
-        self.refcount.decref(dest_phys)  # release the allocation-stage transit ref
-
-        if decision.divergent or decision.tag is None:
-            return []
-
-        if decision.reserved and decision.rb_index is not None:
-            return self.reuse_buffer.fill(decision.rb_index, decision.rb_token,
-                                          dest_phys)
-
-        # Non-pending-retry designs update the buffer at retire; release the
-        # issue-stage transit references on the tag sources afterwards.
-        waiters: List[Waiter] = []
-        if not self._in_low_register_mode():
-            reservation = self.reuse_buffer.reserve(
-                decision.tag,
-                is_load=is_load(inst.opcode),
-                barrier_count=warp.barrier_count,
-                tbid=self._entry_tbid(warp, inst),
-            )
-            if reservation is not None:
-                index, token = reservation
-                self._track_tag_sources(decision.tag, index)
-                waiters = self.reuse_buffer.fill(index, token, dest_phys)
-        elif decision.rb_index is not None:
-            self.reuse_buffer.evict_index(decision.rb_index)
-        for reg in decision.src_phys:
-            self.refcount.decref(reg)
-        return waiters
-
-    def commit_reuse(self, warp: Warp, inst: Instruction, result_reg: int) -> None:
-        """Retire a reused instruction: only the rename table changes.
-
-        The caller must hold a transit reference on *result_reg* (taken at
-        the reuse hit or at the pending-retry wakeup); it is released here.
-        """
-        self.counters.rename_writes += 1
-        # A reuse is a convergent redefinition: it must clear the pin bit,
-        # or a later divergent write would overwrite the now-*shared*
-        # result register in place (Section V-D's dedicated-register
-        # invariant would be violated).
-        if self.rename.pin_bit(warp.warp_slot, inst.dst.value):
-            self.rename.clear_pin(warp.warp_slot, inst.dst.value)
-        self.rename.remap(warp.warp_slot, inst.dst.value, result_reg)
-        self.refcount.decref(result_reg)
-
     # ---------------------------------------------------- register management
 
-    def _in_low_register_mode(self) -> bool:
+    def in_low_register_mode(self) -> bool:
         if self.physfile.free_count == 0:
             return True
         return self.physfile.in_use >= self._register_cap
 
-    def _allocate_register(self) -> int:
+    def allocate_register(self) -> int:
         """Allocate a physical register, evicting buffer entries if needed.
 
         With fault injection armed, the fresh register may come back full of
@@ -648,7 +321,7 @@ class WIRUnit:
             "registers than the file provides"
         )
 
-    def _invalidate_stale_tags(self, reg: int) -> None:
+    def invalidate_stale_tags(self, reg: int) -> None:
         """Drop reuse-buffer entries whose tag names *reg* as a source.
 
         Needed when a pinned register is overwritten in place: a stale tag
@@ -696,7 +369,7 @@ class WIRUnit:
         self._evict_pointer = state["evict_pointer"]
         # Sets of ints iterate in value-hash order, which depends only on
         # the contents — restoring from sorted lists reproduces the original
-        # eviction walk order in ``_invalidate_stale_tags``.
+        # eviction walk order in ``invalidate_stale_tags``.
         self._rb_src_refs = {
             int(reg): set(indices)
             for reg, indices in state["rb_src_refs"].items()

@@ -1,0 +1,34 @@
+"""Declarative WIR pipeline stages shared by both execution engines.
+
+The paper's microarchitecture is a fixed pipeline — select → rename →
+reuse probe → operand read → execute → allocate/verify →
+writeback/retire — and this package is its single home (DESIGN.md §13).
+Each stage is a :class:`~repro.pipeline.base.Stage` subclass with declared
+inputs/outputs, inherited checkpoint hooks, and stat/tracer hooks;
+:func:`~repro.pipeline.spec.build_pipeline` composes them into the
+:class:`~repro.pipeline.spec.PipelineSpec` both executors consume.
+"""
+
+from repro.pipeline.base import STAGE_REGISTRY, Stage, register_stage
+
+# Importing the stage modules populates STAGE_REGISTRY in pipeline order:
+# frontend declares the select stage, stages the six backend stages.
+from repro.pipeline import frontend as _frontend  # noqa: F401
+from repro.pipeline import stages as _stages  # noqa: F401
+
+from repro.pipeline.spec import (
+    EXTERNAL_INPUTS,
+    PipelineSpec,
+    PipelineWiringError,
+    build_pipeline,
+)
+
+__all__ = [
+    "EXTERNAL_INPUTS",
+    "PipelineSpec",
+    "PipelineWiringError",
+    "STAGE_REGISTRY",
+    "Stage",
+    "build_pipeline",
+    "register_stage",
+]

@@ -4,6 +4,12 @@ The engine computes real 32-bit lane values; the WIR machinery hashes and
 compares these exact values, so value-signature collisions, verify-read
 mismatches, and load-reuse results are grounded in genuine data rather than
 being statistically modelled.
+
+Engines do not talk to the SM core directly: the pipeline's execute stage
+(:class:`repro.pipeline.stages.ExecuteStage`) owns the engine instance and
+binds :meth:`execute` as the stage's functional kernel, so the scalar
+oracle and the vectorized engine plug into the same declarative stage
+interface (DESIGN.md §13).
 """
 
 from __future__ import annotations

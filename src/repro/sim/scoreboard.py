@@ -97,5 +97,6 @@ class Scoreboard:
         }
 
     def load_state(self, state: Dict) -> None:
-        self._pending_regs = [set(pending) for pending in state["regs"]]
-        self._pending_preds = [set(pending) for pending in state["preds"]]
+        # In place: pipeline stages hold direct references to these lists.
+        self._pending_regs[:] = [set(pending) for pending in state["regs"]]
+        self._pending_preds[:] = [set(pending) for pending in state["preds"]]

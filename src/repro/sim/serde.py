@@ -1,0 +1,185 @@
+"""Checkpoint codecs for pipeline payloads (the stage/serde layer).
+
+One home for the plain-data encoding of every object that crosses a
+checkpoint boundary inside an SM — :class:`~repro.sim.exec_engine.ExecResult`
+vectors, :class:`~repro.core.wir_unit.IssueDecision` records, pending-retry
+waiters, and the SM event heap — shared by :class:`~repro.sim.smcore.SMCore`
+and the :mod:`repro.ckpt` tools (``repro ckpt inspect`` summarises queued
+events through the same tables), so the encoding knowledge exists exactly
+once.
+
+Array payloads ride on :func:`repro.ckpt.codec.encode_array`; everything
+else is JSON-native.  Decoders that rebuild live objects (waiters, event
+payloads) take the owning ``core`` as their first argument — a warp is
+identified by its slot (a warp can never finish while it has in-flight
+instructions, so the slot still holds it at restore) and an instruction by
+its pc (restore indexes the program, so per-``id(inst)`` plan/kernel caches
+repopulate lazily and purely).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.ckpt.codec import decode_array, encode_array
+from repro.core.reuse_buffer import Waiter
+from repro.core.wir_unit import IssueDecision
+from repro.sim.exec_engine import ExecResult
+
+# Event kinds on the SM heap.  Events are plain (cycle, seq, kind, payload)
+# records dispatched by ``SMCore._dispatch`` — declarative data instead of
+# bound closures, so an event queue can be serialized into a checkpoint and
+# rebuilt in a fresh process.  ``seq`` is unique per SM, so heap ordering
+# never compares payloads.
+EV_RETIRE = 0        # payload (warp, inst)
+EV_REUSE_COMMIT = 1  # payload (warp, inst, result_reg)
+EV_WRITEBACK = 2     # payload (warp, inst, exec_result, decision, ready)
+EV_WIR_COMMIT = 3    # payload (warp, inst, decision, dest)
+
+#: Serialized names (checkpoint files store names, not raw ints, so a
+#: renumbering is caught by schema validation instead of silent mis-dispatch).
+EVENT_KIND_NAMES = {
+    EV_RETIRE: "retire",
+    EV_REUSE_COMMIT: "reuse_commit",
+    EV_WRITEBACK: "writeback",
+    EV_WIR_COMMIT: "wir_commit",
+}
+EVENT_KINDS_BY_NAME = {name: kind for kind, name in EVENT_KIND_NAMES.items()}
+
+
+# ------------------------------------------------------------- exec results
+
+def encode_exec_result(res: ExecResult) -> dict:
+    return {
+        "mask": encode_array(res.mask),
+        "sources": [encode_array(src) for src in res.sources],
+        "result": encode_array(res.result),
+        "pred_result": encode_array(res.pred_result),
+        "taken_mask": encode_array(res.taken_mask),
+        "addresses": encode_array(res.addresses),
+        "store_values": encode_array(res.store_values),
+    }
+
+
+def decode_exec_result(data: dict) -> ExecResult:
+    return ExecResult(
+        mask=decode_array(data["mask"]),
+        sources=tuple(decode_array(src) for src in data["sources"]),
+        result=decode_array(data["result"]),
+        pred_result=decode_array(data["pred_result"]),
+        taken_mask=decode_array(data["taken_mask"]),
+        addresses=decode_array(data["addresses"]),
+        store_values=decode_array(data["store_values"]),
+    )
+
+
+# ---------------------------------------------------------- issue decisions
+
+def encode_decision(decision: Optional[IssueDecision]) -> Optional[dict]:
+    if decision is None:
+        return None
+    tag = decision.tag
+    return {
+        "action": decision.action,
+        "src_phys": list(decision.src_phys),
+        "tag": ([tag[0], [list(desc) for desc in tag[1]]]
+                if tag is not None else None),
+        "result_reg": decision.result_reg,
+        "rb_index": decision.rb_index,
+        "rb_token": decision.rb_token,
+        "reserved": decision.reserved,
+        "divergent": decision.divergent,
+    }
+
+
+def decode_decision(data: Optional[dict]) -> Optional[IssueDecision]:
+    if data is None:
+        return None
+    tag = data["tag"]
+    return IssueDecision(
+        action=data["action"],
+        src_phys=tuple(data["src_phys"]),
+        tag=((tag[0], tuple((kind, operand) for kind, operand in tag[1]))
+             if tag is not None else None),
+        result_reg=data["result_reg"],
+        rb_index=data["rb_index"],
+        rb_token=data["rb_token"],
+        reserved=data["reserved"],
+        divergent=data["divergent"],
+    )
+
+
+# ------------------------------------------------------------------ waiters
+
+def encode_waiter(waiter: Waiter) -> dict:
+    warp, inst, exec_result = waiter.descriptor
+    return {
+        "slot": warp.warp_slot,
+        "pc": inst.pc,
+        "exec": encode_exec_result(exec_result),
+    }
+
+
+def decode_waiter(core, data: dict) -> Waiter:
+    warp = core.warps[data["slot"]]
+    inst = core.program.instructions[data["pc"]]
+    return core.pipeline.reuse_probe.make_waiter(
+        warp, inst, decode_exec_result(data["exec"]))
+
+
+# ------------------------------------------------------------------- events
+
+def encode_event(event: Tuple[int, int, int, tuple]) -> dict:
+    """One heap record as plain data (see module docstring for identity)."""
+    cycle, seq, kind, payload = event
+    data: dict = {"cycle": cycle, "seq": seq, "kind": EVENT_KIND_NAMES[kind]}
+    if kind == EV_RETIRE:
+        warp, inst = payload
+        data["payload"] = {"slot": warp.warp_slot, "pc": inst.pc}
+    elif kind == EV_REUSE_COMMIT:
+        warp, inst, result_reg = payload
+        data["payload"] = {"slot": warp.warp_slot, "pc": inst.pc,
+                           "result_reg": result_reg}
+    elif kind == EV_WRITEBACK:
+        warp, inst, exec_result, decision, ready = payload
+        data["payload"] = {
+            "slot": warp.warp_slot, "pc": inst.pc,
+            "exec": encode_exec_result(exec_result),
+            "decision": encode_decision(decision),
+            # The raw (unclamped) writeback cycle: the allocate/verify stage
+            # passes it on to allocation/regfile scheduling, so the heap
+            # cycle alone (clamped by _schedule) would not reproduce it.
+            "ready": ready,
+        }
+    else:  # EV_WIR_COMMIT
+        warp, inst, decision, dest = payload
+        data["payload"] = {"slot": warp.warp_slot, "pc": inst.pc,
+                           "decision": encode_decision(decision),
+                           "dest": dest}
+    return data
+
+
+def decode_event(core, data: dict) -> Tuple[int, int, int, tuple]:
+    kind = EVENT_KINDS_BY_NAME[data["kind"]]
+    p = data["payload"]
+    warp = core.warps[p["slot"]]
+    inst = core.program.instructions[p["pc"]]
+    if kind == EV_RETIRE:
+        payload: tuple = (warp, inst)
+    elif kind == EV_REUSE_COMMIT:
+        payload = (warp, inst, p["result_reg"])
+    elif kind == EV_WRITEBACK:
+        payload = (warp, inst, decode_exec_result(p["exec"]),
+                   decode_decision(p["decision"]), p["ready"])
+    else:
+        payload = (warp, inst, decode_decision(p["decision"]), p["dest"])
+    return (data["cycle"], data["seq"], kind, payload)
+
+
+def event_kind_summary(events) -> dict:
+    """Histogram of serialized event kinds (``repro ckpt inspect``)."""
+    summary: dict = {}
+    for event in events:
+        kind = event.get("kind", "?")
+        summary[kind] = summary.get(kind, 0) + 1
+    return summary

@@ -1,15 +1,17 @@
-"""Streaming multiprocessor core: schedulers, pipelines, and event loop.
+"""Streaming multiprocessor core: warp residency, scheduling, event loop.
 
 The SM uses a hybrid cycle/event model: warp schedulers issue up to one
 instruction per scheduler per cycle, and each issued instruction's journey
-through the backend (operand read with bank arbitration, functional-unit or
-memory latency, the WIR allocation stages, writeback) is computed with
-monotonic resource counters and scheduled as retire events on a heap.
-Functional state (register values, memory) commits at issue in program
-order per warp — the scoreboard guarantees consumers never issue before
-their producers retire, so the early commit is architecturally invisible.
+through the backend is scheduled as events on a heap.  Functional state
+commits at issue in program order per warp — the scoreboard guarantees
+consumers never issue before their producers retire, so the early commit
+is architecturally invisible.
 
-The WIR unit plugs in via three hooks (issue / allocation / commit); with
+The pipeline itself — select → rename → reuse probe → operand read →
+execute → allocate/verify → writeback/retire — lives in
+:mod:`repro.pipeline` as declarative stages composed by
+:func:`~repro.pipeline.spec.build_pipeline` (DESIGN.md §13); this class
+routes due events to the stage methods bound at construction.  With
 ``config.wir.enabled == False`` the same pipeline runs the Base GPU.
 """
 
@@ -21,51 +23,38 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.check.errors import (DivergenceError, InvariantViolation,
-                                ReuseCorruptionError)
-from repro.ckpt.codec import decode_array, encode_array
-from repro.core.affine import AFFINE_PRESERVING_OPS, AffineTracker, is_affine_value
-from repro.core.reuse_buffer import Waiter
+from repro.check.errors import DivergenceError, InvariantViolation
+from repro.core.affine import AffineTracker
 from repro.core.wir_unit import IssueDecision, WIRUnit
-from repro.isa.instruction import Instruction, OperandKind
+from repro.isa.instruction import Instruction
 from repro.isa.opcodes import MemSpace, Opcode, OpClass
 from repro.isa.program import Program
+from repro.pipeline.spec import build_pipeline
 from repro.sim.config import GPUConfig, SchedulerPolicy
-from repro.sim.exec_engine import ExecResult, make_engine
+from repro.sim.exec_engine import ExecResult
 from repro.sim.grid import BlockDescriptor
 from repro.sim.memory.subsystem import MemorySubsystem, SMMemoryPort
 from repro.sim.regfile import RegisterFileTiming
 from repro.sim.scheduler import WarpScheduler
 from repro.sim.scoreboard import Scoreboard
+from repro.sim.serde import (
+    EV_RETIRE,
+    EV_REUSE_COMMIT,
+    EV_WIR_COMMIT,
+    EV_WRITEBACK,
+    decode_event,
+    decode_waiter,
+    encode_event,
+    encode_waiter,
+)
 from repro.sim.warp import Warp
 from repro.stats import StatGroup
 from repro.trace.stall import StallAttributor
 
 _LOG = logging.getLogger(__name__)
 
-#: Sleep-memo target for an SM with no time-based wake candidate (it wakes
-#: on events or a block dispatch, both of which bypass / reset the memo).
+#: Sleep-memo target for an SM with no time-based wake candidate.
 _NEVER = 1 << 62
-
-# Event kinds on the SM heap.  Events are plain (cycle, seq, kind, payload)
-# records dispatched by :meth:`SMCore._dispatch` — declarative data instead
-# of bound closures, so an event queue can be serialized into a checkpoint
-# and rebuilt in a fresh process.  ``seq`` is unique per SM, so heap
-# ordering never compares payloads.
-EV_RETIRE = 0        # payload (warp, inst)
-EV_REUSE_COMMIT = 1  # payload (warp, inst, result_reg)
-EV_WRITEBACK = 2     # payload (warp, inst, exec_result, decision, ready)
-EV_WIR_COMMIT = 3    # payload (warp, inst, decision, dest)
-
-#: Serialized names (checkpoint files store names, not raw ints, so a
-#: renumbering is caught by schema validation instead of silent mis-dispatch).
-EVENT_KIND_NAMES = {
-    EV_RETIRE: "retire",
-    EV_REUSE_COMMIT: "reuse_commit",
-    EV_WRITEBACK: "writeback",
-    EV_WIR_COMMIT: "wir_commit",
-}
-EVENT_KINDS_BY_NAME = {name: kind for kind, name in EVENT_KIND_NAMES.items()}
 
 
 class SMCounters(StatGroup):
@@ -73,9 +62,9 @@ class SMCounters(StatGroup):
 
     ``reused`` counts instructions that bypassed the backend via reuse
     (including pending-retry wakeups); ``backend_insts`` entered the
-    register-read/execute path; the ``fu_*_lanes`` counters track lane
-    activations (affine execution may activate a single lane);
-    ``affine_fu_insts`` executed on one lane under the Affine model.
+    register-read/execute path; ``fu_*_lanes`` track lane activations
+    (affine execution may activate a single lane).  Hot paths update these
+    through raw handles preloaded via :meth:`StatGroup.handle`.
     """
 
     COUNTERS = ("cycles", "issued", "retired", "reused", "reused_loads",
@@ -86,7 +75,7 @@ class SMCounters(StatGroup):
     HISTOGRAMS = ("issued_by_class",)
 
     def note_class(self, cls: OpClass) -> None:
-        self.issued_by_class.increment(cls.value)
+        self.handle("issued_by_class").increment(cls.value)
 
 
 class _BlockState:
@@ -114,8 +103,7 @@ class SMCore:
         self.sm_id = sm_id
         self.config = config
         self.program = program
-        #: Direct reference for the fast ready scan (skips two attribute hops
-        #: and ``Program.__getitem__`` per probe).
+        #: Direct reference for the fast ready scan.
         self._instructions = program.instructions
         self.profiler = profiler
 
@@ -129,22 +117,18 @@ class SMCore:
         )
         #: Lockstep golden-model checker (set by ``CheckedGPU`` runs).
         self.checker = None
-        #: Graceful degradation: once quarantined, the WIR unit stops
-        #: offering reuse and every instruction takes the baseline path.
+        #: Once quarantined, every instruction takes the baseline path.
         self.wir_quarantined = False
         self.counters = SMCounters("core")
-        #: Observability (repro.trace): the event-trace view installed by
-        #: :meth:`attach_tracer`, and the per-cycle stall attributor.  Both
-        #: stay ``None`` unless enabled in ``config.trace``, in which case
-        #: they observe but never influence timing.
+        #: Observability (repro.trace): both stay ``None`` unless enabled
+        #: in ``config.trace``; they observe but never influence timing.
         self.tracer = None
         self.stall: Optional[StallAttributor] = (
             StallAttributor(self) if config.trace.stalls else None
         )
 
-        #: This SM's subtree of the run's stats registry: the component
-        #: groups are adopted live, so ``sm{N}.regfile.read_retries`` et al
-        #: resolve during and after the run.
+        #: This SM's subtree of the run's stats registry (components are
+        #: adopted live).
         self.stats = StatGroup(f"sm{sm_id}")
         self.stats.adopt(self.counters)
         self.stats.adopt(self.regfile.stats)
@@ -155,8 +139,6 @@ class SMCore:
             self.stats.adopt(self.unit.counters)
         if self.stall is not None:
             self.stats.adopt(self.stall.stats)
-            if self.unit is not None:
-                self.unit.stall_probe = self.stall.note_verify
 
         num_sched = config.num_schedulers
         self.schedulers = [
@@ -173,54 +155,24 @@ class SMCore:
             for s in range(config.max_warps_per_sm)
         ]
 
-        #: Execution engine (DESIGN.md §8): "scalar" is the seed interpreter
-        #: and stays the oracle; "vector" compiles per-instruction kernels
-        #: and additionally opts this SM into the fast ready scan and the
-        #: schedulers' resident-slot arbitration.  Both paths are
-        #: bit-identical — the fast variants are algebraic rewrites, proven
-        #: so by tests/test_exec_differential.py.
-        self.engine = make_engine(config.exec_engine, program)
-        #: Bound dispatch, looked up once (``_issue`` runs per instruction).
-        self._engine_execute = self.engine.execute
+        #: Engine selection (DESIGN.md §8): "vector" additionally opts this
+        #: SM into the fast ready scan and resident-slot arbitration; both
+        #: paths are bit-identical (tests/test_exec_differential.py).
         self._fast_path = config.exec_engine == "vector"
-        self._ready_impl = self._ready_fast if self._fast_path else self._ready
-        #: Fully fused arbitration (pick + ready in one loop) is GTO-only;
-        #: LRR keeps ``scheduler.pick`` because its round-robin pointer
-        #: depends on the static scan order.
+        #: Fused arbitration (pick + ready in one loop) is GTO-only; LRR's
+        #: round-robin pointer depends on the static scan order.
         self._fast_gto = (self._fast_path
                           and config.scheduler_policy is SchedulerPolicy.GTO)
         if self._fast_path:
             for scheduler in self.schedulers:
                 scheduler.use_resident = True
-            # The fast path updates these Counter/Histogram objects directly
-            # (same objects the StatGroup attribute magic resolves to, so
-            # reported stats are identical to the scalar engine's).
-            stats = self.counters._stats
-            self._c_cycles = stats["cycles"]
-            self._c_issued = stats["issued"]
-            self._c_retired = stats["retired"]
-            self._c_backend = stats["backend_insts"]
-            self._c_fu_sp_insts = stats["fu_sp_insts"]
-            self._c_fu_sp_lanes = stats["fu_sp_lanes"]
-            self._c_fu_sfu_insts = stats["fu_sfu_insts"]
-            self._c_fu_sfu_lanes = stats["fu_sfu_lanes"]
-            self._c_affine_fu = stats["affine_fu_insts"]
-            self._c_mem_insts = stats["mem_insts"]
-            self._c_store_insts = stats["store_insts"]
-            self._h_by_class = stats["issued_by_class"]
 
-        # Backend pipelines: initiation-interval-limited (1 warp inst/cycle).
-        self._sp_free = [0] * config.num_sp_pipelines
-        self._sfu_free = 0
-        self._mem_free = 0
-
-        # Event heap: (cycle, seq, kind, payload) — see EVENT_KIND_NAMES.
+        # Event heap: (cycle, seq, kind, payload) — see serde.EVENT_KIND_NAMES.
         self._events: List[Tuple[int, int, int, tuple]] = []
         self._event_seq = 0
         self.cycle = 0
         #: Sleep memo (vector engine): cycles below this are housekeeping-
-        #: only ticks (see :meth:`tick`).  0 disables the memo, which is the
-        #: permanent state under the scalar engine.
+        #: only ticks; 0 disables (permanent under the scalar engine).
         self._sleep_until = 0
 
         # Resident blocks.
@@ -229,17 +181,33 @@ class SMCore:
         #: Warps waiting in the pending-retry queue do not issue.
         self._warp_waiting: List[bool] = [False] * config.max_warps_per_sm
         #: Fast-scan memo (vector engine only): the slot's current
-        #: instruction failed the scoreboard check, so the slot cannot
-        #: become ready until one of its own in-flight instructions retires
-        #: — the only event that shrinks its pending sets (``register`` only
-        #: runs when this slot issues, ``reset_slot`` only at dispatch).
-        #: Both clearing sites reset the flag.
+        #: instruction failed the scoreboard check, so it cannot become
+        #: ready until one of its own in-flight instructions retires — the
+        #: only event that shrinks its pending sets.
         self._sb_wait: List[bool] = [False] * config.max_warps_per_sm
 
-        #: Extra front-of-backend latency from the rename + reuse stages.
-        extra = config.wir.extra_pipeline_latency
-        self._front_delay = max(1, extra - 2) if self.unit else 1
-        self._regalloc_delay = 2 if self.unit else 0
+        #: The composed stage pipeline (built after the slot-state lists
+        #: above, which stages cache direct references to — DESIGN.md §13).
+        self.pipeline = build_pipeline(self)
+        self.stats.adopt(self.pipeline.stats)
+        #: Alias for the execute stage's engine (diagnostics and tests).
+        self.engine = self.pipeline.execute.engine
+
+        # Hot-path bindings: stage methods looked up once per SM, not per
+        # instruction/cycle.
+        self._engine_execute = self.pipeline.execute.functional
+        self._ready_impl = self.pipeline.select.ready_impl
+        self._pick_fast = self.pipeline.select.fast_pick
+        self._reuse_probe = self.pipeline.reuse_probe
+        self._execute_stage = self.pipeline.execute
+        self._allocate_verify = self.pipeline.allocate_verify
+        self._writeback_retire = self.pipeline.writeback_retire
+
+        # Preloaded stat handles (the same live objects the StatGroup
+        # attribute magic resolves to).
+        self._c_cycles = self.counters.handle("cycles")
+        self._c_issued = self.counters.handle("issued")
+        self._h_by_class = self.counters.handle("issued_by_class")
 
         # Register-utilisation sampling (Figure 19) interval.
         self._util_sample_interval = 64
@@ -251,10 +219,10 @@ class SMCore:
         self.tracer = view
         self.regfile.tracer = view
         self.port.tracer = view
+        self.pipeline.attach_tracer(view)
         for scheduler in self.schedulers:
             scheduler.on_pick = view.scheduler_pick
         if self.unit is not None:
-            self.unit.tracer = view
             self.unit.reuse_buffer.tracer = view
             self.unit.vsb.tracer = view
 
@@ -335,23 +303,19 @@ class SMCore:
             (max(cycle, self.cycle + 1), self._event_seq, kind, payload))
 
     def _dispatch(self, kind: int, payload: tuple) -> None:
-        """Fire one due event record (the closure bodies of old)."""
+        """Route one due event record to its pipeline stage."""
         if kind == EV_WRITEBACK:
             warp, inst, exec_result, decision, ready = payload
-            self._writeback(warp, inst, exec_result, decision, ready)
+            self._allocate_verify.run(warp, inst, exec_result, decision, ready)
         elif kind == EV_RETIRE:
             warp, inst = payload
-            self._retire(warp, inst)
+            self._writeback_retire.retire(warp, inst)
         elif kind == EV_REUSE_COMMIT:
             warp, inst, result_reg = payload
-            self.unit.commit_reuse(warp, inst, result_reg)
-            self._retire(warp, inst)
+            self._writeback_retire.commit_reuse(warp, inst, result_reg)
         elif kind == EV_WIR_COMMIT:
             warp, inst, decision, dest = payload
-            waiters = self.unit.commit_stage(warp, inst, decision, dest)
-            self._retire(warp, inst)
-            for waiter in waiters:
-                waiter.on_result(dest)
+            self._writeback_retire.commit(warp, inst, decision, dest)
         else:  # pragma: no cover - schema violation
             raise RuntimeError(f"unknown SM event kind {kind!r}")
 
@@ -359,12 +323,8 @@ class SMCore:
         return bool(self._events) or any(warp is not None for warp in self.warps)
 
     def next_wake(self) -> Optional[int]:
-        """Earliest future cycle at which this SM has work (None if idle).
-
-        Only called after an idle tick: no warp was issueable, so warps wake
-        either on a retire event (scoreboard release, barrier, waiter) or
-        when their control-hazard block / a busy pipeline expires.
-        """
+        """Earliest future cycle at which this SM has work (None if idle):
+        the next event, a control-hazard expiry, or a pipeline going free."""
         candidates = []
         if self._events:
             candidates.append(self._events[0][0])
@@ -374,9 +334,7 @@ class SMCore:
             blocked = self._warp_blocked_until[slot]
             if blocked > self.cycle:
                 candidates.append(blocked)
-        for free in (*self._sp_free, self._sfu_free, self._mem_free):
-            if free > self.cycle:
-                candidates.append(free)
+        candidates.extend(self._execute_stage.wake_candidates(self.cycle))
         return min(candidates) if candidates else None
 
     def tick(self, cycle: int) -> bool:
@@ -385,11 +343,9 @@ class SMCore:
         events = self._events
         if (cycle < self._sleep_until
                 and not (events and events[0][0] <= cycle)):
-            # Vector-engine sleep memo: the last full tick was inactive, so
-            # every warp is blocked on either an event (none due) or a time
-            # target at or beyond ``_sleep_until`` — this tick would do
-            # nothing.  Periodic housekeeping still runs so sampled stats
-            # match the scalar engine cycle for cycle.
+            # Vector-engine sleep memo: the last full tick was inactive and
+            # nothing can change before ``_sleep_until`` — housekeeping
+            # still runs so sampled stats match the scalar engine exactly.
             if self.unit is not None:
                 self._tick_housekeeping(cycle)
             return False
@@ -401,7 +357,7 @@ class SMCore:
             active = True
         if self._fast_gto and self.stall is None:
             for scheduler in self.schedulers:
-                slot = self._fast_pick(scheduler)
+                slot = self._pick_fast(scheduler)
                 if slot is not None:
                     self._issue(slot)
                     active = True
@@ -409,7 +365,7 @@ class SMCore:
             issued: List[int] = []
             if self._fast_gto:
                 for scheduler in self.schedulers:
-                    slot = self._fast_pick(scheduler)
+                    slot = self._pick_fast(scheduler)
                     if slot is not None:
                         self._issue(slot)
                         issued.append(slot)
@@ -424,15 +380,10 @@ class SMCore:
             if self.stall is not None:
                 self.stall.observe(cycle, issued)
         if active:
-            if self._fast_path:
-                self._c_cycles.value += 1
-            else:
-                self.counters.cycles += 1
+            self._c_cycles.value += 1
         elif self._fast_path and self.stall is None:
-            # Inactive full tick: nothing can change before the earliest
-            # wake candidate (see ``next_wake``), so skip straight to the
-            # housekeeping-only path until then.  Disabled under stall
-            # attribution, which must observe every ticked cycle.
+            # Inactive full tick: sleep until the earliest wake candidate.
+            # Disabled under stall attribution (observes every cycle).
             wake = self.next_wake()
             self._sleep_until = wake if wake is not None else _NEVER
         if self.unit is not None:
@@ -442,8 +393,7 @@ class SMCore:
     def _tick_housekeeping(self, cycle: int) -> None:
         """Per-cycle sampling and invariant checks (run on every ticked
         cycle, including sleep-memo ticks, so sampled stats are identical
-        across engines).  No-op for unit-less SMs, so callers skip the call
-        when ``self.unit is None``."""
+        across engines).  Callers skip the call when ``unit is None``."""
         if cycle % self._util_sample_interval == 0:
             self.unit.physfile.sample_utilization()
         interval = self.config.wir.invariant_check_interval
@@ -457,150 +407,13 @@ class SMCore:
                 self.quarantine_wir(str(err))
 
     def account_idle_cycles(self, count: int) -> None:
-        """Bulk stall attribution for idle-skipped cycles.
-
-        The GPU loop fast-forwards past cycles where no SM can issue; every
-        state change that could alter a warp's classification is a
-        ``next_wake`` candidate, so the classification at the current cycle
-        holds for the whole skipped gap (see :mod:`repro.trace.stall`).
-        """
+        """Bulk stall attribution for idle-skipped cycles: the warp
+        classification at the current cycle holds for the whole skipped gap
+        (every relevant state change is a ``next_wake`` candidate)."""
         if self.stall is not None and count > 0:
             self.stall.observe(self.cycle, (), weight=count)
 
     # ------------------------------------------------------------------ issue
-
-    def _ready(self, slot: int) -> bool:
-        warp = self.warps[slot]
-        if warp is None or warp.exited or warp.at_barrier or self._warp_waiting[slot]:
-            return False
-        if self._warp_blocked_until[slot] > self.cycle:
-            return False
-        inst = warp.next_instruction()
-        if inst is None:
-            return False
-        if not self.scoreboard.can_issue(slot, inst):
-            return False
-        return self._pipeline_available(inst.op_class)
-
-    def _ready_fast(self, slot: int) -> bool:
-        """Vector-engine variant of :meth:`_ready` — same decision, fewer
-        Python hops.
-
-        The scheduler scan calls this for every candidate slot every cycle
-        (it dominates scalar profiles), so the property/method chain of
-        ``Warp.next_instruction`` and the per-call hazard loops are inlined
-        against the cached instruction metadata.  A non-exited warp's pc is
-        always in range (every pc change runs ``Warp._reconverge``), so the
-        direct instruction-list index is safe.
-        """
-        warp = self.warps[slot]
-        if (warp is None or warp.exited or warp.at_barrier
-                or self._warp_waiting[slot] or self._sb_wait[slot]):
-            return False
-        cycle = self.cycle
-        if self._warp_blocked_until[slot] > cycle:
-            return False
-        inst = self._instructions[warp.stack[-1].pc]
-        regs = self.scoreboard._pending_regs[slot]
-        if regs and not regs.isdisjoint(inst.sb_regs):
-            self._sb_wait[slot] = True
-            self._sched_of_slot[slot].scannable -= 1
-            return False
-        preds = self.scoreboard._pending_preds[slot]
-        if preds and not preds.isdisjoint(inst.sb_preds):
-            self._sb_wait[slot] = True
-            self._sched_of_slot[slot].scannable -= 1
-            return False
-        cls = inst.op_class
-        if cls is OpClass.INT or cls is OpClass.FP or cls is OpClass.PRED:
-            return min(self._sp_free) <= cycle
-        if cls is OpClass.SFU:
-            return self._sfu_free <= cycle
-        if cls is OpClass.LOAD or cls is OpClass.STORE:
-            return self._mem_free <= cycle
-        return True
-
-    def _fast_pick(self, scheduler: WarpScheduler) -> Optional[int]:
-        """Fused GTO arbitration (vector engine): ``scheduler.pick`` with the
-        :meth:`_ready_fast` body inlined into the min-age scan.
-
-        Decision-identical to ``scheduler.pick(self._ready_fast)``: the
-        greedy probe of the last-issued slot runs first, then the oldest
-        ready resident slot wins (ages are unique, so the winner does not
-        depend on scan order).  Pipeline availability is hoisted out of the
-        loop — ``_sp_free``/``_sfu_free``/``_mem_free`` only move when an
-        issue executes, i.e. after this pick returns.
-        """
-        if scheduler.scannable == 0:
-            # Every resident slot is scoreboard-blocked; nothing to scan.
-            return None
-        last = scheduler._last_issued
-        if last is not None and self._ready_fast(last):
-            if scheduler.on_pick is not None:
-                scheduler.on_pick(scheduler.scheduler_id, last)
-            return last
-
-        cycle = self.cycle
-        warps = self.warps
-        waiting = self._warp_waiting
-        blocked_until = self._warp_blocked_until
-        sb_wait = self._sb_wait
-        pend_regs = self.scoreboard._pending_regs
-        pend_preds = self.scoreboard._pending_preds
-        instructions = self._instructions
-        sp_ok = min(self._sp_free) <= cycle
-        sfu_ok = self._sfu_free <= cycle
-        mem_ok = self._mem_free <= cycle
-        age_of = scheduler._age
-
-        best: Optional[int] = None
-        best_age = None
-        for slot in scheduler._resident:
-            if sb_wait[slot] or waiting[slot]:
-                continue
-            warp = warps[slot]
-            if warp is None or warp.exited or warp.at_barrier:
-                continue
-            if blocked_until[slot] > cycle:
-                continue
-            inst = instructions[warp.stack[-1].pc]
-            regs = pend_regs[slot]
-            if regs and not regs.isdisjoint(inst.sb_regs):
-                sb_wait[slot] = True
-                scheduler.scannable -= 1
-                continue
-            preds = pend_preds[slot]
-            if preds and not preds.isdisjoint(inst.sb_preds):
-                sb_wait[slot] = True
-                scheduler.scannable -= 1
-                continue
-            cls = inst.op_class
-            if cls is OpClass.INT or cls is OpClass.FP or cls is OpClass.PRED:
-                if not sp_ok:
-                    continue
-            elif cls is OpClass.SFU:
-                if not sfu_ok:
-                    continue
-            elif cls is OpClass.LOAD or cls is OpClass.STORE:
-                if not mem_ok:
-                    continue
-            age = age_of[slot]
-            if best_age is None or age < best_age:
-                best, best_age = slot, age
-        if best is not None:
-            scheduler._last_issued = best
-            if scheduler.on_pick is not None:
-                scheduler.on_pick(scheduler.scheduler_id, best)
-        return best
-
-    def _pipeline_available(self, cls: OpClass) -> bool:
-        if cls in (OpClass.INT, OpClass.FP, OpClass.PRED):
-            return min(self._sp_free) <= self.cycle
-        if cls is OpClass.SFU:
-            return self._sfu_free <= self.cycle
-        if cls in (OpClass.LOAD, OpClass.STORE):
-            return self._mem_free <= self.cycle
-        return True
 
     def _issue(self, slot: int) -> None:
         warp = self.warps[slot]
@@ -611,12 +424,8 @@ class SMCore:
             inst = warp.next_instruction()
         cycle = self.cycle
         exec_result = self._engine_execute(inst, warp)
-        if self._fast_path:
-            self._c_issued.value += 1
-            self._h_by_class.increment(inst.op_class.value)
-        else:
-            self.counters.issued += 1
-            self.counters.note_class(inst.op_class)
+        self._c_issued.value += 1
+        self._h_by_class.increment(inst.op_class.value)
         warp.last_issue_cycle = cycle
 
         if self.profiler is not None:
@@ -639,17 +448,13 @@ class SMCore:
             return
 
         if self.tracer is not None:
-            # Backend-bound instructions are async spans closed at retire;
-            # control/sync/nop above never reach _retire, so they are
-            # instants instead.
+            # Backend-bound instructions are async spans closed at retire
+            # (control/sync/nop above are instants instead).
             self.tracer.begin_inst(slot, inst)
 
         decision: Optional[IssueDecision] = None
         if self.unit is not None and not self.wir_quarantined:
-            decision = self.unit.issue_stage(
-                warp, inst, exec_result, cycle,
-                make_waiter=lambda: self._make_waiter(warp, inst, exec_result),
-            )
+            decision = self._reuse_probe.issue(warp, inst, exec_result)
 
         # Track store flags for load reuse before advancing.
         if cls is OpClass.STORE:
@@ -663,13 +468,13 @@ class SMCore:
         warp.advance()
 
         if decision is not None and decision.action == "reuse":
-            self._do_reuse(warp, inst, exec_result, decision)
+            self._reuse_probe.apply_hit(warp, inst, exec_result, decision)
             self._checker_commit(warp, inst)
         elif decision is not None and decision.action == "queued":
-            self._do_queue(warp, inst)
-            # Functional commit deferred: the lockstep check runs at wakeup.
+            # Waits on a pending reuse-buffer entry; commit runs at wakeup.
+            pass
         else:
-            self._do_execute(warp, inst, exec_result, decision, cycle)
+            self._execute_stage.run(warp, inst, exec_result, decision, cycle)
             self._checker_commit(warp, inst)
         self._finish_if_exited(warp)
 
@@ -720,334 +525,6 @@ class SMCore:
             warp.shared_store_flag = False
             warp.global_store_flag = False
 
-    # --- reuse paths -----------------------------------------------------------
-
-    def _do_reuse(
-        self, warp: Warp, inst: Instruction, exec_result: ExecResult,
-        decision: IssueDecision,
-    ) -> None:
-        """Immediate reuse hit: bypass the whole backend."""
-        self.counters.reused += 1
-        if inst.op_class is OpClass.LOAD:
-            self.counters.reused_loads += 1
-            values = self.unit.physfile.read(decision.result_reg)
-            warp.write_reg(inst.dst.value, values, exec_result.mask)
-        else:
-            # Arithmetic reuse must be value-exact; check against the
-            # functionally computed result (a genuine invariant of the design).
-            reused = self.unit.physfile.read(decision.result_reg)
-            if not np.array_equal(reused, exec_result.result):
-                self._reuse_corrupted(
-                    warp, inst, exec_result, decision.result_reg,
-                    f"arithmetic reuse returned a wrong value for {inst} "
-                    f"(pc={inst.pc}, warp slot {warp.warp_slot})",
-                )
-                return
-            warp.write_reg(inst.dst.value, reused, exec_result.mask)
-        retire_cycle = self.cycle + self._front_delay + 1
-        self._schedule(retire_cycle, EV_REUSE_COMMIT,
-                       (warp, inst, decision.result_reg))
-
-    def _make_waiter(self, warp: Warp, inst: Instruction, exec_result: ExecResult) -> Waiter:
-        """Waiter for the pending-retry queue (Section VI-B)."""
-        self._warp_waiting[warp.warp_slot] = True
-
-        def on_result(result_reg: Optional[int]) -> None:
-            self._warp_waiting[warp.warp_slot] = False
-            if result_reg is not None and not self.wir_quarantined:
-                self._wake_queued(warp, inst, exec_result, result_reg)
-                self._checker_commit(warp, inst)
-                return
-            if self.wir_quarantined:
-                # Quarantine flushed the queue: take the baseline path.
-                self._do_execute(warp, inst, exec_result, None, self.cycle)
-                self._checker_commit(warp, inst)
-                return
-            # The pending entry was evicted before the producer retired:
-            # re-enter the reuse stage (it may hit a newer entry, queue
-            # again, or finally execute).
-            decision = self.unit.issue_stage(
-                warp, inst, exec_result, self.cycle,
-                make_waiter=lambda: self._make_waiter(warp, inst, exec_result),
-            )
-            if decision.action == "reuse":
-                self._do_reuse(warp, inst, exec_result, decision)
-                self._checker_commit(warp, inst)
-            elif decision.action != "queued":
-                self._do_execute(warp, inst, exec_result, decision, self.cycle)
-                self._checker_commit(warp, inst)
-
-        waiter = Waiter(on_result)
-        # Plain-data identity of the waiting instruction, so a checkpoint
-        # can externalize the queue entry and a restore can rebuild an
-        # equivalent waiter via ``_make_waiter`` (DESIGN.md §12).
-        waiter.descriptor = (warp, inst, exec_result)
-        return waiter
-
-    def _do_queue(self, warp: Warp, inst: Instruction) -> None:
-        """The instruction waits on a pending reuse-buffer entry."""
-        # Functional commit and retire are deferred to the wakeup.
-
-    def _wake_queued(
-        self, warp: Warp, inst: Instruction, exec_result: ExecResult, result_reg: int
-    ) -> None:
-        self.counters.reused += 1
-        if inst.op_class is OpClass.LOAD:
-            self.counters.reused_loads += 1
-        # Transit reference until commit_reuse (the entry that woke us could
-        # be evicted before our retire fires).
-        self.unit.refcount.incref(result_reg)
-        values = self.unit.physfile.read(result_reg)
-        if inst.op_class is not OpClass.LOAD and not np.array_equal(
-            values, exec_result.result
-        ):
-            self._reuse_corrupted(
-                warp, inst, exec_result, result_reg,
-                f"pending-retry reuse returned a wrong value for {inst} "
-                f"(pc={inst.pc}, warp slot {warp.warp_slot})",
-            )
-            return
-        warp.write_reg(inst.dst.value, values, exec_result.mask)
-        # Queued instructions re-probe the buffer and retire a cycle after
-        # the producer's result lands.
-        self._schedule(self.cycle + 1, EV_REUSE_COMMIT, (warp, inst, result_reg))
-
-    def _reuse_corrupted(
-        self, warp: Warp, inst: Instruction, exec_result: ExecResult,
-        result_reg: int, reason: str,
-    ) -> None:
-        """A reuse hit delivered a wrong value (impossible without faults).
-
-        Without quarantine enabled this is fatal; with it, the unit is
-        quarantined and the instruction falls back to the baseline execute
-        path, so the kernel still completes with correct results.
-        """
-        err = ReuseCorruptionError(reason)
-        if not self.config.wir.quarantine:
-            raise err
-        # Undo the reuse bookkeeping done before the value check: the reuse
-        # count and the transit reference taken at the hit / wakeup.
-        self.counters.reused -= 1
-        self.unit.refcount.decref(result_reg)
-        self.quarantine_wir(reason)
-        self._do_execute(warp, inst, exec_result, None, self.cycle)
-
-    # --- execute path -----------------------------------------------------------
-
-    def _do_execute(
-        self,
-        warp: Warp,
-        inst: Instruction,
-        exec_result: ExecResult,
-        decision: Optional[IssueDecision],
-        cycle: int,
-        from_retry: bool = False,
-    ) -> None:
-        if self._fast_path:
-            self._c_backend.value += 1
-        else:
-            self.counters.backend_insts += 1
-        cls = inst.op_class
-        if self.stall is not None:
-            self.stall.note_backend(warp.warp_slot, inst,
-                                    "mem" if cls is OpClass.LOAD else "exec")
-
-        # Functional commit (loads commit below with the memory access).
-        if cls is not OpClass.LOAD:
-            if exec_result.result is not None:
-                warp.write_reg(inst.dst.value, exec_result.result, exec_result.mask)
-            if exec_result.pred_result is not None:
-                warp.write_pred(inst.dst.value, exec_result.pred_result, exec_result.mask)
-
-        start = cycle + self._front_delay
-
-        # Operand collection: one bank read per distinct register source.
-        read_ready = start
-        reg_keys = self._source_bank_keys(warp, inst, decision)
-        affine = self.affine
-        if affine.enabled:
-            for key in reg_keys:
-                read_ready = max(
-                    read_ready,
-                    self.regfile.schedule_read(key, start, affine=affine.is_affine(key)),
-                )
-        else:
-            for key in reg_keys:
-                read_ready = max(read_ready, self.regfile.schedule_read(key, start))
-
-        if cls in (OpClass.LOAD, OpClass.STORE):
-            exec_ready = self._execute_memory(warp, inst, exec_result, read_ready)
-        else:
-            exec_ready = self._execute_alu(warp, inst, exec_result, read_ready, decision)
-
-        self._schedule(exec_ready, EV_WRITEBACK,
-                       (warp, inst, exec_result, decision, exec_ready))
-
-    def _source_bank_keys(
-        self, warp: Warp, inst: Instruction, decision: Optional[IssueDecision]
-    ) -> List[int]:
-        """Register-bank keys of the distinct register sources."""
-        if decision is not None:
-            return sorted(set(decision.src_phys))
-        base = warp.warp_slot << 8
-        # ``bank_regs`` is the cached sorted distinct source-register tuple;
-        # or-ing a constant high part preserves the order.
-        return [base | reg for reg in inst.bank_regs]
-
-    def _execute_alu(
-        self,
-        warp: Warp,
-        inst: Instruction,
-        exec_result: ExecResult,
-        ready: int,
-        decision: Optional[IssueDecision],
-    ) -> int:
-        cls = inst.op_class
-        fast = self._fast_path
-        if fast:
-            lanes = int(np.count_nonzero(exec_result.mask))
-            # With the Affine model off, _affine_execution is a constant
-            # False (its first check); skip the call.
-            affine_exec = (self.affine.enabled and
-                           self._affine_execution(warp, inst, exec_result,
-                                                  decision))
-        else:
-            lanes = int(exec_result.mask.sum())
-            affine_exec = self._affine_execution(warp, inst, exec_result, decision)
-        lane_cost = 1 if affine_exec else max(lanes, 1)
-        if affine_exec:
-            if fast:
-                self._c_affine_fu.value += 1
-            else:
-                self.counters.affine_fu_insts += 1
-
-        if cls is OpClass.SFU:
-            start = max(ready, self._sfu_free)
-            self._sfu_free = start + 1
-            if fast:
-                self._c_fu_sfu_insts.value += 1
-                self._c_fu_sfu_lanes.value += lane_cost
-            else:
-                self.counters.fu_sfu_insts += 1
-                self.counters.fu_sfu_lanes += lane_cost
-            return start + self.config.sfu_latency
-
-        sp_free = self._sp_free
-        pipe = 0
-        free = sp_free[0]
-        for i in range(1, len(sp_free)):
-            if sp_free[i] < free:
-                pipe, free = i, sp_free[i]
-        start = max(ready, free)
-        sp_free[pipe] = start + 1
-        if fast:
-            self._c_fu_sp_insts.value += 1
-            self._c_fu_sp_lanes.value += lane_cost
-        else:
-            self.counters.fu_sp_insts += 1
-            self.counters.fu_sp_lanes += lane_cost
-        return start + self.config.sp_latency
-
-    def _affine_execution(
-        self,
-        warp: Warp,
-        inst: Instruction,
-        exec_result: ExecResult,
-        decision: Optional[IssueDecision],
-    ) -> bool:
-        """Affine model: 1-lane execution when inputs and output are affine."""
-        if not self.affine.enabled or inst.opcode not in AFFINE_PRESERVING_OPS:
-            return False
-        if exec_result.result is None or not exec_result.mask.all():
-            return False
-        # Register inputs must be tracked-affine; immediates are affine by
-        # construction; special registers are checked by value.
-        for src, values in zip(inst.srcs, exec_result.sources):
-            if src.kind is OperandKind.SREG and not is_affine_value(values):
-                return False
-        keys = self._source_bank_keys(warp, inst, decision)
-        if not self.affine.all_affine(keys):
-            return False
-        return is_affine_value(exec_result.result)
-
-    def _execute_memory(
-        self, warp: Warp, inst: Instruction, exec_result: ExecResult, ready: int
-    ) -> int:
-        start = max(ready, self._mem_free)
-        self._mem_free = start + 1
-        if self._fast_path:
-            self._c_mem_insts.value += 1
-            if inst.op_class is OpClass.STORE:
-                self._c_store_insts.value += 1
-        else:
-            self.counters.mem_insts += 1
-            if inst.op_class is OpClass.STORE:
-                self.counters.store_insts += 1
-        result = self.port.access(
-            inst.space,
-            warp.block.block_id,
-            exec_result.addresses,
-            exec_result.mask,
-            start,
-            is_store=inst.op_class is OpClass.STORE,
-            store_values=exec_result.store_values,
-        )
-        if inst.op_class is OpClass.LOAD:
-            warp.write_reg(inst.dst.value, result.values, exec_result.mask)
-        return result.ready_cycle
-
-    # --- writeback / retire ------------------------------------------------------
-
-    def _writeback(
-        self,
-        warp: Warp,
-        inst: Instruction,
-        exec_result: ExecResult,
-        decision: Optional[IssueDecision],
-        cycle: int,
-    ) -> None:
-        if not inst.writes_register:
-            self._schedule(cycle, EV_RETIRE, (warp, inst))
-            return
-
-        if self.unit is not None and not self.wir_quarantined:
-            ready, dest = self.unit.allocation_stage(
-                warp, inst, exec_result, decision, cycle)
-            self._schedule(ready, EV_WIR_COMMIT, (warp, inst, decision, dest))
-            return
-
-        # Base GPU: plain register write.
-        key = (warp.warp_slot << 8) | inst.dst.value
-        if self._fast_path and not self.affine.enabled:
-            # record_write / record_partial_write are no-ops returning
-            # False with tracking disabled; skip them and the mask check.
-            affine = False
-        elif exec_result.mask.all():
-            affine = self.affine.record_write(key, warp.read_reg(inst.dst.value),
-                                              opcode=inst.opcode)
-        else:
-            self.affine.record_partial_write(key)
-            affine = False
-        ready = self.regfile.schedule_write(key, cycle, affine=affine)
-        self._schedule(ready, EV_RETIRE, (warp, inst))
-
-    def _retire(self, warp: Warp, inst: Instruction) -> None:
-        if self.stall is not None:
-            self.stall.note_retire(warp.warp_slot, inst)
-        if self.tracer is not None:
-            self.tracer.end_inst(warp.warp_slot, inst)
-        self.scoreboard.release(warp.warp_slot, inst)
-        # The retire may have unblocked this slot's next instruction.
-        if self._sb_wait[warp.warp_slot]:
-            self._sb_wait[warp.warp_slot] = False
-            self._sched_of_slot[warp.warp_slot].scannable += 1
-        warp.inflight -= 1
-        if self._fast_path:
-            self._c_retired.value += 1
-        else:
-            self.counters.retired += 1
-        self._finish_if_exited(warp)
-
     def _finish_if_exited(self, warp: Warp) -> None:
         if warp.exited and warp.inflight == 0 and self.warps[warp.warp_slot] is warp:
             self._warp_finished(warp)
@@ -1055,10 +532,9 @@ class SMCore:
     # --- checking / degradation ---------------------------------------------------
 
     def _checker_commit(self, warp: Warp, inst: Instruction) -> None:
-        """Lockstep commit check for an instruction whose functional state
-        just landed.  Under quarantine mode a repairable register/predicate
-        divergence repairs the architectural value from the oracle and
-        quarantines the WIR unit instead of aborting the run."""
+        """Lockstep commit check.  Under quarantine mode a repairable
+        register/predicate divergence repairs the architectural value from
+        the oracle and quarantines the WIR unit instead of aborting."""
         if self.checker is None:
             return
         try:
@@ -1081,14 +557,12 @@ class SMCore:
 
         The functional register state in each :class:`Warp` is the
         architectural truth, so correctness survives the quarantine; only
-        the timing fidelity of the remaining instructions degrades to the
-        baseline pipeline.  Counted in ``sm{N}.wir.quarantines``.
+        timing fidelity degrades.  Counted in ``sm{N}.wir.quarantines``.
         """
         if self.unit is None or self.wir_quarantined:
             return
         self.wir_quarantined = True
-        # The flush below may wake pending-retry warps outside an event, so
-        # the sleep memo is no longer trustworthy.
+        # The flush may wake pending-retry warps outside an event.
         self._sleep_until = 0
         self.unit.counters.quarantines += 1
         if self.tracer is not None:
@@ -1100,138 +574,13 @@ class SMCore:
 
     # ----------------------------------------------------------- checkpointing
 
-    @staticmethod
-    def _encode_exec_result(res: ExecResult) -> dict:
-        return {
-            "mask": encode_array(res.mask),
-            "sources": [encode_array(src) for src in res.sources],
-            "result": encode_array(res.result),
-            "pred_result": encode_array(res.pred_result),
-            "taken_mask": encode_array(res.taken_mask),
-            "addresses": encode_array(res.addresses),
-            "store_values": encode_array(res.store_values),
-        }
-
-    @staticmethod
-    def _decode_exec_result(data: dict) -> ExecResult:
-        return ExecResult(
-            mask=decode_array(data["mask"]),
-            sources=tuple(decode_array(src) for src in data["sources"]),
-            result=decode_array(data["result"]),
-            pred_result=decode_array(data["pred_result"]),
-            taken_mask=decode_array(data["taken_mask"]),
-            addresses=decode_array(data["addresses"]),
-            store_values=decode_array(data["store_values"]),
-        )
-
-    @staticmethod
-    def _encode_decision(decision: Optional[IssueDecision]) -> Optional[dict]:
-        if decision is None:
-            return None
-        tag = decision.tag
-        return {
-            "action": decision.action,
-            "src_phys": list(decision.src_phys),
-            "tag": ([tag[0], [list(desc) for desc in tag[1]]]
-                    if tag is not None else None),
-            "result_reg": decision.result_reg,
-            "rb_index": decision.rb_index,
-            "rb_token": decision.rb_token,
-            "reserved": decision.reserved,
-            "divergent": decision.divergent,
-        }
-
-    @staticmethod
-    def _decode_decision(data: Optional[dict]) -> Optional[IssueDecision]:
-        if data is None:
-            return None
-        tag = data["tag"]
-        return IssueDecision(
-            action=data["action"],
-            src_phys=tuple(data["src_phys"]),
-            tag=((tag[0], tuple((kind, operand) for kind, operand in tag[1]))
-                 if tag is not None else None),
-            result_reg=data["result_reg"],
-            rb_index=data["rb_index"],
-            rb_token=data["rb_token"],
-            reserved=data["reserved"],
-            divergent=data["divergent"],
-        )
-
-    def _encode_waiter(self, waiter: Waiter) -> dict:
-        warp, inst, exec_result = waiter.descriptor
-        return {
-            "slot": warp.warp_slot,
-            "pc": inst.pc,
-            "exec": self._encode_exec_result(exec_result),
-        }
-
-    def _decode_waiter(self, data: dict) -> Waiter:
-        warp = self.warps[data["slot"]]
-        inst = self._instructions[data["pc"]]
-        return self._make_waiter(warp, inst,
-                                 self._decode_exec_result(data["exec"]))
-
-    def _encode_event(self, event: Tuple[int, int, int, tuple]) -> dict:
-        """One heap record as plain data.
-
-        A warp is identified by its slot (a warp can never finish while it
-        has in-flight instructions, so the slot still holds it at restore);
-        an instruction by its pc (restore indexes ``self._instructions``, so
-        per-``id(inst)`` plan/kernel caches repopulate lazily and purely).
-        """
-        cycle, seq, kind, payload = event
-        data: dict = {"cycle": cycle, "seq": seq,
-                      "kind": EVENT_KIND_NAMES[kind]}
-        if kind == EV_RETIRE:
-            warp, inst = payload
-            data["payload"] = {"slot": warp.warp_slot, "pc": inst.pc}
-        elif kind == EV_REUSE_COMMIT:
-            warp, inst, result_reg = payload
-            data["payload"] = {"slot": warp.warp_slot, "pc": inst.pc,
-                               "result_reg": result_reg}
-        elif kind == EV_WRITEBACK:
-            warp, inst, exec_result, decision, ready = payload
-            data["payload"] = {
-                "slot": warp.warp_slot, "pc": inst.pc,
-                "exec": self._encode_exec_result(exec_result),
-                "decision": self._encode_decision(decision),
-                # The raw (unclamped) writeback cycle: _writeback passes it
-                # on to allocation/regfile scheduling, so the heap cycle
-                # alone (clamped by _schedule) would not reproduce it.
-                "ready": ready,
-            }
-        else:  # EV_WIR_COMMIT
-            warp, inst, decision, dest = payload
-            data["payload"] = {"slot": warp.warp_slot, "pc": inst.pc,
-                               "decision": self._encode_decision(decision),
-                               "dest": dest}
-        return data
-
-    def _decode_event(self, data: dict) -> Tuple[int, int, int, tuple]:
-        kind = EVENT_KINDS_BY_NAME[data["kind"]]
-        p = data["payload"]
-        warp = self.warps[p["slot"]]
-        inst = self._instructions[p["pc"]]
-        if kind == EV_RETIRE:
-            payload: tuple = (warp, inst)
-        elif kind == EV_REUSE_COMMIT:
-            payload = (warp, inst, p["result_reg"])
-        elif kind == EV_WRITEBACK:
-            payload = (warp, inst, self._decode_exec_result(p["exec"]),
-                       self._decode_decision(p["decision"]), p["ready"])
-        else:
-            payload = (warp, inst, self._decode_decision(p["decision"]),
-                       p["dest"])
-        return (data["cycle"], data["seq"], kind, payload)
-
     def state_dict(self) -> dict:
         """Complete snapshot of this SM at a cycle boundary (pure reads).
 
-        Not serialized: the execution engine's per-instruction kernel and
-        plan caches (pure, lazily repopulated), config-derived constants,
-        and the ``_c_*`` fast-path counter references (restored in place
-        through the stats tree).
+        Payload codecs live in :mod:`repro.sim.serde`; the stage pipeline
+        serializes itself through the stages' inherited ``state_dict``
+        hooks.  Not serialized: pure lazily-repopulated engine caches,
+        config-derived constants, and preloaded stat handles.
         """
         events = sorted(self._events, key=lambda event: (event[0], event[1]))
         return {
@@ -1248,13 +597,11 @@ class SMCore:
             "regfile": self.regfile.state_dict(),
             "port": self.port.state_dict(),
             "affine": self.affine.state_dict(),
-            "unit": (self.unit.state_dict(self._encode_waiter)
+            "unit": (self.unit.state_dict(encode_waiter)
                      if self.unit is not None else None),
             "wir_quarantined": self.wir_quarantined,
-            "sp_free": list(self._sp_free),
-            "sfu_free": self._sfu_free,
-            "mem_free": self._mem_free,
-            "events": [self._encode_event(event) for event in events],
+            "pipeline": self.pipeline.state_dict(),
+            "events": [encode_event(event) for event in events],
             "event_seq": self._event_seq,
             "sleep_until": self._sleep_until,
             "warp_blocked_until": list(self._warp_blocked_until),
@@ -1267,12 +614,14 @@ class SMCore:
         """Restore a snapshot onto a freshly constructed SM.
 
         *descriptor_of* maps a block id back to its
-        :class:`~repro.sim.grid.BlockDescriptor` (the GPU regenerates them
-        deterministically from the launch geometry).
+        :class:`~repro.sim.grid.BlockDescriptor`.  Every slot-state list is
+        restored *in place*: the pipeline stages cached direct references
+        at construction, so a replacement list would split the state.
         """
         self.cycle = state["cycle"]
         # Warps first: waiter and event decoding below needs live objects.
-        self.warps = [None] * len(self.warps)
+        for slot in range(len(self.warps)):
+            self.warps[slot] = None
         for slot, wstate in enumerate(state["warps"]):
             if wstate is None:
                 continue
@@ -1294,21 +643,20 @@ class SMCore:
         self.affine.load_state(state["affine"])
         self.wir_quarantined = state["wir_quarantined"]
         if self.unit is not None:
-            self.unit.load_state(state["unit"], self._decode_waiter)
+            self.unit.load_state(state["unit"],
+                                 lambda data: decode_waiter(self, data))
             self._refresh_register_cap()
-        self._sp_free = list(state["sp_free"])
-        self._sfu_free = state["sfu_free"]
-        self._mem_free = state["mem_free"]
-        self._events = [self._decode_event(event)
+        self.pipeline.load_state(state["pipeline"])
+        self._events = [decode_event(self, event)
                         for event in state["events"]]
         heapq.heapify(self._events)
         self._event_seq = state["event_seq"]
         self._sleep_until = state["sleep_until"]
-        self._warp_blocked_until = list(state["warp_blocked_until"])
-        # After the unit restore: rebuilding waiters via _make_waiter set
-        # flags for queued slots; the stored list is authoritative.
-        self._warp_waiting = list(state["warp_waiting"])
-        self._sb_wait = list(state["sb_wait"])
+        self._warp_blocked_until[:] = state["warp_blocked_until"]
+        # After the unit restore: rebuilding waiters via the reuse-probe
+        # stage set flags for queued slots; the stored list is authoritative.
+        self._warp_waiting[:] = state["warp_waiting"]
+        self._sb_wait[:] = state["sb_wait"]
         self.stats.load_state(state["stats"])
 
     # ------------------------------------------------------------- diagnostics

@@ -187,6 +187,24 @@ class StatGroup:
             raise TypeError(f"stat {name!r} exists and is not a histogram")
         return stat
 
+    def handle(self, name: str) -> Union[Counter, Histogram]:
+        """Raw :class:`Counter` / :class:`Histogram` object for *name*.
+
+        The one supported way to preload stat objects for hot paths
+        (``handle.value += 1`` skips the attribute magic of
+        :meth:`__getattr__` / :meth:`__setattr__` while updating the same
+        object the registry reports).  Raises :class:`StatLookupError` for
+        unknown names instead of silently minting a new counter — a
+        preloaded handle must alias a declared stat, not shadow one.
+        """
+        stat = self._stats.get(name)
+        if stat is None:
+            available = ", ".join(sorted(self._stats)) or "(none)"
+            raise StatLookupError(
+                f"no stat {name!r} on group {self.name!r}; available: "
+                f"{available}")
+        return stat
+
     def adopt(self, child: "StatGroup", name: Optional[str] = None) -> "StatGroup":
         """Attach an existing group as a child (shared, not copied)."""
         key = name if name is not None else child.name

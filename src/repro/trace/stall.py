@@ -2,7 +2,7 @@
 
 Every cycle, every *resident* warp slot of an SM is classified into exactly
 one reason — either it issued, or the first condition that prevented issue,
-checked in the same order the SM's ``_ready`` predicate checks them:
+checked in the same order the select stage's ``ready`` predicate checks them:
 
 ========================  ====================================================
 ``issued``                the slot issued an instruction this cycle
@@ -88,7 +88,7 @@ class StallAttributor:
 
     Constructed by (and bound to) its :class:`~repro.sim.smcore.SMCore`; it
     reads the core's issue-gating state directly, so classification and the
-    ``_ready`` predicate can never drift apart silently — the conservation
+    select stage's ``ready`` predicate can never drift apart silently — the conservation
     test cross-checks ``stall.issued`` against ``core.issued``.
     """
 
@@ -163,6 +163,6 @@ class StallAttributor:
             if "mem" in found:
                 return "memory_pending"
             return "scoreboard_raw"
-        if not sm._pipeline_available(inst.op_class):
+        if not sm.pipeline.execute.available(inst.op_class, cycle):
             return "exec_pipe_busy"
         return "not_selected"

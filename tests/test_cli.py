@@ -128,6 +128,29 @@ def test_bad_benchmark_rejected():
         main(["run", "ZZ"])
 
 
+def test_pipeline_show(capsys):
+    code, out = run_cli(capsys, "pipeline", "show", "--model", "RLPV",
+                        "--engine", "vector")
+    assert code == 0
+    assert "7 stages" in out
+    for stage in ("select", "rename", "reuse_probe", "operand_read",
+                  "execute", "allocate_verify", "writeback_retire"):
+        assert stage in out
+    assert "fused fast_pick/ready_fast" in out
+    assert "vector engine kernels" in out
+
+
+def test_pipeline_show_json(capsys):
+    import json
+
+    code, out = run_cli(capsys, "pipeline", "show", "--model", "Base",
+                        "--json", "-")
+    assert code == 0
+    stages = json.loads(out)
+    assert [desc["name"] for desc in stages][:2] == ["select", "rename"]
+    assert stages[4]["binding"] == "scalar engine kernels"
+
+
 def test_parser_structure():
     parser = build_parser()
     args = parser.parse_args(["run", "SF", "--model", "R", "--scale", "2"])

@@ -1,0 +1,32 @@
+"""Repo hygiene guards (run in CI's lint job and as plain tests)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def test_budget_script_passes():
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "scripts" / "check_budgets.py")],
+        capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "src/repro/sim/smcore.py" in proc.stdout
+
+
+def test_smcore_under_budget():
+    """The SM core must stay under 700 lines: pipeline logic belongs in
+    src/repro/pipeline stages, not on the core (DESIGN.md §13)."""
+    lines = (REPO / "src/repro/sim/smcore.py").read_text().count("\n")
+    assert lines <= 700, f"sim/smcore.py is {lines} lines"
+
+
+def test_no_duplicated_decision_logic():
+    """The reuse/verify decision logic must exist only in the pipeline
+    package — neither executor file may reimplement it."""
+    for rel in ("src/repro/sim/smcore.py", "src/repro/sim/exec_engine.py"):
+        text = (REPO / rel).read_text()
+        for marker in ("load_may_reuse", "lookup_outcome", "verify_reads",
+                       "hash_generations"):
+            assert marker not in text, f"{rel} reimplements {marker}"
