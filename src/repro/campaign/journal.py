@@ -1,0 +1,124 @@
+"""The campaign journal: an append-only, checksummed event log.
+
+A campaign's durable history lives in one ``journal.jsonl`` file.  Each
+line is a self-contained JSON record::
+
+    {"v": 1, "type": "complete", "time": 1722.5, "data": {...}, "sum": "..."}
+
+``sum`` is a SHA-256 over the canonical record body (``sort_keys=True``,
+``sum`` absent) — the same recipe as the result cache and checkpoint
+container — so a truncated or bit-rotted line can never masquerade as an
+event.  Appends go through a single ``os.write`` on an ``O_APPEND`` file
+descriptor: concurrent workers appending to the same journal never
+interleave bytes within a record, and a worker SIGKILLed mid-append can
+leave at most one torn *final* line, which the reader detects (checksum /
+parse failure) and drops without losing any earlier history.
+
+The journal is never rewritten or compacted in place; the reader folds the
+record stream into per-job state (:mod:`repro.campaign.status`).  Records
+the reader cannot verify are counted so ``repro campaign status`` can
+report journal health alongside job progress.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+#: Bump when the record envelope layout changes incompatibly.
+RECORD_VERSION = 1
+
+#: Failure messages are truncated to keep every record well under the
+#: size where a single O_APPEND write could be split by the kernel.
+MAX_ERROR_CHARS = 500
+
+
+class JournalError(RuntimeError):
+    """The journal file itself is unusable (not per-record corruption)."""
+
+
+def _record_checksum(body: Dict) -> str:
+    canonical = json.dumps(body, sort_keys=True).encode()
+    return hashlib.sha256(canonical).hexdigest()
+
+
+def append_record(path: Path, type: str, data: Dict,
+                  clock: Callable[[], float] = time.time) -> Dict:
+    """Append one checksummed record; returns the record written.
+
+    The append is a single ``write(2)`` on an ``O_APPEND`` descriptor, so
+    records from concurrent workers land whole and in *some* total order.
+    """
+    record = {
+        "v": RECORD_VERSION,
+        "type": type,
+        "time": round(clock(), 3),
+        "data": data,
+    }
+    record["sum"] = _record_checksum(record)
+    line = (json.dumps(record, sort_keys=True) + "\n").encode()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, line)
+    finally:
+        os.close(fd)
+    return record
+
+
+@dataclass
+class JournalReadResult:
+    """Verified records plus the damage tally from one read pass."""
+
+    records: List[Dict] = field(default_factory=list)
+    #: Unverifiable non-final lines (bit rot, tampering): history was lost.
+    corrupt: int = 0
+    #: Whether the final line failed verification — the signature of a
+    #: writer killed mid-append; benign, the event simply never happened.
+    torn_tail: bool = False
+
+
+def read_journal(path: Path) -> JournalReadResult:
+    """Read every verifiable record; skip (and count) damaged lines."""
+    out = JournalReadResult()
+    try:
+        raw = Path(path).read_bytes()
+    except FileNotFoundError:
+        return out
+    except OSError as err:
+        raise JournalError(f"unreadable journal {path}: {err}") from None
+    lines = raw.split(b"\n")
+    if lines and lines[-1] == b"":
+        lines.pop()
+    bad_positions: List[int] = []
+    for index, line in enumerate(lines):
+        record = _verify_line(line)
+        if record is None:
+            bad_positions.append(index)
+        else:
+            out.records.append(record)
+    if bad_positions:
+        if bad_positions[-1] == len(lines) - 1:
+            out.torn_tail = True
+            bad_positions.pop()
+        out.corrupt = len(bad_positions)
+    return out
+
+
+def _verify_line(line: bytes) -> Optional[Dict]:
+    try:
+        record = json.loads(line)
+    except ValueError:
+        return None
+    if not isinstance(record, dict) or record.get("v") != RECORD_VERSION:
+        return None
+    stored = record.get("sum")
+    body = {key: value for key, value in record.items() if key != "sum"}
+    if stored != _record_checksum(body):
+        return None
+    return record

@@ -1,0 +1,96 @@
+"""Declarative campaign matrices: axes in, RunSpec job graph out.
+
+A :class:`MatrixSpec` names the experiment design space — benchmarks ×
+models × scales × seeds × WIR-config sweeps — without running anything.
+``expand()`` materializes the cartesian product into concrete
+:class:`~repro.harness.runner.RunSpec` jobs, and the matrix digest (over
+the canonical dict plus the campaign-relevant execution knobs) names the
+campaign itself: re-running ``repro campaign run`` with the same matrix
+resumes the same campaign instead of starting a second one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.harness.runner import EXPERIMENT_SMS, RunSpec
+
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """The declarative design space of one campaign."""
+
+    benchmarks: Tuple[str, ...]
+    models: Tuple[str, ...] = ("Base",)
+    scales: Tuple[int, ...] = (1,)
+    seeds: Tuple[int, ...] = (7,)
+    num_sms: int = EXPERIMENT_SMS
+    exec_engine: str = "scalar"
+    #: WIR config override sweeps: ``((name, (v1, v2, ...)), ...)``.
+    #: Every combination across axes becomes its own design point.
+    sweeps: Tuple[Tuple[str, Tuple[object, ...]], ...] = field(
+        default_factory=tuple)
+
+    @classmethod
+    def make(cls, benchmarks, models=("Base",), scales=(1,), seeds=(7,),
+             num_sms: int = EXPERIMENT_SMS, exec_engine: str = "scalar",
+             **sweeps) -> "MatrixSpec":
+        """Convenience constructor: ``sweeps`` kwargs may be scalars or
+        iterables, e.g. ``MatrixSpec.make(["KM"], reuse_buffer_entries=(64,
+        256))``."""
+        normalized = tuple(sorted(
+            (name, tuple(values) if isinstance(values, (tuple, list))
+             else (values,))
+            for name, values in sweeps.items()))
+        return cls(tuple(benchmarks), tuple(models), tuple(scales),
+                   tuple(seeds), num_sms, exec_engine, normalized)
+
+    def expand(self, checkpoint_every: Optional[int] = None) -> List[RunSpec]:
+        """Materialize every job of the matrix, in deterministic order."""
+        sweep_names = [name for name, _ in self.sweeps]
+        sweep_values = [values for _, values in self.sweeps]
+        specs: List[RunSpec] = []
+        for abbr, model, scale, seed in itertools.product(
+                self.benchmarks, self.models, self.scales, self.seeds):
+            for combo in itertools.product(*sweep_values):
+                overrides = dict(zip(sweep_names, combo))
+                specs.append(RunSpec.make(
+                    abbr, model, scale=scale, seed=seed,
+                    num_sms=self.num_sms, exec_engine=self.exec_engine,
+                    checkpoint_every=checkpoint_every, **overrides))
+        return specs
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "benchmarks": list(self.benchmarks),
+            "models": list(self.models),
+            "scales": list(self.scales),
+            "seeds": list(self.seeds),
+            "num_sms": self.num_sms,
+            "exec_engine": self.exec_engine,
+            "sweeps": [[name, list(values)] for name, values in self.sweeps],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "MatrixSpec":
+        return cls(
+            benchmarks=tuple(data["benchmarks"]),
+            models=tuple(data["models"]),
+            scales=tuple(data["scales"]),
+            seeds=tuple(data["seeds"]),
+            num_sms=data.get("num_sms", EXPERIMENT_SMS),
+            exec_engine=data.get("exec_engine", "scalar"),
+            sweeps=tuple((name, tuple(values))
+                         for name, values in data.get("sweeps", [])),
+        )
+
+    def campaign_id(self, checkpoint_every: Optional[int] = None) -> str:
+        """Stable short identity of the campaign this matrix defines."""
+        payload = {"matrix": self.to_dict(),
+                   "checkpoint_every": checkpoint_every}
+        canonical = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()[:12]

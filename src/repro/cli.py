@@ -24,6 +24,12 @@ Commands:
   baseline (>15% normalized regression fails).
 * ``pipeline show``             — print the composed stage graph (declared
   dataflow, engine bindings, stats, checkpointed state) for a config.
+* ``campaign run ...``          — materialize a workload × model × scale ×
+  seed × sweep matrix into a crash-safe job graph and drive it with
+  leased, checkpoint-resuming workers; ``campaign status`` reports
+  progress/failures of any campaign (running or dead), ``campaign
+  resume`` restarts the worker fleet, ``campaign work`` is one worker
+  process (normally spawned by ``run``).
 * ``compare ABBR``              — one benchmark across the whole model zoo.
 * ``profile ABBR``              — Figure 2 repeated-computation profile.
 * ``experiment NAME``           — run one figure/table driver (fig2..fig22,
@@ -326,6 +332,11 @@ def _cmd_cache_verify(args) -> int:
           f"{report.corrupt} corrupt, {report.version_mismatch} "
           f"older-format, {report.tmp_orphans} orphaned temp file"
           + ("" if report.tmp_orphans == 1 else "s"))
+    if report.ckpt_orphans or report.lease_expired:
+        print(f"  campaign debris: {report.ckpt_orphans} orphaned "
+              f"checkpoint slot" + ("" if report.ckpt_orphans == 1 else "s")
+              + f", {report.lease_expired} expired lease file"
+              + ("" if report.lease_expired == 1 else "s"))
     for path in report.corrupt_paths:
         print(f"  corrupt: {path}" + ("  (deleted)" if args.prune else ""))
     if args.prune and report.pruned:
@@ -334,6 +345,11 @@ def _cmd_cache_verify(args) -> int:
     if args.prune and report.tmp_pruned:
         print(f"swept {report.tmp_pruned} orphaned temp file"
               + ("" if report.tmp_pruned == 1 else "s"))
+    if args.prune and (report.ckpt_pruned or report.lease_pruned):
+        print(f"swept {report.ckpt_pruned} spent checkpoint slot"
+              + ("" if report.ckpt_pruned == 1 else "s")
+              + f" and {report.lease_pruned} expired lease"
+              + ("" if report.lease_pruned == 1 else "s"))
     return 1 if report.corrupt and not args.prune else 0
 
 
@@ -444,6 +460,135 @@ def _cmd_pipeline_show(args) -> int:
     return 0
 
 
+def _campaign_base(args) -> Optional[Path]:
+    from repro.harness.runner import cache_dir
+    base = Path(args.dir) if args.dir else cache_dir()
+    if base is None:
+        print("campaign: no cache directory (set REPRO_CACHE_DIR or pass "
+              "--dir)", file=sys.stderr)
+    return base
+
+
+def _parse_sweeps(pairs: List[str]) -> dict:
+    """``--sweep name=v1,v2`` flags into MatrixSpec sweep kwargs."""
+    sweeps = {}
+    for pair in pairs or []:
+        name, _, values = pair.partition("=")
+        if not values:
+            raise SystemExit(f"campaign: malformed --sweep {pair!r} "
+                             "(want name=v1,v2,...)")
+        def convert(text):
+            for caster in (int, float):
+                try:
+                    return caster(text)
+                except ValueError:
+                    continue
+            return text
+        sweeps[name] = tuple(convert(v) for v in values.split(","))
+    return sweeps
+
+
+def _campaign_matrix(args):
+    from repro.campaign import MatrixSpec
+    if args.spec:
+        return MatrixSpec.from_dict(json.loads(Path(args.spec).read_text()))
+    benchmarks = all_abbrs() if args.all else [
+        abbr for abbr in (args.benchmarks or "").split(",") if abbr]
+    if not benchmarks:
+        raise SystemExit("campaign run: name benchmarks with --benchmarks "
+                         "A,B,... or pass --all / --spec FILE")
+    unknown = [abbr for abbr in benchmarks if abbr not in all_abbrs()]
+    if unknown:
+        raise SystemExit(f"campaign run: unknown benchmark(s) "
+                         f"{', '.join(unknown)} (see 'repro list')")
+    return MatrixSpec.make(
+        benchmarks,
+        models=tuple(args.models.split(",")),
+        scales=tuple(int(s) for s in args.scales.split(",")),
+        seeds=tuple(int(s) for s in args.seeds.split(",")),
+        num_sms=args.sms,
+        exec_engine=args.engine,
+        **_parse_sweeps(args.sweep))
+
+
+def _finish_campaign(campaign, args) -> int:
+    from repro.campaign import campaign_status, render_status
+    status = campaign_status(campaign)
+    print(render_status(status))
+    if args.json:
+        _write_json(json.dumps(status.to_dict(), indent=2, default=str),
+                    args.json)
+    return 0 if status.complete and not status.counts.get("quarantined") \
+        else 1
+
+
+def _cmd_campaign_run(args) -> int:
+    from repro.campaign import (Campaign, RemoteShellBackend, run_campaign)
+
+    base = _campaign_base(args)
+    if base is None:
+        return 2
+    matrix = _campaign_matrix(args)
+    campaign = Campaign.create(
+        matrix, base=base, checkpoint_every=args.checkpoint_every,
+        ttl=args.ttl, max_attempts=args.max_attempts)
+    print(f"campaign {campaign.id}: {len(campaign.jobs)} jobs under "
+          f"{campaign.root}")
+    if args.hosts:
+        # Multi-host stub: the lease/journal protocol only needs a shared
+        # cache directory, so print the worker command for each host.
+        for index, host in enumerate(args.hosts.split(",")):
+            backend = RemoteShellBackend(host)
+            print("start on", host, ":",
+                  " ".join(backend.command_line(campaign, f"r{index}")))
+        return 0
+    report = run_campaign(campaign, workers=args.workers, chaos=args.chaos,
+                          progress=print)
+    print(f"converged: {report.done} done, {report.quarantined} "
+          f"quarantined of {report.total} "
+          f"({report.respawns} worker respawns, {report.worker_kills} "
+          "killed)")
+    return _finish_campaign(campaign, args)
+
+
+def _cmd_campaign_resume(args) -> int:
+    from repro.campaign import Campaign, run_campaign
+
+    base = _campaign_base(args)
+    if base is None:
+        return 2
+    campaign = Campaign.open(args.id, base=base)
+    report = run_campaign(campaign, workers=args.workers, progress=print)
+    print(f"converged: {report.done} done, {report.quarantined} "
+          f"quarantined of {report.total}")
+    return _finish_campaign(campaign, args)
+
+
+def _cmd_campaign_status(args) -> int:
+    from repro.campaign import Campaign, list_campaigns
+
+    base = _campaign_base(args)
+    if base is None:
+        return 2
+    campaign_id = args.id
+    if campaign_id is None:
+        known = list_campaigns(base)
+        if len(known) == 1:
+            campaign_id = known[0]
+        else:
+            print("campaigns under", base / "campaign", ":",
+                  ", ".join(known) or "none")
+            return 0 if known else 1
+    return _finish_campaign(Campaign.open(campaign_id, base=base), args)
+
+
+def _cmd_campaign_work(args) -> int:
+    from repro.campaign import worker_main
+
+    return worker_main(Path(args.dir), args.id, args.worker_id,
+                       chaos=args.chaos)
+
+
 def _cmd_params(_args) -> int:
     params = experiments.table2_parameters()
     print(reporting.format_table(["parameter", "value"], list(params.items()),
@@ -552,6 +697,80 @@ def build_parser() -> argparse.ArgumentParser:
                                help="dump stage descriptions as JSON "
                                     "('-' for stdout)")
     pipeline_show.set_defaults(func=_cmd_pipeline_show)
+
+    campaign_parser = sub.add_parser(
+        "campaign", help="crash-safe experiment campaigns (repro.campaign)")
+    campaign_sub = campaign_parser.add_subparsers(dest="campaign_command",
+                                                  required=True)
+
+    def add_campaign_common(p):
+        p.add_argument("--dir", default=None,
+                       help="cache directory (default: REPRO_CACHE_DIR)")
+        p.add_argument("--json", metavar="OUT", default=None,
+                       help="dump the status report as JSON ('-' for "
+                            "stdout)")
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="materialize a matrix and drive it with workers")
+    add_campaign_common(campaign_run)
+    campaign_run.add_argument("--benchmarks", default=None, metavar="A,B,...",
+                              help="benchmark abbreviations")
+    campaign_run.add_argument("--all", action="store_true",
+                              help="every Table I benchmark")
+    campaign_run.add_argument("--spec", metavar="FILE", default=None,
+                              help="matrix as JSON (MatrixSpec.to_dict)")
+    campaign_run.add_argument("--models", default="Base,RLPV")
+    campaign_run.add_argument("--scales", default="1")
+    campaign_run.add_argument("--seeds", default="7")
+    campaign_run.add_argument("--sms", type=int, default=2)
+    campaign_run.add_argument("--engine", default="scalar",
+                              choices=("scalar", "vector"))
+    campaign_run.add_argument("--sweep", action="append", default=[],
+                              metavar="NAME=V1,V2",
+                              help="WIR config sweep axis (repeatable)")
+    campaign_run.add_argument("--workers", type=int, default=2,
+                              help="local worker processes (default 2)")
+    campaign_run.add_argument("--hosts", default=None, metavar="H1,H2",
+                              help="multi-host stub: print the worker "
+                                   "command per host (shared cache dir "
+                                   "required) instead of running locally")
+    campaign_run.add_argument("--ttl", type=float, default=30.0,
+                              help="lease lifetime in seconds (default 30)")
+    campaign_run.add_argument("--max-attempts", type=int, default=3,
+                              help="kills/failures before quarantine")
+    campaign_run.add_argument("--checkpoint-every", type=int, default=2000,
+                              help="checkpoint cadence in cycles")
+    campaign_run.add_argument("--chaos", default=None, metavar="SPEC",
+                              help="fault injection for tests/CI, e.g. "
+                                   "'window:1.0:7' (SIGKILL workers at "
+                                   "first-window checkpoint writes)")
+    campaign_run.set_defaults(func=_cmd_campaign_run)
+
+    campaign_resume = campaign_sub.add_parser(
+        "resume", help="restart the worker fleet of an existing campaign")
+    add_campaign_common(campaign_resume)
+    campaign_resume.add_argument("id", metavar="ID")
+    campaign_resume.add_argument("--workers", type=int, default=2)
+    campaign_resume.set_defaults(func=_cmd_campaign_resume)
+
+    campaign_status_p = campaign_sub.add_parser(
+        "status", help="progress, failure history, and ETA of a campaign")
+    add_campaign_common(campaign_status_p)
+    campaign_status_p.add_argument("id", nargs="?", default=None,
+                                   metavar="ID",
+                                   help="campaign id (omit to list; "
+                                        "auto-selected when only one "
+                                        "exists)")
+    campaign_status_p.set_defaults(func=_cmd_campaign_status)
+
+    campaign_work = campaign_sub.add_parser(
+        "work", help="run one campaign worker process (spawned by 'run')")
+    campaign_work.add_argument("--dir", required=True,
+                               help="cache directory")
+    campaign_work.add_argument("--id", required=True, help="campaign id")
+    campaign_work.add_argument("--worker-id", required=True)
+    campaign_work.add_argument("--chaos", default=None)
+    campaign_work.set_defaults(func=_cmd_campaign_work)
 
     trace_parser = sub.add_parser(
         "trace", help="stall attribution + Chrome trace for one workload")

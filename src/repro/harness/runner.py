@@ -42,6 +42,7 @@ import hashlib
 import json
 import multiprocessing
 import os
+import random
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -244,6 +245,19 @@ class JobFailure:
                 f"{self.attempts} attempt(s), digest {self.digest[:12]}]: "
                 f"{self.error}")
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON form for durable failure records (the campaign journal
+        persists these so failure history survives the observing process)."""
+        return {"spec": self.spec.to_dict(), "digest": self.digest,
+                "kind": self.kind, "error": self.error,
+                "attempts": self.attempts}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "JobFailure":
+        return cls(spec=RunSpec.from_dict(data["spec"]),
+                   digest=data["digest"], kind=data["kind"],
+                   error=data["error"], attempts=data["attempts"])
+
 
 class SuiteError(RuntimeError):
     """One or more suite jobs failed; carries the :class:`JobFailure` list."""
@@ -253,6 +267,20 @@ class SuiteError(RuntimeError):
             f"{len(failures)} suite job(s) failed:\n"
             + "\n".join(f"  - {failure}" for failure in failures))
         self.failures = list(failures)
+
+#: Cross-process single-flight guard (``repro.campaign.lease.SingleFlight``
+#: or anything with its ``flight(digest, reload)`` context manager).
+#: Campaign workers install one so that a disk-cache miss is simulated by
+#: exactly one live worker; the others wait on the winner's publish.
+_JOB_GUARD = None
+
+
+def set_job_guard(guard) -> None:
+    """Install (or with ``None`` remove) the cross-process simulation
+    guard.  See :class:`repro.campaign.lease.SingleFlight`."""
+    global _JOB_GUARD
+    _JOB_GUARD = guard
+
 
 _cache_dir: Optional[Path] = None
 _cache_dir_from_env = False
@@ -387,6 +415,14 @@ class CacheReport:
     #: Orphaned ``*.tmp`` files (killed mid-write) found under the cache.
     tmp_orphans: int = 0
     tmp_pruned: int = 0
+    #: Checkpoint slots whose run already completed (result present) or
+    #: whose container no longer verifies — dead weight either way.
+    ckpt_orphans: int = 0
+    ckpt_pruned: int = 0
+    #: Expired (or undecodable) campaign lease files; their workers are
+    #: gone and any claimant would break them anyway.
+    lease_expired: int = 0
+    lease_pruned: int = 0
 
 
 def verify_cache_dir(base: Optional[os.PathLike] = None,
@@ -396,16 +432,21 @@ def verify_cache_dir(base: Optional[os.PathLike] = None,
     Checks each ``*.json`` payload's parseability, format version, and
     content checksum.  With ``prune=True`` corrupt entries are deleted
     (version-mismatched entries are always left alone — an older tool may
-    still want them).  Orphaned ``*.tmp`` files — half-written payloads or
-    checkpoints abandoned by killed workers — are counted (and swept under
-    ``prune=True``); they are never read, so they only waste space.
-    Defaults to the active :func:`cache_dir`.
+    still want them).  Also swept: orphaned ``*.tmp`` files (half-written
+    payloads, checkpoints, or lease tombstones abandoned by killed
+    workers), checkpoint slots under ``<cache>/ckpt/`` whose result
+    already exists or whose container fails verification, and expired
+    campaign lease files under ``<cache>/campaign/*/leases/`` — all
+    counted always, deleted under ``prune=True``.  Defaults to the active
+    :func:`cache_dir`.
     """
     root = Path(base) if base is not None else cache_dir()
     report = CacheReport()
     if root is None or not root.exists():
         return report
     for path in sorted(root.glob("*/*.json")):
+        if path.parent.name in ("ckpt", "campaign"):
+            continue  # not result entries; audited separately below
         report.total += 1
         status, _ = _read_payload(path)
         if status == "ok":
@@ -429,7 +470,54 @@ def verify_cache_dir(base: Optional[os.PathLike] = None,
                 report.tmp_pruned += 1
             except OSError:
                 pass
+    _sweep_ckpt_slots(root, report, prune)
+    _sweep_leases(root, report, prune)
     return report
+
+
+def _sweep_ckpt_slots(root: Path, report: CacheReport, prune: bool) -> None:
+    """Count (and optionally delete) checkpoint slots that can never help:
+    the run already has a verified result, or the container is damaged."""
+    from repro.ckpt import CheckpointError, read_checkpoint
+
+    for path in sorted((root / "ckpt").glob("*.ckpt.json")):
+        digest = path.name[: -len(".ckpt.json")]
+        result_path = root / digest[:2] / f"{digest}.json"
+        orphaned = False
+        if result_path.exists() and _read_payload(result_path)[0] == "ok":
+            orphaned = True  # run finished; the slot is spent
+        else:
+            try:
+                read_checkpoint(path)
+            except CheckpointError:
+                orphaned = True  # unreadable: worth nothing on resume
+        if orphaned:
+            report.ckpt_orphans += 1
+            if prune:
+                try:
+                    path.unlink()
+                    report.ckpt_pruned += 1
+                except OSError:
+                    pass
+
+
+def _sweep_leases(root: Path, report: CacheReport, prune: bool) -> None:
+    """Count (and optionally delete) expired or undecodable lease files."""
+    now = time.time()
+    for path in sorted(root.glob("campaign/*/leases/*.json")):
+        try:
+            lease = json.loads(path.read_text())
+            expired = float(lease["expires"]) <= now
+        except (OSError, ValueError, KeyError, TypeError):
+            expired = True  # cannot prove liveness: safe to break
+        if expired:
+            report.lease_expired += 1
+            if prune:
+                try:
+                    path.unlink()
+                    report.lease_pruned += 1
+                except OSError:
+                    pass
 
 
 # ---------------------------------------------------------------- simulation
@@ -521,6 +609,22 @@ def _obtain_result(
         return cached
 
     payload = _disk_load(spec, energy_params)
+    if payload is None and _JOB_GUARD is not None:
+        # Single-flight across worker processes: either we win the job's
+        # lease (and simulate below, holding it), or a live sibling is
+        # already simulating this digest and we adopt its payload.
+        with _JOB_GUARD.flight(
+                spec.digest(energy_params),
+                lambda: _disk_load(spec, energy_params)) as found:
+            if found is not None:
+                payload = found
+            else:
+                result, profile, workload = _simulate(spec)
+                _disk_store(spec, energy_params,
+                            _payload_from(spec, result, profile))
+                entry = (result, profile, workload)
+                _RESULT_CACHE[spec] = entry
+                return entry
     if payload is not None:
         result, profile = _rehydrate(payload)
         entry = (result, profile, None)
@@ -587,9 +691,23 @@ def _failure(spec: RunSpec, energy_params: Optional[EnergyParams],
                       kind=kind, error=error, attempts=attempts)
 
 
-def _retry_wait(backoff: float, attempt: int) -> None:
+#: Ceiling on a single retry sleep, whatever the attempt count.
+MAX_RETRY_WAIT = 30.0
+
+
+def _retry_wait(backoff: float, attempt: int,
+                rng: "random.Random" = random) -> None:
+    """Sleep before a retry: exponential backoff with **full jitter**.
+
+    The wait is drawn uniformly from ``[0, backoff * 2**attempt]`` (capped
+    at :data:`MAX_RETRY_WAIT`) instead of being the deterministic
+    ``backoff * 2**attempt``: a batch of workers that all failed at the
+    same moment (shared cache blip, campaign worker wave) would otherwise
+    retry in lockstep and hammer the cache directory again together.
+    """
     if backoff > 0:
-        time.sleep(backoff * (2 ** attempt))
+        time.sleep(rng.uniform(0.0, min(backoff * (2 ** attempt),
+                                        MAX_RETRY_WAIT)))
 
 
 def _serial_simulate(

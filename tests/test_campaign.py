@@ -1,0 +1,560 @@
+"""Fault-tolerant campaign runner (``repro.campaign``; DESIGN.md §14).
+
+Covers the pieces in isolation — checksummed journal, lease lifecycle
+(including a hypothesis state machine over claim/renew/release/expiry),
+matrix expansion, single-flight guard, full-jitter retry waits, the cache
+sweeps for campaign debris — and then the whole thing in-process: a small
+campaign drained by ``run_worker`` whose status, failure history, and
+aggregated results are derivable from the directory alone.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (RuleBasedStateMachine, initialize,
+                                 invariant, rule)
+
+import repro.ckpt.snapshot as snapshot
+import repro.harness.runner as runner
+from repro.campaign import (Campaign, CampaignError, Heartbeat, LeaseManager,
+                            MatrixSpec, SingleFlight, aggregate_results,
+                            campaign_complete, campaign_status, fold_journal,
+                            job_state, list_campaigns, read_journal,
+                            render_status, run_worker)
+from repro.campaign.journal import append_record
+from repro.ckpt import write_checkpoint
+from repro.harness.runner import (JobFailure, RunSpec, clear_cache,
+                                  run_benchmark, set_cache_dir,
+                                  verify_cache_dir)
+
+
+@pytest.fixture(autouse=True)
+def _clean_harness(monkeypatch):
+    clear_cache()
+    monkeypatch.setattr(runner, "_TEST_HOOK", None)
+    monkeypatch.setattr(snapshot, "_TEST_HOOK", None)
+    runner.set_job_guard(None)
+    yield
+    clear_cache()
+    set_cache_dir(None)
+    runner.set_job_guard(None)
+
+
+class FakeClock:
+    """Injectable wall clock for deterministic lease-expiry tests."""
+
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+# ----------------------------------------------------------------- journal
+
+class TestJournal:
+    def test_append_read_roundtrip(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        append_record(path, "claim", {"job": "abc", "worker": "w0"})
+        append_record(path, "complete", {"job": "abc", "cycles": 42})
+        out = read_journal(path)
+        assert (out.corrupt, out.torn_tail) == (0, False)
+        assert [r["type"] for r in out.records] == ["claim", "complete"]
+        assert out.records[1]["data"]["cycles"] == 42
+        assert all("time" in r and "sum" in r for r in out.records)
+
+    def test_missing_journal_is_empty(self, tmp_path):
+        out = read_journal(tmp_path / "nope.jsonl")
+        assert (out.records, out.corrupt, out.torn_tail) == ([], 0, False)
+
+    def test_torn_tail_dropped_without_losing_history(self, tmp_path):
+        """A writer SIGKILLed mid-append leaves a half line: the reader
+        keeps every earlier record and flags the tail as torn, not
+        corrupt."""
+        path = tmp_path / "journal.jsonl"
+        for index in range(3):
+            append_record(path, "claim", {"job": f"job{index}"})
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-10])  # tear the final line
+        out = read_journal(path)
+        assert len(out.records) == 2
+        assert (out.corrupt, out.torn_tail) == (0, True)
+
+    def test_corrupt_mid_file_record_is_counted(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        for index in range(3):
+            append_record(path, "claim", {"job": f"job{index}"})
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[1] = b'{"v": 1, "garbage\n'
+        path.write_bytes(b"".join(lines))
+        out = read_journal(path)
+        assert [r["data"]["job"] for r in out.records] == ["job0", "job2"]
+        assert (out.corrupt, out.torn_tail) == (1, False)
+
+    def test_tampered_record_fails_its_checksum(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        append_record(path, "complete", {"job": "abc", "cycles": 42})
+        append_record(path, "claim", {"job": "def"})
+        lines = path.read_text().splitlines()
+        record = json.loads(lines[0])
+        record["data"]["cycles"] = 41  # flip history without re-summing
+        lines[0] = json.dumps(record, sort_keys=True)
+        path.write_text("\n".join(lines) + "\n")
+        out = read_journal(path)
+        assert [r["type"] for r in out.records] == ["claim"]
+        assert out.corrupt == 1
+
+
+# ------------------------------------------------------------------- leases
+
+class TestLease:
+    def manager(self, tmp_path, clock, ttl=10.0):
+        return LeaseManager(tmp_path / "leases", ttl=ttl, clock=clock)
+
+    def test_claim_grants_and_blocks_while_live(self, tmp_path):
+        clock = FakeClock()
+        mgr = self.manager(tmp_path, clock)
+        lease = mgr.claim("job", "w0", attempt=1)
+        assert lease is not None and lease.owner == "w0"
+        assert lease.expires == clock.now + 10.0
+        assert mgr.claim("job", "w1", attempt=1) is None
+        assert "job" in mgr.owned
+
+    def test_renew_extends_and_refuses_foreign_or_expired(self, tmp_path):
+        clock = FakeClock()
+        mgr = self.manager(tmp_path, clock)
+        mgr.claim("job", "w0", attempt=1)
+        clock.advance(5.0)
+        assert mgr.renew("job", "w0")
+        renewed = mgr.read("job")
+        assert renewed.expires == clock.now + 10.0
+        assert renewed.renewals == 1
+        assert not mgr.renew("job", "w1")  # foreign owner
+        clock.advance(11.0)
+        assert not mgr.renew("job", "w0")  # expired: up for reclaim
+        assert "job" not in mgr.owned
+
+    def test_release_is_owner_checked(self, tmp_path):
+        clock = FakeClock()
+        mgr = self.manager(tmp_path, clock)
+        mgr.claim("job", "w0", attempt=1)
+        mgr.release("job", "w1")  # not the owner: no-op
+        assert mgr.read("job") is not None
+        mgr.release("job", "w0")
+        assert mgr.read("job") is None
+        assert mgr.claim("job", "w1", attempt=1) is not None
+
+    def test_expired_lease_is_reclaimed_attributably(self, tmp_path):
+        clock = FakeClock()
+        mgr = self.manager(tmp_path, clock)
+        mgr.claim("job", "w0", attempt=1)
+        clock.advance(10.1)
+        lease = mgr.claim("job", "w1", attempt=2)
+        assert lease is not None
+        assert (lease.owner, lease.reclaimed_from) == ("w1", "w0")
+        # The dead owner's renewal discovers the loss instead of stomping.
+        assert not mgr.renew("job", "w0")
+        # No tombstone debris left behind on the clean path.
+        assert list((tmp_path / "leases").glob("*.tmp")) == []
+
+    def test_unreadable_lease_is_safe_to_break(self, tmp_path):
+        clock = FakeClock()
+        mgr = self.manager(tmp_path, clock)
+        mgr.root.mkdir(parents=True)
+        mgr.path("job").write_text("not json at all")
+        lease = mgr.claim("job", "w1", attempt=1)
+        assert lease is not None and lease.owner == "w1"
+
+    def test_live_lists_only_unexpired(self, tmp_path):
+        clock = FakeClock()
+        mgr = self.manager(tmp_path, clock)
+        mgr.claim("a", "w0", attempt=1)
+        clock.advance(6.0)
+        mgr.claim("b", "w1", attempt=1)
+        clock.advance(5.0)  # "a" expired, "b" live
+        live = mgr.live()
+        assert [lease.job for lease in live] == ["b"]
+
+
+class LeaseLifecycle(RuleBasedStateMachine):
+    """Claim / renew / release / expiry over one job, three workers.
+
+    The model tracks who *should* hold the job; the invariant checks the
+    lease file agrees and that the protocol never double-grants: a live,
+    unexpired lease is held by exactly the modelled owner.
+    """
+
+    OWNERS = ("w0", "w1", "w2")
+
+    @initialize()
+    def setup(self):
+        import tempfile
+        self.dir = tempfile.TemporaryDirectory()
+        self.clock = FakeClock()
+        self.ttl = 10.0
+        self.managers = {
+            owner: LeaseManager(Path(self.dir.name), ttl=self.ttl,
+                                clock=self.clock)
+            for owner in self.OWNERS
+        }
+        self.holder = None
+        self.expires = 0.0
+
+    def _live(self):
+        return self.holder is not None and self.expires > self.clock.now
+
+    @rule(owner=st.sampled_from(OWNERS))
+    def claim(self, owner):
+        lease = self.managers[owner].claim("job", owner, attempt=1)
+        if self._live():
+            assert lease is None, "double grant over a live lease"
+        else:
+            assert lease is not None
+            if self.holder is not None:
+                assert lease.reclaimed_from == self.holder
+            self.holder, self.expires = owner, lease.expires
+
+    @rule(owner=st.sampled_from(OWNERS))
+    def renew(self, owner):
+        ok = self.managers[owner].renew("job", owner)
+        assert ok == (self._live() and self.holder == owner)
+        if ok:
+            self.expires = self.clock.now + self.ttl
+
+    @rule(owner=st.sampled_from(OWNERS))
+    def release(self, owner):
+        self.managers[owner].release("job", owner)
+        if self.holder == owner:
+            self.holder = None
+
+    @rule(dt=st.floats(min_value=0.1, max_value=15.0))
+    def advance(self, dt):
+        self.clock.advance(dt)
+
+    @invariant()
+    def single_grant(self):
+        if not hasattr(self, "managers"):
+            return
+        lease = self.managers["w0"].read("job")
+        if lease is not None and lease.expires > self.clock.now:
+            assert self.holder == lease.owner
+            assert list(Path(self.dir.name).glob("*.json")) == [
+                self.managers["w0"].path("job")]
+        elif lease is None:
+            # Released (or never claimed): the model may still name an
+            # expired holder, but never a live one.
+            assert not self._live() or self.holder is None
+
+    def teardown(self):
+        if hasattr(self, "dir"):
+            self.dir.cleanup()
+
+
+LeaseLifecycle.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None)
+TestLeaseLifecycle = LeaseLifecycle.TestCase
+
+
+class TestHeartbeat:
+    def test_heartbeat_keeps_lease_alive(self, tmp_path):
+        mgr = LeaseManager(tmp_path / "leases", ttl=0.6)
+        mgr.claim("job", "w0", attempt=1)
+        with Heartbeat(mgr, "job", "w0") as heartbeat:
+            time.sleep(1.2)  # two ttls: without renewal this would expire
+            lease = mgr.read("job")
+            assert lease.expires > time.time()
+            assert lease.renewals >= 1
+        assert not heartbeat.lost
+
+    def test_heartbeat_reports_a_lost_lease(self, tmp_path):
+        mgr = LeaseManager(tmp_path / "leases", ttl=0.6)
+        mgr.claim("job", "w0", attempt=1)
+        with Heartbeat(mgr, "job", "w0", interval=0.05) as heartbeat:
+            mgr.path("job").unlink()  # a reclaimer took the job
+            time.sleep(0.3)
+        assert heartbeat.lost
+        assert "job" not in mgr.owned
+
+
+class TestSingleFlight:
+    def test_winner_holds_the_lease_for_the_flight(self, tmp_path):
+        clock = FakeClock()
+        mgr = LeaseManager(tmp_path / "leases", ttl=10.0, clock=clock)
+        guard = SingleFlight(mgr, "w0")
+        with guard.flight("job", lambda: None) as payload:
+            assert payload is None  # we are the winner: simulate
+            assert mgr.read("job").owner == "w0"
+        assert mgr.read("job") is None  # released after the flight
+
+    def test_loser_waits_for_the_winners_publish(self, tmp_path):
+        clock = FakeClock()
+        # The winner is another process: it has its own LeaseManager.
+        winner = LeaseManager(tmp_path / "leases", ttl=10.0, clock=clock)
+        winner.claim("job", "winner", attempt=1)
+        mgr = LeaseManager(tmp_path / "leases", ttl=10.0, clock=clock)
+        published = {}
+        polls = []
+
+        def reload():
+            return published.get("payload")
+
+        def sleep(interval):
+            polls.append(interval)
+            if len(polls) == 3:
+                published["payload"] = {"result": 42}
+
+        guard = SingleFlight(mgr, "loser", sleep=sleep)
+        with guard.flight("job", reload) as payload:
+            assert payload == {"result": 42}
+        assert len(polls) == 3
+        assert mgr.read("job").owner == "winner"  # never touched
+
+    def test_loser_takes_over_when_the_winner_dies(self, tmp_path):
+        clock = FakeClock()
+        winner = LeaseManager(tmp_path / "leases", ttl=10.0, clock=clock)
+        winner.claim("job", "winner", attempt=1)
+        mgr = LeaseManager(tmp_path / "leases", ttl=10.0, clock=clock)
+
+        def sleep(_interval):
+            clock.advance(11.0)  # the winner stops heartbeating
+
+        guard = SingleFlight(mgr, "loser", sleep=sleep)
+        with guard.flight("job", lambda: None) as payload:
+            assert payload is None  # reclaimed: we simulate now
+            assert mgr.read("job").owner == "loser"
+
+    def test_reentrant_over_scheduler_claimed_jobs(self, tmp_path):
+        clock = FakeClock()
+        mgr = LeaseManager(tmp_path / "leases", ttl=10.0, clock=clock)
+        mgr.claim("job", "w0", attempt=1)  # the campaign scheduler's claim
+        guard = SingleFlight(mgr, "w0")
+        with guard.flight("job", lambda: None) as payload:
+            assert payload is None
+        # The scheduler's lease survives the nested flight.
+        assert mgr.read("job").owner == "w0"
+
+
+# ------------------------------------------------------- full-jitter retry
+
+class TestRetryJitter:
+    class Rng:
+        def __init__(self):
+            self.calls = []
+
+        def uniform(self, low, high):
+            self.calls.append((low, high))
+            return 0.0  # sleep(0): harmless
+
+    def test_wait_is_uniform_over_the_exponential_window(self):
+        rng = self.Rng()
+        runner._retry_wait(0.25, 0, rng=rng)
+        runner._retry_wait(0.25, 3, rng=rng)
+        assert rng.calls == [(0.0, 0.25), (0.0, 2.0)]
+
+    def test_window_is_capped(self):
+        rng = self.Rng()
+        runner._retry_wait(0.25, 50, rng=rng)
+        assert rng.calls == [(0.0, runner.MAX_RETRY_WAIT)]
+
+    def test_zero_backoff_never_sleeps(self):
+        rng = self.Rng()
+        runner._retry_wait(0.0, 5, rng=rng)
+        assert rng.calls == []
+
+
+# ------------------------------------------------------------------- matrix
+
+class TestMatrixSpec:
+    def test_expand_is_the_cartesian_product(self):
+        matrix = MatrixSpec.make(["KM", "GA"], models=("Base", "RLPV"),
+                                 scales=(1, 2), seeds=(7,), num_sms=1)
+        specs = matrix.expand(checkpoint_every=400)
+        assert len(specs) == 8
+        assert len({spec.digest() for spec in specs}) == 8
+        assert all(spec.checkpoint_every == 400 for spec in specs)
+        # Deterministic order: the job graph is stable across rebuilds.
+        assert [spec.digest() for spec in specs] == [
+            spec.digest() for spec in matrix.expand(checkpoint_every=400)]
+
+    def test_sweeps_multiply_the_design_space(self):
+        matrix = MatrixSpec.make(["KM"], num_sms=1,
+                                 reuse_buffer_entries=(64, 256))
+        specs = matrix.expand()
+        assert len(specs) == 2
+        assert sorted(dict(spec.wir_overrides)["reuse_buffer_entries"]
+                      for spec in specs) == [64, 256]
+        # Scalar sweep values are normalized to singleton axes.
+        single = MatrixSpec.make(["KM"], reuse_buffer_entries=64)
+        assert len(single.expand()) == 1
+
+    def test_dict_roundtrip(self):
+        matrix = MatrixSpec.make(["KM", "GA"], models=("RLPV",), scales=(2,),
+                                 seeds=(7, 11), reuse_buffer_entries=(64,))
+        assert MatrixSpec.from_dict(matrix.to_dict()) == matrix
+
+    def test_campaign_id_tracks_the_design(self):
+        matrix = MatrixSpec.make(["KM"])
+        base = matrix.campaign_id(400)
+        assert base == matrix.campaign_id(400)  # stable
+        assert base != matrix.campaign_id(800)  # cadence is part of identity
+        assert base != MatrixSpec.make(["GA"]).campaign_id(400)
+
+
+# -------------------------------------------------------------- journal fold
+
+class TestFold:
+    def test_states_and_attempts(self):
+        path_records = [
+            {"type": "claim", "data": {"job": "a", "worker": "w0"}},
+            {"type": "failed", "data": {"job": "a", "failure": {}}},
+            {"type": "reclaim", "data": {"job": "a", "dead_owner": "w0"}},
+            {"type": "complete", "data": {"job": "a", "cycles": 9}},
+            {"type": "quarantine", "data": {"job": "b"}},
+            {"type": "noise", "data": {}},  # no job digest: ignored
+        ]
+        logs = fold_journal(path_records)
+        assert logs["a"].attempts_consumed == 2  # one failure + one reclaim
+        assert job_state(logs["a"], leased=False) == "done"
+        assert job_state(logs.get("b"), leased=False) == "quarantined"
+        assert job_state(None, leased=True) == "running"
+        assert job_state(None, leased=False) == "pending"
+
+
+# ------------------------------------------------- in-process campaign runs
+
+SMALL = dict(models=("Base",), scales=(1,), num_sms=1)
+
+
+class TestCampaignEndToEnd:
+    def test_create_is_idempotent_and_stored_config_wins(self, tmp_path):
+        matrix = MatrixSpec.make(["GA"], **SMALL)
+        first = Campaign.create(matrix, base=tmp_path, checkpoint_every=400,
+                                ttl=5.0, max_attempts=2)
+        again = Campaign.create(matrix, base=tmp_path, checkpoint_every=400,
+                                ttl=99.0, max_attempts=7)
+        assert again.id == first.id
+        assert (again.ttl, again.max_attempts) == (5.0, 2)
+        assert list_campaigns(tmp_path) == [first.id]
+        with pytest.raises(CampaignError, match="no campaign"):
+            Campaign.open("feedfeedfeed", base=tmp_path)
+
+    def test_worker_drains_the_campaign_bit_identically(self, tmp_path):
+        set_cache_dir(tmp_path)
+        matrix = MatrixSpec.make(["GA"], **SMALL)
+        campaign = Campaign.create(matrix, checkpoint_every=400)
+        summary = run_worker(campaign, "w0")
+        assert summary.completed == 1
+        assert campaign_complete(campaign)
+
+        status = campaign_status(campaign)
+        assert status.complete
+        assert status.counts["done"] == status.total == 1
+        assert status.eta_seconds == 0.0
+        assert (status.journal_corrupt, status.journal_torn_tail) == (0, False)
+
+        results, merged = aggregate_results(campaign)
+        (digest,) = campaign.jobs
+        assert set(results) == {digest}
+
+        # The campaign's published result is the plain harness result.
+        clear_cache()
+        set_cache_dir(None)
+        clean = run_benchmark("GA", "Base", scale=1, num_sms=1,
+                              checkpoint_every=400)
+        assert results[digest].to_json() == clean.result.to_json()
+        assert merged == clean.result.stats
+
+    def test_failures_persist_beyond_the_observing_process(self, tmp_path):
+        """Satellite: quarantine + durable failure history.  The second
+        ``Campaign.open`` plays the role of a fresh process asking
+        ``repro campaign status`` after every worker died."""
+        set_cache_dir(tmp_path)
+        matrix = MatrixSpec.make(["GA", "KM"], **SMALL)
+        campaign = Campaign.create(matrix, checkpoint_every=400,
+                                   max_attempts=2)
+
+        def poison(spec):
+            if spec.abbr == "GA":
+                raise RuntimeError("injected campaign failure (GA)")
+
+        runner._TEST_HOOK = poison
+        summary = run_worker(campaign, "w0", backoff=0.0)
+        assert (summary.completed, summary.failed,
+                summary.quarantined) == (1, 2, 1)
+
+        reopened = Campaign.open(campaign.id, base=tmp_path)
+        status = campaign_status(reopened)
+        assert status.counts == {"done": 1, "running": 0, "pending": 0,
+                                 "quarantined": 1}
+        assert status.complete  # quarantine does not wedge the campaign
+        assert len(status.failures) == 2
+        failure = JobFailure.from_dict(status.failures[-1])
+        assert failure.spec.abbr == "GA"
+        assert "injected campaign failure" in failure.error
+        rendered = render_status(status)
+        assert "quarantined" in rendered
+        assert "injected campaign failure" in rendered
+
+    def test_status_shows_live_workers(self, tmp_path):
+        set_cache_dir(tmp_path)
+        matrix = MatrixSpec.make(["GA"], **SMALL)
+        campaign = Campaign.create(matrix, checkpoint_every=400)
+        (digest,) = campaign.jobs
+        campaign.lease_manager().claim(digest, "w7", attempt=1)
+        status = campaign_status(campaign)
+        assert status.counts["running"] == 1
+        assert status.live_workers == 1
+        assert status.jobs[0].worker == "w7"
+        assert not status.complete
+
+
+# --------------------------------------------------- cache sweeps (verify)
+
+class TestCampaignDebrisSweep:
+    def test_orphaned_ckpt_slots_and_expired_leases(self, tmp_path):
+        set_cache_dir(tmp_path)
+        run = run_benchmark("GA", "Base", scale=1, num_sms=1)
+        digest = RunSpec.make("GA", "Base", scale=1, num_sms=1).digest()
+        assert run.result is not None
+
+        ckpt = tmp_path / "ckpt"
+        state = {"cycle": 120, "next_block_index": 0, "sms": [], "memory": {}}
+        # (a) valid slot for a finished run: spent, orphaned.
+        write_checkpoint(ckpt / f"{digest}.ckpt.json", state, meta={})
+        # (b) unreadable slot: worthless on resume, orphaned.
+        (ckpt / ("ee" * 32 + ".ckpt.json")).write_text("{broken")
+        # (c) valid slot with no result yet: a future resume — kept.
+        write_checkpoint(ckpt / ("ab" * 32 + ".ckpt.json"), state, meta={})
+
+        leases = tmp_path / "campaign" / "deadbeef0000" / "leases"
+        leases.mkdir(parents=True)
+        (leases / "old.json").write_text(json.dumps(
+            {"job": "old", "owner": "w0", "attempt": 1,
+             "expires": time.time() - 60.0}))
+        (leases / "junk.json").write_text("not a lease")
+        (leases / "live.json").write_text(json.dumps(
+            {"job": "live", "owner": "w1", "attempt": 1,
+             "expires": time.time() + 600.0}))
+
+        report = verify_cache_dir(tmp_path)
+        # Campaign debris never pollutes the result-entry tallies.
+        assert (report.total, report.ok, report.corrupt) == (1, 1, 0)
+        assert (report.ckpt_orphans, report.ckpt_pruned) == (2, 0)
+        assert (report.lease_expired, report.lease_pruned) == (2, 0)
+
+        report = verify_cache_dir(tmp_path, prune=True)
+        assert (report.ckpt_orphans, report.ckpt_pruned) == (2, 2)
+        assert (report.lease_expired, report.lease_pruned) == (2, 2)
+        assert sorted(p.name for p in ckpt.glob("*.ckpt.json")) == [
+            "ab" * 32 + ".ckpt.json"]  # the useful slot survives
+        assert sorted(p.name for p in leases.glob("*.json")) == ["live.json"]
+        # And the swept cache now audits clean.
+        report = verify_cache_dir(tmp_path)
+        assert (report.ckpt_orphans, report.lease_expired) == (0, 0)

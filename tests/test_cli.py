@@ -1,5 +1,7 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -233,3 +235,109 @@ def test_bench_quick_end_to_end(capsys, tmp_path):
     assert code == 0
     assert "vector speedup" in text
     assert out.exists()
+
+
+# ------------------------------------------------------------- campaigns
+
+
+@pytest.fixture
+def _campaign_cache():
+    """CLI campaign commands mutate the process-global cache dir."""
+    from repro.harness.runner import clear_cache, set_cache_dir
+
+    clear_cache()
+    yield
+    clear_cache()
+    set_cache_dir(None)
+
+
+CAMPAIGN_FLAGS = ("--benchmarks", "GA", "--models", "Base", "--scales", "1",
+                  "--sms", "1", "--checkpoint-every", "400")
+
+
+def test_campaign_run_hosts_stub(capsys, tmp_path, _campaign_cache):
+    """--hosts prints the per-host worker command instead of running."""
+    code, out = run_cli(capsys, "campaign", "run", "--dir", str(tmp_path),
+                        *CAMPAIGN_FLAGS, "--hosts", "alpha,beta")
+    assert code == 0
+    assert "1 jobs under" in out
+    assert "start on alpha : ssh alpha" in out
+    assert "campaign work" in out
+    # The job graph was still materialized durably.
+    assert list(tmp_path.glob("campaign/*/campaign.json"))
+
+
+def test_campaign_run_rejects_unknown_benchmark(tmp_path, _campaign_cache):
+    with pytest.raises(SystemExit, match="unknown benchmark"):
+        main(["campaign", "run", "--dir", str(tmp_path),
+              "--benchmarks", "ZZ"])
+
+
+def test_campaign_run_requires_benchmarks(tmp_path, _campaign_cache):
+    with pytest.raises(SystemExit, match="--benchmarks"):
+        main(["campaign", "run", "--dir", str(tmp_path)])
+
+
+def test_campaign_status_and_work_cycle(capsys, tmp_path, _campaign_cache):
+    """Materialize (hosts stub), inspect, drain with one CLI worker,
+    re-inspect: status speaks for the directory at every stage."""
+    code, out = run_cli(capsys, "campaign", "run", "--dir", str(tmp_path),
+                        *CAMPAIGN_FLAGS, "--hosts", "alpha")
+    assert code == 0
+
+    # One campaign exists: status auto-selects it, and it is all pending.
+    code, out = run_cli(capsys, "campaign", "status", "--dir", str(tmp_path))
+    assert code == 1  # not complete yet
+    assert "1 pending" in out
+
+    from repro.campaign import list_campaigns
+    (campaign_id,) = list_campaigns(tmp_path)
+
+    # Drain it with one worker process entry point.
+    code, out = run_cli(capsys, "campaign", "work", "--dir", str(tmp_path),
+                        "--id", campaign_id, "--worker-id", "w0")
+    assert code == 0
+    assert "drained" in out and "1 completed" in out
+
+    code, out = run_cli(capsys, "campaign", "status", "--dir", str(tmp_path),
+                        campaign_id, "--json", "-")
+    assert code == 0
+    assert "1 done" in out
+    payload = json.loads(out[out.index("{"):])
+    assert payload["complete"] is True
+    assert payload["counts"]["done"] == 1
+    assert payload["failures"] == []
+
+
+def test_campaign_status_unknown_id(capsys, tmp_path, _campaign_cache):
+    from repro.campaign import CampaignError
+
+    with pytest.raises(CampaignError, match="no campaign"):
+        main(["campaign", "status", "--dir", str(tmp_path), "feedfeedfeed"])
+
+
+def test_campaign_status_without_campaigns(capsys, tmp_path, _campaign_cache):
+    code, out = run_cli(capsys, "campaign", "status", "--dir", str(tmp_path))
+    assert code == 1
+    assert "none" in out
+
+
+def test_cache_verify_reports_campaign_debris(capsys, tmp_path):
+    import time as _time
+
+    leases = tmp_path / "campaign" / "feedfeedfeed" / "leases"
+    leases.mkdir(parents=True)
+    (leases / "stale.json").write_text(json.dumps(
+        {"job": "stale", "owner": "w0", "attempt": 1,
+         "expires": _time.time() - 5.0}))
+    (tmp_path / "ckpt").mkdir()
+    (tmp_path / "ckpt" / ("ab" * 32 + ".ckpt.json")).write_text("{broken")
+
+    code, out = run_cli(capsys, "cache", "verify", "--dir", str(tmp_path))
+    assert "campaign debris: 1 orphaned checkpoint slot, " \
+           "1 expired lease file" in out
+
+    code, out = run_cli(capsys, "cache", "verify", "--dir", str(tmp_path),
+                        "--prune")
+    assert not list(tmp_path.glob("ckpt/*.ckpt.json"))
+    assert not list(leases.glob("*.json"))
