@@ -1,0 +1,127 @@
+"""CI smoke storm for the serve API: N concurrent requests, zero errors.
+
+Warms a small cache (the two GA runs fig17 needs), boots a
+:class:`repro.serve.ResultService` on a loopback port, and fires a
+gathered storm of concurrent requests over real sockets — full GETs,
+``If-None-Match`` revalidations, raw-result fetches, and health checks,
+interleaved.  Every response must be a correct 200/304 with a stable
+ETag and identical bodies across the whole storm.  Exits non-zero (with
+the access log on stdout) on any deviation; the access log file is kept
+for the CI artifact.
+
+Usage: PYTHONPATH=src python scripts/serve_smoke.py [--requests 200]
+                                                    [--dir DIR]
+                                                    [--access-log PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.harness.runner import RunSpec, clear_cache, run_benchmark, \
+    set_cache_dir
+from repro.serve import ResultService
+
+FIGURE = "/v1/figure/fig17?workload=GA&scale=1&sms=1"
+
+
+async def http_get(port, path, headers=None):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        request = [f"GET {path} HTTP/1.1", "Host: smoke",
+                   "Connection: close"]
+        request += [f"{k}: {v}" for k, v in (headers or {}).items()]
+        writer.write(("\r\n".join(request) + "\r\n\r\n").encode())
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    parsed = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        parsed[name.strip().lower()] = value.strip()
+    return status, parsed, body
+
+
+async def storm(base: Path, requests: int, access_log: Path) -> int:
+    service = ResultService(base, worker=False, access_log=access_log)
+    _, port = await service.start(host="127.0.0.1", port=0)
+    try:
+        # One priming GET gives us the reference body, ETag, and digests.
+        status, headers, body = await http_get(port, FIGURE)
+        assert status == 200, f"priming GET failed: {status}"
+        etag = headers["etag"]
+        digests = sorted(d for runs in json.loads(body)["runs"].values()
+                         for d in runs.values())
+
+        plan = []
+        for index in range(requests):
+            kind = index % 4
+            if kind == 0:
+                plan.append((200, FIGURE, None))
+            elif kind == 1:
+                plan.append((304, FIGURE, {"If-None-Match": etag}))
+            elif kind == 2:
+                digest = digests[index % len(digests)]
+                plan.append((200, f"/v1/result/{digest}", None))
+            else:
+                plan.append((200, "/v1/healthz", None))
+
+        responses = await asyncio.gather(
+            *(http_get(port, path, headers) for _, path, headers in plan))
+
+        failures = 0
+        for (want, path, _), (got, got_headers, got_body) in zip(plan,
+                                                                 responses):
+            ok = got == want
+            if path == FIGURE and want == 200:
+                ok = ok and got_body == body and got_headers["etag"] == etag
+            if not ok:
+                failures += 1
+                print(f"FAIL {path}: status {got} (want {want})")
+        print(f"storm: {len(responses)} concurrent requests, "
+              f"{failures} failures "
+              f"(service counters: {service.counts})")
+        return 1 if failures else 0
+    finally:
+        await service.close()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument("--dir", default=None,
+                        help="cache directory (default: a temp dir)")
+    parser.add_argument("--access-log", default=None)
+    args = parser.parse_args()
+
+    base = Path(args.dir) if args.dir else Path(
+        tempfile.mkdtemp(prefix="serve-smoke-"))
+    access_log = Path(args.access_log) if args.access_log \
+        else base / "access.log"
+
+    # Warm the two runs fig17/GA needs (no-ops if already cached).
+    set_cache_dir(base)
+    for model in ("Base", "RLPV"):
+        run_benchmark("GA", model, scale=1, num_sms=1)
+        digest = RunSpec.make("GA", model, scale=1, num_sms=1).digest()
+        assert (base / digest[:2] / f"{digest}.json").exists()
+    clear_cache()
+
+    code = asyncio.run(storm(base, args.requests, access_log))
+    if code and access_log.exists():
+        print("--- access log ---")
+        print(access_log.read_text())
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

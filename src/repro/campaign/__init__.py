@@ -11,7 +11,8 @@ loses at most the work since the last checkpoint.
 
 from repro.campaign.engine import (Campaign, CampaignError,
                                    CampaignRunReport, LocalBackend,
-                                   RemoteShellBackend, campaign_complete,
+                                   RemoteShellBackend,
+                                   RemoteSpawnUnsupported, campaign_complete,
                                    fold_journal, job_state, list_campaigns,
                                    run_campaign, run_worker, worker_main)
 from repro.campaign.journal import (JournalReadResult, append_record,
@@ -26,7 +27,8 @@ from repro.campaign.status import (CampaignStatus, JobStatus,
 __all__ = [
     "Campaign", "CampaignError", "CampaignRunReport", "CampaignStatus",
     "Heartbeat", "JobStatus", "JournalReadResult", "Lease", "LeaseManager",
-    "LocalBackend", "MatrixSpec", "RemoteShellBackend", "SingleFlight",
+    "LocalBackend", "MatrixSpec", "RemoteShellBackend",
+    "RemoteSpawnUnsupported", "SingleFlight",
     "aggregate_results", "append_record",
     "campaign_complete", "campaign_status", "fold_journal", "job_state",
     "list_campaigns", "read_journal", "render_status", "run_campaign",

@@ -32,9 +32,11 @@ it holds no authoritative state and can itself be killed and rerun.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import random
+import shlex
 import signal
 import subprocess
 import sys
@@ -114,6 +116,10 @@ class Campaign:
 
     @property
     def matrix(self) -> MatrixSpec:
+        if self.manifest.get("matrix") is None:
+            raise CampaignError(
+                f"campaign {self.id} is ad-hoc (built from explicit specs); "
+                "it has no experiment matrix")
         return MatrixSpec.from_dict(self.manifest["matrix"])
 
     @property
@@ -174,6 +180,53 @@ class Campaign:
             "max_attempts": max_attempts,
             "jobs": [{"digest": spec.digest(), "spec": spec.to_dict()}
                      for spec in specs],
+        }
+        atomic_write_text(manifest_path,
+                          json.dumps(manifest, sort_keys=True, indent=1))
+        return cls(cache_root, manifest)
+
+    @classmethod
+    def create_from_specs(cls, specs: Sequence[RunSpec],
+                          base: Optional[os.PathLike] = None,
+                          ttl: float = DEFAULT_TTL,
+                          max_attempts: int = DEFAULT_MAX_ATTEMPTS
+                          ) -> "Campaign":
+        """Materialize (or re-open) an *ad-hoc* campaign from explicit specs.
+
+        This is the programmatic enqueue path the serve API uses: the
+        specs are recorded **verbatim** — in particular no checkpoint
+        cadence is stamped onto them, because rewriting any spec field
+        would move its result to a different content address than the
+        one the enqueuing query (and every CLI invocation of the same
+        parameters) will look up.  The campaign id is derived from the
+        sorted job digests, so re-submitting the same spec set resumes
+        the existing campaign instead of duplicating it.
+        """
+        if not specs:
+            raise CampaignError("an ad-hoc campaign needs at least one spec")
+        cache_root = Path(base) if base is not None else runner.cache_dir()
+        if cache_root is None:
+            raise CampaignError(
+                "campaigns need an on-disk cache (set REPRO_CACHE_DIR or "
+                "pass a directory)")
+        by_digest = {spec.digest(): spec for spec in specs}
+        digests = sorted(by_digest)
+        campaign_id = ("adhoc-"
+                       + hashlib.sha256("\n".join(digests).encode())
+                       .hexdigest()[:16])
+        root = campaign_base(cache_root) / campaign_id
+        manifest_path = root / "campaign.json"
+        if manifest_path.exists():
+            return cls.open(campaign_id, base=cache_root)
+        manifest = {
+            "version": CAMPAIGN_VERSION,
+            "id": campaign_id,
+            "matrix": None,
+            "checkpoint_every": None,
+            "ttl": ttl,
+            "max_attempts": max_attempts,
+            "jobs": [{"digest": digest, "spec": by_digest[digest].to_dict()}
+                     for digest in digests],
         }
         atomic_write_text(manifest_path,
                           json.dumps(manifest, sort_keys=True, indent=1))
@@ -464,6 +517,24 @@ class LocalBackend:
             log.close()
 
 
+class RemoteSpawnUnsupported(CampaignError, NotImplementedError):
+    """Remote spawning is a stub; carries the exact per-host command.
+
+    Callers that want to degrade gracefully can catch this and print
+    :attr:`rendered` (already shell-quoted) for the operator to run by
+    hand on :attr:`host` — the lease/journal protocol needs nothing
+    beyond a shared cache directory.
+    """
+
+    def __init__(self, host: str, argv: List[str]) -> None:
+        self.host = host
+        self.argv = list(argv)
+        self.rendered = shlex.join(self.argv)
+        super().__init__(
+            "the remote backend is a stub; start this worker on "
+            f"{host} by hand:\n  {self.rendered}")
+
+
 class RemoteShellBackend:
     """Multi-host stub: renders the command each host would run.
 
@@ -481,10 +552,8 @@ class RemoteShellBackend:
 
     def spawn(self, campaign: Campaign, worker_id: str,
               chaos: Optional[str] = None) -> subprocess.Popen:
-        raise CampaignError(
-            "the remote backend is a stub; start this worker on "
-            f"{self.host} by hand:\n  "
-            + " ".join(self.command_line(campaign, worker_id)))
+        raise RemoteSpawnUnsupported(
+            self.host, self.command_line(campaign, worker_id))
 
 
 def worker_argv(campaign: Campaign, worker_id: str,

@@ -30,6 +30,12 @@ Commands:
   progress/failures of any campaign (running or dead), ``campaign
   resume`` restarts the worker fleet, ``campaign work`` is one worker
   process (normally spawned by ``run``).
+* ``serve --dir DIR``           — results-as-a-service: an asyncio HTTP API
+  answering figure queries from the checksummed result cache (digest-derived
+  ETags, 304 revalidation); misses become 202 + durable campaign jobs.
+* ``query FIG --workload W``    — the same figure document ``serve`` would
+  return, computed locally through the harness (simulating on miss); the
+  serve test battery pins the two byte-identical.
 * ``compare ABBR``              — one benchmark across the whole model zoo.
 * ``profile ABBR``              — Figure 2 repeated-computation profile.
 * ``experiment NAME``           — run one figure/table driver (fig2..fig22,
@@ -45,6 +51,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import shlex
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -337,6 +344,11 @@ def _cmd_cache_verify(args) -> int:
               f"checkpoint slot" + ("" if report.ckpt_orphans == 1 else "s")
               + f", {report.lease_expired} expired lease file"
               + ("" if report.lease_expired == 1 else "s"))
+    if report.ckpt_leased or report.tmp_fresh:
+        print(f"  in use (left alone): {report.ckpt_leased} leased "
+              f"checkpoint slot" + ("" if report.ckpt_leased == 1 else "s")
+              + f", {report.tmp_fresh} fresh temp file"
+              + ("" if report.tmp_fresh == 1 else "s"))
     for path in report.corrupt_paths:
         print(f"  corrupt: {path}" + ("  (deleted)" if args.prune else ""))
     if args.prune and report.pruned:
@@ -536,11 +548,12 @@ def _cmd_campaign_run(args) -> int:
           f"{campaign.root}")
     if args.hosts:
         # Multi-host stub: the lease/journal protocol only needs a shared
-        # cache directory, so print the worker command for each host.
+        # cache directory, so print the worker command for each host —
+        # shell-quoted, so a cache path with spaces survives copy-paste.
         for index, host in enumerate(args.hosts.split(",")):
             backend = RemoteShellBackend(host)
-            print("start on", host, ":",
-                  " ".join(backend.command_line(campaign, f"r{index}")))
+            print(f"start on {host}: "
+                  + shlex.join(backend.command_line(campaign, f"r{index}")))
         return 0
     report = run_campaign(campaign, workers=args.workers, chaos=args.chaos,
                           progress=print)
@@ -587,6 +600,52 @@ def _cmd_campaign_work(args) -> int:
 
     return worker_main(Path(args.dir), args.id, args.worker_id,
                        chaos=args.chaos)
+
+
+def _cmd_serve(args) -> int:
+    from repro.harness.runner import cache_dir
+    from repro.serve import serve_forever
+
+    base = Path(args.dir) if args.dir else cache_dir()
+    if base is None:
+        print("serve: no cache directory (pass --dir or set "
+              "REPRO_CACHE_DIR)", file=sys.stderr)
+        return 2
+    serve_forever(base, host=args.host, port=args.port,
+                  access_log=Path(args.access_log) if args.access_log
+                  else None,
+                  worker=not args.no_worker,
+                  ready=Path(args.ready) if args.ready else None)
+    return 0
+
+
+def _query_params(args) -> dict:
+    """The CLI flags as the multi-valued mapping ``parse_query`` takes —
+    so ``repro query`` validates byte-for-byte like the HTTP endpoint."""
+    params = {}
+    if args.workload is not None:
+        params["workload"] = [args.workload]
+    for name in ("model", "scale", "seed", "sms", "engine"):
+        value = getattr(args, name)
+        if value is not None:
+            params[name] = [str(value)]
+    return params
+
+
+def _cmd_query(args) -> int:
+    from repro.serve import (QueryError, canonical_json, figure_document,
+                             load_via_harness, parse_query)
+
+    if args.dir:
+        from repro.harness.runner import set_cache_dir
+        set_cache_dir(Path(args.dir))
+    try:
+        query = parse_query(args.fig, _query_params(args), suite=args.suite)
+    except QueryError as err:
+        print(f"query: {err}", file=sys.stderr)
+        return 2
+    print(canonical_json(figure_document(query, load_via_harness(query))))
+    return 0
 
 
 def _cmd_params(_args) -> int:
@@ -838,6 +897,50 @@ def build_parser() -> argparse.ArgumentParser:
                                    help="dump the raw experiment data as JSON "
                                         "('-' for stdout)")
     experiment_parser.set_defaults(func=_cmd_experiment)
+
+    serve_parser = sub.add_parser(
+        "serve", help="HTTP query API over the result cache (DESIGN.md §15)")
+    serve_parser.add_argument("--dir", metavar="DIR", default=None,
+                              help="cache directory to serve (default: "
+                                   "REPRO_CACHE_DIR)")
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="bind address (default: 127.0.0.1)")
+    serve_parser.add_argument("--port", type=int, default=8753,
+                              help="bind port; 0 picks a free one "
+                                   "(default: 8753)")
+    serve_parser.add_argument("--access-log", metavar="PATH", default=None,
+                              help="append one line per request to PATH")
+    serve_parser.add_argument("--no-worker", action="store_true",
+                              help="answer cache hits only; misses still "
+                                   "get 202 + a durable campaign some other "
+                                   "worker fleet must drain")
+    serve_parser.add_argument("--ready", metavar="PATH", default=None,
+                              help="write 'host port' to PATH once bound "
+                                   "(for scripts using --port 0)")
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    query_parser = sub.add_parser(
+        "query",
+        help="compute one served figure document locally (reference for "
+             "the HTTP API; simulates on cache miss)")
+    query_parser.add_argument("fig", help="fig2, fig12, fig14, fig15, fig17")
+    query_parser.add_argument("--workload", default=None,
+                              help="benchmark abbreviation (see 'repro "
+                                   "list')")
+    query_parser.add_argument("--suite", action="store_true",
+                              help="span the whole Table I suite instead "
+                                   "of one workload")
+    query_parser.add_argument("--model", default=None,
+                              help="design point (default RLPV)")
+    query_parser.add_argument("--scale", type=int, default=None)
+    query_parser.add_argument("--seed", type=int, default=None)
+    query_parser.add_argument("--sms", type=int, default=None,
+                              help="number of SMs")
+    query_parser.add_argument("--engine", default=None,
+                              help="scalar or vector")
+    query_parser.add_argument("--dir", metavar="DIR", default=None,
+                              help="result cache directory to read/fill")
+    query_parser.set_defaults(func=_cmd_query)
     return parser
 
 

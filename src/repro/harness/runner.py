@@ -382,6 +382,29 @@ def _disk_load(spec: RunSpec,
     return None
 
 
+def lookup_result(spec: RunSpec,
+                  energy_params: Optional[EnergyParams] = None
+                  ) -> Optional[Tuple[RunResult,
+                                      Optional[RedundancyProfile]]]:
+    """Answer *spec* from the memo or the disk cache — never simulate.
+
+    This is the read-only entry point the serve API answers cache hits
+    through: a ``None`` return means "someone must simulate", which the
+    caller turns into a 202 + background job rather than blocking an
+    event loop on a simulation.  Hits are memoised like any other load.
+    """
+    cached = _RESULT_CACHE.get(spec)
+    if cached is not None:
+        COUNTS["memo_hits"] += 1
+        return cached[0], cached[1]
+    payload = _disk_load(spec, energy_params)
+    if payload is None:
+        return None
+    result, profile = _rehydrate(payload)
+    _RESULT_CACHE[spec] = (result, profile, None)
+    return result, profile
+
+
 def _disk_store(spec: RunSpec, energy_params: Optional[EnergyParams],
                 payload: Dict[str, object]) -> None:
     path = _cache_path(spec.digest(energy_params))
@@ -402,6 +425,11 @@ def _ckpt_path(spec: RunSpec) -> Optional[Path]:
     return base / "ckpt" / f"{spec.digest()}.ckpt.json"
 
 
+#: ``*.tmp`` files younger than this are presumed to belong to a live
+#: writer and are never treated as orphans by :func:`verify_cache_dir`.
+TMP_GRACE_SECONDS = 60.0
+
+
 @dataclass
 class CacheReport:
     """Outcome of a :func:`verify_cache_dir` audit."""
@@ -415,10 +443,17 @@ class CacheReport:
     #: Orphaned ``*.tmp`` files (killed mid-write) found under the cache.
     tmp_orphans: int = 0
     tmp_pruned: int = 0
+    #: ``*.tmp`` files younger than :data:`TMP_GRACE_SECONDS` — presumed
+    #: to belong to a live writer (e.g. a serving process mid-publish),
+    #: so never counted as orphans or pruned.
+    tmp_fresh: int = 0
     #: Checkpoint slots whose run already completed (result present) or
     #: whose container no longer verifies — dead weight either way.
     ckpt_orphans: int = 0
     ckpt_pruned: int = 0
+    #: Checkpoint slots skipped because a live campaign lease proves some
+    #: worker is (or may be) using them right now.
+    ckpt_leased: int = 0
     #: Expired (or undecodable) campaign lease files; their workers are
     #: gone and any claimant would break them anyway.
     lease_expired: int = 0
@@ -444,6 +479,7 @@ def verify_cache_dir(base: Optional[os.PathLike] = None,
     report = CacheReport()
     if root is None or not root.exists():
         return report
+    now = time.time()
     for path in sorted(root.glob("*/*.json")):
         if path.parent.name in ("ckpt", "campaign"):
             continue  # not result entries; audited separately below
@@ -463,6 +499,16 @@ def verify_cache_dir(base: Optional[os.PathLike] = None,
                 except OSError:
                     pass
     for path in sorted(root.rglob("*.tmp")):
+        # A young temp file may be a live writer mid-publish (a serving
+        # process, a campaign worker): deleting it would race the final
+        # os.replace.  Only debris older than the grace window is swept.
+        try:
+            age = now - path.stat().st_mtime
+        except OSError:
+            continue  # vanished: its writer just published
+        if age < TMP_GRACE_SECONDS:
+            report.tmp_fresh += 1
+            continue
         report.tmp_orphans += 1
         if prune:
             try:
@@ -470,18 +516,38 @@ def verify_cache_dir(base: Optional[os.PathLike] = None,
                 report.tmp_pruned += 1
             except OSError:
                 pass
-    _sweep_ckpt_slots(root, report, prune)
-    _sweep_leases(root, report, prune)
+    _sweep_ckpt_slots(root, report, prune, now)
+    _sweep_leases(root, report, prune, now)
     return report
 
 
-def _sweep_ckpt_slots(root: Path, report: CacheReport, prune: bool) -> None:
+def _live_lease_jobs(root: Path, now: float) -> set:
+    """Job digests currently held by a live (unexpired) campaign lease."""
+    live = set()
+    for path in root.glob("campaign/*/leases/*.json"):
+        try:
+            lease = json.loads(path.read_text())
+            if float(lease["expires"]) > now:
+                live.add(str(lease["job"]))
+        except (OSError, ValueError, KeyError, TypeError):
+            continue  # undecodable: not provably live
+    return live
+
+
+def _sweep_ckpt_slots(root: Path, report: CacheReport, prune: bool,
+                      now: float) -> None:
     """Count (and optionally delete) checkpoint slots that can never help:
-    the run already has a verified result, or the container is damaged."""
+    the run already has a verified result, or the container is damaged.
+    Slots whose digest is held by a live campaign lease are off-limits —
+    the leaseholder may be about to read or rewrite them."""
     from repro.ckpt import CheckpointError, read_checkpoint
 
+    leased = _live_lease_jobs(root, now)
     for path in sorted((root / "ckpt").glob("*.ckpt.json")):
         digest = path.name[: -len(".ckpt.json")]
+        if digest in leased:
+            report.ckpt_leased += 1
+            continue
         result_path = root / digest[:2] / f"{digest}.json"
         orphaned = False
         if result_path.exists() and _read_payload(result_path)[0] == "ok":
@@ -501,9 +567,9 @@ def _sweep_ckpt_slots(root: Path, report: CacheReport, prune: bool) -> None:
                     pass
 
 
-def _sweep_leases(root: Path, report: CacheReport, prune: bool) -> None:
+def _sweep_leases(root: Path, report: CacheReport, prune: bool,
+                  now: float) -> None:
     """Count (and optionally delete) expired or undecodable lease files."""
-    now = time.time()
     for path in sorted(root.glob("campaign/*/leases/*.json")):
         try:
             lease = json.loads(path.read_text())

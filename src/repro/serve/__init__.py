@@ -1,0 +1,34 @@
+"""Results-as-a-service: an async HTTP query API over the result store.
+
+``repro serve`` exposes the content-addressed result cache over HTTP
+(DESIGN.md §15): figure-level queries are answered straight from the
+checksummed disk cache with digest-derived ETags, and misses become
+durable background jobs on the PR-7 campaign runner behind two stacked
+single-flight layers (in-process async + cross-worker leases).
+"""
+
+from repro.serve.app import (DEFAULT_PORT, ResultService, build_router,
+                             serve_forever)
+from repro.serve.etag import (document_etag, matches, parse_if_none_match,
+                              result_etag)
+from repro.serve.figures import (FIGURES, SERVE_SCHEMA, FigureDef, LoadedRun,
+                                 canonical_json, figure_document,
+                                 load_cached, load_via_harness)
+from repro.serve.http import (AccessLog, Request, Response, Router,
+                              error_response)
+from repro.serve.jobs import Job, JobManager
+from repro.serve.query import (QueryError, QuerySpec, flat_specs,
+                               known_workloads, parse_query, required_specs,
+                               role_spec)
+from repro.serve.singleflight import AsyncSingleFlight, FlightCancelled
+
+__all__ = [
+    "AccessLog", "AsyncSingleFlight", "DEFAULT_PORT", "FIGURES",
+    "FigureDef", "FlightCancelled", "Job", "JobManager", "LoadedRun",
+    "QueryError", "QuerySpec", "Request", "Response", "ResultService",
+    "Router", "SERVE_SCHEMA", "build_router", "canonical_json",
+    "document_etag", "error_response", "figure_document", "flat_specs",
+    "known_workloads", "load_cached", "load_via_harness", "matches",
+    "parse_if_none_match", "parse_query", "required_specs", "result_etag",
+    "role_spec", "serve_forever",
+]

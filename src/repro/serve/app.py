@@ -1,0 +1,262 @@
+"""Results-as-a-service: the HTTP endpoints over the result store.
+
+Endpoint map (all GET/HEAD, JSON bodies):
+
+========================  ==================================================
+``/`` , ``/v1``           service index: endpoints, figures, known knobs
+``/v1/healthz``           liveness + effort counters
+``/v1/figure/{fig}``      one figure for one workload (``?workload=KM&...``)
+``/v1/suite/{fig}``       one figure across the whole Table I suite
+``/v1/result/{digest}``   one raw result payload, byte-exact from the cache
+``/v1/jobs/{id}``         background job state (folded from the journal)
+========================  ==================================================
+
+The cache-hit path never simulates: runs are answered via
+:func:`~repro.harness.runner.lookup_result` and figure documents are
+ETagged by their RunSpec digests (``If-None-Match`` revalidates to 304).
+A miss returns **202 Accepted** with a job handle after enqueueing the
+missing specs on the campaign runner — through the in-process
+:class:`~repro.serve.singleflight.AsyncSingleFlight`, so a storm of
+identical cold queries costs one enqueue, and under that the campaign
+workers' lease-based single-flight, so even many server replicas cost
+one simulation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.harness import runner
+from repro.harness.runner import RunSpec, _read_payload
+from repro.serve.etag import document_etag, matches, result_etag
+from repro.serve.figures import (FIGURES, canonical_json, figure_document,
+                                 load_cached)
+from repro.serve.http import (AccessLog, HttpServer, Request, Response,
+                              Router, error_response)
+from repro.serve.jobs import JobManager
+from repro.serve.query import (MAX_SCALE, MAX_SMS, QueryError, QuerySpec,
+                               known_workloads, parse_query, required_specs)
+from repro.serve.singleflight import AsyncSingleFlight
+
+DEFAULT_PORT = 8753
+
+
+def _is_digest(text: str) -> bool:
+    return len(text) == 64 and all(c in "0123456789abcdef" for c in text)
+
+
+class ResultService:
+    """One serving process: router + cache reads + background jobs."""
+
+    def __init__(self, base: Path, access_log: Optional[Path] = None,
+                 worker: bool = True) -> None:
+        self.base = Path(base)
+        self.base.mkdir(parents=True, exist_ok=True)
+        runner.set_cache_dir(self.base)
+        self.jobs = JobManager(self.base)
+        self.flights = AsyncSingleFlight()
+        self.access_log = AccessLog(access_log)
+        self.worker = worker
+        #: Observable effort counters (tests and /v1/healthz read these).
+        self.counts = {"requests": 0, "hits": 0, "misses": 0,
+                       "not_modified": 0}
+        self.router = build_router()
+        self.server = HttpServer(self.router, self._dispatch,
+                                 self.access_log)
+
+    async def start(self, host: str = "127.0.0.1",
+                    port: int = 0) -> Tuple[str, int]:
+        if self.worker:
+            self.jobs.start()
+        return await self.server.start(host, port)
+
+    async def close(self) -> None:
+        await self.server.close()
+        self.jobs.stop()
+
+    async def _dispatch(self, handler, request: Request,
+                        captures: Dict[str, str]) -> Response:
+        self.counts["requests"] += 1
+        return await handler(self, request, **captures)
+
+    # -- shared hit/miss machinery ----------------------------------------
+
+    def collect(self, query: QuerySpec
+                ) -> Tuple[Dict[str, Dict[str, object]], List[RunSpec]]:
+        """Load what the cache has; list the specs it is missing."""
+        loaded: Dict[str, Dict[str, object]] = {}
+        missing: List[RunSpec] = []
+        for abbr, by_role in required_specs(query).items():
+            loaded[abbr] = {}
+            for role, spec in by_role.items():
+                run = load_cached(spec)
+                if run is None:
+                    missing.append(spec)
+                else:
+                    loaded[abbr][role] = run
+        return loaded, missing
+
+    async def answer(self, request: Request, query: QuerySpec) -> Response:
+        loaded, missing = self.collect(query)
+        if missing:
+            return await self.accept(missing)
+        self.counts["hits"] += 1
+        doc = figure_document(query, loaded)
+        etag = document_etag(query.fig, doc["runs"])
+        return self.conditional(request, etag,
+                                canonical_json(doc).encode())
+
+    async def accept(self, missing: List[RunSpec]) -> Response:
+        """202: enqueue *missing* (once, however many callers race here)."""
+        self.counts["misses"] += 1
+        digests = sorted(spec.digest() for spec in missing)
+        key = "+".join(digests)
+
+        async def submit():
+            # Yield once before touching storage: every request already
+            # parked at this flight's key in the current scheduler tick
+            # joins the leader instead of re-running the (idempotent)
+            # submission after it resolves.
+            await asyncio.sleep(0)
+            return self.jobs.submit(missing)
+
+        job = await self.flights.run(key, submit)
+        return Response.json(202, {
+            "status": "pending",
+            "job": job.id,
+            "missing": digests,
+            "poll": f"/v1/jobs/{job.id}",
+        }, headers=[("Retry-After", "1"),
+                    ("Location", f"/v1/jobs/{job.id}")])
+
+    def conditional(self, request: Request, etag: str,
+                    body: bytes) -> Response:
+        """200 with ETag, or 304 when ``If-None-Match`` revalidates."""
+        if matches(etag, request.header("if-none-match")):
+            self.counts["not_modified"] += 1
+            return Response(304, body, headers=[("ETag", etag)])
+        return Response(200, body, headers=[("ETag", etag)])
+
+
+# ----------------------------------------------------------------- handlers
+
+async def handle_index(service: ResultService, request: Request) -> Response:
+    return Response.json(200, {
+        "service": "repro-serve",
+        "endpoints": [
+            "/v1/figure/{fig}?workload=KM&model=RLPV&scale=1&seed=7"
+            "&sms=N&engine=scalar",
+            "/v1/suite/{fig}",
+            "/v1/result/{digest}",
+            "/v1/jobs/{id}",
+            "/v1/healthz",
+        ],
+        "figures": {name: {"roles": list(figure.roles), "doc": figure.doc}
+                    for name, figure in FIGURES.items()},
+        "workloads": known_workloads(),
+        "limits": {"scale": MAX_SCALE, "sms": MAX_SMS},
+    })
+
+
+async def handle_health(service: ResultService, request: Request) -> Response:
+    return Response.json(200, {
+        "ok": True,
+        "requests": service.counts,
+        "flights": {"open": len(service.flights),
+                    **service.flights.counts},
+        "jobs": {"known": len(service.jobs), **service.jobs.counts},
+        "harness": dict(runner.COUNTS),
+    })
+
+
+async def handle_figure(service: ResultService, request: Request,
+                        fig: str) -> Response:
+    try:
+        query = parse_query(fig, request.query, suite=False)
+    except QueryError as err:
+        return error_response(400, "bad-query", str(err), param=err.param)
+    return await service.answer(request, query)
+
+
+async def handle_suite(service: ResultService, request: Request,
+                       fig: str) -> Response:
+    try:
+        query = parse_query(fig, request.query, suite=True)
+    except QueryError as err:
+        return error_response(400, "bad-query", str(err), param=err.param)
+    return await service.answer(request, query)
+
+
+async def handle_result(service: ResultService, request: Request,
+                        digest: str) -> Response:
+    if not _is_digest(digest):
+        return error_response(
+            400, "bad-digest",
+            "result digests are 64 lowercase hex characters",
+            param="digest")
+    path = service.base / digest[:2] / f"{digest}.json"
+    if not path.exists():
+        return error_response(404, "not-found",
+                              f"no result for digest {digest[:12]}…")
+    status, _ = _read_payload(path)
+    if status != "ok":
+        return error_response(
+            404, "unusable-entry",
+            f"the entry for {digest[:12]}… is {status}-damaged or from "
+            "another cache format")
+    # Byte-exact file contents: the payload is already canonical JSON.
+    return service.conditional(request, result_etag(digest),
+                               path.read_bytes())
+
+
+async def handle_job(service: ResultService, request: Request,
+                     id: str) -> Response:
+    job = service.jobs.get(id)
+    if job is None:
+        return error_response(404, "not-found", f"no such job: {id}")
+    return Response.json(200, service.jobs.status(job))
+
+
+def build_router() -> Router:
+    router = Router()
+    router.get("/", handle_index)
+    router.get("/v1", handle_index)
+    router.get("/v1/healthz", handle_health)
+    router.get("/v1/figure/{fig}", handle_figure)
+    router.get("/v1/suite/{fig}", handle_suite)
+    router.get("/v1/result/{digest}", handle_result)
+    router.get("/v1/jobs/{id}", handle_job)
+    return router
+
+
+# ---------------------------------------------------------------- CLI entry
+
+def serve_forever(base: Path, host: str = "127.0.0.1",
+                  port: int = DEFAULT_PORT,
+                  access_log: Optional[Path] = None,
+                  worker: bool = True,
+                  ready: Optional[Path] = None) -> None:
+    """Run the service until interrupted (the ``repro serve`` verb).
+
+    *ready*, if given, is written with ``host port`` once the socket is
+    bound — scripts starting a server on port 0 read the real port back.
+    """
+
+    async def main() -> None:
+        service = ResultService(base, access_log=access_log, worker=worker)
+        bound_host, bound_port = await service.start(host, port)
+        print(f"serving results from {service.base} on "
+              f"http://{bound_host}:{bound_port}", flush=True)
+        if ready is not None:
+            ready.write_text(f"{bound_host} {bound_port}\n")
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await service.close()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("serve: interrupted, shutting down")

@@ -1,0 +1,62 @@
+"""ETags derived from RunSpec digests — stable across server restarts.
+
+A served document is a pure function of (figure schema, figure name, the
+content addresses of the runs it was computed from).  Hashing exactly
+those inputs gives a *strong* validator that costs nothing to recompute
+on a cache hit, never needs to be stored, and is identical on every
+server instance sharing the cache — so ``If-None-Match`` revalidation
+keeps working across restarts and across replicas.
+
+Raw result endpoints use the RunSpec digest itself (quoted) as the ETag;
+figure/suite endpoints hash the sorted role→digest mapping together with
+the figure name and :data:`~repro.serve.figures.SERVE_SCHEMA`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List
+
+from repro.serve.figures import SERVE_SCHEMA
+
+
+def quote(tag: str) -> str:
+    """An opaque validator in HTTP quoted form."""
+    return f'"{tag}"'
+
+
+def result_etag(digest: str) -> str:
+    """ETag of a raw result payload: its content address, quoted."""
+    return quote(digest)
+
+
+def document_etag(figure: str, digests: Dict[str, Dict[str, str]]) -> str:
+    """ETag of a figure/suite document computed from *digests*
+    (``{abbr: {role: RunSpec digest}}``)."""
+    payload = {"schema": SERVE_SCHEMA, "figure": figure, "runs": digests}
+    canonical = json.dumps(payload, sort_keys=True)
+    return quote("doc-" + hashlib.sha256(canonical.encode()).hexdigest()[:40])
+
+
+def parse_if_none_match(header: str) -> List[str]:
+    """The validators of an ``If-None-Match`` header (``*`` included).
+
+    Weak prefixes (``W/``) are stripped: for 304 revalidation weak
+    comparison is allowed, and our validators are all strong anyway.
+    """
+    tags = []
+    for part in header.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if part.startswith("W/"):
+            part = part[2:]
+        tags.append(part)
+    return tags
+
+
+def matches(etag: str, if_none_match: str) -> bool:
+    """Would a conditional GET with *if_none_match* revalidate *etag*?"""
+    tags = parse_if_none_match(if_none_match)
+    return "*" in tags or etag in tags

@@ -1,0 +1,306 @@
+"""A small, strict HTTP/1.1 server on raw asyncio streams.
+
+The serve API needs exactly: GET/HEAD, query strings, a handful of
+headers (``If-None-Match`` in, ``ETag``/``Retry-After`` out), keep-alive,
+and JSON bodies — all comfortably within ``asyncio.start_server`` plus a
+hand-rolled request parser, so the service stays stdlib-only like the
+rest of the repo.  The parser is deliberately strict (bounded line and
+header sizes, malformed requests get a 400 and the connection closed);
+the protocol battery in ``tests/test_serve_protocol.py`` pins the
+behaviour.
+
+Errors travel as one envelope shape everywhere::
+
+    {"error": {"code": "<kebab-slug>", "message": "...", ["param": "..."]}}
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (Awaitable, Callable, Dict, List, Optional, Sequence,
+                    Tuple)
+from urllib.parse import parse_qs, unquote, urlsplit
+
+#: Parser hard limits; beyond them the request is refused outright.
+MAX_REQUEST_LINE = 8192
+MAX_HEADER_LINE = 8192
+MAX_HEADERS = 100
+
+#: Seconds an idle keep-alive connection may sit between requests.
+KEEPALIVE_TIMEOUT = 30.0
+
+JSON_TYPE = "application/json; charset=utf-8"
+
+
+class BadRequest(Exception):
+    """The bytes on the wire do not form an acceptable HTTP request."""
+
+
+@dataclass
+class Request:
+    method: str
+    path: str
+    query: Dict[str, List[str]]
+    headers: Dict[str, str]
+    version: str
+    remote: str = "-"
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+    @property
+    def wants_close(self) -> bool:
+        connection = self.header("connection").lower()
+        if self.version == "HTTP/1.0":
+            return "keep-alive" not in connection
+        return "close" in connection
+
+
+@dataclass
+class Response:
+    status: int
+    body: bytes = b""
+    content_type: str = JSON_TYPE
+    headers: List[Tuple[str, str]] = field(default_factory=list)
+
+    @classmethod
+    def json(cls, status: int, doc, *,
+             headers: Sequence[Tuple[str, str]] = ()) -> "Response":
+        body = json.dumps(doc, sort_keys=True).encode()
+        return cls(status, body, JSON_TYPE, list(headers))
+
+    @classmethod
+    def text(cls, status: int, body: str) -> "Response":
+        return cls(status, body.encode(), "text/plain; charset=utf-8")
+
+
+def error_response(status: int, code: str, message: str,
+                   param: str = "") -> Response:
+    envelope = {"error": {"code": code, "message": message}}
+    if param:
+        envelope["error"]["param"] = param
+    return Response.json(status, envelope)
+
+
+REASONS = {200: "OK", 202: "Accepted", 304: "Not Modified",
+           400: "Bad Request", 404: "Not Found",
+           405: "Method Not Allowed", 408: "Request Timeout",
+           500: "Internal Server Error"}
+
+#: ``handler(service, request, **path_params) -> Response`` (awaitable).
+Handler = Callable[..., Awaitable[Response]]
+
+
+class Router:
+    """Literal-segment routing with ``{name}`` captures (no regexes)."""
+
+    def __init__(self) -> None:
+        self._routes: List[Tuple[str, List[str], Handler]] = []
+
+    def get(self, pattern: str, handler: Handler) -> None:
+        self._routes.append(("GET", pattern.strip("/").split("/"), handler))
+
+    def resolve(self, method: str, path: str
+                ) -> Tuple[Handler, Dict[str, str]]:
+        """The handler and captures for *path*, or an error Response
+        raised as :class:`RoutingError`."""
+        segments = [unquote(part) for part in path.strip("/").split("/")]
+        matched_path = False
+        for verb, parts, handler in self._routes:
+            captures = self._match(parts, segments)
+            if captures is None:
+                continue
+            matched_path = True
+            # HEAD is GET without the body; the server strips it.
+            if method in (verb, "HEAD"):
+                return handler, captures
+        if matched_path:
+            raise RoutingError(error_response(
+                405, "method-not-allowed",
+                f"{method} is not supported here (use GET)"))
+        raise RoutingError(error_response(
+            404, "not-found", f"no such endpoint: {path}"))
+
+    @staticmethod
+    def _match(parts: List[str], segments: List[str]
+               ) -> Optional[Dict[str, str]]:
+        if len(parts) != len(segments):
+            return None
+        captures: Dict[str, str] = {}
+        for part, segment in zip(parts, segments):
+            if part.startswith("{") and part.endswith("}"):
+                if not segment:
+                    return None
+                captures[part[1:-1]] = segment
+            elif part != segment:
+                return None
+        return captures
+
+
+class RoutingError(Exception):
+    """Carries the error Response routing decided on."""
+
+    def __init__(self, response: Response) -> None:
+        super().__init__(response.status)
+        self.response = response
+
+
+class AccessLog:
+    """Combined-ish access log: in-memory ring plus an optional file."""
+
+    def __init__(self, path: Optional[Path] = None, keep: int = 1000) -> None:
+        self.path = Path(path) if path is not None else None
+        self.keep = keep
+        self.lines: List[str] = []
+
+    def record(self, request: Optional[Request], status: int, nbytes: int,
+               elapsed: float) -> None:
+        stamp = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime())
+        if request is not None:
+            what = f'"{request.method} {request.path}"'
+            remote = request.remote
+        else:
+            what, remote = '"<malformed>"', "-"
+        line = (f"{stamp} {remote} {what} {status} {nbytes} "
+                f"{elapsed * 1000:.1f}ms")
+        self.lines.append(line)
+        del self.lines[:-self.keep]
+        if self.path is not None:
+            with open(self.path, "a") as fh:
+                fh.write(line + "\n")
+
+
+# ------------------------------------------------------------- wire parsing
+
+async def read_request(reader: asyncio.StreamReader,
+                       remote: str) -> Optional[Request]:
+    """One request off the wire; ``None`` on clean EOF before a request."""
+    try:
+        line = await asyncio.wait_for(reader.readline(), KEEPALIVE_TIMEOUT)
+    except asyncio.TimeoutError:
+        return None
+    if not line:
+        return None
+    if len(line) > MAX_REQUEST_LINE:
+        raise BadRequest("request line too long")
+    try:
+        method, target, version = line.decode("ascii").split()
+    except ValueError:
+        raise BadRequest(f"malformed request line: {line!r}") from None
+    if version not in ("HTTP/1.0", "HTTP/1.1"):
+        raise BadRequest(f"unsupported protocol {version}")
+
+    headers: Dict[str, str] = {}
+    for _ in range(MAX_HEADERS + 1):
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n"):
+            break
+        if not line:
+            raise BadRequest("connection closed mid-headers")
+        if len(line) > MAX_HEADER_LINE:
+            raise BadRequest("header line too long")
+        if len(headers) >= MAX_HEADERS:
+            raise BadRequest("too many headers")
+        try:
+            name, _, value = line.decode("latin-1").partition(":")
+        except UnicodeDecodeError:
+            raise BadRequest("undecodable header") from None
+        if not _ or not name or name != name.strip():
+            raise BadRequest(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if headers.get("content-length", "0") not in ("", "0"):
+        raise BadRequest("request bodies are not accepted")
+    split = urlsplit(target)
+    return Request(method=method.upper(), path=split.path or "/",
+                   query=parse_qs(split.query, keep_blank_values=True),
+                   headers=headers, version=version, remote=remote)
+
+
+def render_response(request: Optional[Request],
+                    response: Response) -> bytes:
+    head_only = request is not None and request.method == "HEAD"
+    body = b"" if (head_only or response.status == 304) else response.body
+    close = request is None or request.wants_close
+    reason = REASONS.get(response.status, "Unknown")
+    lines = [f"HTTP/1.1 {response.status} {reason}"]
+    if response.status != 304:
+        lines.append(f"Content-Type: {response.content_type}")
+    # 304/HEAD: advertise the length the GET would have (RFC 9110 §8.6).
+    lines.append(f"Content-Length: {len(response.body)}")
+    lines.extend(f"{name}: {value}" for name, value in response.headers)
+    lines.append(f"Connection: {'close' if close else 'keep-alive'}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+# --------------------------------------------------------------- the server
+
+class HttpServer:
+    """Bind, accept, parse, dispatch; the service supplies the handlers."""
+
+    def __init__(self, router: Router, dispatch: Handler,
+                 access_log: AccessLog) -> None:
+        self.router = router
+        self.dispatch = dispatch
+        self.access_log = access_log
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    async def start(self, host: str, port: int) -> Tuple[str, int]:
+        self._server = await asyncio.start_server(self._client, host, port)
+        bound = self._server.sockets[0].getsockname()
+        return bound[0], bound[1]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _client(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        peer = writer.get_extra_info("peername")
+        remote = peer[0] if isinstance(peer, tuple) else "-"
+        try:
+            while True:
+                started = time.monotonic()
+                request: Optional[Request] = None
+                try:
+                    request = await read_request(reader, remote)
+                    if request is None:
+                        return
+                    response = await self._respond(request)
+                except BadRequest as err:
+                    response = error_response(400, "bad-request", str(err))
+                payload = render_response(request, response)
+                writer.write(payload)
+                await writer.drain()
+                self.access_log.record(request, response.status,
+                                       len(payload),
+                                       time.monotonic() - started)
+                if request is None or request.wants_close:
+                    return
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _respond(self, request: Request) -> Response:
+        try:
+            handler, captures = self.router.resolve(request.method,
+                                                    request.path)
+        except RoutingError as err:
+            return err.response
+        try:
+            return await self.dispatch(handler, request, captures)
+        except Exception as err:  # noqa: BLE001 - boundary: never drop conn
+            return error_response(
+                500, "internal-error", f"{type(err).__name__}: {err}")

@@ -1,0 +1,162 @@
+"""Background job management: cache misses become campaign jobs.
+
+A query that cannot be answered from the disk cache is turned into an
+*ad-hoc* campaign (:meth:`Campaign.create_from_specs` — the missing
+RunSpecs verbatim, no matrix, no checkpoint stamping) and handed to a
+single daemon worker thread that drains campaigns one at a time through
+:func:`~repro.campaign.engine.run_worker`.  That reuses the whole PR-7
+fault-tolerance stack for free: leases, the append-only journal,
+quarantine for poison specs, and — critically — the cross-worker
+lease-based ``SingleFlight`` guard ``run_worker`` installs, which is the
+second dedup layer under the serve API (the in-process
+:class:`~repro.serve.singleflight.AsyncSingleFlight` being the first).
+
+Job identity is the ad-hoc campaign id, itself derived from the sorted
+spec digests: submitting the same missing set twice — from this process,
+another replica, or after a restart — converges on one durable campaign
+directory.  Job *state* is never stored; it is folded on demand from the
+campaign journal and live leases, exactly like ``repro campaign status``.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.campaign.engine import (DEFAULT_MAX_ATTEMPTS, DEFAULT_TTL,
+                                   Campaign, fold_journal, job_state,
+                                   run_worker)
+from repro.campaign.journal import read_journal
+from repro.harness.runner import RunSpec
+
+
+@dataclass
+class Job:
+    """One submitted unit of background work (== one ad-hoc campaign)."""
+
+    id: str
+    digests: List[str]
+    created: float
+    campaign: Campaign = field(repr=False)
+    #: Set if the worker thread itself crashed while draining this job
+    #: (job-level simulation failures live in the journal instead).
+    worker_error: Optional[str] = None
+
+
+class JobManager:
+    """Submit RunSpec sets; a daemon thread simulates them durably."""
+
+    def __init__(self, base: Path, ttl: float = DEFAULT_TTL,
+                 max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+                 worker_id: str = "serve-worker") -> None:
+        self.base = Path(base)
+        self.ttl = ttl
+        self.max_attempts = max_attempts
+        self.worker_id = worker_id
+        self._jobs: Dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._queue: "queue.Queue[Optional[Job]]" = queue.Queue()
+        self._thread: Optional[threading.Thread] = None
+        #: Observable effort counters (tests and /v1/healthz read these).
+        self.counts = {"submitted": 0, "resubmitted": 0, "drained": 0}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._thread = threading.Thread(target=self._drain, daemon=True,
+                                        name=self.worker_id)
+        self._thread.start()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._thread is None:
+            return
+        self._queue.put(None)
+        self._thread.join(timeout=timeout)
+        self._thread = None
+
+    # -- submission and lookup --------------------------------------------
+
+    def submit(self, specs: Sequence[RunSpec]) -> Job:
+        """Enqueue *specs*; idempotent per distinct spec set.
+
+        Re-submitting a set already known to this manager returns the
+        existing job without queueing a duplicate drain (the campaign
+        directory is durable either way, so even a restarted server
+        resumes rather than redoing finished work).
+        """
+        campaign = Campaign.create_from_specs(
+            specs, base=self.base, ttl=self.ttl,
+            max_attempts=self.max_attempts)
+        with self._lock:
+            existing = self._jobs.get(campaign.id)
+            if existing is not None:
+                self.counts["resubmitted"] += 1
+                return existing
+            job = Job(id=campaign.id, digests=sorted(campaign.jobs),
+                      created=time.time(), campaign=campaign)
+            self._jobs[job.id] = job
+            self.counts["submitted"] += 1
+        self._queue.put(job)
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)
+
+    def status(self, job: Job) -> Dict:
+        """The job's state document, folded live from campaign storage."""
+        campaign = job.campaign
+        logs = fold_journal(read_journal(campaign.journal_path).records)
+        live = {lease.job for lease in campaign.lease_manager().live()}
+        states = {digest: job_state(logs.get(digest), digest in live)
+                  for digest in job.digests}
+        return {
+            "id": job.id,
+            "state": self._overall(job, states),
+            "created": job.created,
+            "jobs": states,
+            "counts": {
+                "total": len(states),
+                "done": sum(1 for s in states.values() if s == "done"),
+                "running": sum(1 for s in states.values() if s == "running"),
+                "pending": sum(1 for s in states.values() if s == "pending"),
+                "quarantined": sum(1 for s in states.values()
+                                   if s == "quarantined"),
+            },
+            **({"error": job.worker_error} if job.worker_error else {}),
+        }
+
+    @staticmethod
+    def _overall(job: Job, states: Dict[str, str]) -> str:
+        if all(state == "done" for state in states.values()):
+            return "done"
+        if job.worker_error or any(state == "quarantined"
+                                   for state in states.values()):
+            return "failed"
+        if any(state == "running" for state in states.values()):
+            return "running"
+        return "queued"
+
+    # -- the worker thread -------------------------------------------------
+
+    def _drain(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            try:
+                run_worker(job.campaign, self.worker_id)
+            except Exception as err:  # noqa: BLE001 - surfaced via status
+                job.worker_error = f"{type(err).__name__}: {err}"
+            finally:
+                self.counts["drained"] += 1

@@ -1,0 +1,99 @@
+"""In-process async single-flight: concurrent identical work runs once.
+
+This is the *first* of two dedup layers under the serve API.  Within one
+server process, any number of concurrent requests for the same missing
+document collapse here: the first caller (the **leader**) executes the
+supplier coroutine, everyone else (**joiners**) awaits the same future.
+The supplier itself enqueues simulation jobs on the campaign runner,
+whose cross-worker lease-based :class:`~repro.campaign.lease.SingleFlight`
+is the *second* layer — so even multiple server processes sharing one
+cache directory cost a given simulation exactly once.
+
+Failure semantics (pinned by ``tests/test_serve_singleflight.py``):
+
+* a leader's exception propagates to every joiner (each sees it exactly
+  once, via its own ``await``), and the flight is cleared so the next
+  caller retries fresh;
+* cancelling the leader mid-flight releases all joiners with
+  :class:`FlightCancelled` — joiners never hang on a future nobody will
+  resolve;
+* cancelling a *joiner* affects only that joiner (the flight, and the
+  leader, keep going).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Dict, TypeVar
+
+T = TypeVar("T")
+
+
+class FlightCancelled(RuntimeError):
+    """The flight's leader was cancelled before producing a result."""
+
+    def __init__(self, key: str) -> None:
+        super().__init__(f"single-flight leader for {key!r} was cancelled")
+        self.key = key
+
+
+class _Flight:
+    __slots__ = ("future", "joiners")
+
+    def __init__(self, future: "asyncio.Future") -> None:
+        self.future = future
+        self.joiners = 0
+
+
+class AsyncSingleFlight:
+    """Per-key coalescing of concurrent coroutine executions."""
+
+    def __init__(self) -> None:
+        self._flights: Dict[str, _Flight] = {}
+        #: Observable effort counters (tests and /v1/healthz read these).
+        self.counts = {"leaders": 0, "joins": 0}
+
+    def in_flight(self, key: str) -> bool:
+        return key in self._flights
+
+    def __len__(self) -> int:
+        return len(self._flights)
+
+    async def run(self, key: str,
+                  supplier: Callable[[], Awaitable[T]]) -> T:
+        """Return *supplier*'s result, running it at most once per key
+        at any moment; concurrent callers share one execution."""
+        flight = self._flights.get(key)
+        if flight is not None:
+            flight.joiners += 1
+            self.counts["joins"] += 1
+            # shield: a cancelled joiner must not cancel the shared future.
+            return await asyncio.shield(flight.future)
+
+        flight = _Flight(asyncio.get_running_loop().create_future())
+        self._flights[key] = flight
+        self.counts["leaders"] += 1
+        try:
+            result = await supplier()
+        except asyncio.CancelledError:
+            self._resolve(key, flight, error=FlightCancelled(key))
+            raise
+        except BaseException as err:
+            self._resolve(key, flight, error=err)
+            raise
+        else:
+            self._resolve(key, flight, result=result)
+            return result
+
+    def _resolve(self, key: str, flight: _Flight,
+                 result=None, error: BaseException = None) -> None:
+        self._flights.pop(key, None)
+        if flight.future.done():
+            return
+        if error is not None:
+            flight.future.set_exception(error)
+            # Mark retrieved: with zero joiners nobody will ever await the
+            # future, and an unretrieved-exception warning would fire.
+            flight.future.exception()
+        else:
+            flight.future.set_result(result)

@@ -1,0 +1,84 @@
+"""Shared helpers for the serve test battery: an async HTTP client that
+lives on the *same* event loop as the in-process server (blocking clients
+like urllib would deadlock a single-threaded loop), plus a context
+manager that boots a :class:`~repro.serve.ResultService` on port 0."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from contextlib import asynccontextmanager
+from typing import Dict, Optional, Tuple
+
+from repro.serve import ResultService
+
+
+@asynccontextmanager
+async def serving(base, worker: bool = True, access_log=None):
+    """An in-process service bound to a free port; yields (service, port)."""
+    service = ResultService(base, worker=worker, access_log=access_log)
+    _, port = await service.start(host="127.0.0.1", port=0)
+    try:
+        yield service, port
+    finally:
+        await service.close()
+
+
+async def http_get(port: int, path: str,
+                   headers: Optional[Dict[str, str]] = None,
+                   method: str = "GET"
+                   ) -> Tuple[int, Dict[str, str], bytes]:
+    """One request over a fresh connection → (status, headers, body)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        lines = [f"{method} {path} HTTP/1.1", "Host: test",
+                 "Connection: close"]
+        lines.extend(f"{name}: {value}"
+                     for name, value in (headers or {}).items())
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode())
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+    return parse_response(raw)
+
+
+async def raw_request(port: int, data: bytes) -> bytes:
+    """Ship arbitrary bytes; return everything the server sends back."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        writer.write(data)
+        await writer.drain()
+        return await reader.read()
+    finally:
+        writer.close()
+
+
+def parse_response(raw: bytes) -> Tuple[int, Dict[str, str], bytes]:
+    head, _, body = raw.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers, body
+
+
+async def get_json(port: int, path: str,
+                   headers: Optional[Dict[str, str]] = None):
+    status, resp_headers, body = await http_get(port, path, headers)
+    return status, resp_headers, json.loads(body)
+
+
+async def wait_for_job(port: int, job_id: str, timeout: float = 90.0) -> Dict:
+    """Poll ``/v1/jobs/{id}`` until it leaves queued/running states."""
+    deadline = asyncio.get_running_loop().time() + timeout
+    while True:
+        status, _, doc = await get_json(port, f"/v1/jobs/{job_id}")
+        assert status == 200
+        if doc["state"] not in ("queued", "running"):
+            return doc
+        if asyncio.get_running_loop().time() > deadline:
+            raise AssertionError(f"job {job_id} stuck: {doc}")
+        await asyncio.sleep(0.1)

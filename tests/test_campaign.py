@@ -558,3 +558,143 @@ class TestCampaignDebrisSweep:
         # And the swept cache now audits clean.
         report = verify_cache_dir(tmp_path)
         assert (report.ckpt_orphans, report.lease_expired) == (0, 0)
+
+    def test_prune_never_touches_a_live_servers_work(self, tmp_path):
+        """`cache verify --prune` racing a live serving/worker process:
+        checkpoint slots held by an unexpired lease and temp files
+        younger than the grace window are counted as in-use, not
+        debris — prune must never break an in-flight job."""
+        set_cache_dir(tmp_path)
+        run_benchmark("GA", "Base", scale=1, num_sms=1)
+        digest = RunSpec.make("GA", "Base", scale=1, num_sms=1).digest()
+
+        # The run's checkpoint slot would normally be spent (the result
+        # exists) — but a live lease on the digest pins it.
+        ckpt = tmp_path / "ckpt"
+        state = {"cycle": 120, "next_block_index": 0, "sms": [], "memory": {}}
+        write_checkpoint(ckpt / f"{digest}.ckpt.json", state, meta={})
+        leases = tmp_path / "campaign" / "adhoc-live" / "leases"
+        leases.mkdir(parents=True)
+        (leases / f"{digest}.json").write_text(json.dumps(
+            {"job": digest, "owner": "serve-worker", "attempt": 1,
+             "expires": time.time() + 600.0}))
+
+        # A temp file mid-publish (fresh) vs genuine debris (old).
+        fresh_tmp = tmp_path / digest[:2] / "inflight.json.12345.tmp"
+        fresh_tmp.write_text("{half-written")
+        old_tmp = tmp_path / digest[:2] / "abandoned.json.999.tmp"
+        old_tmp.write_text("{half-written")
+        import os
+        stale = time.time() - 2 * runner.TMP_GRACE_SECONDS
+        os.utime(old_tmp, (stale, stale))
+
+        report = verify_cache_dir(tmp_path, prune=True)
+        assert (report.ckpt_leased, report.ckpt_orphans) == (1, 0)
+        assert (report.tmp_fresh, report.tmp_orphans,
+                report.tmp_pruned) == (1, 1, 1)
+        assert (ckpt / f"{digest}.ckpt.json").exists()  # lease pinned it
+        assert fresh_tmp.exists()  # inside the grace window
+        assert not old_tmp.exists()  # real debris is still swept
+
+        # Once the lease expires, the slot is sweepable again.
+        (leases / f"{digest}.json").write_text(json.dumps(
+            {"job": digest, "owner": "serve-worker", "attempt": 1,
+             "expires": time.time() - 1.0}))
+        report = verify_cache_dir(tmp_path, prune=True)
+        assert (report.ckpt_leased, report.ckpt_orphans) == (0, 1)
+        assert not (ckpt / f"{digest}.ckpt.json").exists()
+
+
+# ------------------------------------------------- ad-hoc campaigns (serve)
+
+class TestAdHocCampaigns:
+    def test_create_from_specs_preserves_digests_verbatim(self, tmp_path):
+        specs = [RunSpec.make("GA", "Base", scale=1, num_sms=1),
+                 RunSpec.make("GA", "RLPV", scale=1, num_sms=1)]
+        campaign = Campaign.create_from_specs(specs, base=tmp_path)
+        assert campaign.id.startswith("adhoc-")
+        assert sorted(campaign.jobs) == sorted(s.digest() for s in specs)
+        # No checkpoint cadence is stamped on: the enqueued spec must land
+        # in the same cache slot the enqueuing query will look up.
+        assert campaign.checkpoint_every is None
+        for digest, spec in campaign.jobs.items():
+            assert spec.checkpoint_every is None
+            assert spec.digest() == digest
+
+    def test_create_from_specs_is_idempotent_and_order_blind(self, tmp_path):
+        specs = [RunSpec.make("GA", "Base", scale=1, num_sms=1),
+                 RunSpec.make("GA", "RLPV", scale=1, num_sms=1)]
+        first = Campaign.create_from_specs(specs, base=tmp_path)
+        second = Campaign.create_from_specs(list(reversed(specs)),
+                                            base=tmp_path)
+        assert first.id == second.id
+        assert len(list((tmp_path / "campaign").iterdir())) == 1
+
+    def test_adhoc_campaign_has_no_matrix(self, tmp_path):
+        campaign = Campaign.create_from_specs(
+            [RunSpec.make("GA", "Base", scale=1, num_sms=1)], base=tmp_path)
+        assert campaign.manifest["matrix"] is None
+        with pytest.raises(CampaignError, match="ad-hoc"):
+            _ = campaign.matrix
+        # But it round-trips through open() like any campaign.
+        assert Campaign.open(campaign.id, base=tmp_path).jobs \
+            == campaign.jobs
+
+    def test_empty_spec_list_is_refused(self, tmp_path):
+        with pytest.raises(CampaignError, match="at least one"):
+            Campaign.create_from_specs([], base=tmp_path)
+
+    def test_run_worker_drains_an_adhoc_campaign(self, tmp_path):
+        set_cache_dir(tmp_path)
+        spec = RunSpec.make("GA", "Base", scale=1, num_sms=1)
+        campaign = Campaign.create_from_specs([spec], base=tmp_path)
+        summary = run_worker(campaign, "w0")
+        assert summary.completed == 1
+        assert campaign_complete(campaign)
+        assert campaign.result_path(spec.digest()).exists()
+
+
+# ---------------------------------------------------- remote backend (stub)
+
+class TestRemoteShellBackend:
+    def test_spawn_raises_structured_not_implemented(self, tmp_path):
+        import shlex
+        from repro.campaign import RemoteShellBackend, RemoteSpawnUnsupported
+
+        campaign = Campaign.create(
+            MatrixSpec.make(["GA"], **SMALL), base=tmp_path)
+        backend = RemoteShellBackend("gpu-host-3")
+        with pytest.raises(RemoteSpawnUnsupported) as err:
+            backend.spawn(campaign, "r0")
+        # Structured: both a CampaignError and a NotImplementedError,
+        # carrying the exact per-host command it would have run.
+        assert isinstance(err.value, CampaignError)
+        assert isinstance(err.value, NotImplementedError)
+        assert err.value.host == "gpu-host-3"
+        assert err.value.argv[:2] == ["ssh", "gpu-host-3"]
+        assert err.value.argv == backend.command_line(campaign, "r0")
+        # The rendered form is shell-parseable back to the same argv.
+        assert shlex.split(err.value.rendered) == err.value.argv
+        assert err.value.rendered in str(err.value)
+
+    def test_hosts_cli_output_is_shell_parseable(self, tmp_path, capsys):
+        """`campaign run --hosts` must print commands a shell can take
+        verbatim — including when the shared cache path contains
+        spaces."""
+        import shlex
+        from repro.cli import main
+
+        base = tmp_path / "shared cache dir"
+        code = main(["campaign", "run", "--dir", str(base),
+                     "--benchmarks", "GA", "--models", "Base",
+                     "--scales", "1", "--sms", "1",
+                     "--hosts", "alpha,beta"])
+        assert code == 0
+        lines = [line for line in capsys.readouterr().out.splitlines()
+                 if line.startswith("start on ")]
+        assert len(lines) == 2
+        for line, host in zip(lines, ("alpha", "beta")):
+            argv = shlex.split(line.split(": ", 1)[1])
+            assert argv[:2] == ["ssh", host]
+            # The spaced path survives as ONE argument.
+            assert str(base) in argv

@@ -261,7 +261,7 @@ def test_campaign_run_hosts_stub(capsys, tmp_path, _campaign_cache):
                         *CAMPAIGN_FLAGS, "--hosts", "alpha,beta")
     assert code == 0
     assert "1 jobs under" in out
-    assert "start on alpha : ssh alpha" in out
+    assert "start on alpha: ssh alpha" in out
     assert "campaign work" in out
     # The job graph was still materialized durably.
     assert list(tmp_path.glob("campaign/*/campaign.json"))

@@ -1,0 +1,135 @@
+"""End-to-end serve flow across real processes (tier 2).
+
+Boots ``repro serve`` as an actual subprocess on port 0, talks to it with
+a plain blocking HTTP client (a separate process, so no event-loop
+deadlock), and walks the full miss→fill→hit story: a cold figure query
+202s, the background campaign worker fills the cache, the re-query is a
+200 whose body is byte-identical to ``repro query`` CLI output for the
+same spec, and the ETag survives a full server restart (it is a pure
+function of the RunSpec digests, not server state).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.tier2
+
+SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_CACHE_DIR", None)
+    return env
+
+
+class Server:
+    """One ``repro serve`` subprocess bound to a free port."""
+
+    def __init__(self, base: Path, log_name: str = "access.log") -> None:
+        self.base = base
+        ready = base / "ready.txt"
+        ready.unlink(missing_ok=True)
+        self.access_log = base / log_name
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--dir", str(base),
+             "--port", "0", "--ready", str(ready),
+             "--access-log", str(self.access_log)],
+            env=_env(), stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+        deadline = time.time() + 30
+        while not ready.exists():
+            assert self.proc.poll() is None, (
+                "server died: "
+                + self.proc.stdout.read().decode(errors="replace"))
+            assert time.time() < deadline, "server never became ready"
+            time.sleep(0.05)
+        host, port = ready.read_text().split()
+        self.url = f"http://{host}:{port}"
+
+    def get(self, path, headers=None):
+        req = urllib.request.Request(self.url + path,
+                                     headers=headers or {})
+        try:
+            with urllib.request.urlopen(req, timeout=30) as resp:
+                return resp.status, dict(resp.headers), resp.read()
+        except urllib.error.HTTPError as err:
+            return err.code, dict(err.headers), err.read()
+
+    def stop(self):
+        self.proc.terminate()
+        try:
+            self.proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait()
+
+
+def test_cold_to_warm_to_byte_identical_cli(tmp_path):
+    query = "/v1/figure/fig17?workload=KM&scale=1&sms=1"
+    server = Server(tmp_path)
+    try:
+        # Cold: accepted, not answered.
+        status, headers, body = server.get(query)
+        assert status == 202
+        doc = json.loads(body)
+        assert doc["status"] == "pending"
+
+        # The in-server campaign worker fills the cache.
+        deadline = time.time() + 120
+        while True:
+            jstatus, _, jbody = server.get(doc["poll"])
+            assert jstatus == 200
+            jdoc = json.loads(jbody)
+            if jdoc["state"] == "done":
+                break
+            assert jdoc["state"] in ("queued", "running"), jdoc
+            assert time.time() < deadline, f"job stuck: {jdoc}"
+            time.sleep(0.2)
+
+        # Warm: a served 200 with an ETag.
+        status, headers, served = server.get(query)
+        assert status == 200
+        etag = headers["ETag"]
+
+        # Byte-identity with the CLI for the same spec (shared cache dir,
+        # so the CLI answers from the very entries the worker published).
+        cli = subprocess.run(
+            [sys.executable, "-m", "repro", "query", "fig17",
+             "--workload", "KM", "--scale", "1", "--sms", "1",
+             "--dir", str(tmp_path)],
+            env=_env(), capture_output=True, check=True)
+        assert served == cli.stdout.strip()
+
+        # Each raw run payload is served byte-exact from disk.
+        for digest in json.loads(served)["runs"]["KM"].values():
+            rstatus, rheaders, rbody = server.get(f"/v1/result/{digest}")
+            assert rstatus == 200
+            assert rbody == (tmp_path / digest[:2]
+                             / f"{digest}.json").read_bytes()
+            assert rheaders["ETag"] == f'"{digest}"'
+
+        assert server.access_log.exists()
+        assert len(server.access_log.read_text().splitlines()) >= 3
+    finally:
+        server.stop()
+
+    # ETag stability across restarts: a brand-new server process derives
+    # the same validator, so clients revalidate straight to 304.
+    second = Server(tmp_path, log_name="access2.log")
+    try:
+        status, headers, _ = second.get(query)
+        assert status == 200
+        assert headers["ETag"] == etag
+        status, _, _ = second.get(query, {"If-None-Match": etag})
+        assert status == 304
+    finally:
+        second.stop()

@@ -1,0 +1,159 @@
+"""The in-process async single-flight layer (``repro.serve.singleflight``).
+
+Pins the failure semantics the serve API leans on: coalescing under
+concurrency, exception fan-out (each joiner sees the leader's error
+exactly once), leader cancellation releasing every joiner with
+:class:`FlightCancelled` (nobody hangs on a future no one will resolve),
+and joiner cancellation staying contained to the cancelled joiner.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.serve import AsyncSingleFlight, FlightCancelled
+
+#: No await in this battery should legitimately take longer than this;
+#: a timeout therefore means "hung future", which is exactly the bug
+#: class these tests exist to rule out.
+HANG = 5.0
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, HANG * 4))
+
+
+class TestCoalescing:
+    def test_concurrent_callers_share_one_execution(self):
+        async def main():
+            flights = AsyncSingleFlight()
+            started = 0
+            release = asyncio.Event()
+
+            async def supplier():
+                nonlocal started
+                started += 1
+                await release.wait()
+                return "value"
+
+            tasks = [asyncio.ensure_future(flights.run("k", supplier))
+                     for _ in range(50)]
+            await asyncio.sleep(0)  # let every task reach the flight
+            assert flights.in_flight("k") and len(flights) == 1
+            release.set()
+            results = await asyncio.wait_for(asyncio.gather(*tasks), HANG)
+            assert results == ["value"] * 50
+            assert started == 1
+            assert flights.counts == {"leaders": 1, "joins": 49}
+            assert len(flights) == 0  # flight cleared after resolution
+
+        run(main())
+
+    def test_distinct_keys_do_not_coalesce(self):
+        async def main():
+            flights = AsyncSingleFlight()
+
+            async def supplier(value):
+                await asyncio.sleep(0)
+                return value
+
+            a, b = await asyncio.gather(
+                flights.run("a", lambda: supplier(1)),
+                flights.run("b", lambda: supplier(2)))
+            assert (a, b) == (1, 2)
+            assert flights.counts["leaders"] == 2
+
+        run(main())
+
+    def test_sequential_calls_rerun_the_supplier(self):
+        async def main():
+            flights = AsyncSingleFlight()
+            calls = []
+
+            async def supplier():
+                calls.append(1)
+                return len(calls)
+
+            assert await flights.run("k", supplier) == 1
+            assert await flights.run("k", supplier) == 2
+
+        run(main())
+
+
+class TestFailurePropagation:
+    def test_leader_error_reaches_every_joiner_exactly_once(self):
+        async def main():
+            flights = AsyncSingleFlight()
+            release = asyncio.Event()
+
+            async def supplier():
+                await release.wait()
+                raise RuntimeError("boom")
+
+            tasks = [asyncio.ensure_future(flights.run("k", supplier))
+                     for _ in range(10)]
+            await asyncio.sleep(0)
+            release.set()
+            outcomes = await asyncio.wait_for(
+                asyncio.gather(*tasks, return_exceptions=True), HANG)
+            assert len(outcomes) == 10
+            assert all(isinstance(out, RuntimeError)
+                       and str(out) == "boom" for out in outcomes)
+            # The failed flight is cleared: the next caller retries fresh.
+            assert len(flights) == 0
+
+            async def recovered():
+                return "ok"
+
+            assert await flights.run("k", recovered) == "ok"
+
+        run(main())
+
+    def test_leader_cancellation_releases_joiners(self):
+        async def main():
+            flights = AsyncSingleFlight()
+            entered = asyncio.Event()
+
+            async def supplier():
+                entered.set()
+                await asyncio.sleep(HANG * 10)  # cancelled long before
+
+            leader = asyncio.ensure_future(flights.run("k", supplier))
+            await entered.wait()
+            joiners = [asyncio.ensure_future(flights.run("k", supplier))
+                       for _ in range(5)]
+            await asyncio.sleep(0)
+            leader.cancel()
+            outcomes = await asyncio.wait_for(
+                asyncio.gather(*joiners, return_exceptions=True), HANG)
+            # No joiner hangs; each gets the structured cancellation error.
+            assert all(isinstance(out, FlightCancelled) for out in outcomes)
+            assert all(out.key == "k" for out in outcomes)
+            with pytest.raises(asyncio.CancelledError):
+                await leader
+            assert len(flights) == 0
+
+        run(main())
+
+    def test_joiner_cancellation_is_contained(self):
+        async def main():
+            flights = AsyncSingleFlight()
+            release = asyncio.Event()
+
+            async def supplier():
+                await release.wait()
+                return "value"
+
+            leader = asyncio.ensure_future(flights.run("k", supplier))
+            await asyncio.sleep(0)
+            doomed = asyncio.ensure_future(flights.run("k", supplier))
+            survivor = asyncio.ensure_future(flights.run("k", supplier))
+            await asyncio.sleep(0)
+            doomed.cancel()
+            release.set()
+            assert await asyncio.wait_for(leader, HANG) == "value"
+            assert await asyncio.wait_for(survivor, HANG) == "value"
+            with pytest.raises(asyncio.CancelledError):
+                await doomed
+
+        run(main())
