@@ -1,8 +1,8 @@
 """Simulator performance benchmarking and regression gating.
 
 ``python -m repro bench`` times the simulator itself (cycles simulated per
-wall-clock second) over a pinned workload subset under both execution
-engines, writes a schema-versioned ``BENCH_sim_throughput.json`` report,
+wall-clock second) over a pinned workload subset under every execution
+engine, writes a schema-versioned ``BENCH_sim_throughput.json`` report,
 and — given a committed baseline — fails when throughput regresses by more
 than the tolerance.  See :mod:`repro.bench.throughput`.
 """
@@ -10,6 +10,7 @@ than the tolerance.  See :mod:`repro.bench.throughput`.
 from repro.bench.throughput import (
     BENCH_SCHEMA_VERSION,
     DEFAULT_REPORT_NAME,
+    ENGINES,
     PINNED_SUBSET,
     REGRESSION_TOLERANCE,
     BenchEntry,
@@ -17,11 +18,13 @@ from repro.bench.throughput import (
     calibrate_machine,
     compare_reports,
     measure_subset,
+    speedup_table,
 )
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
     "DEFAULT_REPORT_NAME",
+    "ENGINES",
     "PINNED_SUBSET",
     "REGRESSION_TOLERANCE",
     "BenchEntry",
@@ -29,4 +32,5 @@ __all__ = [
     "calibrate_machine",
     "compare_reports",
     "measure_subset",
+    "speedup_table",
 ]

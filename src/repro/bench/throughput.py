@@ -59,9 +59,10 @@ PINNED_SUBSET: Tuple[Tuple[str, int], ...] = (
 )
 
 #: Engines measured, in report order.  "scalar" is the oracle interpreter;
-#: "vector" is the compiled fast path (bit-identical by construction — see
-#: tests/test_exec_differential.py).
-ENGINES: Tuple[str, ...] = ("scalar", "vector")
+#: "vector" is the compiled per-instruction fast path; "superblock" adds
+#: trace-compiled straight-line runs (DESIGN.md §16).  All three are
+#: bit-identical by construction — see tests/test_exec_differential.py.
+ENGINES: Tuple[str, ...] = ("scalar", "vector", "superblock")
 
 #: Calibration wall time on the machine the committed baseline was measured
 #: on.  Units cancel in the normalization ratio; the constant only anchors
@@ -157,11 +158,18 @@ class BenchReport:
         mean = statistics.geometric_mean(values)
         return mean * self.normalization if normalized else mean
 
+    def engine_speedup(self, engine: str) -> float:
+        """Aggregate throughput of *engine* relative to the scalar oracle."""
+        scalar = self.aggregate_cps("scalar")
+        return self.aggregate_cps(engine) / scalar if scalar else 0.0
+
     @property
     def vector_speedup(self) -> float:
-        scalar = self.aggregate_cps("scalar")
-        vector = self.aggregate_cps("vector")
-        return vector / scalar if scalar else 0.0
+        return self.engine_speedup("vector")
+
+    @property
+    def superblock_speedup(self) -> float:
+        return self.engine_speedup("superblock")
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -184,6 +192,7 @@ class BenchReport:
                 for engine in ENGINES
             },
             "vector_speedup": round(self.vector_speedup, 3),
+            "superblock_speedup": round(self.superblock_speedup, 3),
         }
 
     def to_json(self) -> str:
@@ -261,14 +270,55 @@ def measure_subset(
                 cycles_per_sec=cycles / wall if wall else 0.0,
             ))
         if progress is not None:
-            scalar_cps = next((e.cycles_per_sec for e in report.entries
-                               if e.abbr == abbr and e.engine == "scalar"), 0)
-            vector_cps = next((e.cycles_per_sec for e in report.entries
-                               if e.abbr == abbr and e.engine == "vector"), 0)
-            ratio = vector_cps / scalar_cps if scalar_cps else 0.0
-            progress(f"{abbr}@{scale}: scalar {scalar_cps:,.0f} c/s, "
-                     f"vector {vector_cps:,.0f} c/s ({ratio:.2f}x)")
+            cps = {engine: next((e.cycles_per_sec for e in report.entries
+                                 if e.abbr == abbr and e.scale == scale
+                                 and e.engine == engine), 0.0)
+                   for engine in engines}
+            scalar_cps = cps.get("scalar", 0.0)
+            parts = []
+            for engine in engines:
+                text = f"{engine} {cps[engine]:,.0f} c/s"
+                if engine != "scalar" and scalar_cps:
+                    text += f" ({cps[engine] / scalar_cps:.2f}x)"
+                parts.append(text)
+            progress(f"{abbr}@{scale}: " + ", ".join(parts))
     return report
+
+
+def speedup_table(report: BenchReport) -> str:
+    """Per-workload speedup table in markdown (the CI bench artifact)."""
+    engines = [e for e in ENGINES if report.engine_entries(e)]
+    fast = [e for e in engines if e != "scalar"]
+    header = ("| workload | "
+              + " | ".join(f"{engine} c/s" for engine in engines)
+              + " | " + " | ".join(f"{engine} speedup" for engine in fast)
+              + " |")
+    lines = [header, "|" + " --- |" * (1 + len(engines) + len(fast))]
+    by_key: Dict[Tuple[str, int], Dict[str, BenchEntry]] = {}
+    for entry in report.entries:
+        by_key.setdefault((entry.abbr, entry.scale), {})[entry.engine] = entry
+    for abbr, scale in report.subset:
+        row = by_key.get((abbr, scale), {})
+        scalar = row.get("scalar")
+        cells = [f"{abbr}@{scale}"]
+        for engine in engines:
+            entry = row.get(engine)
+            cells.append(f"{entry.cycles_per_sec:,.0f}" if entry else "-")
+        for engine in fast:
+            entry = row.get(engine)
+            if entry and scalar and scalar.cycles_per_sec:
+                cells.append(
+                    f"{entry.cycles_per_sec / scalar.cycles_per_sec:.2f}x")
+            else:
+                cells.append("-")
+        lines.append("| " + " | ".join(cells) + " |")
+    cells = ["aggregate"]
+    for engine in engines:
+        cells.append(f"{report.aggregate_cps(engine):,.0f}")
+    for engine in fast:
+        cells.append(f"{report.engine_speedup(engine):.2f}x")
+    lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines) + "\n"
 
 
 @dataclass
@@ -319,7 +369,34 @@ def compare_reports(
                  f"{base:,.0f} c/s ({ratio:.2f}x)")
         if ratio < 1.0 - tolerance:
             result.ok = False
+            worst = _worst_entry(current, baseline, engine)
+            if worst is not None:
+                abbr, scale, base_cps, cur_cps = worst
+                label += (f"; worst offender {abbr}@{scale}: baseline "
+                          f"{base_cps:,.0f} c/s, now {cur_cps:,.0f} c/s")
             result.messages.append(f"REGRESSION {label}")
         else:
             result.messages.append(f"ok {label}")
     return result
+
+
+def _worst_entry(
+    current: BenchReport, baseline: BenchReport, engine: str,
+) -> Optional[Tuple[str, int, float, float]]:
+    """The (abbr, scale) whose normalized per-entry throughput dropped the
+    most for *engine*, with (baseline, current) cycles/sec — so an aggregate
+    REGRESSION names the workload to profile first."""
+    base_cps = {(e.abbr, e.scale): e.cycles_per_sec * baseline.normalization
+                for e in baseline.engine_entries(engine)}
+    worst: Optional[Tuple[float, str, int, float, float]] = None
+    for entry in current.engine_entries(engine):
+        expected = base_cps.get((entry.abbr, entry.scale))
+        if not expected:
+            continue
+        cur = entry.cycles_per_sec * current.normalization
+        ratio = cur / expected
+        if worst is None or ratio < worst[0]:
+            worst = (ratio, entry.abbr, entry.scale, expected, cur)
+    if worst is None:
+        return None
+    return worst[1], worst[2], worst[3], worst[4]

@@ -282,8 +282,9 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    from repro.bench import (DEFAULT_REPORT_NAME, PINNED_SUBSET, BenchReport,
-                             compare_reports, measure_subset)
+    from repro.bench import (DEFAULT_REPORT_NAME, ENGINES, PINNED_SUBSET,
+                             BenchReport, compare_reports, measure_subset,
+                             speedup_table)
 
     baseline_path = Path(args.baseline or DEFAULT_REPORT_NAME)
     if args.check and not baseline_path.exists():
@@ -299,14 +300,15 @@ def _cmd_bench(args) -> int:
         subset = tuple((abbr, max(1, scale - 2)) for abbr, scale in subset)
     reps = 1 if args.quick else args.reps
 
-    print(f"timing {len(subset)} workloads x 2 engines, best of {reps} "
-          f"rep{'s' if reps != 1 else ''} ...")
+    print(f"timing {len(subset)} workloads x {len(ENGINES)} engines, "
+          f"best of {reps} rep{'s' if reps != 1 else ''} ...")
     report = measure_subset(reps=reps, subset=subset, progress=print)
-    for engine in ("scalar", "vector"):
-        print(f"aggregate {engine:<6} {report.aggregate_cps(engine):,.0f} "
+    for engine in ENGINES:
+        print(f"aggregate {engine:<10} {report.aggregate_cps(engine):,.0f} "
               f"cycles/sec (normalized "
               f"{report.aggregate_cps(engine, normalized=True):,.0f})")
     print(f"vector speedup: {report.vector_speedup:.2f}x")
+    print(f"superblock speedup: {report.superblock_speedup:.2f}x")
 
     out = args.out
     if out is None and not args.quick and not args.check:
@@ -314,6 +316,9 @@ def _cmd_bench(args) -> int:
     if out is not None:
         Path(out).write_text(report.to_json())
         print(f"wrote {out}")
+    if args.table is not None:
+        Path(args.table).write_text(speedup_table(report))
+        print(f"wrote {args.table}")
 
     if args.check:
         gate = compare_reports(report, BenchReport.load(baseline_path))
@@ -726,7 +731,7 @@ def build_parser() -> argparse.ArgumentParser:
     ckpt_save.add_argument("--scale", type=int, default=1)
     ckpt_save.add_argument("--seed", type=int, default=7)
     ckpt_save.add_argument("--engine", default="scalar",
-                           choices=("scalar", "vector"))
+                           choices=("scalar", "vector", "superblock"))
     ckpt_save.set_defaults(func=_cmd_ckpt_save)
     ckpt_resume = ckpt_sub.add_parser(
         "resume", help="finish a checkpointed run in this process")
@@ -751,7 +756,7 @@ def build_parser() -> argparse.ArgumentParser:
     pipeline_show.add_argument("--model", default="RLPV",
                                choices=model_names())
     pipeline_show.add_argument("--engine", default="scalar",
-                               choices=("scalar", "vector"))
+                               choices=("scalar", "vector", "superblock"))
     pipeline_show.add_argument("--json", metavar="OUT", default=None,
                                help="dump stage descriptions as JSON "
                                     "('-' for stdout)")
@@ -783,7 +788,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_run.add_argument("--seeds", default="7")
     campaign_run.add_argument("--sms", type=int, default=2)
     campaign_run.add_argument("--engine", default="scalar",
-                              choices=("scalar", "vector"))
+                              choices=("scalar", "vector", "superblock"))
     campaign_run.add_argument("--sweep", action="append", default=[],
                               metavar="NAME=V1,V2",
                               help="WIR config sweep axis (repeatable)")
@@ -857,7 +862,8 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.set_defaults(func=_cmd_trace)
 
     bench_parser = sub.add_parser(
-        "bench", help="time the simulator (scalar vs vector engine)")
+        "bench",
+        help="time the simulator (scalar vs vector vs superblock engine)")
     bench_parser.add_argument("--reps", type=int, default=3,
                               help="repetitions per measurement; the minimum "
                                    "wall time wins (default 3)")
@@ -874,6 +880,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--quick", action="store_true",
                               help="reduced scales, one rep (smoke only; "
                                    "not comparable to the baseline)")
+    bench_parser.add_argument("--table", metavar="PATH", default=None,
+                              help="also write a per-workload speedup table "
+                                   "(markdown; the CI bench artifact)")
     bench_parser.set_defaults(func=_cmd_bench)
 
     compare_parser = sub.add_parser("compare",

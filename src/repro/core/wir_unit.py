@@ -170,6 +170,10 @@ class WIRUnit:
         #: Interned per-instruction rename/tag plans, keyed by ``id(inst)``
         #: (each plan pins its instruction, keeping the key unique).
         self._plans: Dict[int, _SourcePlan] = {}
+        #: Callbacks invoked after :meth:`quarantine_flush` — e.g. the
+        #: superblock runtime drops its compiled dispatch state, since a
+        #: flush changes what a mid-block reuse probe would have answered.
+        self.on_flush: List[Callable[[], None]] = []
 
     # ------------------------------------------------------------------ setup
 
@@ -418,3 +422,5 @@ class WIRUnit:
         """
         for index in range(self.reuse_buffer.num_entries):
             self.reuse_buffer.evict_index(index)
+        for hook in self.on_flush:
+            hook()

@@ -22,6 +22,10 @@ from repro.isa.opcodes import OpClass
 from repro.pipeline.base import Stage, register_stage
 from repro.sim.scheduler import WarpScheduler
 
+#: Wake-memo sentinel: every blocked slot waits on an *event* (scoreboard
+#: release, retry wakeup, barrier, dispatch), each of which resets the memo.
+_NEVER = 1 << 62
+
 
 @register_stage
 class SelectStage(Stage):
@@ -117,16 +121,28 @@ class SelectStage(Stage):
 
         Decision-identical to ``scheduler.pick(self.ready_fast)``: the
         greedy probe of the last-issued slot runs first, then the oldest
-        ready resident slot wins (ages are unique, so the winner does not
-        depend on scan order).  Pipeline availability is hoisted out of the
-        loop — ``sp_free``/``sfu_free``/``mem_free`` only move when an
-        issue executes, i.e. after this pick returns.
+        ready resident slot wins — ``scheduler._resident`` is kept
+        age-ascending (see ``note_dispatch``), so the scan returns the
+        *first* ready slot it meets instead of tracking a min-age best.
+        Pipeline availability is hoisted out of the loop —
+        ``sp_free``/``sfu_free``/``mem_free`` only move when an issue
+        executes, i.e. after this pick returns.
+
+        A failed scan records ``scheduler.wake_memo``: the earliest cycle a
+        blocked slot can become ready by time alone (control-hazard expiry
+        or a pipeline going free).  Slots blocked on *events* (scoreboard,
+        pending retry, barrier, empty slot) contribute no candidate — each
+        such event resets the memo to 0 at its source.  ``SMCore.tick``
+        skips the scan entirely below the memo, which is safe because a
+        wake that is merely *early* re-runs the scan and re-memoizes.
         """
         if scheduler.scannable == 0:
             # Every resident slot is scoreboard-blocked; nothing to scan.
+            scheduler.wake_memo = _NEVER
             return None
         last = scheduler._last_issued
-        if last is not None and self.ready_fast(last):
+        if (last is not None and not self._sb_wait[last]
+                and self.ready_fast(last)):
             if scheduler.on_pick is not None:
                 scheduler.on_pick(scheduler.scheduler_id, last)
             return last
@@ -140,20 +156,24 @@ class SelectStage(Stage):
         pend_preds = self._scoreboard._pending_preds
         instructions = self._instructions
         execute = self._execute
-        sp_ok = min(self._sp_free) <= cycle
-        sfu_ok = execute.sfu_free <= cycle
-        mem_ok = execute.mem_free <= cycle
-        age_of = scheduler._age
+        sp_min = min(self._sp_free)
+        sp_ok = sp_min <= cycle
+        sfu_free = execute.sfu_free
+        sfu_ok = sfu_free <= cycle
+        mem_free = execute.mem_free
+        mem_ok = mem_free <= cycle
 
-        best: Optional[int] = None
-        best_age = None
-        for slot in scheduler._resident:
+        wake = _NEVER
+        for slot in scheduler._resident:  # age-ascending: first ready wins
             if sb_wait[slot] or waiting[slot]:
                 continue
             warp = warps[slot]
             if warp is None or warp.exited or warp.at_barrier:
                 continue
-            if blocked_until[slot] > cycle:
+            blocked = blocked_until[slot]
+            if blocked > cycle:
+                if blocked < wake:
+                    wake = blocked
                 continue
             inst = instructions[warp.stack[-1].pc]
             regs = pend_regs[slot]
@@ -169,18 +189,22 @@ class SelectStage(Stage):
             cls = inst.op_class
             if cls is OpClass.INT or cls is OpClass.FP or cls is OpClass.PRED:
                 if not sp_ok:
+                    if sp_min < wake:
+                        wake = sp_min
                     continue
             elif cls is OpClass.SFU:
                 if not sfu_ok:
+                    if sfu_free < wake:
+                        wake = sfu_free
                     continue
             elif cls is OpClass.LOAD or cls is OpClass.STORE:
                 if not mem_ok:
+                    if mem_free < wake:
+                        wake = mem_free
                     continue
-            age = age_of[slot]
-            if best_age is None or age < best_age:
-                best, best_age = slot, age
-        if best is not None:
-            scheduler._last_issued = best
+            scheduler._last_issued = slot
             if scheduler.on_pick is not None:
-                scheduler.on_pick(scheduler.scheduler_id, best)
-        return best
+                scheduler.on_pick(scheduler.scheduler_id, slot)
+            return slot
+        scheduler.wake_memo = wake
+        return None

@@ -28,6 +28,7 @@ from repro.isa.opcodes import OpClass, is_load
 from repro.pipeline.base import Stage, register_stage
 from repro.sim.exec_engine import ExecResult, make_engine
 from repro.sim.serde import EV_REUSE_COMMIT, EV_RETIRE, EV_WIR_COMMIT, EV_WRITEBACK
+from repro.sim.superblock import SuperblockRuntime
 from repro.sim.warp import Warp
 
 
@@ -226,6 +227,7 @@ class ReuseProbeStage(Stage):
 
         def on_result(result_reg: Optional[int]) -> None:
             self._waiting[warp.warp_slot] = False
+            core._sched_of_slot[warp.warp_slot].wake_memo = 0
             if result_reg is not None and not core.wir_quarantined:
                 self.wake_queued(warp, inst, exec_result, result_reg)
                 core._checker_commit(warp, inst)
@@ -399,9 +401,15 @@ class ExecuteStage(Stage):
         self._c_affine_fu = counters.handle("affine_fu_insts")
         self._c_mem_insts = counters.handle("mem_insts")
         self._c_store_insts = counters.handle("store_insts")
+        #: Superblock trace-compilation runtime (DESIGN.md §16), created in
+        #: :meth:`bind` (it needs the operand-read stage's front delay).
+        self.superblock = None
 
     def bind(self, spec) -> None:
         self._operand_read = spec.operand_read
+        if self.config.exec_engine == "superblock":
+            self.superblock = SuperblockRuntime(
+                self.core, self, spec.operand_read.front_delay)
 
     def binding(self) -> str:
         return f"{self.config.exec_engine} engine kernels"
@@ -780,8 +788,11 @@ class WritebackRetireStage(Stage):
     def __init__(self, core, stats_root) -> None:
         super().__init__(core, stats_root)
         self._scoreboard = core.scoreboard
+        self._pending_regs = core.scoreboard._pending_regs
+        self._pending_preds = core.scoreboard._pending_preds
         self._sb_wait = core._sb_wait
         self._sched_of_slot = core._sched_of_slot
+        self._instructions = core.program.instructions
         self._stall = core.stall
         self._c_retired = core.counters.handle("retired")
         if core.unit is not None:
@@ -794,14 +805,31 @@ class WritebackRetireStage(Stage):
             self._stall.note_retire(slot, inst)
         if self.tracer is not None:
             self.tracer.end_inst(slot, inst)
-        self._scoreboard.release(slot, inst)
-        # The retire may have unblocked this slot's next instruction.
+        # Scoreboard release, inlined — this is the hottest event handler
+        # of a superblock run (every backend instruction retires).
+        if inst.writes_register:
+            self._pending_regs[slot].discard(inst.dst.value)
+        elif inst.writes_predicate:
+            self._pending_preds[slot].discard(inst.dst.value)
         if self._sb_wait[slot]:
-            self._sb_wait[slot] = False
-            self._sched_of_slot[slot].scannable += 1
+            # Unblock the slot only when this release actually cleared its
+            # next instruction's hazards — a ``sb_wait`` slot is never
+            # exited, so its pc is valid.  Keeping the flag (and the wake
+            # memo) when other sources are still pending skips a scheduler
+            # scan that would just re-block the slot.
+            nxt = self._instructions[warp.stack[-1].pc]
+            regs = self._pending_regs[slot]
+            preds = self._pending_preds[slot]
+            if ((not regs or regs.isdisjoint(nxt.sb_regs))
+                    and (not preds or preds.isdisjoint(nxt.sb_preds))):
+                self._sb_wait[slot] = False
+                sched = self._sched_of_slot[slot]
+                sched.scannable += 1
+                sched.wake_memo = 0
         warp.inflight -= 1
         self._c_retired.value += 1
-        self.core._finish_if_exited(warp)
+        if warp.exited:
+            self.core._finish_if_exited(warp)
 
     def commit(
         self, warp: Warp, inst: Instruction, decision: IssueDecision,

@@ -178,7 +178,9 @@ class GPUConfig:
     # --- host execution strategy (simulation speed, not modelled hardware) ---
     #: "scalar" interprets every issued instruction (the oracle, default);
     #: "vector" uses per-instruction compiled numpy kernels plus the fast
-    #: issue loop.  Both produce bit-identical results (see DESIGN.md §8).
+    #: issue loop; "superblock" adds trace compilation of straight-line
+    #: instruction runs on top of the vector engine.  All produce
+    #: bit-identical results (see DESIGN.md §8 and §16).
     exec_engine: str = "scalar"
 
     # --- reuse design ---
@@ -218,7 +220,7 @@ class GPUConfig:
             raise ValueError("trace sampling parameters must be non-negative")
         if self.checkpoint_every is not None and self.checkpoint_every < 1:
             raise ValueError("checkpoint_every must be at least 1 cycle")
-        if self.exec_engine not in ("scalar", "vector"):
+        if self.exec_engine not in ("scalar", "vector", "superblock"):
             raise ValueError(
                 f"unknown exec engine {self.exec_engine!r}; "
-                "expected 'scalar' or 'vector'")
+                "expected 'scalar', 'vector', or 'superblock'")

@@ -1,0 +1,45 @@
+"""Human-readable SM state dumps for deadlock / timeout diagnostics.
+
+Pure formatting over live :class:`~repro.sim.smcore.SMCore` state — kept out
+of ``smcore.py`` so the event-routing core stays within its line budget.
+"""
+
+from __future__ import annotations
+
+
+def sm_debug_snapshot(core) -> str:
+    """Render one SM's scheduler-visible state (see ``SMCore.debug_snapshot``)."""
+    lines = [
+        f"SM{core.sm_id} @ cycle {core.cycle}: "
+        f"{len(core._events)} queued events, "
+        f"{core.resident_blocks} resident blocks"
+    ]
+    for slot, warp in enumerate(core.warps):
+        if warp is None:
+            continue
+        flags = []
+        if warp.exited:
+            flags.append("exited")
+        if warp.at_barrier:
+            flags.append("barrier")
+        if core._warp_waiting[slot]:
+            flags.append("retry-wait")
+        blocked = core._warp_blocked_until[slot]
+        if blocked > core.cycle:
+            flags.append(f"blocked_until={blocked}")
+        regs, preds = core.scoreboard.pending_snapshot(slot)
+        lines.append(
+            f"  warp slot {slot} (block {warp.block.block_id}."
+            f"{warp.warp_in_block}): pc={warp.pc} inflight={warp.inflight}"
+            f" pending_regs={list(regs)} pending_preds={list(preds)}"
+            + (" [" + ",".join(flags) + "]" if flags else "")
+        )
+    if core.unit is not None:
+        lines.append(
+            f"  wir: rb_occupancy={core.unit.reuse_buffer.occupancy()}"
+            f" retry_queue={core.unit.reuse_buffer.retry_queue_used}"
+            f" vsb_occupancy={core.unit.vsb.occupancy()}"
+            f" phys_free={core.unit.physfile.free_count}"
+            f" quarantined={core.wir_quarantined}"
+        )
+    return "\n".join(lines)

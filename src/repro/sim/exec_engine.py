@@ -473,7 +473,20 @@ class VectorExecEngine:
         return kernel(warp)
 
 
-_ENGINES = {"scalar": ScalarExecEngine, "vector": VectorExecEngine}
+class SuperblockExecEngine(VectorExecEngine):
+    """Vector kernels for the per-instruction path; the superblock trace
+    compiler (:mod:`repro.sim.superblock`) supplies the block fast path.
+
+    This class only changes the engine *name*: instructions outside a
+    compiled superblock (or issued while an observer/WIR probe disables
+    block dispatch) execute through the inherited per-instruction kernels.
+    """
+
+    name = "superblock"
+
+
+_ENGINES = {"scalar": ScalarExecEngine, "vector": VectorExecEngine,
+            "superblock": SuperblockExecEngine}
 
 
 def make_engine(name: str, program=None):

@@ -335,6 +335,13 @@ class GPU:
             self._check_resumable("checkpoint")
         if resume is not None or stop_cycle is not None:
             self._check_resumable("resume or pause")
+        if (resume is None and stop_cycle is None
+                and (every is None or ckpt_path is None)):
+            # A plain run can never cut mid-block, so the superblock
+            # runtime may batch whole-block counter sums at block entry.
+            for sm in sms:
+                if sm._superblock is not None:
+                    sm._superblock.resumable = False
 
         all_blocks = list(enumerate_blocks(launch.grid, launch.block))
         if resume is not None:
@@ -354,8 +361,17 @@ class GPU:
             while pending and sm.can_accept(pending[0]):
                 sm.dispatch_block(pending.popleft())
 
+        #: Per-SM skip memo: cycles strictly below ``wake[i]`` are provably
+        #: no-op ticks for ``sms[i]`` (see ``SMCore.skip_until``), so the
+        #: loop skips the call entirely.  Zeroed whenever a block dispatch
+        #: gives the SM new work.  Disabled under per-cycle observers
+        #: (tracing, stall attribution), which must see every cycle.
+        wake = [0] * len(sms)
+        skipping = tracer is None and not config.trace.stalls
+
         def on_complete(sm_id: int, _block_id: int) -> None:
             fill(sms[sm_id])
+            wake[sm_id] = 0
 
         for sm in sms:
             sm.on_block_complete = on_complete
@@ -392,10 +408,24 @@ class GPU:
             if tracer is not None:
                 tracer.now = cycle
             active = False
-            for sm in sms:
-                active |= sm.tick(cycle)
-            if not pending and not any(sm.busy() for sm in sms):
-                break
+            if skipping:
+                for i, sm in enumerate(sms):
+                    if cycle < wake[i]:
+                        continue
+                    if sm.tick(cycle):
+                        active = True
+                        wake[i] = 0
+                    else:
+                        wake[i] = sm.skip_until(cycle)
+            else:
+                for sm in sms:
+                    active |= sm.tick(cycle)
+            if not pending:
+                for sm in sms:
+                    if sm.busy():
+                        break
+                else:
+                    break
             if cycle >= config.max_cycles:
                 raise SimulationTimeout(
                     f"kernel {launch.program.name!r} exceeded "

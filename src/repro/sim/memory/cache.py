@@ -15,6 +15,9 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.sim.config import CacheConfig
 from repro.stats import StatGroup
 
+#: Sentinel "no outstanding fill" completion cycle (past any real cycle).
+_FAR = 1 << 62
+
 
 class CacheStats(StatGroup):
     """Cache event counts, registered into the run's stats tree."""
@@ -51,10 +54,28 @@ class Cache:
         self.stats = CacheStats(name)
         self._num_sets = config.num_sets
         self._line_shift = config.line_bytes.bit_length() - 1
+        # Hot-path hoists: ``access`` reads these once per coalesced line.
+        self._hit_latency = config.hit_latency
+        self._ways = config.ways
+        self._mshr_entries = config.mshr_entries
         # Per set: ordered list of line tags, most recently used last.
         self._sets: List[List[int]] = [[] for _ in range(self._num_sets)]
         # Pending fills: line address -> ready cycle.
         self._pending: Dict[int, int] = {}
+        #: Earliest outstanding fill completion (``_FAR`` when none):
+        #: ``access`` runs on every coalesced line of every memory
+        #: instruction, so the fill reap is skipped while provably a no-op.
+        #: Derived state — recomputed on restore, never serialized.
+        self._pending_min = _FAR
+        # Preloaded counter handles (StatGroup.handle): ``access`` is the
+        # hottest shared path of both engines, so skip the attribute magic.
+        s = self.stats
+        self._c_accesses = s.handle("accesses")
+        self._c_hits = s.handle("hits")
+        self._c_misses = s.handle("misses")
+        self._c_merges = s.handle("mshr_merges")
+        self._c_stalls = s.handle("mshr_stalls")
+        self._c_evictions = s.handle("evictions")
 
     def _set_index(self, line_addr: int) -> int:
         return line_addr % self._num_sets
@@ -67,56 +88,64 @@ class Cache:
         return line_addr in self._sets[self._set_index(line_addr)]
 
     def _reap_pending(self, cycle: int) -> None:
-        if not self._pending:
+        if cycle < self._pending_min:
+            # No outstanding fill can have completed yet (``_pending_min``
+            # only ever under-estimates, so skipping is always safe).
             return
-        done = [line for line, ready in self._pending.items() if ready <= cycle]
+        pending = self._pending
+        done = [line for line, ready in pending.items() if ready <= cycle]
         for line in done:
-            del self._pending[line]
+            del pending[line]
+        self._pending_min = min(pending.values(), default=_FAR)
 
     def access(
         self, line_addr: int, cycle: int, is_write: bool = False
     ) -> Tuple[int, bool]:
         """Access one cache line; returns (ready_cycle, hit)."""
-        self.stats.accesses += 1
-        self._reap_pending(cycle)
-        line_set = self._sets[self._set_index(line_addr)]
+        self._c_accesses.value += 1
+        if cycle >= self._pending_min:
+            self._reap_pending(cycle)
+        line_set = self._sets[line_addr % self._num_sets]
 
         if line_addr in line_set:
             # A line with a pending fill counts as a miss-merge, not a hit.
             pending_ready = self._pending.get(line_addr)
             if pending_ready is not None:
-                self.stats.mshr_merges += 1
-                return max(pending_ready, cycle + self.config.hit_latency), False
-            self.stats.hits += 1
+                self._c_merges.value += 1
+                return max(pending_ready, cycle + self._hit_latency), False
+            self._c_hits.value += 1
             line_set.remove(line_addr)
             line_set.append(line_addr)
-            return cycle + self.config.hit_latency, True
+            return cycle + self._hit_latency, True
 
         # Miss.
-        self.stats.misses += 1
+        self._c_misses.value += 1
         start = cycle
-        if len(self._pending) >= self.config.mshr_entries:
+        if len(self._pending) >= self._mshr_entries:
             # All MSHRs busy: the request waits for the oldest fill.
-            self.stats.mshr_stalls += 1
+            self._c_stalls.value += 1
             start = min(self._pending.values())
             self._reap_pending(start)
         fill_latency = self._miss_latency(line_addr, start)
-        ready = start + self.config.hit_latency + fill_latency
+        ready = start + self._hit_latency + fill_latency
 
         # Allocate (write-allocate for simplicity; GPUs typically use
         # write-evict L1s, but allocation policy does not affect the reuse
         # mechanisms under study).
-        if len(line_set) >= self.config.ways:
+        if len(line_set) >= self._ways:
             victim = line_set.pop(0)
-            self.stats.evictions += 1
+            self._c_evictions.value += 1
             self._pending.pop(victim, None)
         line_set.append(line_addr)
         self._pending[line_addr] = ready
+        if ready < self._pending_min:
+            self._pending_min = ready
         return ready, False
 
     def invalidate_all(self) -> None:
         self._sets = [[] for _ in range(self._num_sets)]
         self._pending.clear()
+        self._pending_min = _FAR
 
     # --- checkpointing ------------------------------------------------------
 
@@ -133,4 +162,5 @@ class Cache:
     def load_state(self, state: Dict) -> None:
         self._sets = [list(line_set) for line_set in state["sets"]]
         self._pending = {line: ready for line, ready in state["pending"]}
+        self._pending_min = min(self._pending.values(), default=_FAR)
         self.stats.load_state(state["stats"])

@@ -43,12 +43,19 @@ class MemorySpaceStore:
         alignment (the simulator models 4-byte accesses only).
         """
         words = (byte_addrs >> 2).astype(np.int64)
+        if mask.all():
+            # Hot path: every lane active, so the gather needs no zero-fill
+            # scatter.  Growth is the rare case — probe first, size after.
+            try:
+                return self._data[words]
+            except IndexError:
+                self._ensure(int(words.max()))
+                return self._data[words]
         out = np.zeros(byte_addrs.shape[0], dtype=np.uint32)
-        if mask.any():
-            active_words = words[mask]
-            if active_words.size:
-                self._ensure(int(active_words.max()))
-                out[mask] = self._data[active_words]
+        active_words = words[mask]
+        if active_words.size:
+            self._ensure(int(active_words.max()))
+            out[mask] = self._data[active_words]
         return out
 
     def store(
@@ -60,6 +67,14 @@ class MemorySpaceStore:
         wins, matching the unordered intra-warp store semantics of real GPUs
         (numpy fancy assignment applies later indices last).
         """
+        if mask.all():
+            words = (byte_addrs >> 2).astype(np.int64)
+            try:
+                self._data[words] = values
+            except IndexError:
+                self._ensure(int(words.max()))
+                self._data[words] = values
+            return
         if not mask.any():
             return
         words = (byte_addrs[mask] >> 2).astype(np.int64)

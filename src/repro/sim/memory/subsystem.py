@@ -242,11 +242,14 @@ class SMMemoryPort:
         return self.subsystem.service_l1_miss(self.sm_id, line_addr, cycle)
 
     def _coalesce(self, addrs: np.ndarray, mask: np.ndarray, line_bytes: int) -> List[int]:
-        """Unique line addresses touched by the active lanes."""
-        if not mask.any():
-            return []
-        lines = np.unique(addrs[mask] >> (line_bytes.bit_length() - 1))
-        return [int(line) for line in lines]
+        """Unique line addresses touched by the active lanes.
+
+        A sorted python set beats ``np.unique`` by an order of magnitude at
+        warp width (32 lanes), and this runs once per memory instruction.
+        """
+        shift = line_bytes.bit_length() - 1
+        lanes = addrs.tolist() if mask.all() else addrs[mask].tolist()
+        return sorted({addr >> shift for addr in lanes})
 
     def access(
         self,

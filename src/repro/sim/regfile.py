@@ -43,7 +43,7 @@ class RegisterFileTiming:
         #: several times per backend instruction, so they mutate the Counter
         #: objects directly instead of going through the StatGroup attribute
         #: magic.  Same objects, so the reported stats are identical.
-        self._fast_stats = config.exec_engine == "vector"
+        self._fast_stats = config.exec_engine in ("vector", "superblock")
         counters = self.stats._stats
         self._c_read_requests = counters["read_requests"]
         self._c_read_retries = counters["read_retries"]
@@ -105,8 +105,9 @@ class RegisterFileTiming:
         }
 
     def load_state(self, state: dict) -> None:
-        self._read_free = list(state["read_free"])
-        self._write_free = list(state["write_free"])
+        # In place: the superblock runtime binds these lists directly.
+        self._read_free[:] = state["read_free"]
+        self._write_free[:] = state["write_free"]
 
     @property
     def retries_per_request(self) -> float:

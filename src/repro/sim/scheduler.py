@@ -44,12 +44,37 @@ class WarpScheduler:
         #: Observability hook: called as ``on_pick(scheduler_id, slot)``
         #: whenever a slot wins arbitration.  Never influences the choice.
         self.on_pick: Optional[Callable[[int, int], None]] = None
+        #: Cycle before which a fused scan provably returns ``None`` (set by
+        #: a failed ``fast_pick`` from the blocked slots' wake candidates;
+        #: reset to 0 by every event that can make a slot ready earlier:
+        #: scoreboard release, pending-retry wakeup, barrier release, block
+        #: dispatch).  Pure optimisation state — never serialized; a restore
+        #: starts at 0 and the first scan recomputes it.
+        self.wake_memo = 0
+        #: Greedy-hint handoff (superblock engine): when an issued warp's
+        #: next instruction is already hazard-free, ``try_issue`` pins
+        #: (cycle+1, slot, fu-class) here, and the next tick re-checks only
+        #: the FU gate instead of re-running arbitration — the GTO greedy
+        #: probe would reach the same pick.  Ephemeral, never serialized: a
+        #: restore (or a consumed/stale hint) falls back to the fused scan,
+        #: which is decision-identical.
+        self.hint_cycle = -1
+        self.hint_slot = 0
+        self.hint_fu = 3
 
     def note_dispatch(self, slot: int) -> None:
-        """Record that *slot* received a fresh warp (it becomes youngest)."""
+        """Record that *slot* received a fresh warp (it becomes youngest).
+
+        ``_resident`` is kept age-ascending (append order == dispatch order
+        == age order); the fused GTO scan relies on this to return the
+        first ready slot it meets."""
         self._age[slot] = self._age_counter
         self._age_counter += 1
-        if slot not in self._resident:
+        self.wake_memo = 0
+        if slot in self._resident:
+            self._resident.remove(slot)
+            self._resident.append(slot)
+        else:
             self._resident.append(slot)
             self.scannable += 1
 
@@ -82,6 +107,8 @@ class WarpScheduler:
         self._age_counter = state["age_counter"]
         self._resident = list(state["resident"])
         self.scannable = state["scannable"]
+        self.wake_memo = 0
+        self.hint_cycle = -1
 
     def pick(self, ready: Callable[[int], bool]) -> Optional[int]:
         """Select the next slot to issue from, or ``None`` if none is ready."""

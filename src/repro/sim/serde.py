@@ -35,6 +35,7 @@ EV_RETIRE = 0        # payload (warp, inst)
 EV_REUSE_COMMIT = 1  # payload (warp, inst, result_reg)
 EV_WRITEBACK = 2     # payload (warp, inst, exec_result, decision, ready)
 EV_WIR_COMMIT = 3    # payload (warp, inst, decision, dest)
+EV_SB_WRITEBACK = 4  # payload (warp, inst, ready) — superblock fast path
 
 #: Serialized names (checkpoint files store names, not raw ints, so a
 #: renumbering is caught by schema validation instead of silent mis-dispatch).
@@ -43,6 +44,7 @@ EVENT_KIND_NAMES = {
     EV_REUSE_COMMIT: "reuse_commit",
     EV_WRITEBACK: "writeback",
     EV_WIR_COMMIT: "wir_commit",
+    EV_SB_WRITEBACK: "sb_writeback",
 }
 EVENT_KINDS_BY_NAME = {name: kind for kind, name in EVENT_KIND_NAMES.items()}
 
@@ -151,6 +153,12 @@ def encode_event(event: Tuple[int, int, int, tuple]) -> dict:
             # cycle alone (clamped by _schedule) would not reproduce it.
             "ready": ready,
         }
+    elif kind == EV_SB_WRITEBACK:
+        warp, inst, ready = payload
+        # Superblock steps commit functionally at issue, so the event only
+        # carries identity plus the raw (unclamped) writeback cycle.
+        data["payload"] = {"slot": warp.warp_slot, "pc": inst.pc,
+                           "ready": ready}
     else:  # EV_WIR_COMMIT
         warp, inst, decision, dest = payload
         data["payload"] = {"slot": warp.warp_slot, "pc": inst.pc,
@@ -171,6 +179,8 @@ def decode_event(core, data: dict) -> Tuple[int, int, int, tuple]:
     elif kind == EV_WRITEBACK:
         payload = (warp, inst, decode_exec_result(p["exec"]),
                    decode_decision(p["decision"]), p["ready"])
+    elif kind == EV_SB_WRITEBACK:
+        payload = (warp, inst, p["ready"])
     else:
         payload = (warp, inst, decode_decision(p["decision"]), p["dest"])
     return (data["cycle"], data["seq"], kind, payload)
@@ -183,3 +193,99 @@ def event_kind_summary(events) -> dict:
         kind = event.get("kind", "?")
         summary[kind] = summary.get(kind, 0) + 1
     return summary
+
+
+# ------------------------------------------------------------ SM snapshots
+
+def sm_state_dict(core) -> dict:
+    """Complete snapshot of one :class:`~repro.sim.smcore.SMCore` at a
+    cycle boundary (pure reads).
+
+    The stage pipeline serializes itself through the stages' inherited
+    ``state_dict`` hooks.  Not serialized: pure lazily-repopulated engine
+    caches (superblock tables, scheduler wake memos and hints), config-
+    derived constants, and preloaded stat handles.
+    """
+    events = sorted(core._events, key=lambda event: (event[0], event[1]))
+    return {
+        "cycle": core.cycle,
+        "warps": [warp.state_dict() if warp is not None else None
+                  for warp in core.warps],
+        "blocks": {
+            str(block_id): {"slots": list(bs.slots),
+                            "live_warps": bs.live_warps}
+            for block_id, bs in core._blocks.items()
+        },
+        "scoreboard": core.scoreboard.state_dict(),
+        "schedulers": [sched.state_dict() for sched in core.schedulers],
+        "regfile": core.regfile.state_dict(),
+        "port": core.port.state_dict(),
+        "affine": core.affine.state_dict(),
+        "unit": (core.unit.state_dict(encode_waiter)
+                 if core.unit is not None else None),
+        "wir_quarantined": core.wir_quarantined,
+        "pipeline": core.pipeline.state_dict(),
+        "events": [encode_event(event) for event in events],
+        "event_seq": core._event_seq,
+        "sleep_until": core._sleep_until,
+        "warp_blocked_until": list(core._warp_blocked_until),
+        "warp_waiting": list(core._warp_waiting),
+        "sb_wait": list(core._sb_wait),
+        "stats": core.stats.to_dict(),
+    }
+
+
+def sm_load_state(core, state: dict, descriptor_of) -> None:
+    """Restore a snapshot onto a freshly constructed SM.
+
+    *descriptor_of* maps a block id back to its
+    :class:`~repro.sim.grid.BlockDescriptor`.  Every slot-state list (and
+    the event heap) is restored *in place*: pipeline stages and the
+    superblock runtime cached direct references at construction, so a
+    replacement list would split the state.
+    """
+    import heapq
+
+    from repro.sim.smcore import _BlockState
+    from repro.sim.warp import Warp
+
+    core.cycle = state["cycle"]
+    # Warps first: waiter and event decoding below needs live objects.
+    for slot in range(len(core.warps)):
+        core.warps[slot] = None
+    for slot, wstate in enumerate(state["warps"]):
+        if wstate is None:
+            continue
+        warp = Warp(slot, descriptor_of(wstate["block_id"]),
+                    wstate["warp_in_block"], core.program)
+        warp.load_state(wstate)
+        core.warps[slot] = warp
+    core._blocks = {}
+    for block_id_str, bstate in state["blocks"].items():
+        block_id = int(block_id_str)
+        bs = _BlockState(descriptor_of(block_id), list(bstate["slots"]))
+        bs.live_warps = bstate["live_warps"]
+        core._blocks[block_id] = bs
+    core.scoreboard.load_state(state["scoreboard"])
+    for sched, sstate in zip(core.schedulers, state["schedulers"]):
+        sched.load_state(sstate)
+    core.regfile.load_state(state["regfile"])
+    core.port.load_state(state["port"])
+    core.affine.load_state(state["affine"])
+    core.wir_quarantined = state["wir_quarantined"]
+    if core.unit is not None:
+        core.unit.load_state(state["unit"],
+                             lambda data: decode_waiter(core, data))
+        core._refresh_register_cap()
+    core.pipeline.load_state(state["pipeline"])
+    core._events[:] = [decode_event(core, event)
+                       for event in state["events"]]
+    heapq.heapify(core._events)
+    core._event_seq = state["event_seq"]
+    core._sleep_until = state["sleep_until"]
+    core._warp_blocked_until[:] = state["warp_blocked_until"]
+    # After the unit restore: rebuilding waiters via the reuse-probe stage
+    # set flags for queued slots; the stored list is authoritative.
+    core._warp_waiting[:] = state["warp_waiting"]
+    core._sb_wait[:] = state["sb_wait"]
+    core.stats.load_state(state["stats"])

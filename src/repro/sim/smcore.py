@@ -37,16 +37,10 @@ from repro.sim.memory.subsystem import MemorySubsystem, SMMemoryPort
 from repro.sim.regfile import RegisterFileTiming
 from repro.sim.scheduler import WarpScheduler
 from repro.sim.scoreboard import Scoreboard
+from repro.sim.debug import sm_debug_snapshot
 from repro.sim.serde import (
-    EV_RETIRE,
-    EV_REUSE_COMMIT,
-    EV_WIR_COMMIT,
-    EV_WRITEBACK,
-    decode_event,
-    decode_waiter,
-    encode_event,
-    encode_waiter,
-)
+    EV_RETIRE, EV_REUSE_COMMIT, EV_SB_WRITEBACK, EV_WIR_COMMIT, EV_WRITEBACK,
+    sm_load_state, sm_state_dict)
 from repro.sim.warp import Warp
 from repro.stats import StatGroup
 from repro.trace.stall import StallAttributor
@@ -155,12 +149,11 @@ class SMCore:
             for s in range(config.max_warps_per_sm)
         ]
 
-        #: Engine selection (DESIGN.md §8): "vector" additionally opts this
-        #: SM into the fast ready scan and resident-slot arbitration; both
+        #: Engine selection (DESIGN.md §8, §16): "vector"/"superblock" opt
+        #: into the fast ready scan and resident-slot arbitration; all
         #: paths are bit-identical (tests/test_exec_differential.py).
-        self._fast_path = config.exec_engine == "vector"
-        #: Fused arbitration (pick + ready in one loop) is GTO-only; LRR's
-        #: round-robin pointer depends on the static scan order.
+        self._fast_path = config.exec_engine in ("vector", "superblock")
+        #: Fused pick+ready is GTO-only (LRR's pointer needs scan order).
         self._fast_gto = (self._fast_path
                           and config.scheduler_policy is SchedulerPolicy.GTO)
         if self._fast_path:
@@ -171,8 +164,7 @@ class SMCore:
         self._events: List[Tuple[int, int, int, tuple]] = []
         self._event_seq = 0
         self.cycle = 0
-        #: Sleep memo (vector engine): cycles below this are housekeeping-
-        #: only ticks; 0 disables (permanent under the scalar engine).
+        #: Sleep memo (vector engine): cycles below it are housekeeping-only.
         self._sleep_until = 0
 
         # Resident blocks.
@@ -180,10 +172,8 @@ class SMCore:
         self._warp_blocked_until: List[int] = [0] * config.max_warps_per_sm
         #: Warps waiting in the pending-retry queue do not issue.
         self._warp_waiting: List[bool] = [False] * config.max_warps_per_sm
-        #: Fast-scan memo (vector engine only): the slot's current
-        #: instruction failed the scoreboard check, so it cannot become
-        #: ready until one of its own in-flight instructions retires — the
-        #: only event that shrinks its pending sets.
+        #: Fast-scan memo (vector engine only): the slot's instruction is
+        #: scoreboard-blocked until one of its own in-flight insts retires.
         self._sb_wait: List[bool] = [False] * config.max_warps_per_sm
 
         #: The composed stage pipeline (built after the slot-state lists
@@ -202,9 +192,11 @@ class SMCore:
         self._execute_stage = self.pipeline.execute
         self._allocate_verify = self.pipeline.allocate_verify
         self._writeback_retire = self.pipeline.writeback_retire
+        #: Superblock trace-compilation runtime (DESIGN.md §16) or ``None``.
+        self._superblock = self.pipeline.execute.superblock
+        self._sp_free = self.pipeline.execute.sp_free
 
-        # Preloaded stat handles (the same live objects the StatGroup
-        # attribute magic resolves to).
+        # Preloaded stat handles (StatGroup.handle — the live objects).
         self._c_cycles = self.counters.handle("cycles")
         self._c_issued = self.counters.handle("issued")
         self._h_by_class = self.counters.handle("issued_by_class")
@@ -303,13 +295,17 @@ class SMCore:
             (max(cycle, self.cycle + 1), self._event_seq, kind, payload))
 
     def _dispatch(self, kind: int, payload: tuple) -> None:
-        """Route one due event record to its pipeline stage."""
-        if kind == EV_WRITEBACK:
-            warp, inst, exec_result, decision, ready = payload
-            self._allocate_verify.run(warp, inst, exec_result, decision, ready)
-        elif kind == EV_RETIRE:
+        """Route one due event to its stage — hottest kinds probed first
+        (every instruction retires; superblock writebacks dominate)."""
+        if kind == EV_RETIRE:
             warp, inst = payload
             self._writeback_retire.retire(warp, inst)
+        elif kind == EV_SB_WRITEBACK:
+            warp, inst, ready = payload
+            self._superblock.on_writeback(warp, inst, ready)
+        elif kind == EV_WRITEBACK:
+            warp, inst, exec_result, decision, ready = payload
+            self._allocate_verify.run(warp, inst, exec_result, decision, ready)
         elif kind == EV_REUSE_COMMIT:
             warp, inst, result_reg = payload
             self._writeback_retire.commit_reuse(warp, inst, result_reg)
@@ -320,22 +316,61 @@ class SMCore:
             raise RuntimeError(f"unknown SM event kind {kind!r}")
 
     def busy(self) -> bool:
-        return bool(self._events) or any(warp is not None for warp in self.warps)
+        # A live warp always belongs to a resident block, so this is O(1).
+        return bool(self._events) or bool(self._blocks)
 
     def next_wake(self) -> Optional[int]:
-        """Earliest future cycle at which this SM has work (None if idle):
-        the next event, a control-hazard expiry, or a pipeline going free."""
-        candidates = []
-        if self._events:
-            candidates.append(self._events[0][0])
-        for slot, warp in enumerate(self.warps):
-            if warp is None or warp.exited or warp.at_barrier or self._warp_waiting[slot]:
-                continue
-            blocked = self._warp_blocked_until[slot]
-            if blocked > self.cycle:
-                candidates.append(blocked)
-        candidates.extend(self._execute_stage.wake_candidates(self.cycle))
-        return min(candidates) if candidates else None
+        """Earliest future cycle at which this SM has work (None if idle).
+        O(1) under the fused scheduler with no per-cycle observers: the SM
+        is only probed while inactive, when every scheduler holds a valid
+        ``wake_memo`` (events reset it at their source; time-based wakes
+        are exactly what the failed scan recorded).  The fallback scans
+        resident slots — a live warp's slot is always resident."""
+        cycle = self.cycle
+        best = self._events[0][0] if self._events else None
+        if self._fast_gto and self.stall is None and self.unit is None:
+            for scheduler in self.schedulers:
+                memo = scheduler.wake_memo
+                if memo < _NEVER and (best is None or memo < best):
+                    best = memo
+            return best
+        warps, waiting = self.warps, self._warp_waiting
+        blocked_until = self._warp_blocked_until
+        for scheduler in self.schedulers:
+            for slot in scheduler._resident:
+                warp = warps[slot]
+                if (warp is None or warp.exited or warp.at_barrier
+                        or waiting[slot]):
+                    continue
+                blocked = blocked_until[slot]
+                if blocked > cycle and (best is None or blocked < best):
+                    best = blocked
+        for free in self._execute_stage.wake_candidates(cycle):
+            if best is None or free < best:
+                best = free
+        return best
+
+    def skip_until(self, cycle: int) -> int:
+        """Latest cycle before which ``tick`` is provably a no-op for this
+        SM (0 = tick every cycle): the sleep memo, clamped to the next due
+        event and — when the WIR unit samples/checks on cycle boundaries —
+        the next housekeeping boundary, so skipped ticks skip nothing."""
+        target = self._sleep_until
+        if not target:
+            return 0
+        if self._events and self._events[0][0] < target:
+            target = self._events[0][0]
+        if self.unit is not None:
+            interval = self._util_sample_interval
+            boundary = cycle + interval - cycle % interval
+            check = self.config.wir.invariant_check_interval
+            if check:
+                nxt = cycle + check - cycle % check
+                if nxt < boundary:
+                    boundary = nxt
+            if boundary < target:
+                target = boundary
+        return target
 
     def tick(self, cycle: int) -> bool:
         """Advance one cycle: drain due events, then issue. Returns activity."""
@@ -353,30 +388,57 @@ class SMCore:
         active = False
         while events and events[0][0] <= cycle:
             _, _, kind, payload = heapq.heappop(events)
-            self._dispatch(kind, payload)
+            # The two hottest kinds (every backend instruction contributes
+            # one of each on the superblock path) dispatch without the
+            # ``_dispatch`` call frame.
+            if kind == EV_RETIRE:
+                warp, inst = payload
+                self._writeback_retire.retire(warp, inst)
+            elif kind == EV_SB_WRITEBACK:
+                warp, inst, ready = payload
+                self._superblock.on_writeback(warp, inst, ready)
+            else:
+                self._dispatch(kind, payload)
             active = True
         if self._fast_gto and self.stall is None:
+            sb = self._superblock
             for scheduler in self.schedulers:
+                if scheduler.hint_cycle == cycle:
+                    # Greedy hint (superblock): this slot issued last cycle
+                    # and its next instruction is hazard-free, so only the
+                    # FU gate needs re-checking — the fused scan's greedy
+                    # probe would reach the same pick (see WarpScheduler).
+                    scheduler.hint_cycle = -1
+                    slot = scheduler.hint_slot
+                    fu = scheduler.hint_fu
+                    ex = self._execute_stage
+                    if (not self._warp_waiting[slot]
+                            and (fu == 0 and min(self._sp_free) <= cycle
+                                 or fu == 2 and ex.mem_free <= cycle
+                                 or fu == 3
+                                 or fu == 1 and ex.sfu_free <= cycle)):
+                        if sb is None or not sb.try_issue(
+                                slot, self.warps[slot], cycle):
+                            self._issue(slot)
+                        active = True
+                        continue
+                if cycle < scheduler.wake_memo:
+                    continue
                 slot = self._pick_fast(scheduler)
                 if slot is not None:
-                    self._issue(slot)
+                    if sb is None or not sb.try_issue(
+                            slot, self.warps[slot], cycle):
+                        self._issue(slot)
                     active = True
         else:
             issued: List[int] = []
-            if self._fast_gto:
-                for scheduler in self.schedulers:
-                    slot = self._pick_fast(scheduler)
-                    if slot is not None:
-                        self._issue(slot)
-                        issued.append(slot)
-                        active = True
-            else:
-                for scheduler in self.schedulers:
-                    slot = scheduler.pick(self._ready_impl)
-                    if slot is not None:
-                        self._issue(slot)
-                        issued.append(slot)
-                        active = True
+            for scheduler in self.schedulers:
+                slot = (self._pick_fast(scheduler) if self._fast_gto
+                        else scheduler.pick(self._ready_impl))
+                if slot is not None:
+                    self._issue(slot)
+                    issued.append(slot)
+                    active = True
             if self.stall is not None:
                 self.stall.observe(cycle, issued)
         if active:
@@ -418,6 +480,9 @@ class SMCore:
     def _issue(self, slot: int) -> None:
         warp = self.warps[slot]
         if self._fast_path:
+            sb = self._superblock
+            if sb is not None and sb.try_issue(slot, warp, self.cycle):
+                return
             # The pick already proved the warp is live and in range.
             inst = self._instructions[warp.stack[-1].pc]
         else:
@@ -524,6 +589,8 @@ class SMCore:
             warp.barrier_count += 1
             warp.shared_store_flag = False
             warp.global_store_flag = False
+        for scheduler in self.schedulers:
+            scheduler.wake_memo = 0
 
     def _finish_if_exited(self, warp: Warp) -> None:
         if warp.exited and warp.inflight == 0 and self.warps[warp.warp_slot] is warp:
@@ -575,125 +642,15 @@ class SMCore:
     # ----------------------------------------------------------- checkpointing
 
     def state_dict(self) -> dict:
-        """Complete snapshot of this SM at a cycle boundary (pure reads).
-
-        Payload codecs live in :mod:`repro.sim.serde`; the stage pipeline
-        serializes itself through the stages' inherited ``state_dict``
-        hooks.  Not serialized: pure lazily-repopulated engine caches,
-        config-derived constants, and preloaded stat handles.
-        """
-        events = sorted(self._events, key=lambda event: (event[0], event[1]))
-        return {
-            "cycle": self.cycle,
-            "warps": [warp.state_dict() if warp is not None else None
-                      for warp in self.warps],
-            "blocks": {
-                str(block_id): {"slots": list(bs.slots),
-                                "live_warps": bs.live_warps}
-                for block_id, bs in self._blocks.items()
-            },
-            "scoreboard": self.scoreboard.state_dict(),
-            "schedulers": [sched.state_dict() for sched in self.schedulers],
-            "regfile": self.regfile.state_dict(),
-            "port": self.port.state_dict(),
-            "affine": self.affine.state_dict(),
-            "unit": (self.unit.state_dict(encode_waiter)
-                     if self.unit is not None else None),
-            "wir_quarantined": self.wir_quarantined,
-            "pipeline": self.pipeline.state_dict(),
-            "events": [encode_event(event) for event in events],
-            "event_seq": self._event_seq,
-            "sleep_until": self._sleep_until,
-            "warp_blocked_until": list(self._warp_blocked_until),
-            "warp_waiting": list(self._warp_waiting),
-            "sb_wait": list(self._sb_wait),
-            "stats": self.stats.to_dict(),
-        }
+        """Snapshot at a cycle boundary (see :func:`serde.sm_state_dict`)."""
+        return sm_state_dict(self)
 
     def load_state(self, state: dict, descriptor_of) -> None:
-        """Restore a snapshot onto a freshly constructed SM.
-
-        *descriptor_of* maps a block id back to its
-        :class:`~repro.sim.grid.BlockDescriptor`.  Every slot-state list is
-        restored *in place*: the pipeline stages cached direct references
-        at construction, so a replacement list would split the state.
-        """
-        self.cycle = state["cycle"]
-        # Warps first: waiter and event decoding below needs live objects.
-        for slot in range(len(self.warps)):
-            self.warps[slot] = None
-        for slot, wstate in enumerate(state["warps"]):
-            if wstate is None:
-                continue
-            warp = Warp(slot, descriptor_of(wstate["block_id"]),
-                        wstate["warp_in_block"], self.program)
-            warp.load_state(wstate)
-            self.warps[slot] = warp
-        self._blocks = {}
-        for block_id_str, bstate in state["blocks"].items():
-            block_id = int(block_id_str)
-            bs = _BlockState(descriptor_of(block_id), list(bstate["slots"]))
-            bs.live_warps = bstate["live_warps"]
-            self._blocks[block_id] = bs
-        self.scoreboard.load_state(state["scoreboard"])
-        for sched, sstate in zip(self.schedulers, state["schedulers"]):
-            sched.load_state(sstate)
-        self.regfile.load_state(state["regfile"])
-        self.port.load_state(state["port"])
-        self.affine.load_state(state["affine"])
-        self.wir_quarantined = state["wir_quarantined"]
-        if self.unit is not None:
-            self.unit.load_state(state["unit"],
-                                 lambda data: decode_waiter(self, data))
-            self._refresh_register_cap()
-        self.pipeline.load_state(state["pipeline"])
-        self._events = [decode_event(self, event)
-                        for event in state["events"]]
-        heapq.heapify(self._events)
-        self._event_seq = state["event_seq"]
-        self._sleep_until = state["sleep_until"]
-        self._warp_blocked_until[:] = state["warp_blocked_until"]
-        # After the unit restore: rebuilding waiters via the reuse-probe
-        # stage set flags for queued slots; the stored list is authoritative.
-        self._warp_waiting[:] = state["warp_waiting"]
-        self._sb_wait[:] = state["sb_wait"]
-        self.stats.load_state(state["stats"])
+        """Restore a snapshot (see :func:`serde.sm_load_state`)."""
+        sm_load_state(self, state, descriptor_of)
 
     # ------------------------------------------------------------- diagnostics
 
     def debug_snapshot(self) -> str:
         """Human-readable SM state dump for deadlock / timeout diagnostics."""
-        lines = [
-            f"SM{self.sm_id} @ cycle {self.cycle}: "
-            f"{len(self._events)} queued events, "
-            f"{self.resident_blocks} resident blocks"
-        ]
-        for slot, warp in enumerate(self.warps):
-            if warp is None:
-                continue
-            flags = []
-            if warp.exited:
-                flags.append("exited")
-            if warp.at_barrier:
-                flags.append("barrier")
-            if self._warp_waiting[slot]:
-                flags.append("retry-wait")
-            blocked = self._warp_blocked_until[slot]
-            if blocked > self.cycle:
-                flags.append(f"blocked_until={blocked}")
-            regs, preds = self.scoreboard.pending_snapshot(slot)
-            lines.append(
-                f"  warp slot {slot} (block {warp.block.block_id}."
-                f"{warp.warp_in_block}): pc={warp.pc} inflight={warp.inflight}"
-                f" pending_regs={list(regs)} pending_preds={list(preds)}"
-                + (" [" + ",".join(flags) + "]" if flags else "")
-            )
-        if self.unit is not None:
-            lines.append(
-                f"  wir: rb_occupancy={self.unit.reuse_buffer.occupancy()}"
-                f" retry_queue={self.unit.reuse_buffer.retry_queue_used}"
-                f" vsb_occupancy={self.unit.vsb.occupancy()}"
-                f" phys_free={self.unit.physfile.free_count}"
-                f" quarantined={self.wir_quarantined}"
-            )
-        return "\n".join(lines)
+        return sm_debug_snapshot(self)

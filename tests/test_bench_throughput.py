@@ -91,6 +91,38 @@ class TestRegressionGate:
         assert not gate.ok
         assert any("drift" in m for m in gate.messages)
 
+    def test_cycle_drift_message_names_workload_and_both_counts(self):
+        """A drift failure must say *which* workload/scale pair moved and
+        print both cycle counts — a bare "cycles changed" is undebuggable
+        from CI logs."""
+        current = _report(cycles=1001)
+        gate = compare_reports(current, _report())
+        drift = [m for m in gate.messages if "drift" in m]
+        assert drift
+        for message in drift:
+            assert "HW@1" in message, message
+            assert "baseline 1000" in message, message
+            assert "now 1001" in message, message
+
+    def test_regression_message_names_worst_offender(self):
+        """An aggregate REGRESSION names the workload that dropped the most,
+        with its baseline and current normalized throughput."""
+        subset = (("HW", 1), ("KM", 2))
+        baseline = _report(subset=subset)
+        current = _report(subset=subset)
+        for entry in current.entries:
+            # KM collapses, HW merely wobbles: KM must be called out.
+            factor = 0.5 if entry.abbr == "KM" else 0.9
+            entry.cycles_per_sec *= factor
+            entry.wall_s /= factor
+        gate = compare_reports(current, baseline)
+        assert not gate.ok
+        regressions = [m for m in gate.messages if "REGRESSION" in m]
+        assert regressions
+        for message in regressions:
+            assert "worst offender KM@2" in message, message
+            assert "baseline" in message and "now" in message, message
+
 
 class TestMeasurement:
     def test_calibration_is_positive_and_stable(self):
@@ -98,12 +130,15 @@ class TestMeasurement:
 
     def test_measure_tiny_subset(self):
         report = measure_subset(reps=1, subset=(("HW", 1),))
-        assert len(report.entries) == 2
+        assert len(report.entries) == 3
         scalar, = report.engine_entries("scalar")
         vector, = report.engine_entries("vector")
-        assert scalar.cycles == vector.cycles        # bit-identical engines
+        superblock, = report.engine_entries("superblock")
+        # Bit-identical engines: one cycle count, three wall clocks.
+        assert scalar.cycles == vector.cycles == superblock.cycles
         assert scalar.cycles_per_sec > 0
         assert vector.cycles_per_sec > 0
+        assert superblock.cycles_per_sec > 0
         # The fresh report always passes the gate against itself.
         assert compare_reports(report, report).ok
 
@@ -119,4 +154,5 @@ def test_committed_baseline_loads_and_is_self_consistent():
     baseline = BenchReport.load(path)
     assert baseline.subset == PINNED_SUBSET
     assert baseline.vector_speedup >= 2.0
+    assert baseline.superblock_speedup >= 3.0
     assert compare_reports(baseline, baseline).ok

@@ -67,7 +67,7 @@ def _mem_image(launch):
 # ------------------------------------------------------------ core roundtrip
 
 class TestRoundTrip:
-    @pytest.mark.parametrize("engine", ["scalar", "vector"])
+    @pytest.mark.parametrize("engine", ["scalar", "vector", "superblock"])
     @pytest.mark.parametrize("model", ["RLPV", "Base"])
     def test_mid_run_snapshot_resumes_bit_identically(self, engine, model):
         config = model_config(model)
@@ -92,6 +92,43 @@ class TestRoundTrip:
         assert resumed.to_json() == base_json
         assert _mem_image(launch) == base_mem
         workload.verify()
+
+    def test_mid_superblock_cut_resumes_bit_identically(self):
+        """Cut *inside* a compiled superblock and resume: pending rows and
+        entry memos are never serialized — the restore recomputes them from
+        live registers — so every cut across a long straight-line block
+        must still splice bit-identically.  The kernel is one 12-instruction
+        superblock, so consecutive early cuts are guaranteed to land while
+        warps are mid-block."""
+        source = "\n".join(
+            ["    mov r0, %tid.x", "    mov r1, %ctaid.x",
+             "    mov r2, %ntid.x", "    mad r3, r1, r2, r0"]
+            + [f"    add r{4 + i}, r{3 + i}, {11 + i}" for i in range(6)]
+            + ["    shl r10, r3, 2", f"    add r10, r10, {OUT}",
+               "    st.global -, [r10], r9", "    exit"])
+        config = make_config("Base", num_sms=1)
+        config.exec_engine = "superblock"
+        program = assemble(source, name="sb-cut")
+
+        def fresh_launch():
+            return KernelLaunch(program, Dim3(2), Dim3(64), MemoryImage())
+
+        launch = fresh_launch()
+        base = GPU(config).run(launch)
+        base_json = base.to_json()
+        base_mem = _mem_image(launch)
+
+        for cut in range(1, min(base.cycles, 40), 3):
+            status, state = GPU(config).run_to_cycle(fresh_launch(), cut)
+            assert status == "paused", cut
+            blob = json.dumps(state)
+            # The compiled-block cache is rebuildable, never checkpointed.
+            assert "superblock" not in blob, cut
+            assert "seg_fn" not in blob, cut
+            launch = fresh_launch()
+            resumed = GPU(config).run(launch, resume=json.loads(blob))
+            assert resumed.to_json() == base_json, cut
+            assert _mem_image(launch) == base_mem, cut
 
     def test_run_to_cycle_past_the_end_completes(self):
         config = make_config("RLPV", num_sms=2)
@@ -354,7 +391,7 @@ class TestChaos:
 # ------------------------------------------------- randomized property test
 
 class TestPropertyRoundTrip:
-    @pytest.mark.parametrize("engine", ["scalar", "vector"])
+    @pytest.mark.parametrize("engine", ["scalar", "vector", "superblock"])
     @given(source=random_kernel(), frac=st.integers(1, 9))
     @settings(max_examples=8, deadline=None)
     def test_random_program_roundtrip(self, engine, source, frac):
@@ -386,7 +423,7 @@ class TestPropertyRoundTrip:
 # --------------------------------------------------------- tier-2 full proof
 
 @pytest.mark.tier2
-@pytest.mark.parametrize("engine", ["scalar", "vector"])
+@pytest.mark.parametrize("engine", ["scalar", "vector", "superblock"])
 @pytest.mark.parametrize("model", ["Base", "RLPV"])
 def test_pinned_subset_resumes_bit_identically(engine, model):
     """The full proof obligation on the pinned bench subset: snapshot at

@@ -1,16 +1,21 @@
-"""Differential proof that the vector engine is bit-identical to scalar.
+"""Differential proof that the fast engines are bit-identical to scalar.
 
 The scalar interpreter is the correctness oracle; the numpy fast path
-(``exec_engine = "vector"``) must be indistinguishable from it in every
-architecturally visible way: cycle count, the entire hierarchical stats
-registry, the launch summary, and final global memory, byte for byte.
+(``exec_engine = "vector"``) and the trace-compiled fast path
+(``exec_engine = "superblock"``, DESIGN.md §16) must be indistinguishable
+from it in every architecturally visible way: cycle count, the entire
+hierarchical stats registry, the launch summary, and final global memory,
+byte for byte.
 
 Tier 1 covers a diverse workload subset under Base and a WIR model; the
 ``tier2`` marker widens to all 34 benchmarks under both Base and RLPV (the
-full matrix the PR's acceptance criterion names).  A further pair of tests
-runs the vector engine under the lockstep golden-model oracle
-(:mod:`repro.check`), which referees every commit — not just the final
-state — against an independent functional model.
+full matrix the PR's acceptance criterion names), each engine checked
+against the same scalar run.  A further set of tests runs the fast engines
+under the lockstep golden-model oracle (:mod:`repro.check`), which referees
+every commit — not just the final state — against an independent functional
+model; with the checker observing, the superblock engine must fall back to
+the per-instruction path while staying cycle-identical to its unobserved
+self.
 """
 
 import pytest
@@ -41,12 +46,16 @@ def _run(abbr, engine, model="Base", scale=1, num_sms=2):
     return data, mem.read_block(0, mem.size_words).tobytes()
 
 
-def assert_engines_identical(abbr, **kwargs):
+FAST_ENGINES = ("vector", "superblock")
+
+
+def assert_engines_identical(abbr, engines=FAST_ENGINES, **kwargs):
     scalar_data, scalar_mem = _run(abbr, "scalar", **kwargs)
-    vector_data, vector_mem = _run(abbr, "vector", **kwargs)
-    assert scalar_data["cycles"] == vector_data["cycles"], abbr
-    assert scalar_data == vector_data, abbr
-    assert scalar_mem == vector_mem, abbr
+    for engine in engines:
+        fast_data, fast_mem = _run(abbr, engine, **kwargs)
+        assert scalar_data["cycles"] == fast_data["cycles"], (abbr, engine)
+        assert scalar_data == fast_data, (abbr, engine)
+        assert scalar_mem == fast_mem, (abbr, engine)
 
 
 @pytest.mark.parametrize("abbr", TIER1_SUBSET)
@@ -78,12 +87,12 @@ def test_engines_identical_rlpv_full(abbr):
 
 # ------------------------------------------------------------------ lockstep
 
-def _checked_run(abbr, model):
+def _checked_run(abbr, model, engine="vector"):
     from repro.check.oracle import CheckedGPU
 
     config = model_config(model)
     config.num_sms = 2
-    config.exec_engine = "vector"
+    config.exec_engine = engine
     workload = build_workload(abbr, scale=1, seed=7)
     launch = KernelLaunch(workload.program, workload.grid, workload.block,
                           workload.image)
@@ -98,7 +107,23 @@ def test_vector_engine_under_lockstep_oracle_base():
     assert result.cycles > 0
 
 
+def test_superblock_engine_under_lockstep_oracle_base():
+    """The checker's observer hooks force the superblock engine onto the
+    per-instruction path; the run must still verify commit-by-commit and
+    stay cycle-identical to the unobserved superblock run."""
+    checked = _checked_run("HW", "Base", engine="superblock")
+    assert checked.cycles > 0
+    plain, _ = _run("HW", "superblock")
+    assert checked.cycles == plain["cycles"]
+
+
 @pytest.mark.tier2
 def test_vector_engine_under_lockstep_oracle_rlpv():
     result = _checked_run("BP", "RLPV")
+    assert result.cycles > 0
+
+
+@pytest.mark.tier2
+def test_superblock_engine_under_lockstep_oracle_rlpv():
+    result = _checked_run("BP", "RLPV", engine="superblock")
     assert result.cycles > 0
