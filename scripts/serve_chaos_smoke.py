@@ -1,0 +1,162 @@
+"""CI saturation smoke for the overload ladder (DESIGN.md §17).
+
+Boots a :class:`repro.serve.ResultService` with a deliberately tiny
+admission limit, then fires a mixed storm — warm figure queries, cold
+(missing-run) queries, and health probes — at several times that limit.
+The pass condition is the resilience contract, not zero sheds: every
+response must be a byte-correct fresh 200, a well-formed 202 or 503
+carrying ``Retry-After``, or a 304 revalidation; liveness probes must
+stay 200 throughout; and afterwards the admission gate must read zero
+in-flight (no leaked slots).  The final ``/v1/healthz`` document and the
+access log are written out as CI artifacts.
+
+Usage: PYTHONPATH=src python scripts/serve_chaos_smoke.py
+           [--requests 120] [--max-concurrent 4] [--dir DIR]
+           [--access-log PATH] [--healthz PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.harness.runner import clear_cache, run_benchmark, set_cache_dir
+from repro.serve import ResilienceConfig, ResultService
+
+WARM = "/v1/figure/fig17?workload=GA&scale=1&sms=1"
+COLD = "/v1/figure/fig17?workload=KM&scale=1&sms=1"
+
+
+async def http_get(port, path, headers=None):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        request = [f"GET {path} HTTP/1.1", "Host: chaos",
+                   "Connection: close"]
+        request += [f"{k}: {v}" for k, v in (headers or {}).items()]
+        writer.write(("\r\n".join(request) + "\r\n\r\n").encode())
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), 30.0)
+    finally:
+        writer.close()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    parsed = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        parsed[name.strip().lower()] = value.strip()
+    return status, parsed, body
+
+
+def classify(path, status, headers, body, fresh_body, etag):
+    """None when the response honours the contract, else a complaint."""
+    if path == "/v1/healthz":
+        if status != 200 or not json.loads(body).get("ok"):
+            return f"health probe degraded: {status}"
+        return None
+    if status == 200:
+        if path == WARM and body != fresh_body:
+            return "fresh 200 not byte-identical to the reference"
+        return None
+    if status == 304:
+        return None if headers.get("etag") == etag else "304 without ETag"
+    if status in (202, 503):
+        if "retry-after" not in headers:
+            return f"{status} without Retry-After"
+        try:
+            json.loads(body)
+        except ValueError:
+            return f"{status} with a malformed body"
+        return None
+    return f"unexpected status {status}"
+
+
+async def storm(base: Path, requests: int, limit: int,
+                access_log: Path, healthz_out: Path) -> int:
+    config = ResilienceConfig(max_concurrent=limit)
+    service = ResultService(base, worker=True, access_log=access_log,
+                            resilience=config)
+    _, port = await service.start(host="127.0.0.1", port=0)
+    try:
+        status, headers, fresh_body = await http_get(port, WARM)
+        assert status == 200, f"priming GET failed: {status}"
+        etag = headers["etag"]
+
+        plan = []
+        for index in range(requests):
+            kind = index % 4
+            if kind == 0:
+                plan.append(WARM)
+            elif kind == 1:
+                plan.append((WARM, {"If-None-Match": etag}))
+            elif kind == 2:
+                plan.append(COLD)
+            else:
+                plan.append("/v1/healthz")
+        plan = [(p, None) if isinstance(p, str) else p for p in plan]
+
+        responses = await asyncio.gather(
+            *(http_get(port, path, hdrs) for path, hdrs in plan))
+
+        failures = 0
+        for (path, _), (got, got_headers, got_body) in zip(plan, responses):
+            complaint = classify(path, got, got_headers, got_body,
+                                 fresh_body, etag)
+            if complaint:
+                failures += 1
+                print(f"FAIL {path}: {complaint}")
+        if service.gate.in_flight != 0:
+            failures += 1
+            print(f"FAIL admission gate leaked "
+                  f"{service.gate.in_flight} slots")
+
+        _, _, health_body = await http_get(port, "/v1/healthz")
+        healthz_out.write_text(health_body.decode())
+        health = json.loads(health_body)
+        print(f"chaos storm: {len(responses)} requests at limit {limit}, "
+              f"{failures} contract violations "
+              f"(admission: {health['admission']}, "
+              f"outcomes: {health['outcomes']})")
+        return 1 if failures else 0
+    finally:
+        await service.close()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=120)
+    parser.add_argument("--max-concurrent", type=int, default=4)
+    parser.add_argument("--dir", default=None,
+                        help="cache directory (default: a temp dir)")
+    parser.add_argument("--access-log", default=None)
+    parser.add_argument("--healthz", default=None,
+                        help="where to write the final healthz snapshot")
+    args = parser.parse_args()
+
+    base = Path(args.dir) if args.dir else Path(
+        tempfile.mkdtemp(prefix="serve-chaos-"))
+    access_log = Path(args.access_log) if args.access_log \
+        else base / "access.log"
+    healthz_out = Path(args.healthz) if args.healthz \
+        else base / "healthz.json"
+
+    # Warm the two runs fig17/GA needs; KM stays cold on purpose.
+    set_cache_dir(base)
+    for model in ("Base", "RLPV"):
+        run_benchmark("GA", model, scale=1, num_sms=1)
+    clear_cache()
+
+    code = asyncio.run(storm(base, args.requests, args.max_concurrent,
+                             access_log, healthz_out))
+    if code and access_log.exists():
+        print("--- access log ---")
+        print(access_log.read_text())
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -211,9 +211,7 @@ class Campaign:
                 "pass a directory)")
         by_digest = {spec.digest(): spec for spec in specs}
         digests = sorted(by_digest)
-        campaign_id = ("adhoc-"
-                       + hashlib.sha256("\n".join(digests).encode())
-                       .hexdigest()[:16])
+        campaign_id = cls.adhoc_id(digests)
         root = campaign_base(cache_root) / campaign_id
         manifest_path = root / "campaign.json"
         if manifest_path.exists():
@@ -231,6 +229,19 @@ class Campaign:
         atomic_write_text(manifest_path,
                           json.dumps(manifest, sort_keys=True, indent=1))
         return cls(cache_root, manifest)
+
+    @staticmethod
+    def adhoc_id(digests: Sequence[str]) -> str:
+        """The durable id an ad-hoc campaign over *digests* would get.
+
+        Pure function of the sorted digest set — callers (the serve
+        JobManager) use it to answer "is this spec set already known?"
+        without materializing a campaign directory first.
+        """
+        ordered = sorted(digests)
+        return ("adhoc-"
+                + hashlib.sha256("\n".join(ordered).encode())
+                .hexdigest()[:16])
 
     @classmethod
     def open(cls, campaign_id: str,
@@ -269,6 +280,7 @@ class JobLog:
     failures: List[Dict] = field(default_factory=list)
     reclaims: List[Dict] = field(default_factory=list)
     claims: List[Dict] = field(default_factory=list)
+    abandons: List[Dict] = field(default_factory=list)
     quarantined: bool = False
 
     @property
@@ -296,6 +308,8 @@ def fold_journal(records: Sequence[Dict]) -> Dict[str, JobLog]:
             log.reclaims.append(data)
         elif kind == "claim":
             log.claims.append(data)
+        elif kind == "abandoned":
+            log.abandons.append(data)
         elif kind == "quarantine":
             log.quarantined = True
     return logs
@@ -334,11 +348,16 @@ class WorkerSummary:
     failed: int = 0
     reclaimed: int = 0
     quarantined: int = 0
+    #: Jobs finished locally but *not* published because the worker's
+    #: lease had expired and been reclaimed mid-run (the reclaimer owns
+    #: the publish; completing anyway would double-publish).
+    abandoned: int = 0
 
 
 def run_worker(campaign: Campaign, worker_id: str,
                backoff: float = 0.25, poll: float = 0.2,
-               progress: Optional[Callable[[str], None]] = None
+               progress: Optional[Callable[[str], None]] = None,
+               should_stop: Optional[Callable[[], bool]] = None
                ) -> WorkerSummary:
     """Claim-and-run jobs until every campaign job is done or quarantined.
 
@@ -346,6 +365,11 @@ def run_worker(campaign: Campaign, worker_id: str,
     wraps it for the subprocess backend.  The worker installs the
     single-flight lease guard so *any* simulation it performs — including
     nested ``run_benchmark`` calls — dedups against other live workers.
+
+    *should_stop*, checked between jobs, lets an embedding process (the
+    serve JobManager draining on SIGTERM) wind the worker down at a job
+    boundary — always checkpoint-safe, since unfinished jobs stay leased
+    or pending in the durable campaign and any process can resume them.
     """
     manager = campaign.lease_manager()
     guard = SingleFlight(manager, worker_id)
@@ -353,6 +377,8 @@ def run_worker(campaign: Campaign, worker_id: str,
     runner.set_job_guard(guard)
     try:
         while True:
+            if should_stop is not None and should_stop():
+                return summary
             logs = fold_journal(read_journal(campaign.journal_path).records)
             live = {lease.job for lease in manager.live()}
             states = {digest: job_state(logs.get(digest), digest in live)
@@ -434,12 +460,28 @@ def _execute_job(campaign: Campaign, manager: LeaseManager, digest: str,
                          f"(attempt {attempt}): {failure.error}")
             runner._retry_wait(backoff, attempt - 1)
             return
+    if heartbeat.lost:
+        # The lease expired and may already be reclaimed: the reclaimer
+        # owns this attempt's publish now.  Journalling "complete" here
+        # would double-publish the job (two workers both claiming the
+        # authoritative completion for one attempt stream), so record the
+        # abandonment instead and let the owner finish.  The simulation
+        # itself is not wasted — the content-addressed cache write is
+        # idempotent, so the reclaimer's lookup hits immediately.
+        append_record(campaign.journal_path, "abandoned",
+                      {"job": digest, "worker": worker_id,
+                       "attempt": attempt})
+        summary.abandoned += 1
+        manager.release(digest, worker_id)  # no-op if reclaimed already
+        if progress is not None:
+            progress(f"{worker_id}: {spec.abbr}/{spec.model} abandoned "
+                     f"(lease lost mid-run, attempt {attempt})")
+        return
     result = runner._RESULT_CACHE[spec][0]
     append_record(campaign.journal_path, "complete",
                   {"job": digest, "worker": worker_id, "attempt": attempt,
                    "cycles": result.cycles,
-                   "resumed_from_cycle": resumed_from,
-                   "superseded": heartbeat.lost})
+                   "resumed_from_cycle": resumed_from})
     summary.completed += 1
     manager.release(digest, worker_id)
     if progress is not None:

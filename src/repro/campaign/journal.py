@@ -37,6 +37,13 @@ RECORD_VERSION = 1
 #: size where a single O_APPEND write could be split by the kernel.
 MAX_ERROR_CHARS = 500
 
+#: Set to ``"1"`` to fsync the journal after every append.  Default off:
+#: the torn-tail reader already recovers the longest durable prefix after
+#: a crash, so fsync buys only power-loss durability of the final record
+#: at a per-append cost.  Deployments that want it (serving real traffic
+#: from one box) flip the env var rather than forking the code path.
+FSYNC_ENV = "REPRO_JOURNAL_FSYNC"
+
 
 class JournalError(RuntimeError):
     """The journal file itself is unusable (not per-record corruption)."""
@@ -66,6 +73,8 @@ def append_record(path: Path, type: str, data: Dict,
     fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
     try:
         os.write(fd, line)
+        if os.environ.get(FSYNC_ENV) == "1":
+            os.fsync(fd)
     finally:
         os.close(fd)
     return record

@@ -199,7 +199,8 @@ class Heartbeat:
     Dies with the process — which is the point: a SIGKILLed worker stops
     heartbeating and its lease expires on schedule.  ``lost`` flips when a
     renewal discovers the lease is gone; the worker checks it before
-    journalling completion so a superseded attempt reports itself.
+    journalling completion and *abandons* the job instead (the reclaimer
+    owns the publish), so a superseded attempt never double-publishes.
     """
 
     def __init__(self, manager: LeaseManager, job: str, owner: str,

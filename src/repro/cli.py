@@ -609,18 +609,29 @@ def _cmd_campaign_work(args) -> int:
 
 def _cmd_serve(args) -> int:
     from repro.harness.runner import cache_dir
-    from repro.serve import serve_forever
+    from repro.serve import ResilienceConfig, serve_forever
 
     base = Path(args.dir) if args.dir else cache_dir()
     if base is None:
         print("serve: no cache directory (pass --dir or set "
               "REPRO_CACHE_DIR)", file=sys.stderr)
         return 2
+    resilience = ResilienceConfig(
+        max_concurrent=args.max_concurrent,
+        max_pending_jobs=args.max_pending_jobs,
+        default_deadline=args.deadline,
+        header_timeout=args.header_timeout,
+        breaker_failures=args.breaker_failures,
+        breaker_cooldown=args.breaker_cooldown,
+        drain_deadline=args.drain_deadline,
+        shutdown_grace=args.shutdown_grace,
+    )
     serve_forever(base, host=args.host, port=args.port,
                   access_log=Path(args.access_log) if args.access_log
                   else None,
                   worker=not args.no_worker,
-                  ready=Path(args.ready) if args.ready else None)
+                  ready=Path(args.ready) if args.ready else None,
+                  resilience=resilience)
     return 0
 
 
@@ -926,6 +937,31 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--ready", metavar="PATH", default=None,
                               help="write 'host port' to PATH once bound "
                                    "(for scripts using --port 0)")
+    serve_parser.add_argument("--max-concurrent", type=int, default=64,
+                              help="admission gate: concurrent requests "
+                                   "before shedding 503 (default: 64)")
+    serve_parser.add_argument("--max-pending-jobs", type=int, default=16,
+                              help="bounded background-job backlog; past "
+                                   "it misses defer instead of enqueueing "
+                                   "(default: 16)")
+    serve_parser.add_argument("--deadline", type=float, default=30.0,
+                              help="per-request time budget in seconds; "
+                                   "expiry answers 504 (default: 30)")
+    serve_parser.add_argument("--header-timeout", type=float, default=5.0,
+                              help="seconds to finish sending the request "
+                                   "head (slow-loris guard, default: 5)")
+    serve_parser.add_argument("--breaker-failures", type=int, default=3,
+                              help="consecutive worker failures that trip "
+                                   "the enqueue circuit breaker (default: 3)")
+    serve_parser.add_argument("--breaker-cooldown", type=float, default=30.0,
+                              help="seconds the breaker stays open before "
+                                   "a half-open probe (default: 30)")
+    serve_parser.add_argument("--drain-deadline", type=float, default=10.0,
+                              help="seconds granted to in-flight requests "
+                                   "on SIGTERM (default: 10)")
+    serve_parser.add_argument("--shutdown-grace", type=float, default=0.0,
+                              help="seconds readiness stays flipped before "
+                                   "draining starts (default: 0)")
     serve_parser.set_defaults(func=_cmd_serve)
 
     query_parser = sub.add_parser(

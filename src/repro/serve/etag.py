@@ -39,6 +39,19 @@ def document_etag(figure: str, digests: Dict[str, Dict[str, str]]) -> str:
     return quote("doc-" + hashlib.sha256(canonical.encode()).hexdigest()[:40])
 
 
+def stale_etag(etag: str) -> str:
+    """The validator of the *stale-marked* rendering of a document.
+
+    A stale degraded response (circuit breaker open, DESIGN.md §17) has a
+    different body than the fresh one — it carries ``"stale": true`` — so
+    it must carry a different strong validator, or a client that cached
+    the stale body would 304-revalidate against the fresh document
+    forever.  Deriving it from the fresh ETag keeps it stable across
+    servers and restarts for the same underlying runs.
+    """
+    return quote("stale-" + etag.strip('"'))
+
+
 def parse_if_none_match(header: str) -> List[str]:
     """The validators of an ``If-None-Match`` header (``*`` included).
 

@@ -33,11 +33,21 @@ MAX_HEADERS = 100
 #: Seconds an idle keep-alive connection may sit between requests.
 KEEPALIVE_TIMEOUT = 30.0
 
+#: Seconds a client gets to finish sending the request head once the
+#: request line has arrived — the slow-loris guard: a client dripping
+#: header bytes can pin a connection for at most this long.
+HEADER_TIMEOUT = 5.0
+
 JSON_TYPE = "application/json; charset=utf-8"
 
 
 class BadRequest(Exception):
     """The bytes on the wire do not form an acceptable HTTP request."""
+
+
+class SlowClient(BadRequest):
+    """The client started a request head but never finished it in time
+    (slow-loris); answered with 408 and the connection closed."""
 
 
 @dataclass
@@ -66,6 +76,9 @@ class Response:
     body: bytes = b""
     content_type: str = JSON_TYPE
     headers: List[Tuple[str, str]] = field(default_factory=list)
+    #: Resilience outcome tag for the access log: ``-`` (normal), or
+    #: ``shed`` / ``timeout`` / ``stale`` / ``breaker`` / ``deferred``.
+    outcome: str = "-"
 
     @classmethod
     def json(cls, status: int, doc, *,
@@ -89,7 +102,8 @@ def error_response(status: int, code: str, message: str,
 REASONS = {200: "OK", 202: "Accepted", 304: "Not Modified",
            400: "Bad Request", 404: "Not Found",
            405: "Method Not Allowed", 408: "Request Timeout",
-           500: "Internal Server Error"}
+           500: "Internal Server Error", 503: "Service Unavailable",
+           504: "Gateway Timeout"}
 
 #: ``handler(service, request, **path_params) -> Response`` (awaitable).
 Handler = Callable[..., Awaitable[Response]]
@@ -156,9 +170,13 @@ class AccessLog:
         self.path = Path(path) if path is not None else None
         self.keep = keep
         self.lines: List[str] = []
+        #: Aggregate tallies over everything ever logged (not just the
+        #: ring): response status classes and resilience outcomes.
+        self.status_counts: Dict[int, int] = {}
+        self.outcome_counts: Dict[str, int] = {}
 
     def record(self, request: Optional[Request], status: int, nbytes: int,
-               elapsed: float) -> None:
+               elapsed: float, outcome: str = "-") -> None:
         stamp = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime())
         if request is not None:
             what = f'"{request.method} {request.path}"'
@@ -166,9 +184,13 @@ class AccessLog:
         else:
             what, remote = '"<malformed>"', "-"
         line = (f"{stamp} {remote} {what} {status} {nbytes} "
-                f"{elapsed * 1000:.1f}ms")
+                f"{elapsed * 1000:.1f}ms {outcome}")
         self.lines.append(line)
         del self.lines[:-self.keep]
+        self.status_counts[status] = self.status_counts.get(status, 0) + 1
+        if outcome != "-":
+            self.outcome_counts[outcome] = \
+                self.outcome_counts.get(outcome, 0) + 1
         if self.path is not None:
             with open(self.path, "a") as fh:
                 fh.write(line + "\n")
@@ -176,11 +198,21 @@ class AccessLog:
 
 # ------------------------------------------------------------- wire parsing
 
-async def read_request(reader: asyncio.StreamReader,
-                       remote: str) -> Optional[Request]:
-    """One request off the wire; ``None`` on clean EOF before a request."""
+async def read_request(reader: asyncio.StreamReader, remote: str,
+                       keepalive_timeout: float = KEEPALIVE_TIMEOUT,
+                       header_timeout: float = HEADER_TIMEOUT
+                       ) -> Optional[Request]:
+    """One request off the wire; ``None`` on clean EOF before a request.
+
+    Two distinct wire budgets: *keepalive_timeout* bounds the idle wait
+    for the request line (quietly closing a connection that never speaks
+    again), while *header_timeout* bounds finishing the header block once
+    the request line arrived — exceeding it raises :class:`SlowClient`
+    (408, connection closed) so a slow-loris client cannot pin the
+    connection by dripping header bytes forever.
+    """
     try:
-        line = await asyncio.wait_for(reader.readline(), KEEPALIVE_TIMEOUT)
+        line = await asyncio.wait_for(reader.readline(), keepalive_timeout)
     except asyncio.TimeoutError:
         return None
     if not line:
@@ -194,6 +226,23 @@ async def read_request(reader: asyncio.StreamReader,
     if version not in ("HTTP/1.0", "HTTP/1.1"):
         raise BadRequest(f"unsupported protocol {version}")
 
+    try:
+        headers = await asyncio.wait_for(_read_headers(reader),
+                                         header_timeout)
+    except asyncio.TimeoutError:
+        raise SlowClient(
+            f"request head not completed within {header_timeout:.1f}s"
+        ) from None
+
+    if headers.get("content-length", "0") not in ("", "0"):
+        raise BadRequest("request bodies are not accepted")
+    split = urlsplit(target)
+    return Request(method=method.upper(), path=split.path or "/",
+                   query=parse_qs(split.query, keep_blank_values=True),
+                   headers=headers, version=version, remote=remote)
+
+
+async def _read_headers(reader: asyncio.StreamReader) -> Dict[str, str]:
     headers: Dict[str, str] = {}
     for _ in range(MAX_HEADERS + 1):
         line = await reader.readline()
@@ -212,20 +261,14 @@ async def read_request(reader: asyncio.StreamReader,
         if not _ or not name or name != name.strip():
             raise BadRequest(f"malformed header line: {line!r}")
         headers[name.strip().lower()] = value.strip()
-
-    if headers.get("content-length", "0") not in ("", "0"):
-        raise BadRequest("request bodies are not accepted")
-    split = urlsplit(target)
-    return Request(method=method.upper(), path=split.path or "/",
-                   query=parse_qs(split.query, keep_blank_values=True),
-                   headers=headers, version=version, remote=remote)
+    return headers
 
 
-def render_response(request: Optional[Request],
-                    response: Response) -> bytes:
+def render_response(request: Optional[Request], response: Response,
+                    force_close: bool = False) -> bytes:
     head_only = request is not None and request.method == "HEAD"
     body = b"" if (head_only or response.status == 304) else response.body
-    close = request is None or request.wants_close
+    close = force_close or request is None or request.wants_close
     reason = REASONS.get(response.status, "Unknown")
     lines = [f"HTTP/1.1 {response.status} {reason}"]
     if response.status != 304:
@@ -241,52 +284,113 @@ def render_response(request: Optional[Request],
 # --------------------------------------------------------------- the server
 
 class HttpServer:
-    """Bind, accept, parse, dispatch; the service supplies the handlers."""
+    """Bind, accept, parse, dispatch; the service supplies the handlers.
+
+    Every connection task is tracked, and tasks currently *handling a
+    request* (past the parser, before the response is written) are
+    tracked separately — graceful shutdown cancels idle connections
+    immediately but lets busy ones finish under :meth:`drain`'s deadline.
+    """
 
     def __init__(self, router: Router, dispatch: Handler,
-                 access_log: AccessLog) -> None:
+                 access_log: AccessLog,
+                 keepalive_timeout: float = KEEPALIVE_TIMEOUT,
+                 header_timeout: float = HEADER_TIMEOUT) -> None:
         self.router = router
         self.dispatch = dispatch
         self.access_log = access_log
+        self.keepalive_timeout = keepalive_timeout
+        self.header_timeout = header_timeout
         self._server: Optional[asyncio.base_events.Server] = None
+        self._conns: set = set()
+        self._busy: set = set()
+        self._draining = False
+
+    @property
+    def connections(self) -> int:
+        return len(self._conns)
 
     async def start(self, host: str, port: int) -> Tuple[str, int]:
         self._server = await asyncio.start_server(self._client, host, port)
         bound = self._server.sockets[0].getsockname()
         return bound[0], bound[1]
 
-    async def close(self) -> None:
+    def stop_accepting(self) -> None:
+        """Close the listening socket; existing connections live on."""
         if self._server is not None:
             self._server.close()
-            await self._server.wait_closed()
+
+    async def drain(self, deadline: float) -> bool:
+        """Stop keep-alive reuse, cancel idle connections, and wait up to
+        *deadline* seconds for busy ones; True when everything finished
+        (False: stragglers were cancelled at the deadline)."""
+        self._draining = True
+        for task in list(self._conns - self._busy):
+            task.cancel()
+        pending = {task for task in self._conns if not task.done()}
+        clean = True
+        if pending:
+            _, late = await asyncio.wait(pending, timeout=deadline)
+            if late:
+                clean = False
+                for task in late:
+                    task.cancel()
+                await asyncio.wait(late, timeout=1.0)
+        return clean
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self.stop_accepting()
+            try:
+                await asyncio.wait_for(self._server.wait_closed(), 5.0)
+            except asyncio.TimeoutError:
+                pass
             self._server = None
 
     async def _client(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
         peer = writer.get_extra_info("peername")
         remote = peer[0] if isinstance(peer, tuple) else "-"
+        task = asyncio.current_task()
+        self._conns.add(task)
         try:
             while True:
                 started = time.monotonic()
                 request: Optional[Request] = None
+                close_after = self._draining
                 try:
-                    request = await read_request(reader, remote)
+                    request = await read_request(
+                        reader, remote,
+                        keepalive_timeout=self.keepalive_timeout,
+                        header_timeout=self.header_timeout)
                     if request is None:
                         return
+                    self._busy.add(task)
                     response = await self._respond(request)
+                except SlowClient as err:
+                    response = error_response(408, "request-timeout",
+                                              str(err))
+                    response.outcome = "slow-client"
+                    close_after = True
                 except BadRequest as err:
                     response = error_response(400, "bad-request", str(err))
-                payload = render_response(request, response)
+                payload = render_response(request, response,
+                                          force_close=close_after)
                 writer.write(payload)
                 await writer.drain()
+                self._busy.discard(task)
                 self.access_log.record(request, response.status,
                                        len(payload),
-                                       time.monotonic() - started)
-                if request is None or request.wants_close:
+                                       time.monotonic() - started,
+                                       outcome=response.outcome)
+                if (close_after or self._draining or request is None
+                        or request.wants_close):
                     return
         except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
             pass
         finally:
+            self._busy.discard(task)
+            self._conns.discard(task)
             writer.close()
             try:
                 await writer.wait_closed()

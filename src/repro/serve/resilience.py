@@ -1,0 +1,269 @@
+"""Overload-safe serving primitives: admission, deadlines, circuit breaking.
+
+The serve layer's promise under load (DESIGN.md §17) is *predictable
+degradation*: every response is either correct-and-fresh, correct but
+explicitly stale, or a well-formed shed/timeout envelope — never a hang,
+never unbounded queueing, never a wrong byte.  This module holds the
+small, independently-testable mechanisms the service composes to keep
+that promise:
+
+* :class:`AdmissionGate` — a bounded in-flight counter on request
+  handling; past the high-water mark, requests shed with ``503`` +
+  ``Retry-After`` instead of queueing behind a saturated event loop.
+* deadline helpers — every request runs under a server-side time budget
+  (config default, optionally lowered by the ``X-Repro-Deadline``
+  header, clamped either way); handler work past it is cancelled and
+  answered with a structured ``504`` envelope.
+* :class:`CircuitBreaker` — a closed → open → half-open state machine
+  around campaign enqueue.  Consecutive background-worker failures trip
+  it; while open, misses are answered from :class:`StaleDocCache`
+  (explicitly stale-marked) or shed, and timed half-open probes test
+  recovery.  The clock is injected so every transition is unit-testable
+  without sleeping.
+* :class:`StaleDocCache` — a bounded memory of the last fresh figure
+  documents served, keyed by canonical query; the graceful-degradation
+  source while the breaker is open.
+
+Everything here is policy-free mechanism: thresholds and budgets live in
+:class:`ResilienceConfig`, which ``repro serve`` exposes as flags.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, NamedTuple, Optional
+
+#: Request header that lowers (never raises) the server deadline, seconds.
+DEADLINE_HEADER = "x-repro-deadline"
+
+#: Floor for any effective deadline: a client cannot ask for "0" and turn
+#: every response into a 504.
+MIN_DEADLINE = 0.05
+
+
+@dataclass
+class ResilienceConfig:
+    """Every knob of the overload ladder, with serving-safe defaults."""
+
+    #: Admission high-water mark: concurrent requests being handled.
+    max_concurrent: int = 64
+    #: ``Retry-After`` seconds advertised on an admission shed.
+    shed_retry_after: float = 1.0
+    #: Bounded pending-job queue in the JobManager; past it, misses are
+    #: deferred (202 + Retry-After, nothing enqueued).
+    max_pending_jobs: int = 16
+    #: ``Retry-After`` seconds advertised on a deferred miss.
+    deferred_retry_after: float = 2.0
+    #: Server-side time budget per request (seconds).
+    default_deadline: float = 30.0
+    #: Ceiling the deadline header is clamped to.
+    max_deadline: float = 120.0
+    #: Wire budget for finishing the request head once it starts arriving
+    #: (the slow-loris guard); idle keep-alive wait is separate.
+    header_timeout: float = 5.0
+    #: Seconds an idle keep-alive connection may sit between requests.
+    keepalive_timeout: float = 30.0
+    #: Consecutive background-worker failures that trip the breaker.
+    breaker_failures: int = 3
+    #: Seconds the breaker stays open before a half-open probe.
+    breaker_cooldown: float = 30.0
+    #: Fresh figure documents remembered for stale-serving.
+    stale_keep: int = 64
+    #: Seconds granted to in-flight requests during graceful shutdown.
+    drain_deadline: float = 10.0
+    #: Seconds readiness stays observably flipped before the listener
+    #: closes (lets load balancers stop routing before the drain).
+    shutdown_grace: float = 0.0
+    #: Cadence of the drain-thread watchdog.
+    watchdog_interval: float = 0.5
+
+
+def clamp_deadline(header_value: str, config: ResilienceConfig) -> float:
+    """The effective time budget for one request.
+
+    The header may *lower* the server default (a client that only cares
+    about fresh-enough answers can say so); it is clamped to
+    ``[MIN_DEADLINE, max_deadline]`` and ignored when malformed, so no
+    header value can disable the budget or extend it past the ceiling.
+    """
+    budget = config.default_deadline
+    if header_value:
+        try:
+            budget = float(header_value)
+        except ValueError:
+            budget = config.default_deadline
+    return max(MIN_DEADLINE, min(budget, config.max_deadline))
+
+
+class Overloaded(Exception):
+    """The admission gate refused a request (HTTP 503 + Retry-After)."""
+
+
+class AdmissionGate:
+    """Bounded concurrency on request handling (event-loop-local).
+
+    Non-queueing by design: once ``limit`` requests are in flight the
+    next one sheds immediately.  Queueing admissions would just move the
+    overload into an invisible line; shedding keeps latency for admitted
+    requests flat and tells the client exactly when to come back.
+    """
+
+    def __init__(self, limit: int) -> None:
+        self.limit = max(1, int(limit))
+        self.in_flight = 0
+        #: Observable effort counters (tests and /v1/healthz read these).
+        self.counts = {"admitted": 0, "shed": 0}
+
+    def try_acquire(self) -> bool:
+        if self.in_flight >= self.limit:
+            self.counts["shed"] += 1
+            return False
+        self.in_flight += 1
+        self.counts["admitted"] += 1
+        return True
+
+    def release(self) -> None:
+        self.in_flight -= 1
+        assert self.in_flight >= 0, "admission gate released below zero"
+
+
+class CircuitBreaker:
+    """Closed → open → half-open breaker with an injected clock.
+
+    State machine (DESIGN.md §17)::
+
+                   consecutive failures >= threshold
+        CLOSED ────────────────────────────────────► OPEN
+          ▲                                           │ cooldown
+          │ probe succeeds                            ▼ elapsed
+          └──────────────────────────────────── HALF-OPEN
+                                  probe fails:  HALF-OPEN ──► OPEN
+
+    ``allow()`` answers "may this miss enqueue background work right
+    now?".  While open it returns False until ``cooldown`` has elapsed,
+    then grants exactly one half-open probe; a probe whose outcome never
+    arrives (worker lost, enqueue deferred) re-arms after another
+    cooldown rather than wedging the breaker half-open forever.
+
+    Outcomes are reported from the JobManager's drain thread while
+    ``allow()`` runs on the event loop, so every transition holds a lock.
+    """
+
+    def __init__(self, threshold: int = 3, cooldown: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.threshold = max(1, int(threshold))
+        self.cooldown = float(cooldown)
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probe_at = 0.0
+        #: Observable effort counters (tests and /v1/healthz read these).
+        self.counts = {"trips": 0, "probes": 0, "recoveries": 0}
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """True when a miss may enqueue work (closed, or as a probe)."""
+        now = self.clock()
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "open":
+                if now - self._opened_at < self.cooldown:
+                    return False
+                self._state = "half_open"
+            elif now - self._probe_at < self.cooldown:
+                return False  # a probe is already outstanding
+            self._probe_at = now
+            self.counts["probes"] += 1
+            return True
+
+    def record_success(self) -> None:
+        """A background drain finished cleanly; close if recovering."""
+        with self._lock:
+            self._failures = 0
+            if self._state != "closed":
+                self._state = "closed"
+                self.counts["recoveries"] += 1
+
+    def record_failure(self) -> None:
+        """A background drain crashed or quarantined work."""
+        now = self.clock()
+        with self._lock:
+            self._failures += 1
+            tripping = (self._state == "half_open"
+                        or (self._state == "closed"
+                            and self._failures >= self.threshold))
+            if tripping:
+                self._state = "open"
+                self._opened_at = now
+                self.counts["trips"] += 1
+
+    def retry_after(self) -> int:
+        """Whole seconds until the next probe could be allowed (≥ 1)."""
+        now = self.clock()
+        with self._lock:
+            if self._state == "open":
+                remaining = self.cooldown - (now - self._opened_at)
+            elif self._state == "half_open":
+                remaining = self.cooldown - (now - self._probe_at)
+            else:
+                return 1
+        return max(1, math.ceil(remaining))
+
+    def snapshot(self) -> Dict[str, object]:
+        """The healthz view: state, consecutive failures, transitions."""
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._failures,
+                **self.counts,
+            }
+
+
+class StaleEntry(NamedTuple):
+    """One remembered fresh document: body source + its strong ETag."""
+
+    doc: Dict
+    etag: str
+
+
+class StaleDocCache:
+    """Bounded, recency-evicting memory of fresh figure documents.
+
+    Every fresh 200 figure/suite response deposits its document here;
+    while the circuit breaker is open, a miss whose key has an entry is
+    answered from it — explicitly marked stale — instead of failing
+    closed.  Bounded LRU so varied query traffic cannot grow it without
+    limit; staleness is acceptable by construction (the entry *was* a
+    correct answer for this exact query, and the stale ETag derives from
+    the same run digests).
+    """
+
+    def __init__(self, keep: int = 64) -> None:
+        self.keep = max(1, int(keep))
+        self._entries: "OrderedDict[str, StaleEntry]" = OrderedDict()
+
+    def put(self, key: str, doc: Dict, etag: str) -> None:
+        self._entries[key] = StaleEntry(doc=doc, etag=etag)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.keep:
+            self._entries.popitem(last=False)
+
+    def get(self, key: str) -> Optional[StaleEntry]:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)

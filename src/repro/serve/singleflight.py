@@ -84,6 +84,13 @@ class AsyncSingleFlight:
         else:
             self._resolve(key, flight, result=result)
             return result
+        finally:
+            # Eviction guarantee: a completed flight must never outlive
+            # its resolution, on *any* exit path — the map would otherwise
+            # grow one dead entry per distinct key under varied traffic.
+            # tests/test_serve_singleflight.py pins len(flights) == 0.
+            if self._flights.get(key) is flight:
+                del self._flights[key]
 
     def _resolve(self, key: str, flight: _Flight,
                  result=None, error: BaseException = None) -> None:

@@ -14,9 +14,11 @@ from repro.serve import ResultService
 
 
 @asynccontextmanager
-async def serving(base, worker: bool = True, access_log=None):
+async def serving(base, worker: bool = True, access_log=None,
+                  resilience=None):
     """An in-process service bound to a free port; yields (service, port)."""
-    service = ResultService(base, worker=worker, access_log=access_log)
+    service = ResultService(base, worker=worker, access_log=access_log,
+                            resilience=resilience)
     _, port = await service.start(host="127.0.0.1", port=0)
     try:
         yield service, port

@@ -653,6 +653,63 @@ class TestAdHocCampaigns:
         assert campaign_complete(campaign)
         assert campaign.result_path(spec.digest()).exists()
 
+    def test_adhoc_id_matches_materialized_campaigns(self, tmp_path):
+        specs = [RunSpec.make("GA", "Base", scale=1, num_sms=1),
+                 RunSpec.make("GA", "RLPV", scale=1, num_sms=1)]
+        digests = [spec.digest() for spec in specs]
+        predicted = Campaign.adhoc_id(digests)
+        assert predicted == Campaign.adhoc_id(list(reversed(digests)))
+        campaign = Campaign.create_from_specs(specs, base=tmp_path)
+        assert campaign.id == predicted
+
+
+# ----------------------------------------------------- lost-lease abandons
+
+class TestLostLeaseAbandon:
+    def test_worker_abandons_instead_of_double_publishing(self, tmp_path):
+        """Satellite: mid-simulation the worker's lease expires and a
+        rival reclaims it.  The heartbeat flags the loss; the worker must
+        journal an ``abandoned`` record and publish **no** completion —
+        the reclaimer owns this attempt stream now, and two authoritative
+        ``complete`` records for one claim would be a double-publish."""
+        import threading
+
+        set_cache_dir(tmp_path)
+        spec = RunSpec.make("GA", "Base", scale=1, num_sms=1)
+        # Tiny ttl → heartbeat renews every max(0.05, ttl/3) = 0.05s, so
+        # the loss is noticed fast once the lease changes hands.
+        campaign = Campaign.create_from_specs([spec], base=tmp_path,
+                                              ttl=0.15)
+        digest = spec.digest()
+        rival = campaign.lease_manager()
+        stolen = threading.Event()
+
+        def hijack(run_spec):
+            if stolen.is_set():
+                return
+            stolen.set()
+            # Simulate expiry-and-reclaim while the worker is stalled in
+            # its simulation: the rival breaks the lease and grants
+            # itself a fresh one, exactly what LeaseManager.claim does
+            # after a real ttl expiry.
+            (campaign.root / "leases" / f"{digest}.json").unlink()
+            assert rival._grant(digest, "rival", attempt=2) is not None
+            time.sleep(0.3)  # > heartbeat interval: the loss is observed
+
+        runner._TEST_HOOK = hijack
+        summary = run_worker(campaign, "w0", should_stop=stolen.is_set)
+
+        assert summary.abandoned == 1
+        assert summary.completed == 0
+        logs = fold_journal(read_journal(campaign.journal_path).records)
+        log = logs[digest]
+        assert len(log.abandons) == 1
+        assert log.abandons[0]["worker"] == "w0"
+        assert log.completes == []  # never double-published
+        # The simulation itself was not wasted: the content-addressed
+        # publish is idempotent, so the reclaimer's next lookup hits.
+        assert campaign.result_path(digest).exists()
+
 
 # ---------------------------------------------------- remote backend (stub)
 

@@ -1,0 +1,249 @@
+"""The resilience primitives in isolation (``repro.serve.resilience``).
+
+Everything here is deterministic: the circuit breaker runs on an injected
+fake clock (every closed → open → half-open → closed/open transition is
+pinned without a single ``sleep``), the admission gate and stale cache
+are pure in-memory state machines, and the bounded JobManager queue is
+exercised without ever starting the worker thread.
+"""
+
+import pytest
+
+from repro.harness.runner import RunSpec, clear_cache, set_cache_dir
+from repro.serve import (AdmissionGate, CircuitBreaker, JobManager,
+                         JobQueueFull, ResilienceConfig, StaleDocCache,
+                         clamp_deadline, stale_etag)
+from repro.serve.resilience import MIN_DEADLINE
+
+
+@pytest.fixture(autouse=True)
+def _clean():
+    clear_cache()
+    yield
+    clear_cache()
+    set_cache_dir(None)
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def breaker(clock, threshold=3, cooldown=30.0) -> CircuitBreaker:
+    return CircuitBreaker(threshold=threshold, cooldown=cooldown,
+                          clock=clock)
+
+
+class TestCircuitBreaker:
+    def test_stays_closed_below_the_threshold(self):
+        clock = FakeClock()
+        cb = breaker(clock)
+        for _ in range(2):
+            cb.record_failure()
+            assert cb.state == "closed"
+            assert cb.allow()
+        assert cb.counts["trips"] == 0
+
+    def test_trips_open_at_consecutive_threshold(self):
+        clock = FakeClock()
+        cb = breaker(clock)
+        for _ in range(3):
+            cb.record_failure()
+        assert cb.state == "open"
+        assert not cb.allow()
+        assert cb.counts["trips"] == 1
+
+    def test_a_success_resets_the_consecutive_count(self):
+        clock = FakeClock()
+        cb = breaker(clock)
+        cb.record_failure()
+        cb.record_failure()
+        cb.record_success()  # streak broken: 2 + 1 is not consecutive
+        cb.record_failure()
+        cb.record_failure()
+        assert cb.state == "closed"
+        cb.record_failure()
+        assert cb.state == "open"
+
+    def test_open_grants_one_probe_after_cooldown(self):
+        clock = FakeClock()
+        cb = breaker(clock)
+        for _ in range(3):
+            cb.record_failure()
+        clock.advance(29.9)
+        assert not cb.allow()  # cooldown not yet elapsed
+        clock.advance(0.2)
+        assert cb.allow()  # the half-open probe
+        assert cb.state == "half_open"
+        assert not cb.allow()  # only ONE probe while it is outstanding
+        assert cb.counts["probes"] == 1
+
+    def test_probe_success_closes_and_counts_a_recovery(self):
+        clock = FakeClock()
+        cb = breaker(clock)
+        for _ in range(3):
+            cb.record_failure()
+        clock.advance(31.0)
+        assert cb.allow()
+        cb.record_success()
+        assert cb.state == "closed"
+        assert cb.allow()  # fully recovered: everything flows again
+        assert cb.counts == {"trips": 1, "probes": 1, "recoveries": 1}
+
+    def test_probe_failure_reopens_immediately(self):
+        clock = FakeClock()
+        cb = breaker(clock)
+        for _ in range(3):
+            cb.record_failure()
+        clock.advance(31.0)
+        assert cb.allow()
+        cb.record_failure()  # one failure suffices in half-open
+        assert cb.state == "open"
+        assert not cb.allow()
+        assert cb.counts["trips"] == 2
+
+    def test_lost_probe_outcome_rearms_after_another_cooldown(self):
+        """A probe whose outcome never arrives (deferred enqueue, dead
+        worker) must not wedge the breaker half-open forever."""
+        clock = FakeClock()
+        cb = breaker(clock)
+        for _ in range(3):
+            cb.record_failure()
+        clock.advance(31.0)
+        assert cb.allow()
+        assert not cb.allow()  # outstanding
+        clock.advance(31.0)  # outcome never reported
+        assert cb.allow()  # a fresh probe is granted
+        assert cb.counts["probes"] == 2
+
+    def test_retry_after_counts_down_the_cooldown(self):
+        clock = FakeClock()
+        cb = breaker(clock, cooldown=30.0)
+        for _ in range(3):
+            cb.record_failure()
+        assert cb.retry_after() == 30
+        clock.advance(12.5)
+        assert cb.retry_after() == 18  # ceil(17.5)
+        clock.advance(20.0)
+        assert cb.retry_after() == 1  # never advertises 0 / negative
+
+    def test_snapshot_is_the_healthz_document(self):
+        clock = FakeClock()
+        cb = breaker(clock)
+        cb.record_failure()
+        snap = cb.snapshot()
+        assert snap == {"state": "closed", "consecutive_failures": 1,
+                        "trips": 0, "probes": 0, "recoveries": 0}
+
+
+class TestAdmissionGate:
+    def test_admits_up_to_the_limit_then_sheds(self):
+        gate = AdmissionGate(2)
+        assert gate.try_acquire() and gate.try_acquire()
+        assert not gate.try_acquire()
+        assert gate.counts == {"admitted": 2, "shed": 1}
+
+    def test_release_reopens_a_slot(self):
+        gate = AdmissionGate(1)
+        assert gate.try_acquire()
+        assert not gate.try_acquire()
+        gate.release()
+        assert gate.try_acquire()
+        assert gate.counts == {"admitted": 2, "shed": 1}
+
+    def test_limit_floor_is_one(self):
+        gate = AdmissionGate(0)
+        assert gate.limit == 1
+        assert gate.try_acquire()
+        assert not gate.try_acquire()
+
+
+class TestClampDeadline:
+    CONFIG = ResilienceConfig(default_deadline=30.0, max_deadline=120.0)
+
+    def test_no_header_uses_the_server_default(self):
+        assert clamp_deadline("", self.CONFIG) == 30.0
+
+    def test_header_may_lower_the_budget(self):
+        assert clamp_deadline("2.5", self.CONFIG) == 2.5
+
+    def test_header_is_clamped_to_the_ceiling(self):
+        assert clamp_deadline("9999", self.CONFIG) == 120.0
+
+    def test_zero_and_negative_hit_the_floor(self):
+        assert clamp_deadline("0", self.CONFIG) == MIN_DEADLINE
+        assert clamp_deadline("-5", self.CONFIG) == MIN_DEADLINE
+
+    def test_malformed_header_is_ignored(self):
+        assert clamp_deadline("soon", self.CONFIG) == 30.0
+        assert clamp_deadline("1e", self.CONFIG) == 30.0
+
+
+class TestStaleDocCache:
+    def test_put_get_roundtrip(self):
+        cache = StaleDocCache(keep=4)
+        cache.put("k", {"x": 1}, '"etag"')
+        entry = cache.get("k")
+        assert entry is not None
+        assert (entry.doc, entry.etag) == ({"x": 1}, '"etag"')
+        assert cache.get("nope") is None
+
+    def test_bounded_lru_eviction(self):
+        cache = StaleDocCache(keep=2)
+        cache.put("a", {}, "1")
+        cache.put("b", {}, "2")
+        cache.get("a")  # refresh recency: b is now the eviction victim
+        cache.put("c", {}, "3")
+        assert len(cache) == 2
+        assert cache.get("b") is None
+        assert cache.get("a") is not None and cache.get("c") is not None
+
+    def test_overwrite_does_not_grow(self):
+        cache = StaleDocCache(keep=2)
+        for _ in range(5):
+            cache.put("k", {}, "e")
+        assert len(cache) == 1
+
+
+class TestStaleEtag:
+    def test_derives_a_distinct_strong_validator(self):
+        fresh = '"doc-abc123"'
+        assert stale_etag(fresh) == '"stale-doc-abc123"'
+        assert stale_etag(fresh) != fresh
+        # Deterministic: same runs → same stale validator on any replica.
+        assert stale_etag(fresh) == stale_etag(fresh)
+
+
+class TestBoundedJobQueue:
+    def specs(self, abbr):
+        return [RunSpec.make(abbr, "Base", scale=1, num_sms=1)]
+
+    def test_new_sets_past_the_bound_are_rejected(self, tmp_path):
+        jobs = JobManager(tmp_path, max_pending=1)  # worker never started
+        jobs.submit(self.specs("GA"))
+        with pytest.raises(JobQueueFull):
+            jobs.submit(self.specs("KM"))
+        assert jobs.counts["rejected"] == 1
+        # A rejected submission leaves no campaign debris behind.
+        assert len(list((tmp_path / "campaign").iterdir())) == 1
+
+    def test_known_sets_resubmit_even_at_the_bound(self, tmp_path):
+        jobs = JobManager(tmp_path, max_pending=1)
+        first = jobs.submit(self.specs("GA"))
+        again = jobs.submit(self.specs("GA"))
+        assert again is first
+        assert jobs.counts == {"submitted": 1, "resubmitted": 1,
+                               "drained": 0, "rejected": 0,
+                               "watchdog_restarts": 0}
+
+    def test_unbounded_by_default(self, tmp_path):
+        jobs = JobManager(tmp_path)  # max_pending=0 == legacy behaviour
+        for abbr in ("GA", "KM", "SF", "BT"):
+            jobs.submit(self.specs(abbr))
+        assert jobs.counts["submitted"] == 4

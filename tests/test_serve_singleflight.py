@@ -135,6 +135,33 @@ class TestFailurePropagation:
 
         run(main())
 
+    def test_varied_traffic_never_grows_the_flight_map(self):
+        """Regression: every completed flight is evicted, so sustained
+        traffic over *distinct* keys leaves the per-key map empty — the
+        map must scale with concurrency, never with key cardinality."""
+        async def main():
+            flights = AsyncSingleFlight()
+
+            async def ok(value):
+                await asyncio.sleep(0)
+                return value
+
+            async def boom():
+                await asyncio.sleep(0)
+                raise RuntimeError("nope")
+
+            for wave in range(10):
+                tasks = [asyncio.ensure_future(
+                    flights.run(f"key-{wave}-{i}",
+                                (lambda i=i: ok(i)) if i % 3 else boom))
+                    for i in range(20)]
+                await asyncio.gather(*tasks, return_exceptions=True)
+                assert len(flights) == 0, \
+                    f"{len(flights)} dead flights retained after wave {wave}"
+            assert flights.counts["leaders"] == 200
+
+        run(main())
+
     def test_joiner_cancellation_is_contained(self):
         async def main():
             flights = AsyncSingleFlight()
